@@ -1,0 +1,50 @@
+//! End-to-end benchmarks of the orchestration loop: one coordinated slot and
+//! one short episode for the OnSlicing agent and for the projection-based
+//! OnRL comparator (the ablation axis DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use onslicing_bench::{build_deployment, RunScale};
+use onslicing_core::{AgentConfig, CoordinationMode};
+
+fn scale() -> RunScale {
+    RunScale {
+        horizon: 12,
+        pretrain_episodes: 1,
+        online_epochs: 1,
+        episodes_per_epoch: 1,
+        eval_episodes: 1,
+    }
+}
+
+fn bench_slot(c: &mut Criterion) {
+    let mut orch = build_deployment(
+        AgentConfig::onslicing(),
+        CoordinationMode::default(),
+        scale(),
+        0,
+    );
+    orch.offline_pretrain_all(1);
+    orch.env_mut().reset_all();
+    c.bench_function("orchestrated_slot_onslicing", |b| {
+        b.iter(|| std::hint::black_box(orch.run_slot(true)))
+    });
+}
+
+fn bench_episode_variants(c: &mut Criterion) {
+    let variants = [
+        ("episode_onslicing_modifier", AgentConfig::onslicing(), CoordinationMode::default()),
+        ("episode_onslicing_projection", AgentConfig::onslicing(), CoordinationMode::Projection),
+        ("episode_onrl", AgentConfig::onrl(), CoordinationMode::Projection),
+    ];
+    for (name, cfg, mode) in variants {
+        let mut orch = build_deployment(cfg, mode, scale(), 1);
+        if cfg.enable_imitation {
+            orch.offline_pretrain_all(1);
+        }
+        c.bench_function(name, |b| b.iter(|| std::hint::black_box(orch.run_episode(true))));
+    }
+}
+
+criterion_group!(benches, bench_slot, bench_episode_variants);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the neural-network substrate: forward and
+//! forward+backward passes of the paper-sized (128×64×32) policy trunk and
+//! of the Bayesian cost-value estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use onslicing_nn::{Activation, BayesianMlp, GaussianPolicy, Mlp};
+use onslicing_slices::{ACTION_DIM, STATE_DIM};
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut net = Mlp::onslicing_default(STATE_DIM, ACTION_DIM, Activation::Sigmoid, &mut rng);
+    let x = vec![0.3; STATE_DIM];
+    c.bench_function("mlp_forward_128x64x32", |b| b.iter(|| std::hint::black_box(net.forward(&x))));
+    c.bench_function("mlp_forward_backward_128x64x32", |b| {
+        b.iter(|| {
+            net.zero_grad();
+            let y = net.forward_train(&x);
+            let grad = vec![1.0 / y.len() as f64; y.len()];
+            std::hint::black_box(net.backward(&grad))
+        })
+    });
+}
+
+fn bench_policy_sample(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let policy = GaussianPolicy::new(STATE_DIM, ACTION_DIM, 0.1, &mut rng);
+    let x = vec![0.3; STATE_DIM];
+    c.bench_function("gaussian_policy_sample", |b| {
+        b.iter(|| std::hint::black_box(policy.sample(&x, &mut rng)))
+    });
+}
+
+fn bench_bayesian_predict(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut net = BayesianMlp::new(&[STATE_DIM, 64, 32, 1], &mut rng);
+    let x = vec![0.3; STATE_DIM];
+    c.bench_function("bayesian_predict_16_samples", |b| {
+        b.iter(|| std::hint::black_box(net.predict(&x, 16, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_mlp, bench_policy_sample, bench_bayesian_predict);
+criterion_main!(benches);

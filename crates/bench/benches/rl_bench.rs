@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the learning substrate: one PPO update over a 96-slot
+//! episode, one behavior-cloning epoch, and one cost-value-estimator fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use onslicing_rl::{
+    behavior_clone, BcConfig, CostEstimatorConfig, CostToGoSample, CostValueEstimator,
+    Demonstration, PpoAgent, PpoConfig, RolloutBuffer, Transition,
+};
+use onslicing_slices::{ACTION_DIM, STATE_DIM};
+
+fn filled_buffer(agent: &PpoAgent, rng: &mut ChaCha8Rng) -> RolloutBuffer {
+    let mut buffer = RolloutBuffer::new();
+    let state = vec![0.4; STATE_DIM];
+    for i in 0..96 {
+        let sample = agent.act(&state, rng);
+        buffer.push(Transition {
+            state: state.clone(),
+            raw_action: sample.raw_action.clone(),
+            action: sample.action.clone(),
+            log_prob: sample.log_prob,
+            reward: -0.3,
+            cost: 0.01,
+            value: agent.value(&state),
+            done: i == 95,
+        });
+    }
+    buffer.finish_episode(0.0, 0.99, 0.95);
+    buffer
+}
+
+fn bench_ppo_update(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let config = PpoConfig { epochs: 4, ..PpoConfig::default() };
+    let mut agent = PpoAgent::new_small(STATE_DIM, ACTION_DIM, config, &mut rng);
+    let buffer = filled_buffer(&agent, &mut rng);
+    c.bench_function("ppo_update_96_transitions", |b| {
+        b.iter(|| std::hint::black_box(agent.update(&buffer, &mut rng)))
+    });
+}
+
+fn bench_behavior_cloning(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let config = PpoConfig::default();
+    let mut agent = PpoAgent::new_small(STATE_DIM, ACTION_DIM, config, &mut rng);
+    let demos: Vec<Demonstration> = (0..96)
+        .map(|i| Demonstration {
+            state: vec![i as f64 / 96.0; STATE_DIM],
+            action: vec![0.3; ACTION_DIM],
+        })
+        .collect();
+    let bc = BcConfig { epochs: 1, ..BcConfig::default() };
+    c.bench_function("behavior_cloning_one_epoch_96_demos", |b| {
+        b.iter(|| std::hint::black_box(behavior_clone(agent.policy_mut(), &demos, &bc, &mut rng)))
+    });
+}
+
+fn bench_cost_estimator(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let dataset: Vec<CostToGoSample> = (0..96)
+        .map(|i| CostToGoSample { state: vec![i as f64 / 96.0; STATE_DIM], cost_to_go: 0.5 })
+        .collect();
+    let mut est = CostValueEstimator::new(
+        STATE_DIM,
+        CostEstimatorConfig { epochs: 1, ..CostEstimatorConfig::default() },
+        &mut rng,
+    );
+    c.bench_function("cost_estimator_fit_one_epoch", |b| {
+        b.iter(|| std::hint::black_box(est.fit(&dataset, &mut rng)))
+    });
+    let state = vec![0.4; STATE_DIM];
+    c.bench_function("cost_estimator_predict", |b| {
+        b.iter(|| std::hint::black_box(est.predict(&state, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_ppo_update, bench_behavior_cloning, bench_cost_estimator);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Micro-benchmarks of the end-to-end network simulator: one configuration
+//! slot per slice kind, and a full 96-slot episode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use onslicing_netsim::{NetworkConfig, NetworkSimulator};
+use onslicing_slices::{Action, SliceKind, Sla};
+
+fn bench_slot(c: &mut Criterion) {
+    let mut sim = NetworkSimulator::new(NetworkConfig::testbed_default());
+    let action = Action::uniform(0.3);
+    for kind in SliceKind::ALL {
+        let sla = Sla::for_kind(kind);
+        let rate = kind.default_peak_users_per_second();
+        c.bench_function(&format!("simulator_slot_{}", kind.name()), |b| {
+            b.iter(|| std::hint::black_box(sim.step_slice(kind, &sla, &action, rate)))
+        });
+    }
+}
+
+fn bench_episode(c: &mut Criterion) {
+    let mut sim = NetworkSimulator::new(NetworkConfig::testbed_default());
+    let action = Action::uniform(0.3);
+    let sla = Sla::for_kind(SliceKind::Mar);
+    c.bench_function("simulator_96_slot_episode_mar", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for _ in 0..96 {
+                total += sim.step_slice(SliceKind::Mar, &sla, &action, 5.0).cost;
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_slot, bench_episode);
+criterion_main!(benches);

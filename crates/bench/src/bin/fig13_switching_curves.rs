@@ -1,0 +1,34 @@
+//! Fig. 13 — average SLA violation over online-learning epochs for the
+//! switching ablations: OnSlicing, OnSlicing-NE and OnSlicing-NB.
+
+use onslicing_bench::{run_learning_method, RunScale};
+use onslicing_core::{AgentConfig, CoordinationMode};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let variants = [
+        ("OnSlicing", AgentConfig::onslicing()),
+        ("OnSlicing-NE", AgentConfig::onslicing_ne()),
+        ("OnSlicing-NB", AgentConfig::onslicing_nb()),
+    ];
+    let mut curves = Vec::new();
+    for (i, (name, cfg)) in variants.iter().enumerate() {
+        let (_, curve) =
+            run_learning_method(name, *cfg, CoordinationMode::default(), scale, 91 + i as u64);
+        curves.push((*name, curve));
+    }
+    println!("\n=== Fig. 13: violation over epochs for switching variants ===");
+    print!("{:<8}", "epoch");
+    for (name, _) in &curves {
+        print!(" {name:>16}");
+    }
+    println!();
+    for epoch in 0..scale.online_epochs {
+        print!("{epoch:<8}");
+        for (_, curve) in &curves {
+            print!(" {:>16.2}", curve[epoch].violation_percent);
+        }
+        println!();
+    }
+    println!("\nPaper shape: OnSlicing-NB has the highest violation, OnSlicing-NE is intermediate, OnSlicing stays near zero.");
+}

@@ -1,0 +1,32 @@
+//! Fig. 3 (a, b) — the motivation experiment: an unconstrained DRL agent with
+//! a fixed penalty weight violates the slices' SLA heavily during online
+//! learning and needs many epochs to approach the rule-based policy, while
+//! the baseline never violates.
+
+use onslicing_bench::{evaluate_rule_based, print_learning_curve, run_learning_method, RunScale};
+use onslicing_core::{AgentConfig, CoordinationMode};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let (_, unsafe_curve) = run_learning_method(
+        "Unsafe DRL",
+        AgentConfig::unsafe_drl(),
+        CoordinationMode::Projection,
+        scale,
+        41,
+    );
+    let (baseline_row, _) = evaluate_rule_based(scale, 42);
+
+    print_learning_curve("Fig. 3: unsafe DRL (fixed penalty, no safety mechanisms)", &unsafe_curve);
+    println!(
+        "\nBaseline reference (flat across epochs): usage {:.2}%, violation {:.2}%",
+        baseline_row.usage_percent, baseline_row.violation_percent
+    );
+    let max_violation = unsafe_curve
+        .iter()
+        .map(|m| m.violation_percent)
+        .fold(0.0_f64, f64::max);
+    println!(
+        "\nUnsafe DRL peak violation during learning: {max_violation:.1}% (paper observes >30%)"
+    );
+}

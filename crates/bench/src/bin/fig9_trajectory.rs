@@ -1,0 +1,41 @@
+//! Fig. 9 — learning trajectory of the four methods in the (usage, violation)
+//! plane throughout the online learning phase: OnSlicing drifts toward low
+//! usage at near-zero violation, OnRL starts at high usage / high violation,
+//! and the two non-learning methods are single points.
+
+use onslicing_bench::{evaluate_model_based, evaluate_rule_based, run_learning_method, RunScale};
+use onslicing_core::{AgentConfig, CoordinationMode};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let (_, onslicing_curve) = run_learning_method(
+        "OnSlicing",
+        AgentConfig::onslicing(),
+        CoordinationMode::default(),
+        scale,
+        51,
+    );
+    let (_, onrl_curve) = run_learning_method(
+        "OnRL",
+        AgentConfig::onrl(),
+        CoordinationMode::Projection,
+        scale,
+        52,
+    );
+    let (baseline, _) = evaluate_rule_based(scale, 53);
+    let (model_based, _) = evaluate_model_based(scale, 54);
+
+    println!("\n=== Fig. 9: learning trajectory (usage % vs violation %) ===");
+    for (name, curve) in [("OnSlicing", &onslicing_curve), ("OnRL", &onrl_curve)] {
+        println!("\n{name}:");
+        println!("{:<8} {:>14} {:>16}", "epoch", "usage (%)", "violation (%)");
+        for (i, m) in curve.iter().enumerate() {
+            println!("{:<8} {:>14.2} {:>16.2}", i, m.avg_usage_percent, m.violation_percent);
+        }
+    }
+    println!("\nSingle-point methods:");
+    for row in [baseline, model_based] {
+        println!("{:<14} usage {:>8.2}%  violation {:>8.2}%", row.name, row.usage_percent, row.violation_percent);
+    }
+    println!("\nPaper shape: OnSlicing moves left (less usage) staying at ~0 violation; OnRL starts top-right and wanders.");
+}

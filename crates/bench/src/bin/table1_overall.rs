@@ -1,0 +1,38 @@
+//! Table 1 — test performance of OnSlicing, OnRL, Baseline and Model_Based
+//! after the online learning phase (average resource usage and SLA
+//! violation).
+//!
+//! Paper reference values: OnSlicing 20.19 % / 0.00 %, OnRL 23.08 % / 15.40 %,
+//! Baseline 52.18 % / 0.00 %, Model_Based 59.04 % / 3.13 %.
+
+use onslicing_bench::{
+    evaluate_model_based, evaluate_rule_based, print_method_table, run_learning_method, RunScale,
+};
+use onslicing_core::{AgentConfig, CoordinationMode};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let (onslicing, _) = run_learning_method(
+        "OnSlicing",
+        AgentConfig::onslicing(),
+        CoordinationMode::default(),
+        scale,
+        1,
+    );
+    let (onrl, _) = run_learning_method(
+        "OnRL",
+        AgentConfig::onrl(),
+        CoordinationMode::Projection,
+        scale,
+        2,
+    );
+    let (baseline, _) = evaluate_rule_based(scale, 3);
+    let (model_based, _) = evaluate_model_based(scale, 4);
+    print_method_table(
+        "Table 1: test performance after the online learning phase",
+        &[onslicing, onrl, baseline, model_based],
+    );
+    println!(
+        "\nPaper reference: OnSlicing 20.19/0.00, OnRL 23.08/15.40, Baseline 52.18/0.00, Model_Based 59.04/3.13"
+    );
+}

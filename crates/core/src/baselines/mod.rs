@@ -1,0 +1,67 @@
+//! Comparison policies: the rule-based baseline and the model-based method.
+//!
+//! The paper compares OnSlicing against three non-learning or differently-
+//! learning methods (§7.1):
+//!
+//! * **Baseline** — a rule-based policy built by offline grid search over each
+//!   slice's key action factors ([`rule_based::RuleBasedBaseline`]); it is
+//!   also the policy `π_b` the OnSlicing agent imitates offline and switches
+//!   to proactively;
+//! * **Model_Based** — closed-form resource sizing from approximate analytic
+//!   performance models ([`model_based::ModelBasedPolicy`]);
+//! * **OnRL** — an online DRL comparator that learns from scratch with reward
+//!   shaping and projection; it shares the learning machinery of the
+//!   OnSlicing agent and is therefore expressed as an agent variant in
+//!   [`crate::agent`], not here.
+
+pub mod model_based;
+pub mod rule_based;
+
+pub use model_based::ModelBasedPolicy;
+pub use rule_based::RuleBasedBaseline;
+
+use onslicing_slices::{Action, SliceState};
+
+/// A deterministic per-slice orchestration policy (no learning).
+pub trait SlicePolicy {
+    /// The action to execute for the upcoming slot given the current
+    /// observation.
+    fn act(&self, state: &SliceState) -> Action;
+
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+}
+
+/// A policy that always requests the same action — useful as a control in
+/// tests and ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedPolicy {
+    /// The action returned for every state.
+    pub action: Action,
+}
+
+impl SlicePolicy for FixedPolicy {
+    fn act(&self, _state: &SliceState) -> Action {
+        self.action
+    }
+
+    fn name(&self) -> &'static str {
+        "Fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onslicing_slices::{SliceKind, Sla};
+
+    #[test]
+    fn fixed_policy_ignores_the_state() {
+        let p = FixedPolicy { action: Action::uniform(0.3) };
+        let sla = Sla::for_kind(SliceKind::Mar);
+        let s1 = SliceState::initial(&sla, 0.1);
+        let s2 = SliceState::initial(&sla, 0.9);
+        assert_eq!(p.act(&s1), p.act(&s2));
+        assert_eq!(p.name(), "Fixed");
+    }
+}

@@ -1,0 +1,236 @@
+//! The model-based comparison method (paper §7.1, "Model_Based").
+//!
+//! The paper's model-based method sizes each slice's resources from
+//! approximate analytic performance models — `p_MAR = (f·s)/U_u + l_s` for
+//! the AR latency, `p_HVS = U_d/(f·s)` for the streaming rate, and a fixed
+//! MCS offset `U_m = 6, U_s = 0` for RDC reliability picked from the Fig. 6
+//! measurements — and solves the usage-minimization problem with CVXPY.
+//!
+//! The defining property of this method is that its models do **not** capture
+//! queueing, HARQ overhead or edge-compute contention, so it simultaneously
+//! over-provisions the dimensions its models do cover (it adds safety
+//! margins everywhere) and under-provisions the ones they ignore — which is
+//! exactly why the paper measures it as the most expensive method *and* the
+//! one with a noticeable SLA violation rate (Table 1: 59.04 % usage, 3.13 %
+//! violation). This implementation mirrors those modeling choices.
+
+use serde::{Deserialize, Serialize};
+
+use onslicing_netsim::SliceWorkload;
+use onslicing_slices::{Action, SliceKind, SliceState, Sla};
+
+use super::SlicePolicy;
+
+/// The analytic, model-driven policy for one slice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelBasedPolicy {
+    kind: SliceKind,
+    /// Peak arrival rate (users/s) used to de-normalize the traffic
+    /// observation.
+    peak_rate: f64,
+    /// Assumed full-carrier uplink capacity in Mbps (the linear link model).
+    assumed_ul_capacity_mbps: f64,
+    /// Assumed full-carrier downlink capacity in Mbps.
+    assumed_dl_capacity_mbps: f64,
+    /// Assumed static (non-transmission) latency in ms for the MAR model.
+    assumed_static_latency_ms: f64,
+    /// Multiplicative safety margin applied to every model-derived share.
+    safety_margin: f64,
+    /// The SLA the sizing is done against.
+    sla: Sla,
+}
+
+impl ModelBasedPolicy {
+    /// Creates the model-based policy with the paper-style assumptions.
+    pub fn new(kind: SliceKind, sla: Sla, peak_rate: f64) -> Self {
+        Self {
+            kind,
+            peak_rate,
+            // The analytic model assumes the link delivers a fixed capacity
+            // proportional to the share — ignoring MCS adaptation, HARQ and
+            // queueing.
+            assumed_ul_capacity_mbps: 25.0,
+            assumed_dl_capacity_mbps: 50.0,
+            assumed_static_latency_ms: 250.0,
+            safety_margin: 1.5,
+            sla,
+        }
+    }
+
+    /// The slice this policy sizes resources for.
+    pub fn kind(&self) -> SliceKind {
+        self.kind
+    }
+
+    /// Resource sizing at an explicit arrival rate (users/s).
+    pub fn action_for_arrival_rate(&self, arrival_rate: f64) -> Action {
+        let workload = SliceWorkload::for_kind(self.kind);
+        let f = arrival_rate.max(0.0);
+        match self.kind {
+            SliceKind::Mar => {
+                // p_MAR = (f·s)/R_u + l_s ≤ P  with R_u = U_u · C_ul:
+                // the share must carry the offered bit-rate within the
+                // latency budget that remains after the assumed static part.
+                let budget_s =
+                    ((self.sla.performance_target - self.assumed_static_latency_ms) / 1e3).max(0.05);
+                let offered_mbps = workload.ul_demand_mbps(f);
+                let required_mbps = (workload.ul_bits_per_request / 1e6 / budget_s).max(offered_mbps);
+                let uu = (required_mbps / self.assumed_ul_capacity_mbps * self.safety_margin)
+                    .clamp(0.05, 1.0);
+                Action {
+                    ul_bandwidth: uu,
+                    ul_mcs_offset: 0.0,
+                    ul_scheduler: 0.5,
+                    dl_bandwidth: 0.15,
+                    dl_mcs_offset: 0.0,
+                    dl_scheduler: 0.5,
+                    tn_bandwidth: 0.1,
+                    tn_path: 0.5,
+                    // The analytic model has no term for edge-compute
+                    // queueing; a flat allocation is assumed sufficient,
+                    // which is the source of its peak-traffic violations.
+                    cpu: 0.28,
+                    ram: 0.4,
+                }
+            }
+            SliceKind::Hvs => {
+                // p_HVS = U_d / (f·s) ≥ 1  →  U_d ≥ f·s / C_dl.
+                let offered_mbps = workload.dl_demand_mbps(f);
+                let ud = (offered_mbps / self.assumed_dl_capacity_mbps * self.safety_margin)
+                    .clamp(0.05, 1.0);
+                Action {
+                    ul_bandwidth: 0.08,
+                    ul_mcs_offset: 0.0,
+                    ul_scheduler: 0.5,
+                    dl_bandwidth: ud,
+                    dl_mcs_offset: 0.0,
+                    dl_scheduler: 0.5,
+                    tn_bandwidth: 0.1,
+                    tn_path: 0.5,
+                    cpu: 0.15,
+                    ram: 0.35,
+                }
+            }
+            SliceKind::Rdc => Action {
+                // The Fig. 6 measurement-driven choice: U_m = 6, U_s = 0.
+                ul_bandwidth: 0.15,
+                ul_mcs_offset: 0.6,
+                ul_scheduler: 0.2,
+                dl_bandwidth: 0.15,
+                dl_mcs_offset: 0.0,
+                dl_scheduler: 0.2,
+                tn_bandwidth: 0.05,
+                tn_path: 0.3,
+                cpu: 0.15,
+                ram: 0.15,
+            },
+        }
+    }
+}
+
+impl SlicePolicy for ModelBasedPolicy {
+    fn act(&self, state: &SliceState) -> Action {
+        self.action_for_arrival_rate(state.traffic * self.peak_rate)
+    }
+
+    fn name(&self) -> &'static str {
+        "Model_Based"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::rule_based::RuleBasedBaseline;
+    use crate::env::SliceEnvironment;
+    use onslicing_netsim::NetworkConfig;
+
+    fn policy(kind: SliceKind) -> ModelBasedPolicy {
+        ModelBasedPolicy::new(kind, Sla::for_kind(kind), kind.default_peak_users_per_second())
+    }
+
+    #[test]
+    fn mar_sizing_grows_with_traffic() {
+        let p = policy(SliceKind::Mar);
+        let low = p.action_for_arrival_rate(1.0);
+        let high = p.action_for_arrival_rate(5.0);
+        assert!(high.ul_bandwidth > low.ul_bandwidth);
+        assert!(high.resource_usage() > low.resource_usage());
+    }
+
+    #[test]
+    fn rdc_uses_the_measured_mcs_offsets() {
+        let p = policy(SliceKind::Rdc);
+        let a = p.action_for_arrival_rate(100.0);
+        assert_eq!(a.ul_mcs_offset_steps(), 6);
+        assert_eq!(a.dl_mcs_offset_steps(), 0);
+    }
+
+    #[test]
+    fn model_based_is_more_expensive_than_the_grid_searched_baseline() {
+        // Table 1's qualitative ordering: Model_Based uses more resources
+        // than Baseline on average.
+        let network = NetworkConfig::testbed_default();
+        let mut total_model = 0.0;
+        let mut total_baseline = 0.0;
+        for kind in SliceKind::ALL {
+            let sla = Sla::for_kind(kind);
+            let model = policy(kind);
+            let baseline = RuleBasedBaseline::calibrate(
+                kind,
+                &sla,
+                &network,
+                kind.default_peak_users_per_second(),
+                5,
+                1,
+            );
+            for t in [0.2, 0.5, 0.8, 1.0] {
+                let rate = t * kind.default_peak_users_per_second();
+                total_model += model.action_for_arrival_rate(rate).resource_usage();
+                total_baseline += baseline.action_for_traffic(t).resource_usage();
+            }
+        }
+        assert!(
+            total_model > total_baseline,
+            "model-based total {total_model} should exceed baseline total {total_baseline}"
+        );
+    }
+
+    #[test]
+    fn model_based_violates_occasionally_on_the_mar_slice() {
+        // The analytic model ignores edge-compute queueing; at peak MAR
+        // traffic this should cost it some latency headroom (non-zero cost in
+        // at least a few slots), mirroring the paper's 3.13 % violation rate.
+        let p = policy(SliceKind::Mar);
+        let mut env = SliceEnvironment::new(SliceKind::Mar, NetworkConfig::testbed_default(), 5);
+        env.reset();
+        let mut positive_cost_slots = 0;
+        loop {
+            let action = p.act(&env.state());
+            let r = env.step(&action);
+            if r.kpi.cost > 0.0 {
+                positive_cost_slots += 1;
+            }
+            if r.done {
+                break;
+            }
+        }
+        assert!(
+            positive_cost_slots > 0,
+            "the mis-specified analytic model should miss the SLA in at least one slot"
+        );
+    }
+
+    #[test]
+    fn actions_are_valid_for_all_slices_and_rates() {
+        for kind in SliceKind::ALL {
+            let p = policy(kind);
+            for rate in [0.0, 0.5, 2.0, 5.0, 100.0] {
+                let a = p.action_for_arrival_rate(rate);
+                for v in a.to_vec() {
+                    assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Metric records shared by the experiment runners and benches.
+//!
+//! The paper reports two headline metrics (§7.1): the **average resource
+//! usage** (the mean of Eq. 9 over all slices, as a percentage of the six
+//! counted dimensions) and the **average SLA violation** (the percentage of
+//! slice-episodes whose episode-average cost exceeded `C_max`). Everything in
+//! this module aggregates per-slot KPIs into those two numbers, plus the
+//! interaction count of the distributed coordination mechanism (Table 3 /
+//! Fig. 19).
+
+use serde::{Deserialize, Serialize};
+
+use onslicing_slices::SliceKind;
+
+/// Summary of one slice over one episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceEpisodeSummary {
+    /// Which slice.
+    pub kind: SliceKind,
+    /// Episode-average per-slot cost.
+    pub avg_cost: f64,
+    /// Whether the episode violated the SLA (`avg_cost > C_max`).
+    pub violated: bool,
+    /// Episode-average resource usage in percent (0–100).
+    pub avg_usage_percent: f64,
+    /// Whether the agent switched to the baseline policy during the episode.
+    pub switched_to_baseline: bool,
+}
+
+/// Summary of one multi-slice episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeMetrics {
+    /// One summary per slice.
+    pub slices: Vec<SliceEpisodeSummary>,
+    /// Average number of agent↔domain-manager coordination interactions per
+    /// slot.
+    pub avg_interactions: f64,
+}
+
+impl EpisodeMetrics {
+    /// Mean resource usage across slices, in percent.
+    pub fn avg_usage_percent(&self) -> f64 {
+        if self.slices.is_empty() {
+            return 0.0;
+        }
+        self.slices.iter().map(|s| s.avg_usage_percent).sum::<f64>() / self.slices.len() as f64
+    }
+
+    /// Percentage of slices whose episode violated the SLA.
+    pub fn violation_percent(&self) -> f64 {
+        if self.slices.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.slices.iter().filter(|s| s.violated).count() as f64 / self.slices.len() as f64
+    }
+
+    /// Mean episode-average cost across slices.
+    pub fn avg_cost(&self) -> f64 {
+        if self.slices.is_empty() {
+            return 0.0;
+        }
+        self.slices.iter().map(|s| s.avg_cost).sum::<f64>() / self.slices.len() as f64
+    }
+}
+
+/// Aggregate of several episodes (one learning epoch, or a test run).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochMetrics {
+    /// Number of slice-episodes aggregated.
+    pub num_slice_episodes: usize,
+    /// Mean resource usage in percent.
+    pub avg_usage_percent: f64,
+    /// Percentage of slice-episodes that violated their SLA.
+    pub violation_percent: f64,
+    /// Mean episode-average cost.
+    pub avg_cost: f64,
+    /// Mean coordination interactions per slot.
+    pub avg_interactions: f64,
+}
+
+impl EpochMetrics {
+    /// Aggregates a set of episode metrics.
+    pub fn from_episodes(episodes: &[EpisodeMetrics]) -> Self {
+        let mut num = 0usize;
+        let mut usage = 0.0;
+        let mut violated = 0usize;
+        let mut cost = 0.0;
+        let mut interactions = 0.0;
+        for ep in episodes {
+            for s in &ep.slices {
+                num += 1;
+                usage += s.avg_usage_percent;
+                cost += s.avg_cost;
+                if s.violated {
+                    violated += 1;
+                }
+            }
+            interactions += ep.avg_interactions;
+        }
+        if num == 0 {
+            return Self {
+                num_slice_episodes: 0,
+                avg_usage_percent: 0.0,
+                violation_percent: 0.0,
+                avg_cost: 0.0,
+                avg_interactions: 0.0,
+            };
+        }
+        Self {
+            num_slice_episodes: num,
+            avg_usage_percent: usage / num as f64,
+            violation_percent: 100.0 * violated as f64 / num as f64,
+            avg_cost: cost / num as f64,
+            avg_interactions: if episodes.is_empty() {
+                0.0
+            } else {
+                interactions / episodes.len() as f64
+            },
+        }
+    }
+}
+
+/// Per-slice evaluation of a non-learning policy (used for the Baseline and
+/// Model_Based rows of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyEvaluation {
+    /// Which slice was evaluated.
+    pub kind: SliceKind,
+    /// Number of episodes run.
+    pub episodes: usize,
+    /// Mean resource usage in percent.
+    pub avg_usage_percent: f64,
+    /// Percentage of episodes violating the SLA.
+    pub violation_percent: f64,
+    /// Mean episode-average cost.
+    pub avg_cost: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(kind: SliceKind, usage: f64, cost: f64, violated: bool) -> SliceEpisodeSummary {
+        SliceEpisodeSummary {
+            kind,
+            avg_cost: cost,
+            violated,
+            avg_usage_percent: usage,
+            switched_to_baseline: false,
+        }
+    }
+
+    #[test]
+    fn episode_metrics_average_over_slices() {
+        let ep = EpisodeMetrics {
+            slices: vec![
+                summary(SliceKind::Mar, 20.0, 0.01, false),
+                summary(SliceKind::Hvs, 30.0, 0.10, true),
+                summary(SliceKind::Rdc, 10.0, 0.00, false),
+            ],
+            avg_interactions: 2.0,
+        };
+        assert!((ep.avg_usage_percent() - 20.0).abs() < 1e-12);
+        assert!((ep.violation_percent() - 100.0 / 3.0).abs() < 1e-9);
+        assert!((ep.avg_cost() - 0.11 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_metrics_aggregate_multiple_episodes() {
+        let ep1 = EpisodeMetrics {
+            slices: vec![summary(SliceKind::Mar, 20.0, 0.0, false)],
+            avg_interactions: 1.0,
+        };
+        let ep2 = EpisodeMetrics {
+            slices: vec![summary(SliceKind::Mar, 40.0, 0.2, true)],
+            avg_interactions: 3.0,
+        };
+        let agg = EpochMetrics::from_episodes(&[ep1, ep2]);
+        assert_eq!(agg.num_slice_episodes, 2);
+        assert!((agg.avg_usage_percent - 30.0).abs() < 1e-12);
+        assert!((agg.violation_percent - 50.0).abs() < 1e-12);
+        assert!((agg.avg_interactions - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_aggregation_is_all_zero() {
+        let agg = EpochMetrics::from_episodes(&[]);
+        assert_eq!(agg.num_slice_episodes, 0);
+        assert_eq!(agg.avg_usage_percent, 0.0);
+        assert_eq!(agg.violation_percent, 0.0);
+        let ep = EpisodeMetrics { slices: vec![], avg_interactions: 0.0 };
+        assert_eq!(ep.avg_usage_percent(), 0.0);
+        assert_eq!(ep.violation_percent(), 0.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! The OnSlicing orchestrator: per-slice agents, domain managers and the
+//! distributed coordination loop.
+//!
+//! The orchestrator ties the pieces together for every configuration slot:
+//!
+//! 1. every agent proposes an action for its slice;
+//! 2. the actions are coordinated against the infrastructure capacities —
+//!    either through the paper's β-priced action modification loop (Eq. 13 +
+//!    Eq. 14, warm-started between slots) or through plain projection (the
+//!    baseline/OnRL method);
+//! 3. the final actions are enforced by the domain managers and executed in
+//!    the network simulator;
+//! 4. the agents record the outcome and, at epoch boundaries, update their
+//!    policies.
+
+use serde::{Deserialize, Serialize};
+
+use onslicing_domains::{DomainSet, SliceId};
+use onslicing_slices::Action;
+
+use crate::agent::{Decision, OnSlicingAgent};
+use crate::env::MultiSliceEnvironment;
+use crate::metrics::{EpisodeMetrics, EpochMetrics};
+
+/// How over-requests of shared resources are resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoordinationMode {
+    /// The paper's mechanism: coordinating parameters β from the domain
+    /// managers drive each agent's action modifier; at most `max_rounds`
+    /// agent↔manager interactions per slot, then projection as a last
+    /// resort.
+    Modifier {
+        /// Maximum number of interactions per slot.
+        max_rounds: usize,
+        /// Whether β is warm-started from the previous slot (the paper's
+        /// initialization; disabling it raises the interaction count).
+        warm_start: bool,
+    },
+    /// Plain proportional projection (the Baseline / OnRL method).
+    Projection,
+}
+
+impl Default for CoordinationMode {
+    fn default() -> Self {
+        CoordinationMode::Modifier { max_rounds: 10, warm_start: true }
+    }
+}
+
+/// Configuration of the orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrchestratorConfig {
+    /// Over-request resolution mechanism.
+    pub coordination: CoordinationMode,
+    /// Episodes collected between consecutive policy updates (the paper's
+    /// epoch is ~10 episodes of 96 transitions; scaled-down experiments use
+    /// fewer).
+    pub episodes_per_epoch: usize,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        Self { coordination: CoordinationMode::default(), episodes_per_epoch: 2 }
+    }
+}
+
+/// Outcome of one coordinated slot (exposed for tests and the showcase
+/// figures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotOutcome {
+    /// Each agent's own decision (before coordination).
+    pub decisions: Vec<Decision>,
+    /// The actions finally enforced.
+    pub executed: Vec<Action>,
+    /// Number of agent↔manager interactions this slot took.
+    pub interactions: usize,
+}
+
+/// The end-to-end orchestrator of one infrastructure.
+#[derive(Debug, Clone)]
+pub struct Orchestrator {
+    env: MultiSliceEnvironment,
+    agents: Vec<OnSlicingAgent>,
+    domains: DomainSet,
+    config: OrchestratorConfig,
+}
+
+impl Orchestrator {
+    /// Assembles an orchestrator; there must be exactly one agent per slice
+    /// environment.
+    ///
+    /// # Panics
+    /// Panics if the numbers of agents and environments differ.
+    pub fn new(
+        env: MultiSliceEnvironment,
+        agents: Vec<OnSlicingAgent>,
+        domains: DomainSet,
+        config: OrchestratorConfig,
+    ) -> Self {
+        assert_eq!(
+            env.num_slices(),
+            agents.len(),
+            "one agent per slice environment is required"
+        );
+        let mut orchestrator = Self { env, agents, domains, config };
+        for i in 0..orchestrator.agents.len() {
+            // Slices may already exist when an orchestrator is rebuilt around
+            // a shared DomainSet; ignore duplicates.
+            let _ = orchestrator.domains.create_slice(SliceId(i as u32));
+        }
+        orchestrator
+    }
+
+    /// Immutable access to the agents.
+    pub fn agents(&self) -> &[OnSlicingAgent] {
+        &self.agents
+    }
+
+    /// Mutable access to the agents (e.g. for offline pre-training).
+    pub fn agents_mut(&mut self) -> &mut [OnSlicingAgent] {
+        &mut self.agents
+    }
+
+    /// Immutable access to the environments.
+    pub fn env(&self) -> &MultiSliceEnvironment {
+        &self.env
+    }
+
+    /// Mutable access to the environments.
+    pub fn env_mut(&mut self) -> &mut MultiSliceEnvironment {
+        &mut self.env
+    }
+
+    /// The domain managers.
+    pub fn domains(&self) -> &DomainSet {
+        &self.domains
+    }
+
+    /// Mutable access to the domain managers (e.g. to pin coordinating
+    /// parameters for the fixed-β sweep of Fig. 14).
+    pub fn domains_mut(&mut self) -> &mut DomainSet {
+        &mut self.domains
+    }
+
+    /// Runs the offline pre-training stage of every agent (§5) with
+    /// `episodes_per_agent` baseline episodes each.
+    pub fn offline_pretrain_all(&mut self, episodes_per_agent: usize) {
+        for (agent, env) in self.agents.iter_mut().zip(self.env.envs_mut()) {
+            agent.offline_pretrain(env, episodes_per_agent);
+        }
+    }
+
+    /// Resolves the slices' proposed actions against the shared capacities
+    /// and returns the enforceable actions plus the interaction count.
+    fn coordinate(&mut self, proposals: &[Action]) -> (Vec<Action>, usize) {
+        match self.config.coordination {
+            CoordinationMode::Projection => (self.domains.project(proposals.iter()), 1),
+            CoordinationMode::Modifier { max_rounds, warm_start } => {
+                if !warm_start {
+                    self.domains.reset_betas();
+                }
+                let mut betas = self.domains.betas();
+                let mut actions: Vec<Action> = proposals
+                    .iter()
+                    .zip(self.agents.iter_mut())
+                    .map(|(a, agent)| agent.modify(a, &betas))
+                    .collect();
+                let mut rounds = 1;
+                loop {
+                    betas = self.domains.update_coordination(actions.iter());
+                    if self.domains.is_feasible(actions.iter()) || rounds >= max_rounds {
+                        break;
+                    }
+                    actions = proposals
+                        .iter()
+                        .zip(self.agents.iter_mut())
+                        .map(|(a, agent)| agent.modify(a, &betas))
+                        .collect();
+                    rounds += 1;
+                }
+                if !self.domains.is_feasible(actions.iter()) {
+                    actions = self.domains.project(actions.iter());
+                }
+                (actions, rounds)
+            }
+        }
+    }
+
+    /// Runs one coordinated slot across all slices.
+    ///
+    /// When `learn` is true the agents sample stochastic actions and record
+    /// transitions; when false they act deterministically (test-time
+    /// evaluation).
+    pub fn run_slot(&mut self, learn: bool) -> SlotOutcome {
+        let states: Vec<_> = self.env.envs().iter().map(|e| e.state()).collect();
+        let costs: Vec<f64> = self.env.envs().iter().map(|e| e.cumulative_cost()).collect();
+        let decisions: Vec<Decision> = self
+            .agents
+            .iter_mut()
+            .zip(states.iter().zip(costs.iter()))
+            .map(|(agent, (state, cost))| agent.decide(state, *cost, !learn))
+            .collect();
+        let proposals: Vec<Action> = decisions.iter().map(|d| d.action).collect();
+        let (executed, interactions) = self.coordinate(&proposals);
+        for (i, action) in executed.iter().enumerate() {
+            self.domains
+                .enforce(SliceId(i as u32), *action)
+                .expect("slices are registered at construction");
+        }
+        for (i, agent) in self.agents.iter_mut().enumerate() {
+            let result = self.env.envs_mut()[i].step(&executed[i]);
+            // Always record so that episode usage/cost summaries are
+            // available; the agent only stores a learning transition when the
+            // decision carried a stochastic sample (i.e. `learn` was true and
+            // π_θ acted).
+            agent.record(&states[i], &decisions[i], &executed[i], &result.kpi, result.done);
+        }
+        SlotOutcome { decisions, executed, interactions }
+    }
+
+    /// Runs one full episode (one emulated day) and returns its metrics.
+    pub fn run_episode(&mut self, learn: bool) -> EpisodeMetrics {
+        self.env.reset_all();
+        let horizon = self.env.envs()[0].horizon();
+        let mut interactions = 0usize;
+        for _ in 0..horizon {
+            interactions += self.run_slot(learn).interactions;
+        }
+        let slices = self.agents.iter_mut().map(|a| a.end_episode()).collect();
+        EpisodeMetrics { slices, avg_interactions: interactions as f64 / horizon as f64 }
+    }
+
+    /// Runs one learning epoch (`episodes_per_epoch` episodes followed by a
+    /// PPO update per agent) and returns the aggregated metrics.
+    pub fn run_epoch(&mut self) -> EpochMetrics {
+        let mut episodes = Vec::with_capacity(self.config.episodes_per_epoch);
+        for _ in 0..self.config.episodes_per_epoch {
+            episodes.push(self.run_episode(true));
+        }
+        for agent in &mut self.agents {
+            agent.update_policy();
+        }
+        EpochMetrics::from_episodes(&episodes)
+    }
+
+    /// Runs `num_epochs` learning epochs and returns the per-epoch learning
+    /// curve (the data behind Figs. 9, 11 and 13).
+    pub fn run_online(&mut self, num_epochs: usize) -> Vec<EpochMetrics> {
+        (0..num_epochs).map(|_| self.run_epoch()).collect()
+    }
+
+    /// Evaluates the current policies deterministically over `episodes`
+    /// episodes (the "test performance" of Table 1).
+    pub fn evaluate(&mut self, episodes: usize) -> EpochMetrics {
+        let runs: Vec<EpisodeMetrics> =
+            (0..episodes).map(|_| self.run_episode(false)).collect();
+        EpochMetrics::from_episodes(&runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AgentConfig;
+    use crate::baselines::RuleBasedBaseline;
+    use onslicing_netsim::NetworkConfig;
+    use onslicing_slices::{SliceKind, Sla};
+    use onslicing_traffic::SLOTS_PER_DAY;
+
+    fn build(config: AgentConfig, coordination: CoordinationMode) -> Orchestrator {
+        let network = NetworkConfig::testbed_default();
+        let env = MultiSliceEnvironment::testbed_default(network, 5);
+        let horizon = SLOTS_PER_DAY;
+        let agents = SliceKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                let sla = Sla::for_kind(*kind);
+                let baseline = RuleBasedBaseline::calibrate(
+                    *kind,
+                    &sla,
+                    &network,
+                    kind.default_peak_users_per_second(),
+                    4,
+                    100 + i as u64,
+                );
+                OnSlicingAgent::new(*kind, sla, baseline, config.scaled_down(horizon), i as u64)
+            })
+            .collect();
+        Orchestrator::new(
+            env,
+            agents,
+            DomainSet::testbed_default(),
+            OrchestratorConfig { coordination, episodes_per_epoch: 1 },
+        )
+    }
+
+    #[test]
+    fn episode_produces_metrics_for_every_slice() {
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        orch.offline_pretrain_all(1);
+        let metrics = orch.run_episode(true);
+        assert_eq!(metrics.slices.len(), 3);
+        assert!(metrics.avg_usage_percent() > 0.0);
+        assert!(metrics.avg_interactions >= 1.0);
+    }
+
+    #[test]
+    fn executed_actions_are_always_feasible() {
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        orch.env_mut().reset_all();
+        for _ in 0..10 {
+            let outcome = orch.run_slot(true);
+            assert!(orch.domains().is_feasible(outcome.executed.iter()));
+        }
+    }
+
+    #[test]
+    fn projection_mode_also_keeps_actions_feasible() {
+        let mut orch = build(AgentConfig::onrl(), CoordinationMode::Projection);
+        orch.env_mut().reset_all();
+        for _ in 0..5 {
+            let outcome = orch.run_slot(true);
+            assert!(orch.domains().is_feasible(outcome.executed.iter()));
+            assert_eq!(outcome.interactions, 1);
+        }
+    }
+
+    #[test]
+    fn pretrained_onslicing_keeps_violations_near_zero_in_the_first_epoch() {
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        orch.offline_pretrain_all(2);
+        let metrics = orch.run_epoch();
+        assert!(
+            metrics.violation_percent <= 34.0,
+            "imitation + switching should prevent widespread violations, got {}%",
+            metrics.violation_percent
+        );
+    }
+
+    #[test]
+    fn evaluation_runs_deterministically_without_recording() {
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        orch.offline_pretrain_all(1);
+        let before = orch.agents()[0].pending_transitions();
+        let metrics = orch.evaluate(1);
+        assert_eq!(metrics.num_slice_episodes, 3);
+        assert_eq!(orch.agents()[0].pending_transitions(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "one agent per slice environment")]
+    fn mismatched_agent_count_is_rejected() {
+        let network = NetworkConfig::testbed_default();
+        let env = MultiSliceEnvironment::testbed_default(network, 1);
+        let _ = Orchestrator::new(
+            env,
+            Vec::new(),
+            DomainSet::testbed_default(),
+            OrchestratorConfig::default(),
+        );
+    }
+}

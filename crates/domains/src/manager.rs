@@ -1,0 +1,329 @@
+//! Domain managers: RDM, TDM, CDM and EDM.
+//!
+//! Each manager owns the resources of one technical domain, keeps the
+//! per-slice allocations it has enforced, and runs one
+//! [`ParameterCoordinator`] per resource. The four concrete managers differ
+//! only in which resources they own (and in what they wrap on the real
+//! testbed — FlexRAN, OpenDayLight, OpenAir-CN, Docker); their orchestration
+//! behaviour is identical, which is why a single [`DomainManager`] type
+//! parameterized by [`DomainKind`] models all of them.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use onslicing_slices::{Action, ResourceKind};
+
+use crate::coordinator::ParameterCoordinator;
+use crate::messages::{CoordinationUpdate, SliceConfigCommand};
+use crate::SliceId;
+
+/// The four technical domains of the end-to-end slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainKind {
+    /// Radio domain manager (FlexRAN / OAI eNB+gNB on the testbed).
+    Radio,
+    /// Transport domain manager (OpenDayLight + OpenFlow meters).
+    Transport,
+    /// Core domain manager (OpenAir-CN CUPS user plane).
+    Core,
+    /// Edge domain manager (Docker runtime updates).
+    Edge,
+}
+
+impl DomainKind {
+    /// All domains in the paper's order.
+    pub const ALL: [DomainKind; 4] =
+        [DomainKind::Radio, DomainKind::Transport, DomainKind::Core, DomainKind::Edge];
+
+    /// Short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DomainKind::Radio => "RDM",
+            DomainKind::Transport => "TDM",
+            DomainKind::Core => "CDM",
+            DomainKind::Edge => "EDM",
+        }
+    }
+
+    /// The shared resources this domain owns.
+    ///
+    /// CPU and RAM are owned by the edge domain manager: the paper co-locates
+    /// each slice's SPGW-U with its edge server, so the CDM's user-plane
+    /// compute is drawn from the same allocation (§6).
+    pub fn resources(self) -> &'static [ResourceKind] {
+        match self {
+            DomainKind::Radio => &[ResourceKind::UplinkRadio, ResourceKind::DownlinkRadio],
+            DomainKind::Transport => {
+                &[ResourceKind::TransportBandwidth, ResourceKind::TransportPath]
+            }
+            DomainKind::Core => &[],
+            DomainKind::Edge => &[ResourceKind::EdgeCpu, ResourceKind::EdgeRam],
+        }
+    }
+}
+
+/// A domain manager: slice registry, enforced allocations and one parameter
+/// coordinator per owned resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainManager {
+    kind: DomainKind,
+    coordinators: Vec<ParameterCoordinator>,
+    /// The most recently enforced allocation per slice.
+    allocations: BTreeMap<SliceId, Action>,
+    /// Count of enforcement operations (used to reason about virtualization
+    /// overhead in tests and benches).
+    enforcement_count: u64,
+}
+
+impl DomainManager {
+    /// Creates a manager for the given domain with unit capacity and the
+    /// default coordination step size on every owned resource.
+    pub fn new(kind: DomainKind) -> Self {
+        Self::with_parameters(kind, 1.0, 0.5)
+    }
+
+    /// Creates a manager with explicit capacity `L_max` and coordination step
+    /// size `ε` for every owned resource.
+    pub fn with_parameters(kind: DomainKind, capacity: f64, step_size: f64) -> Self {
+        let coordinators = kind
+            .resources()
+            .iter()
+            .map(|r| ParameterCoordinator::new(*r, capacity, step_size))
+            .collect();
+        Self { kind, coordinators, allocations: BTreeMap::new(), enforcement_count: 0 }
+    }
+
+    /// Which domain this manager controls.
+    pub fn kind(&self) -> DomainKind {
+        self.kind
+    }
+
+    /// The resources this manager owns.
+    pub fn resources(&self) -> &'static [ResourceKind] {
+        self.kind.resources()
+    }
+
+    /// Number of slices currently registered.
+    pub fn num_slices(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Number of enforcement operations performed so far.
+    pub fn enforcement_count(&self) -> u64 {
+        self.enforcement_count
+    }
+
+    /// The last enforced allocation of a slice, if any.
+    pub fn allocation_of(&self, slice: SliceId) -> Option<&Action> {
+        self.allocations.get(&slice)
+    }
+
+    /// Applies a slice lifecycle command.
+    ///
+    /// Returns an error when creating an existing slice or
+    /// adjusting/deleting an unknown one.
+    pub fn apply(&mut self, command: SliceConfigCommand) -> Result<(), String> {
+        match command {
+            SliceConfigCommand::Create(id) => {
+                if self.allocations.contains_key(&id) {
+                    return Err(format!("{id} already exists in {}", self.kind.name()));
+                }
+                self.allocations.insert(id, Action::zeros());
+                Ok(())
+            }
+            SliceConfigCommand::Delete(id) => {
+                if self.allocations.remove(&id).is_none() {
+                    return Err(format!("{id} is not registered in {}", self.kind.name()));
+                }
+                Ok(())
+            }
+            SliceConfigCommand::Adjust(id, action) => {
+                let entry = self
+                    .allocations
+                    .get_mut(&id)
+                    .ok_or_else(|| format!("{id} is not registered in {}", self.kind.name()))?;
+                *entry = action;
+                self.enforcement_count += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Sum of the currently enforced shares of one owned resource.
+    pub fn total_enforced_share(&self, resource: ResourceKind) -> f64 {
+        self.allocations.values().map(|a| a.resource_share(resource)).sum()
+    }
+
+    /// Whether a set of requested actions fits every resource this manager
+    /// owns.
+    pub fn is_feasible<'a, I>(&self, requests: I) -> bool
+    where
+        I: IntoIterator<Item = &'a Action>,
+        I::IntoIter: Clone,
+    {
+        let iter = requests.into_iter();
+        self.coordinators.iter().all(|c| {
+            let shares: Vec<f64> =
+                iter.clone().map(|a| a.resource_share(c.resource)).collect();
+            c.is_feasible(&shares)
+        })
+    }
+
+    /// One coordination round: updates every owned resource's `β_k` from the
+    /// requested actions (Eq. 14) and reports the refreshed values.
+    pub fn update_coordination<'a, I>(&mut self, slot: usize, requests: I) -> CoordinationUpdate
+    where
+        I: IntoIterator<Item = &'a Action>,
+        I::IntoIter: Clone,
+    {
+        let iter = requests.into_iter();
+        let mut betas = Vec::with_capacity(self.coordinators.len());
+        let mut feasible = true;
+        for c in &mut self.coordinators {
+            let shares: Vec<f64> = iter.clone().map(|a| a.resource_share(c.resource)).collect();
+            feasible &= c.is_feasible(&shares);
+            betas.push((c.resource, c.update(&shares)));
+        }
+        CoordinationUpdate { slot, betas, feasible }
+    }
+
+    /// The current dual variables of this manager's resources.
+    pub fn betas(&self) -> Vec<(ResourceKind, f64)> {
+        self.coordinators.iter().map(|c| (c.resource, c.beta())).collect()
+    }
+
+    /// Overwrites the dual variable of one owned resource (warm start or
+    /// fixed-β experiments). Silently ignores resources the manager does not
+    /// own.
+    pub fn set_beta(&mut self, resource: ResourceKind, beta: f64) {
+        for c in &mut self.coordinators {
+            if c.resource == resource {
+                c.set_beta(beta);
+            }
+        }
+    }
+
+    /// Resets every coordinator's `β_k` to zero (cold start).
+    pub fn reset_betas(&mut self) {
+        for c in &mut self.coordinators {
+            c.set_beta(0.0);
+        }
+    }
+
+    /// Projects the requested actions so that every owned resource fits its
+    /// capacity, scaling each resource independently — the baseline /
+    /// OnRL over-request handling the paper compares against.
+    pub fn project<'a, I>(&self, requests: I) -> Vec<Action>
+    where
+        I: IntoIterator<Item = &'a Action>,
+    {
+        let mut actions: Vec<Action> = requests.into_iter().copied().collect();
+        for c in &self.coordinators {
+            let shares: Vec<f64> = actions.iter().map(|a| a.resource_share(c.resource)).collect();
+            let projected = c.project(&shares);
+            for (a, p) in actions.iter_mut().zip(projected) {
+                a.set(c.resource.action_dim(), p);
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_own_disjoint_resources_covering_all_six() {
+        let mut seen = Vec::new();
+        for d in DomainKind::ALL {
+            for r in d.resources() {
+                assert!(!seen.contains(r), "{r:?} owned by two domains");
+                seen.push(*r);
+            }
+        }
+        assert_eq!(seen.len(), ResourceKind::ALL.len());
+    }
+
+    #[test]
+    fn slice_lifecycle_is_enforced() {
+        let mut rdm = DomainManager::new(DomainKind::Radio);
+        let id = SliceId(1);
+        assert!(rdm.apply(SliceConfigCommand::Create(id)).is_ok());
+        assert!(rdm.apply(SliceConfigCommand::Create(id)).is_err());
+        assert!(rdm.apply(SliceConfigCommand::Adjust(id, Action::uniform(0.4))).is_ok());
+        assert_eq!(rdm.allocation_of(id).unwrap().ul_bandwidth, 0.4);
+        assert_eq!(rdm.enforcement_count(), 1);
+        assert!(rdm.apply(SliceConfigCommand::Delete(id)).is_ok());
+        assert!(rdm.apply(SliceConfigCommand::Delete(id)).is_err());
+        assert!(rdm.apply(SliceConfigCommand::Adjust(id, Action::zeros())).is_err());
+    }
+
+    #[test]
+    fn total_enforced_share_sums_over_slices() {
+        let mut edm = DomainManager::new(DomainKind::Edge);
+        for i in 0..3 {
+            edm.apply(SliceConfigCommand::Create(SliceId(i))).unwrap();
+            edm.apply(SliceConfigCommand::Adjust(SliceId(i), Action::uniform(0.2))).unwrap();
+        }
+        assert!((edm.total_enforced_share(ResourceKind::EdgeCpu) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_and_coordination_follow_the_owned_resources() {
+        let mut rdm = DomainManager::new(DomainKind::Radio);
+        let fits = vec![Action::uniform(0.4), Action::uniform(0.4)];
+        let too_much = vec![Action::uniform(0.7), Action::uniform(0.7)];
+        assert!(rdm.is_feasible(fits.iter()));
+        assert!(!rdm.is_feasible(too_much.iter()));
+
+        let upd = rdm.update_coordination(0, too_much.iter());
+        assert!(!upd.feasible);
+        assert!(upd.beta_for(ResourceKind::UplinkRadio) > 0.0);
+        // Radio manager knows nothing about edge CPU.
+        assert_eq!(upd.beta_for(ResourceKind::EdgeCpu), 0.0);
+    }
+
+    #[test]
+    fn betas_warm_start_and_reset() {
+        let mut tdm = DomainManager::new(DomainKind::Transport);
+        tdm.set_beta(ResourceKind::TransportBandwidth, 0.4);
+        assert_eq!(
+            tdm.betas()
+                .iter()
+                .find(|(r, _)| *r == ResourceKind::TransportBandwidth)
+                .unwrap()
+                .1,
+            0.4
+        );
+        tdm.reset_betas();
+        assert!(tdm.betas().iter().all(|(_, b)| *b == 0.0));
+        // Setting a beta for a resource the TDM does not own is a no-op.
+        tdm.set_beta(ResourceKind::EdgeCpu, 0.9);
+        assert!(tdm.betas().iter().all(|(_, b)| *b == 0.0));
+    }
+
+    #[test]
+    fn projection_only_touches_owned_resources() {
+        let rdm = DomainManager::new(DomainKind::Radio);
+        let requests = vec![Action::uniform(0.8), Action::uniform(0.8)];
+        let projected = rdm.project(requests.iter());
+        // Radio shares scaled to fit...
+        let total_ul: f64 = projected.iter().map(|a| a.ul_bandwidth).sum();
+        assert!((total_ul - 1.0).abs() < 1e-9);
+        // ...but the CPU shares are untouched (not owned by the RDM).
+        assert!(projected.iter().all(|a| (a.cpu - 0.8).abs() < 1e-12));
+    }
+
+    #[test]
+    fn core_domain_owns_no_shared_resources() {
+        let mut cdm = DomainManager::new(DomainKind::Core);
+        assert!(cdm.resources().is_empty());
+        let requests = vec![Action::uniform(0.9); 5];
+        assert!(cdm.is_feasible(requests.iter()));
+        let upd = cdm.update_coordination(0, requests.iter());
+        assert!(upd.feasible);
+        assert!(upd.betas.is_empty());
+    }
+}

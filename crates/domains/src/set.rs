@@ -1,0 +1,266 @@
+//! The complete set of domain managers of one infrastructure.
+//!
+//! [`DomainSet`] bundles the RDM, TDM, CDM and EDM, routes slice lifecycle
+//! commands to all of them, and aggregates their coordinators into the
+//! per-resource `β` vector the agents' action modifiers consume. It also
+//! exposes the *projection* alternative so the baselines can share the same
+//! infrastructure object.
+
+use serde::{Deserialize, Serialize};
+
+use onslicing_slices::{Action, ResourceKind};
+
+use crate::manager::{DomainKind, DomainManager};
+use crate::messages::SliceConfigCommand;
+use crate::SliceId;
+
+/// The four domain managers of one end-to-end infrastructure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainSet {
+    managers: Vec<DomainManager>,
+    capacity: f64,
+}
+
+impl DomainSet {
+    /// The testbed default: unit capacity per resource, coordination step
+    /// size 1.0 (fast dual convergence at the per-slot timescale).
+    pub fn testbed_default() -> Self {
+        Self::with_parameters(1.0, 1.0)
+    }
+
+    /// Builds a domain set with explicit per-resource capacity and
+    /// coordination step size.
+    pub fn with_parameters(capacity: f64, step_size: f64) -> Self {
+        let managers = DomainKind::ALL
+            .iter()
+            .map(|k| DomainManager::with_parameters(*k, capacity, step_size))
+            .collect();
+        Self { managers, capacity }
+    }
+
+    /// Immutable access to the individual managers.
+    pub fn managers(&self) -> &[DomainManager] {
+        &self.managers
+    }
+
+    /// The manager of one domain.
+    pub fn manager(&self, kind: DomainKind) -> &DomainManager {
+        self.managers.iter().find(|m| m.kind() == kind).expect("all domains exist")
+    }
+
+    /// Mutable access to the manager of one domain.
+    pub fn manager_mut(&mut self, kind: DomainKind) -> &mut DomainManager {
+        self.managers.iter_mut().find(|m| m.kind() == kind).expect("all domains exist")
+    }
+
+    /// Registers a slice in every domain.
+    pub fn create_slice(&mut self, id: SliceId) -> Result<(), String> {
+        for m in &mut self.managers {
+            m.apply(SliceConfigCommand::Create(id))?;
+        }
+        Ok(())
+    }
+
+    /// Removes a slice from every domain.
+    pub fn delete_slice(&mut self, id: SliceId) -> Result<(), String> {
+        for m in &mut self.managers {
+            m.apply(SliceConfigCommand::Delete(id))?;
+        }
+        Ok(())
+    }
+
+    /// Enforces a slice's action in every domain (the per-slot configuration
+    /// push).
+    pub fn enforce(&mut self, id: SliceId, action: Action) -> Result<(), String> {
+        for m in &mut self.managers {
+            m.apply(SliceConfigCommand::Adjust(id, action))?;
+        }
+        Ok(())
+    }
+
+    /// Whether the given requested actions fit every resource of every
+    /// domain.
+    pub fn is_feasible<'a, I>(&self, requests: I) -> bool
+    where
+        I: IntoIterator<Item = &'a Action>,
+        I::IntoIter: Clone,
+    {
+        let actions: Vec<&Action> = requests.into_iter().collect();
+        self.managers.iter().all(|m| m.is_feasible(actions.iter().copied()))
+    }
+
+    /// One coordination round across all domains: every manager updates its
+    /// owned `β_k` (Eq. 14). Returns the full per-resource `β` vector in
+    /// [`ResourceKind::ALL`] order.
+    pub fn update_coordination<'a, I>(&mut self, requests: I) -> [f64; 6]
+    where
+        I: IntoIterator<Item = &'a Action>,
+        I::IntoIter: Clone,
+    {
+        let actions: Vec<&Action> = requests.into_iter().collect();
+        for m in &mut self.managers {
+            let _ = m.update_coordination(0, actions.iter().copied());
+        }
+        self.betas()
+    }
+
+    /// The current `β` vector in [`ResourceKind::ALL`] order.
+    pub fn betas(&self) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        for m in &self.managers {
+            for (resource, beta) in m.betas() {
+                out[resource.index()] = beta;
+            }
+        }
+        out
+    }
+
+    /// Overwrites the `β` of one resource in whichever manager owns it.
+    pub fn set_beta(&mut self, resource: ResourceKind, beta: f64) {
+        for m in &mut self.managers {
+            m.set_beta(resource, beta);
+        }
+    }
+
+    /// Sets every resource's `β` to the same value (the fixed-β sweep of
+    /// Fig. 14).
+    pub fn set_all_betas(&mut self, beta: f64) {
+        for r in ResourceKind::ALL {
+            self.set_beta(r, beta);
+        }
+    }
+
+    /// Resets every coordinator (cold start at the beginning of an episode
+    /// when warm starting is disabled).
+    pub fn reset_betas(&mut self) {
+        for m in &mut self.managers {
+            m.reset_betas();
+        }
+    }
+
+    /// Scales the requested actions down, resource by resource, so that every
+    /// capacity is respected — the baseline's *projection* method.
+    pub fn project<'a, I>(&self, requests: I) -> Vec<Action>
+    where
+        I: IntoIterator<Item = &'a Action>,
+    {
+        let mut actions: Vec<Action> = requests.into_iter().copied().collect();
+        for m in &self.managers {
+            actions = m.project(actions.iter());
+        }
+        actions
+    }
+
+    /// The per-resource excess demand (`Σ â − L`, positive entries mean
+    /// over-request) in [`ResourceKind::ALL`] order.
+    pub fn excess<'a, I>(&self, requests: I) -> [f64; 6]
+    where
+        I: IntoIterator<Item = &'a Action>,
+    {
+        let actions: Vec<&Action> = requests.into_iter().collect();
+        let mut out = [0.0; 6];
+        for (i, r) in ResourceKind::ALL.iter().enumerate() {
+            let total: f64 = actions.iter().map(|a| a.resource_share(*r)).sum();
+            out[i] = total - self.capacity;
+        }
+        out
+    }
+
+    /// The normalized capacity shared by every resource.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_lifecycle_spans_all_domains() {
+        let mut set = DomainSet::testbed_default();
+        let id = SliceId(0);
+        set.create_slice(id).unwrap();
+        assert!(set.create_slice(id).is_err());
+        set.enforce(id, Action::uniform(0.3)).unwrap();
+        for m in set.managers() {
+            assert_eq!(m.num_slices(), 1);
+            assert_eq!(m.allocation_of(id).unwrap().cpu, 0.3);
+        }
+        set.delete_slice(id).unwrap();
+        assert!(set.delete_slice(id).is_err());
+    }
+
+    #[test]
+    fn feasibility_covers_every_resource() {
+        let set = DomainSet::testbed_default();
+        let ok = vec![Action::uniform(0.3), Action::uniform(0.3), Action::uniform(0.3)];
+        assert!(set.is_feasible(ok.iter()));
+        let mut bad = ok.clone();
+        bad[0].ram = 0.9; // 0.9 + 0.3 + 0.3 > 1
+        assert!(!set.is_feasible(bad.iter()));
+    }
+
+    #[test]
+    fn coordination_raises_betas_only_for_overloaded_resources() {
+        let mut set = DomainSet::testbed_default();
+        let mut a = Action::zeros();
+        a.cpu = 0.8;
+        let mut b = Action::zeros();
+        b.cpu = 0.6;
+        let betas = set.update_coordination([&a, &b]);
+        assert!(betas[ResourceKind::EdgeCpu.index()] > 0.0);
+        assert_eq!(betas[ResourceKind::UplinkRadio.index()], 0.0);
+        assert_eq!(betas[ResourceKind::TransportPath.index()], 0.0);
+    }
+
+    #[test]
+    fn set_all_betas_and_reset() {
+        let mut set = DomainSet::testbed_default();
+        set.set_all_betas(0.25);
+        assert!(set.betas().iter().all(|&b| (b - 0.25).abs() < 1e-12));
+        set.reset_betas();
+        assert!(set.betas().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn projection_makes_any_request_set_feasible() {
+        let set = DomainSet::testbed_default();
+        let requests = vec![Action::uniform(0.9), Action::uniform(0.8), Action::uniform(0.7)];
+        let projected = set.project(requests.iter());
+        assert!(set.is_feasible(projected.iter()));
+        // Projection preserves relative ordering.
+        assert!(projected[0].cpu > projected[2].cpu);
+    }
+
+    #[test]
+    fn excess_reports_per_resource_overload() {
+        let set = DomainSet::testbed_default();
+        let requests = vec![Action::uniform(0.6), Action::uniform(0.6)];
+        let excess = set.excess(requests.iter());
+        for e in excess {
+            assert!((e - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn repeated_coordination_converges_requests_downward_with_a_modifier() {
+        // Emulate the agent-side reaction: each round, every slice scales its
+        // request down proportionally to the total beta price. The loop must
+        // terminate with a feasible allocation in a handful of rounds.
+        let mut set = DomainSet::testbed_default();
+        let mut requests = vec![Action::uniform(0.8), Action::uniform(0.8)];
+        let mut rounds = 0;
+        while !set.is_feasible(requests.iter()) && rounds < 20 {
+            let betas = set.update_coordination(requests.iter());
+            let price: f64 = betas.iter().sum();
+            for a in &mut requests {
+                let scale = (1.0 - 0.1 * price).clamp(0.5, 1.0);
+                *a = Action::from_vec(&a.to_vec().iter().map(|v| v * scale).collect::<Vec<_>>());
+            }
+            rounds += 1;
+        }
+        assert!(set.is_feasible(requests.iter()), "coordination failed to converge");
+        assert!(rounds <= 10, "too many interactions: {rounds}");
+    }
+}

@@ -1,0 +1,220 @@
+//! CQI ↔ MCS mapping and spectral efficiency.
+//!
+//! The RDM introduces a per-slice customized CQI→MCS mapping table (§6): a
+//! slice may request an *MCS offset* so that, e.g., CQI 15 maps to 16-QAM
+//! instead of 64-QAM, trading link capacity for robustness. This module
+//! provides the standardized mapping (3GPP-style, simplified to the 4-bit CQI
+//! table and 0–28 MCS range) and the per-MCS spectral efficiency used to turn
+//! PRB allocations into link capacity.
+
+use serde::{Deserialize, Serialize};
+
+/// Highest CQI index (3GPP 4-bit CQI).
+pub const MAX_CQI: u8 = 15;
+
+/// Highest MCS index used by the simulator (0–28, LTE-style).
+pub const MAX_MCS: u8 = 28;
+
+/// Maps a CQI index (0–15) to the standardized MCS index (0–28).
+///
+/// The mapping is the usual near-linear one: CQI 0 is out-of-range (MCS 0),
+/// CQI 15 maps to the highest MCS.
+pub fn cqi_to_mcs(cqi: u8) -> u8 {
+    let cqi = cqi.min(MAX_CQI);
+    // Piecewise-linear lookup approximating the standard table.
+    const TABLE: [u8; 16] = [0, 1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 28];
+    TABLE[cqi as usize]
+}
+
+/// Spectral efficiency (bits per second per Hz) delivered at the given MCS.
+///
+/// Follows the standard modulation/coding progression: QPSK below MCS 10,
+/// 16-QAM up to MCS 16, 64-QAM above, saturating near 5.55 b/s/Hz at MCS 28.
+/// Values follow the LTE CQI efficiency table interpolated over the 0–28 MCS
+/// range.
+pub fn spectral_efficiency(mcs: u8) -> f64 {
+    const TABLE: [f64; 29] = [
+        0.15, 0.19, 0.23, 0.31, 0.38, 0.49, 0.60, 0.74, 0.88, 1.03, // QPSK
+        1.18, 1.33, 1.48, 1.70, 1.91, 2.16, 2.41, // 16-QAM
+        2.57, 2.73, 3.03, 3.32, 3.61, 3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55, // 64-QAM
+    ];
+    TABLE[mcs.min(MAX_MCS) as usize]
+}
+
+/// The effective MCS after applying a slice's requested offset
+/// (`used = standard − offset`, floored at 0).
+pub fn apply_mcs_offset(standard_mcs: u8, offset: u32) -> u8 {
+    standard_mcs.saturating_sub(offset.min(u32::from(MAX_MCS)) as u8)
+}
+
+/// Radio-access technology generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RatKind {
+    /// 4G LTE (the testbed's eNB).
+    Lte,
+    /// 5G NR non-standalone (the testbed's gNB).
+    Nr,
+}
+
+impl RatKind {
+    /// Human-readable name ("4G LTE" / "5G NR").
+    pub fn name(self) -> &'static str {
+        match self {
+            RatKind::Lte => "4G LTE",
+            RatKind::Nr => "5G NR",
+        }
+    }
+}
+
+/// Radio-access technology profile (4G LTE eNB or 5G NR gNB).
+///
+/// The numbers reflect the paper's testbed: the eNB runs at 2.6 GHz with a
+/// 20 MHz carrier (100 PRBs), the gNB at 3.5 GHz with 40 MHz (106 PRBs,
+/// 30 kHz subcarrier spacing); 5G NR also roughly halves the RAN round-trip
+/// latency (Fig. 16: 11.99 ms vs 27.99 ms average ping).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatProfile {
+    /// Which generation this profile describes.
+    pub kind: RatKind,
+    /// Number of downlink PRBs in the carrier.
+    pub dl_prbs: u32,
+    /// Number of uplink PRBs in the carrier.
+    pub ul_prbs: u32,
+    /// PRB bandwidth in kHz (180 for LTE's 15 kHz SCS, 360 for NR's 30 kHz).
+    pub prb_khz: f64,
+    /// Fraction of the downlink airtime usable for user data (TDD pattern,
+    /// control overhead, implementation efficiency).
+    pub dl_efficiency: f64,
+    /// Fraction of the uplink airtime usable for user data.
+    pub ul_efficiency: f64,
+    /// Base one-way RAN latency in milliseconds (scheduling + processing).
+    pub base_latency_ms: f64,
+    /// Standard deviation of the RAN latency jitter in milliseconds.
+    pub latency_jitter_ms: f64,
+}
+
+impl RatProfile {
+    /// The testbed's 4G LTE eNB (20 MHz, 100 PRBs).
+    ///
+    /// The efficiency factors are calibrated so that the fixed-MCS-9 carrier
+    /// capacities land near the paper's iperf3 measurements (14.3 Mbps DL,
+    /// 6.71 Mbps UL; §7.2 "Performance in 5G").
+    pub fn lte() -> Self {
+        Self {
+            kind: RatKind::Lte,
+            dl_prbs: 100,
+            ul_prbs: 100,
+            prb_khz: 180.0,
+            dl_efficiency: 0.77,
+            ul_efficiency: 0.36,
+            base_latency_ms: 13.0,
+            latency_jitter_ms: 4.0,
+        }
+    }
+
+    /// The testbed's 5G NR gNB (40 MHz, 106 PRBs, 30 kHz SCS, TDD
+    /// 5 DL / 4 UL slots).
+    ///
+    /// Calibrated against the paper's fixed-MCS-9 measurements (18.5 Mbps DL,
+    /// 11.5 Mbps UL).
+    pub fn nr() -> Self {
+        Self {
+            kind: RatKind::Nr,
+            dl_prbs: 106,
+            ul_prbs: 106,
+            prb_khz: 360.0,
+            dl_efficiency: 0.47,
+            ul_efficiency: 0.29,
+            base_latency_ms: 5.0,
+            latency_jitter_ms: 1.5,
+        }
+    }
+
+    /// Human-readable name of the profile.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Total downlink capacity in Mbps when every PRB runs at the given MCS.
+    pub fn dl_capacity_mbps(&self, mcs: u8) -> f64 {
+        self.dl_prbs as f64 * self.prb_khz * 1e3 * spectral_efficiency(mcs) * self.dl_efficiency
+            / 1e6
+    }
+
+    /// Total uplink capacity in Mbps when every PRB runs at the given MCS.
+    pub fn ul_capacity_mbps(&self, mcs: u8) -> f64 {
+        self.ul_prbs as f64 * self.prb_khz * 1e3 * spectral_efficiency(mcs) * self.ul_efficiency
+            / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cqi_to_mcs_is_monotone_and_bounded() {
+        let mut prev = 0;
+        for cqi in 0..=MAX_CQI {
+            let mcs = cqi_to_mcs(cqi);
+            assert!(mcs >= prev, "mapping must be monotone");
+            assert!(mcs <= MAX_MCS);
+            prev = mcs;
+        }
+        assert_eq!(cqi_to_mcs(15), MAX_MCS);
+        assert_eq!(cqi_to_mcs(200), MAX_MCS, "out-of-range CQIs saturate");
+    }
+
+    #[test]
+    fn spectral_efficiency_is_monotone_and_saturates() {
+        let mut prev = 0.0;
+        for mcs in 0..=MAX_MCS {
+            let se = spectral_efficiency(mcs);
+            assert!(se >= prev);
+            prev = se;
+        }
+        assert!((spectral_efficiency(MAX_MCS) - 5.55).abs() < 0.2);
+        assert!(spectral_efficiency(0) < 0.3);
+        // QPSK 2/3 at MCS 9 should be below 1.3 b/s/Hz.
+        assert!(spectral_efficiency(9) < 1.3);
+    }
+
+    #[test]
+    fn mcs_offset_is_applied_and_floored() {
+        assert_eq!(apply_mcs_offset(20, 6), 14);
+        assert_eq!(apply_mcs_offset(3, 10), 0);
+        assert_eq!(apply_mcs_offset(28, 0), 28);
+    }
+
+    #[test]
+    fn lte_fixed_mcs9_capacity_is_near_the_papers_measurement() {
+        // Paper §7.2: with fixed MCS 9, 4G LTE measured 14.3 Mbps DL and
+        // 6.71 Mbps UL. The simulator should land in the same ballpark.
+        let lte = RatProfile::lte();
+        let dl = lte.dl_capacity_mbps(9);
+        let ul = lte.ul_capacity_mbps(9);
+        assert!((dl - 14.3).abs() / 14.3 < 0.3, "LTE DL {dl} Mbps should be near 14.3");
+        assert!((ul - 6.71).abs() / 6.71 < 0.3, "LTE UL {ul} Mbps should be near 6.71");
+    }
+
+    #[test]
+    fn nr_fixed_mcs9_capacity_is_near_the_papers_measurement() {
+        // Paper §7.2: 5G NR measured 18.5 Mbps DL and 11.5 Mbps UL at MCS 9.
+        let nr = RatProfile::nr();
+        let dl = nr.dl_capacity_mbps(9);
+        let ul = nr.ul_capacity_mbps(9);
+        assert!((dl - 18.5).abs() / 18.5 < 0.3, "NR DL {dl} Mbps should be near 18.5");
+        assert!((ul - 11.5).abs() / 11.5 < 0.3, "NR UL {ul} Mbps should be near 11.5");
+    }
+
+    #[test]
+    fn nr_has_lower_base_latency_than_lte() {
+        assert!(RatProfile::nr().base_latency_ms < RatProfile::lte().base_latency_ms);
+    }
+
+    #[test]
+    fn adaptive_mcs_capacity_exceeds_fixed_mcs9() {
+        let lte = RatProfile::lte();
+        assert!(lte.dl_capacity_mbps(cqi_to_mcs(14)) > 2.0 * lte.dl_capacity_mbps(9));
+    }
+}

@@ -1,0 +1,167 @@
+//! Transport network model (the substrate the TDM virtualizes).
+//!
+//! The testbed's transport network is a Ruckus ICX SDN switch controlled by
+//! OpenDayLight: per-slice OpenFlow *meters* cap the slice's data rate and a
+//! reserved path can be pinned for the slice (§6). At the orchestration
+//! timescale the relevant effects are
+//!
+//! * the meter limit (`U_b` × port capacity) versus the slice's offered load —
+//!   an M/M/1-style queueing delay that explodes as the meter saturates, and
+//! * the reserved-path share (`U_l`) — more reservation means the slice's
+//!   flows dodge cross-traffic and see a smaller, more deterministic
+//!   switching delay.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of carrying a slice's traffic across the transport network for one
+/// slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TnOutcome {
+    /// Meter limit granted to the slice, in Mbps.
+    pub capacity_mbps: f64,
+    /// Offered load over the meter limit.
+    pub offered_load: f64,
+    /// Traffic actually carried, in Mbps.
+    pub goodput_mbps: f64,
+    /// Average one-way transport delay in milliseconds.
+    pub avg_delay_ms: f64,
+    /// Fraction of traffic dropped by the meter.
+    pub loss_prob: f64,
+}
+
+/// Configuration of the transport substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TnConfig {
+    /// Capacity of the switch port connecting RAN and CN, in Mbps (1 Gbps on
+    /// the testbed).
+    pub port_capacity_mbps: f64,
+    /// Fixed per-hop switching/propagation delay in milliseconds.
+    pub base_delay_ms: f64,
+    /// Additional worst-case queueing delay caused by cross-traffic when no
+    /// path is reserved, in milliseconds.
+    pub cross_traffic_delay_ms: f64,
+    /// Cap on the M/M/1 queueing multiplier.
+    pub max_queue_multiplier: f64,
+}
+
+impl TnConfig {
+    /// The testbed's single 1-Gbps switch.
+    pub fn testbed_default() -> Self {
+        Self {
+            port_capacity_mbps: 1_000.0,
+            base_delay_ms: 0.6,
+            cross_traffic_delay_ms: 4.0,
+            max_queue_multiplier: 25.0,
+        }
+    }
+
+    /// Evaluates the transport service for one slice and one slot.
+    ///
+    /// * `bandwidth_share` — the slice's meter share of the port (`U_b`).
+    /// * `path_share` — the slice's reserved-path share (`U_l`).
+    /// * `demand_mbps` — offered load.
+    /// * `packet_bits` — representative packet size in bits (for the
+    ///   serialization component of the delay).
+    pub fn evaluate(
+        &self,
+        bandwidth_share: f64,
+        path_share: f64,
+        demand_mbps: f64,
+        packet_bits: f64,
+    ) -> TnOutcome {
+        let share = bandwidth_share.clamp(0.0, 1.0);
+        let path = path_share.clamp(0.0, 1.0);
+        let capacity = self.port_capacity_mbps * share;
+        if capacity <= 1e-9 {
+            return TnOutcome {
+                capacity_mbps: 0.0,
+                offered_load: if demand_mbps > 0.0 { f64::INFINITY } else { 0.0 },
+                goodput_mbps: 0.0,
+                avg_delay_ms: self.base_delay_ms
+                    + self.cross_traffic_delay_ms
+                    + self.max_queue_multiplier,
+                loss_prob: if demand_mbps > 0.0 { 1.0 } else { 0.0 },
+            };
+        }
+        let rho = demand_mbps / capacity;
+        let carried = demand_mbps.min(capacity);
+        let serialization_ms = packet_bits / (capacity * 1e6) * 1e3;
+        let queue_mult = if rho < 1.0 {
+            (1.0 / (1.0 - rho)).min(self.max_queue_multiplier)
+        } else {
+            self.max_queue_multiplier
+        };
+        // Reserving more of a path removes the cross-traffic component.
+        let cross_traffic = self.cross_traffic_delay_ms * (1.0 - path);
+        let avg_delay_ms = self.base_delay_ms + cross_traffic + serialization_ms * queue_mult;
+        let loss = if rho > 1.0 { 1.0 - 1.0 / rho } else { 0.0 };
+        TnOutcome {
+            capacity_mbps: capacity,
+            offered_load: rho,
+            goodput_mbps: carried,
+            avg_delay_ms,
+            loss_prob: loss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_limit_is_share_times_port_capacity() {
+        let tn = TnConfig::testbed_default();
+        let out = tn.evaluate(0.05, 0.5, 10.0, 12_000.0);
+        assert!((out.capacity_mbps - 50.0).abs() < 1e-9);
+        assert!(out.loss_prob == 0.0);
+    }
+
+    #[test]
+    fn reserving_a_path_reduces_delay() {
+        let tn = TnConfig::testbed_default();
+        let unreserved = tn.evaluate(0.05, 0.0, 10.0, 12_000.0);
+        let reserved = tn.evaluate(0.05, 1.0, 10.0, 12_000.0);
+        assert!(reserved.avg_delay_ms < unreserved.avg_delay_ms);
+        assert!((unreserved.avg_delay_ms - reserved.avg_delay_ms - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_the_meter_causes_loss_and_large_delay() {
+        let tn = TnConfig::testbed_default();
+        let ok = tn.evaluate(0.02, 0.5, 10.0, 12_000.0);
+        let bad = tn.evaluate(0.005, 0.5, 10.0, 12_000.0);
+        assert!(bad.offered_load > 1.0);
+        assert!(bad.loss_prob > 0.0);
+        assert!(bad.avg_delay_ms > ok.avg_delay_ms);
+        assert!(bad.goodput_mbps < 10.0);
+    }
+
+    #[test]
+    fn zero_share_drops_everything() {
+        let tn = TnConfig::testbed_default();
+        let out = tn.evaluate(0.0, 0.5, 5.0, 12_000.0);
+        assert_eq!(out.goodput_mbps, 0.0);
+        assert_eq!(out.loss_prob, 1.0);
+    }
+
+    #[test]
+    fn idle_slice_sees_only_base_and_serialization_delay() {
+        let tn = TnConfig::testbed_default();
+        let out = tn.evaluate(0.1, 1.0, 0.0, 12_000.0);
+        assert_eq!(out.loss_prob, 0.0);
+        // 12 kbit over a 100 Mbps meter serializes in 0.12 ms.
+        assert!((out.avg_delay_ms - tn.base_delay_ms - 0.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_grows_monotonically_with_load() {
+        let tn = TnConfig::testbed_default();
+        let mut prev = 0.0;
+        for demand in [1.0, 5.0, 10.0, 20.0, 40.0] {
+            let out = tn.evaluate(0.05, 0.5, demand, 12_000.0);
+            assert!(out.avg_delay_ms >= prev);
+            prev = out.avg_delay_ms;
+        }
+    }
+}

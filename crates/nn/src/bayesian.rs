@@ -1,0 +1,569 @@
+//! Bayes-by-backprop variational layers for the cost value estimator (π_φ).
+//!
+//! The proactive baseline switching mechanism (paper §3, Eq. 6–8) needs both
+//! the **mean** and the **standard deviation** of the baseline policy's
+//! remaining-episode cost under the current state. The paper trains a
+//! probabilistic model with variational inference: the weight posterior is
+//! approximated by a diagonal Gaussian `q(φ) = N(μ, σ²)`, trained by
+//! maximizing the evidence lower bound
+//!
+//! ```text
+//! ELBO = E_q[ log p(D | φ) ] − KL( q(φ) ‖ p(φ) )        (Eq. 7)
+//! ```
+//!
+//! with a standard-normal prior `p(φ)`. This module implements that with the
+//! local reparameterization trick: each forward pass samples
+//! `w = μ + softplus(ρ) · ε`, `ε ∼ N(0, 1)`, and gradients flow through both
+//! `μ` and `ρ`.
+//!
+//! [`BayesianMlp::predict`] aggregates several stochastic forward passes into
+//! a predictive mean and standard deviation, which is exactly the `(μ, σ)`
+//! pair the switching rule consumes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+use crate::policy::standard_normal;
+use crate::{softplus, softplus_derivative};
+
+/// Summary statistics of the stochastic predictions of a [`BayesianMlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BayesianPrediction {
+    /// Predictive mean across weight samples.
+    pub mean: f64,
+    /// Predictive standard deviation across weight samples (epistemic
+    /// uncertainty); never negative.
+    pub std: f64,
+}
+
+/// A single variational dense layer `y = act(W x + b)` whose weights and
+/// biases carry a factorized Gaussian posterior.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BayesianLinear {
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+    /// Posterior means for the weights (row-major `out_dim x in_dim`).
+    weight_mu: Matrix,
+    /// Unconstrained posterior scale parameters; `sigma = softplus(rho)`.
+    weight_rho: Matrix,
+    bias_mu: Vec<f64>,
+    bias_rho: Vec<f64>,
+    // Gradients.
+    grad_weight_mu: Matrix,
+    grad_weight_rho: Matrix,
+    grad_bias_mu: Vec<f64>,
+    grad_bias_rho: Vec<f64>,
+    // Caches from the last stochastic forward pass.
+    cached_input: Vec<f64>,
+    cached_pre_activation: Vec<f64>,
+    cached_weight_eps: Matrix,
+    cached_bias_eps: Vec<f64>,
+    /// Weight of the prior's standard deviation (standard-normal prior when 1).
+    prior_std: f64,
+}
+
+impl BayesianLinear {
+    /// Creates a variational layer with posterior means initialized like a
+    /// small deterministic layer and posterior scales initialized small
+    /// (σ ≈ 0.05) so early training behaves like a point estimate.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let limit = (6.0 / (in_dim + out_dim).max(1) as f64).sqrt();
+        let mut weight_mu = Matrix::zeros(out_dim, in_dim);
+        for r in 0..out_dim {
+            for c in 0..in_dim {
+                weight_mu.set(r, c, rng.gen_range(-limit..limit));
+            }
+        }
+        // softplus(-3.0) ≈ 0.0486
+        let mut weight_rho = Matrix::zeros(out_dim, in_dim);
+        weight_rho.fill(-3.0);
+        Self {
+            in_dim,
+            out_dim,
+            activation,
+            weight_mu,
+            weight_rho,
+            bias_mu: vec![0.0; out_dim],
+            bias_rho: vec![-3.0; out_dim],
+            grad_weight_mu: Matrix::zeros(out_dim, in_dim),
+            grad_weight_rho: Matrix::zeros(out_dim, in_dim),
+            grad_bias_mu: vec![0.0; out_dim],
+            grad_bias_rho: vec![0.0; out_dim],
+            cached_input: Vec::new(),
+            cached_pre_activation: Vec::new(),
+            cached_weight_eps: Matrix::zeros(out_dim, in_dim),
+            cached_bias_eps: vec![0.0; out_dim],
+            prior_std: 1.0,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass using only the posterior means (a deterministic
+    /// point-estimate prediction).
+    pub fn forward_mean(&self, input: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(input.len(), self.in_dim);
+        let mut pre = self.weight_mu.matvec(input);
+        for (p, b) in pre.iter_mut().zip(self.bias_mu.iter()) {
+            *p += b;
+        }
+        pre.iter().map(|&x| self.activation.apply(x)).collect()
+    }
+
+    /// Stochastic forward pass sampling weights with the reparameterization
+    /// trick and caching everything needed by [`BayesianLinear::backward`].
+    pub fn forward_sample<R: Rng + ?Sized>(&mut self, input: &[f64], rng: &mut R) -> Vec<f64> {
+        debug_assert_eq!(input.len(), self.in_dim);
+        let mut pre = vec![0.0; self.out_dim];
+        let mut eps_w = Matrix::zeros(self.out_dim, self.in_dim);
+        let mut eps_b = vec![0.0; self.out_dim];
+        for r in 0..self.out_dim {
+            let mut acc = 0.0;
+            for c in 0..self.in_dim {
+                let eps = standard_normal(rng);
+                eps_w.set(r, c, eps);
+                let w = self.weight_mu.get(r, c) + softplus(self.weight_rho.get(r, c)) * eps;
+                acc += w * input[c];
+            }
+            let eb = standard_normal(rng);
+            eps_b[r] = eb;
+            let b = self.bias_mu[r] + softplus(self.bias_rho[r]) * eb;
+            pre[r] = acc + b;
+        }
+        let out = pre.iter().map(|&x| self.activation.apply(x)).collect();
+        self.cached_input = input.to_vec();
+        self.cached_pre_activation = pre;
+        self.cached_weight_eps = eps_w;
+        self.cached_bias_eps = eps_b;
+        out
+    }
+
+    /// Backward pass through the last [`BayesianLinear::forward_sample`] call.
+    ///
+    /// `grad_output` is `dL/dy`; the return value is `dL/dx`. Gradients for
+    /// `μ` and `ρ` are accumulated.
+    ///
+    /// # Panics
+    /// Panics if called before `forward_sample`.
+    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        assert!(
+            !self.cached_pre_activation.is_empty(),
+            "backward called before forward_sample"
+        );
+        debug_assert_eq!(grad_output.len(), self.out_dim);
+        let mut grad_input = vec![0.0; self.in_dim];
+        for r in 0..self.out_dim {
+            let delta = grad_output[r] * self.activation.derivative(self.cached_pre_activation[r]);
+            if delta == 0.0 {
+                continue;
+            }
+            for c in 0..self.in_dim {
+                let eps = self.cached_weight_eps.get(r, c);
+                let rho = self.weight_rho.get(r, c);
+                let x = self.cached_input[c];
+                // w = mu + softplus(rho) * eps
+                self.grad_weight_mu
+                    .set(r, c, self.grad_weight_mu.get(r, c) + delta * x);
+                self.grad_weight_rho.set(
+                    r,
+                    c,
+                    self.grad_weight_rho.get(r, c) + delta * x * eps * softplus_derivative(rho),
+                );
+                let w = self.weight_mu.get(r, c) + softplus(rho) * eps;
+                grad_input[c] += delta * w;
+            }
+            self.grad_bias_mu[r] += delta;
+            self.grad_bias_rho[r] +=
+                delta * self.cached_bias_eps[r] * softplus_derivative(self.bias_rho[r]);
+        }
+        grad_input
+    }
+
+    /// KL divergence `KL(q(φ) ‖ p(φ))` of this layer's posterior from the
+    /// standard-normal prior, summed over all weights and biases.
+    pub fn kl_to_prior(&self) -> f64 {
+        let mut kl = 0.0;
+        let prior_var = self.prior_std * self.prior_std;
+        for r in 0..self.out_dim {
+            for c in 0..self.in_dim {
+                let mu = self.weight_mu.get(r, c);
+                let sigma = softplus(self.weight_rho.get(r, c)).max(1e-9);
+                kl += (self.prior_std / sigma).ln()
+                    + (sigma * sigma + mu * mu) / (2.0 * prior_var)
+                    - 0.5;
+            }
+        }
+        for (mu, rho) in self.bias_mu.iter().zip(self.bias_rho.iter()) {
+            let sigma = softplus(*rho).max(1e-9);
+            kl += (self.prior_std / sigma).ln() + (sigma * sigma + mu * mu) / (2.0 * prior_var) - 0.5;
+        }
+        kl
+    }
+
+    /// Accumulates the gradient of `weight · KL(q ‖ p)` into the layer.
+    ///
+    /// Called once per optimizer step with `weight = kl_weight / dataset_size`
+    /// (the standard Bayes-by-backprop minibatch scaling).
+    pub fn accumulate_kl_grad(&mut self, weight: f64) {
+        let prior_var = self.prior_std * self.prior_std;
+        for r in 0..self.out_dim {
+            for c in 0..self.in_dim {
+                let mu = self.weight_mu.get(r, c);
+                let rho = self.weight_rho.get(r, c);
+                let sigma = softplus(rho).max(1e-9);
+                // d KL / d mu = mu / prior_var
+                self.grad_weight_mu
+                    .set(r, c, self.grad_weight_mu.get(r, c) + weight * mu / prior_var);
+                // d KL / d sigma = -1/sigma + sigma/prior_var
+                let d_sigma = -1.0 / sigma + sigma / prior_var;
+                self.grad_weight_rho.set(
+                    r,
+                    c,
+                    self.grad_weight_rho.get(r, c) + weight * d_sigma * softplus_derivative(rho),
+                );
+            }
+        }
+        for i in 0..self.out_dim {
+            let mu = self.bias_mu[i];
+            let rho = self.bias_rho[i];
+            let sigma = softplus(rho).max(1e-9);
+            self.grad_bias_mu[i] += weight * mu / prior_var;
+            let d_sigma = -1.0 / sigma + sigma / prior_var;
+            self.grad_bias_rho[i] += weight * d_sigma * softplus_derivative(rho);
+        }
+    }
+
+    /// Resets accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight_mu.fill(0.0);
+        self.grad_weight_rho.fill(0.0);
+        for g in &mut self.grad_bias_mu {
+            *g = 0.0;
+        }
+        for g in &mut self.grad_bias_rho {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of trainable parameters (`μ` and `ρ` for weights and biases).
+    pub fn num_parameters(&self) -> usize {
+        2 * (self.out_dim * self.in_dim + self.out_dim)
+    }
+
+    /// `(parameter, gradient)` pairs for the optimizer, ordered
+    /// `weight_mu, weight_rho, bias_mu, bias_rho`.
+    pub fn param_grad_pairs(&mut self) -> Vec<(&mut f64, f64)> {
+        let grads: Vec<f64> = self
+            .grad_weight_mu
+            .data()
+            .iter()
+            .copied()
+            .chain(self.grad_weight_rho.data().iter().copied())
+            .chain(self.grad_bias_mu.iter().copied())
+            .chain(self.grad_bias_rho.iter().copied())
+            .collect();
+        self.weight_mu
+            .data_mut()
+            .iter_mut()
+            .chain(self.weight_rho.data_mut().iter_mut())
+            .chain(self.bias_mu.iter_mut())
+            .chain(self.bias_rho.iter_mut())
+            .zip(grads)
+            .collect()
+    }
+}
+
+/// A small Bayesian MLP producing a scalar prediction with uncertainty.
+///
+/// Used as the cost value estimator: input is the slice state, output is the
+/// estimated remaining-episode cost of the baseline policy, reported as a
+/// predictive mean and standard deviation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BayesianMlp {
+    layers: Vec<BayesianLinear>,
+}
+
+impl BayesianMlp {
+    /// Builds a Bayesian MLP from layer sizes, ReLU hidden activations and an
+    /// identity output (a regression head).
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "a Bayesian MLP needs at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for (i, w) in sizes.windows(2).enumerate() {
+            let is_last = i == sizes.len() - 2;
+            let act = if is_last { Activation::Identity } else { Activation::Relu };
+            layers.push(BayesianLinear::new(w[0], w[1], act, rng));
+        }
+        Self { layers }
+    }
+
+    /// The paper's default estimator trunk (`128x64x32`) with a scalar head.
+    pub fn onslicing_default<R: Rng + ?Sized>(input_dim: usize, rng: &mut R) -> Self {
+        Self::new(&[input_dim, 128, 64, 32, 1], rng)
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.in_dim())
+    }
+
+    /// Output dimensionality (1 for the cost-value estimator).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.out_dim())
+    }
+
+    /// Deterministic forward pass through the posterior means.
+    pub fn forward_mean(&self, input: &[f64]) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.forward_mean(&x);
+        }
+        x
+    }
+
+    /// One stochastic forward pass (weights sampled from the posterior),
+    /// caching intermediates for [`BayesianMlp::backward`].
+    pub fn forward_sample<R: Rng + ?Sized>(&mut self, input: &[f64], rng: &mut R) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for layer in &mut self.layers {
+            x = layer.forward_sample(&x, rng);
+        }
+        x
+    }
+
+    /// Backpropagates through the last stochastic forward pass.
+    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        let mut g = grad_output.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Total KL divergence of the posterior from the prior.
+    pub fn kl_to_prior(&self) -> f64 {
+        self.layers.iter().map(|l| l.kl_to_prior()).sum()
+    }
+
+    /// Accumulates `weight · d KL/dφ` across all layers.
+    pub fn accumulate_kl_grad(&mut self, weight: f64) {
+        for layer in &mut self.layers {
+            layer.accumulate_kl_grad(weight);
+        }
+    }
+
+    /// Resets all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.num_parameters()).sum()
+    }
+
+    /// `(parameter, gradient)` pairs across all layers.
+    pub fn param_grad_pairs(&mut self) -> Vec<(&mut f64, f64)> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for layer in &mut self.layers {
+            out.extend(layer.param_grad_pairs());
+        }
+        out
+    }
+
+    /// Predictive mean and standard deviation of the scalar output, estimated
+    /// from `num_samples` stochastic forward passes.
+    ///
+    /// # Panics
+    /// Panics if the network output is not scalar or `num_samples == 0`.
+    pub fn predict<R: Rng + ?Sized>(
+        &mut self,
+        input: &[f64],
+        num_samples: usize,
+        rng: &mut R,
+    ) -> BayesianPrediction {
+        assert_eq!(self.output_dim(), 1, "predict requires a scalar output head");
+        assert!(num_samples > 0, "at least one posterior sample is required");
+        let mut values = Vec::with_capacity(num_samples);
+        for _ in 0..num_samples {
+            values.push(self.forward_sample(input, rng)[0]);
+        }
+        let mean = values.iter().sum::<f64>() / num_samples as f64;
+        let var = if num_samples > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (num_samples - 1) as f64
+        } else {
+            0.0
+        };
+        BayesianPrediction { mean, std: var.max(0.0).sqrt() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Adam;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_mean_has_expected_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = BayesianMlp::new(&[3, 8, 1], &mut rng);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 1);
+        let y = net.forward_mean(&[0.1, 0.2, 0.3]);
+        assert_eq!(y.len(), 1);
+        assert!(y[0].is_finite());
+    }
+
+    #[test]
+    fn stochastic_passes_differ_but_stay_near_the_mean_pass() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net = BayesianMlp::new(&[2, 16, 1], &mut rng);
+        let x = [0.4, 0.6];
+        let mean_pass = net.forward_mean(&x)[0];
+        let a = net.forward_sample(&x, &mut rng)[0];
+        let b = net.forward_sample(&x, &mut rng)[0];
+        assert_ne!(a, b, "posterior sampling should produce different outputs");
+        assert!((a - mean_pass).abs() < 5.0);
+    }
+
+    #[test]
+    fn kl_to_prior_is_nonnegative_and_shrinks_sigma_reduces_it_to_mu_term() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let net = BayesianMlp::new(&[2, 4, 1], &mut rng);
+        assert!(net.kl_to_prior().is_finite());
+        // KL must be >= 0 only when sigma <= prior and mu small; in general
+        // the Gaussian KL is always >= 0.
+        assert!(net.kl_to_prior() >= 0.0);
+    }
+
+    #[test]
+    fn backward_mu_gradients_match_finite_differences_when_sigma_is_tiny() {
+        // With rho very negative the sampled weights equal mu, so the
+        // stochastic gradient must match the deterministic finite difference.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut layer = BayesianLinear::new(3, 2, Activation::Tanh, &mut rng);
+        for r in 0..2 {
+            for c in 0..3 {
+                layer.weight_rho.set(r, c, -40.0);
+            }
+        }
+        for rho in &mut layer.bias_rho {
+            *rho = -40.0;
+        }
+        let x = [0.3, -0.2, 0.5];
+        layer.zero_grad();
+        let _ = layer.forward_sample(&x, &mut rng);
+        let _ = layer.backward(&[1.0, 1.0]);
+        let h = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let orig = layer.weight_mu.get(r, c);
+                layer.weight_mu.set(r, c, orig + h);
+                let fp: f64 = layer.forward_mean(&x).iter().sum();
+                layer.weight_mu.set(r, c, orig - h);
+                let fm: f64 = layer.forward_mean(&x).iter().sum();
+                layer.weight_mu.set(r, c, orig);
+                let numeric = (fp - fm) / (2.0 * h);
+                let analytic = layer.grad_weight_mu.get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "mu grad mismatch at ({r},{c}): {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bayesian_regression_learns_mean_and_reports_uncertainty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut net = BayesianMlp::new(&[1, 24, 1], &mut rng);
+        let mut opt = Adam::new(net.num_parameters(), 5e-3);
+        // Fit y = 2x on x in [0, 1].
+        let dataset: Vec<(f64, f64)> = (0..32).map(|i| {
+            let x = i as f64 / 32.0;
+            (x, 2.0 * x)
+        }).collect();
+        for _ in 0..400 {
+            net.zero_grad();
+            for (x, t) in &dataset {
+                let y = net.forward_sample(&[*x], &mut rng)[0];
+                // d/dy of 0.5*(y-t)^2, averaged over the dataset
+                net.backward(&[(y - t) / dataset.len() as f64]);
+            }
+            net.accumulate_kl_grad(1e-4 / dataset.len() as f64);
+            opt.step(net.param_grad_pairs());
+        }
+        let pred = net.predict(&[0.5], 64, &mut rng);
+        assert!((pred.mean - 1.0).abs() < 0.2, "predictive mean {} should be near 1.0", pred.mean);
+        assert!(pred.std >= 0.0 && pred.std < 1.0, "uncertainty {} should be modest", pred.std);
+    }
+
+    #[test]
+    fn predict_with_one_sample_has_zero_std() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net = BayesianMlp::new(&[2, 8, 1], &mut rng);
+        let p = net.predict(&[0.2, 0.8], 1, &mut rng);
+        assert_eq!(p.std, 0.0);
+    }
+
+    #[test]
+    fn kl_gradient_pushes_mu_toward_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut net = BayesianMlp::new(&[2, 4, 1], &mut rng);
+        let mut opt = Adam::new(net.num_parameters(), 1e-2);
+        let before = net.kl_to_prior();
+        for _ in 0..200 {
+            net.zero_grad();
+            net.accumulate_kl_grad(1.0);
+            opt.step(net.param_grad_pairs());
+        }
+        let after = net.kl_to_prior();
+        assert!(after < before, "optimizing the KL alone must reduce it: {before} -> {after}");
+    }
+
+    #[test]
+    fn num_parameters_counts_mu_and_rho() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let layer = BayesianLinear::new(3, 2, Activation::Relu, &mut rng);
+        assert_eq!(layer.num_parameters(), 2 * (3 * 2 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward_sample")]
+    fn backward_without_forward_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut layer = BayesianLinear::new(2, 2, Activation::Relu, &mut rng);
+        let _ = layer.backward(&[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar output head")]
+    fn predict_requires_scalar_output() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut net = BayesianMlp::new(&[2, 4, 2], &mut rng);
+        let _ = net.predict(&[0.1, 0.2], 4, &mut rng);
+    }
+}

@@ -1,0 +1,296 @@
+//! Fully connected (dense) layer with explicit forward/backward passes.
+//!
+//! Gradients are *accumulated* into the layer (`grad_weights`, `grad_bias`)
+//! so that minibatch training simply calls `forward_train`/`backward` once
+//! per sample and divides by the batch size before the optimizer step (or
+//! equivalently scales the loss gradient by `1 / batch`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::matrix::Matrix;
+
+/// A dense layer `y = act(W x + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f64>,
+    grad_weights: Matrix,
+    grad_bias: Vec<f64>,
+    activation: Activation,
+    // Caches populated by `forward_train` and consumed by `backward`.
+    cached_input: Vec<f64>,
+    cached_pre_activation: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a new dense layer with the default initialization for the
+    /// chosen activation (He for ReLU-family, Xavier otherwise) and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let init = Init::for_activation(activation);
+        let mut weights = Matrix::zeros(out_dim, in_dim);
+        for r in 0..out_dim {
+            for c in 0..in_dim {
+                weights.set(r, c, init.sample(in_dim, out_dim, rng));
+            }
+        }
+        Self {
+            weights,
+            bias: vec![0.0; out_dim],
+            grad_weights: Matrix::zeros(out_dim, in_dim),
+            grad_bias: vec![0.0; out_dim],
+            activation,
+            cached_input: Vec::new(),
+            cached_pre_activation: Vec::new(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Inference-only forward pass (does not populate caches).
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(input.len(), self.in_dim(), "dense layer input size mismatch");
+        let mut pre = self.weights.matvec(input);
+        for (p, b) in pre.iter_mut().zip(self.bias.iter()) {
+            *p += b;
+        }
+        pre.iter().map(|&x| self.activation.apply(x)).collect()
+    }
+
+    /// Forward pass that caches the input and pre-activation for `backward`.
+    pub fn forward_train(&mut self, input: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(input.len(), self.in_dim(), "dense layer input size mismatch");
+        let mut pre = self.weights.matvec(input);
+        for (p, b) in pre.iter_mut().zip(self.bias.iter()) {
+            *p += b;
+        }
+        let out = pre.iter().map(|&x| self.activation.apply(x)).collect();
+        self.cached_input = input.to_vec();
+        self.cached_pre_activation = pre;
+        out
+    }
+
+    /// Backward pass. `grad_output` is `dL/dy`; the return value is `dL/dx`.
+    ///
+    /// Parameter gradients are accumulated into the layer.
+    ///
+    /// # Panics
+    /// Panics if called before `forward_train` (no cached activations).
+    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        assert!(
+            !self.cached_pre_activation.is_empty(),
+            "backward called before forward_train"
+        );
+        debug_assert_eq!(grad_output.len(), self.out_dim());
+        // delta = dL/d(pre-activation)
+        let delta: Vec<f64> = grad_output
+            .iter()
+            .zip(self.cached_pre_activation.iter())
+            .map(|(&g, &z)| g * self.activation.derivative(z))
+            .collect();
+        // dL/dW += delta ⊗ input, dL/db += delta
+        let gw = Matrix::outer(&delta, &self.cached_input);
+        self.grad_weights.add_scaled_assign(&gw, 1.0);
+        for (gb, d) in self.grad_bias.iter_mut().zip(delta.iter()) {
+            *gb += d;
+        }
+        // dL/dx = Wᵀ delta
+        self.weights.t_matvec(&delta)
+    }
+
+    /// Resets accumulated gradients to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad_weights.fill(0.0);
+        for g in &mut self.grad_bias {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of trainable parameters in this layer.
+    pub fn num_parameters(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Returns `(parameter, gradient)` pairs for the optimizer.
+    ///
+    /// Gradients are copied (they are small), parameters are mutable
+    /// references so that an optimizer can update them in place.
+    pub fn param_grad_pairs(&mut self) -> Vec<(&mut f64, f64)> {
+        let grads: Vec<f64> = self
+            .grad_weights
+            .data()
+            .iter()
+            .copied()
+            .chain(self.grad_bias.iter().copied())
+            .collect();
+        self.weights
+            .data_mut()
+            .iter_mut()
+            .chain(self.bias.iter_mut())
+            .zip(grads)
+            .collect()
+    }
+
+    /// Immutable snapshot of the flat parameter vector (weights then bias).
+    pub fn parameters(&self) -> Vec<f64> {
+        self.weights
+            .data()
+            .iter()
+            .copied()
+            .chain(self.bias.iter().copied())
+            .collect()
+    }
+
+    /// Overwrites parameters from a flat vector produced by [`Dense::parameters`].
+    ///
+    /// # Panics
+    /// Panics if the length does not match [`Dense::num_parameters`].
+    pub fn set_parameters(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_parameters(), "parameter length mismatch");
+        let nw = self.weights.rows() * self.weights.cols();
+        self.weights.data_mut().copy_from_slice(&params[..nw]);
+        self.bias.copy_from_slice(&params[nw..]);
+    }
+
+    /// Scales accumulated gradients by `s` (used to average over a batch).
+    pub fn scale_grad(&mut self, s: f64) {
+        let scaled = self.grad_weights.scale(s);
+        self.grad_weights = scaled;
+        for g in &mut self.grad_bias {
+            *g *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut layer = Dense::new(2, 2, Activation::Identity, &mut rng);
+        layer.set_parameters(&[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]);
+        let y = layer.forward(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn forward_train_equals_forward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut layer = Dense::new(5, 3, Activation::Relu, &mut rng);
+        let x = vec![0.1, -0.2, 0.3, 0.4, -0.5];
+        let a = layer.forward(&x);
+        let b = layer.forward_train(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = vec![0.3, -0.7, 0.2];
+        // Loss = sum(y). dL/dy = ones.
+        let loss = |layer: &Dense| -> f64 { layer.forward(&x).iter().sum() };
+
+        layer.zero_grad();
+        let _ = layer.forward_train(&x);
+        let _ = layer.backward(&[1.0, 1.0]);
+        let analytic: Vec<f64> = layer
+            .grad_weights
+            .data()
+            .iter()
+            .copied()
+            .chain(layer.grad_bias.iter().copied())
+            .collect();
+
+        let params = layer.parameters();
+        let h = 1e-6;
+        for (i, analytic_g) in analytic.iter().enumerate() {
+            let mut plus = params.clone();
+            plus[i] += h;
+            let mut minus = params.clone();
+            minus[i] -= h;
+            let mut l_plus = layer.clone();
+            l_plus.set_parameters(&plus);
+            let mut l_minus = layer.clone();
+            l_minus.set_parameters(&minus);
+            let numeric = (loss(&mut l_plus) - loss(&mut l_minus)) / (2.0 * h);
+            assert!(
+                (numeric - analytic_g).abs() < 1e-4,
+                "param {i}: numeric {numeric} vs analytic {analytic_g}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut layer = Dense::new(4, 3, Activation::Sigmoid, &mut rng);
+        let x = vec![0.5, -0.1, 0.9, 0.0];
+        let _ = layer.forward_train(&x);
+        let dx = layer.backward(&[1.0, 1.0, 1.0]);
+        let h = 1e-6;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fp: f64 = layer.forward(&xp).iter().sum();
+            let fm: f64 = layer.forward(&xm).iter().sum();
+            let numeric = (fp - fm) / (2.0 * h);
+            assert!((numeric - dx[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_grad_resets_accumulation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut layer = Dense::new(2, 2, Activation::Relu, &mut rng);
+        let _ = layer.forward_train(&[1.0, 1.0]);
+        let _ = layer.backward(&[1.0, 1.0]);
+        layer.zero_grad();
+        let pairs = layer.param_grad_pairs();
+        assert!(pairs.iter().all(|(_, g)| *g == 0.0));
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut layer = Dense::new(6, 4, Activation::Relu, &mut rng);
+        let p = layer.parameters();
+        assert_eq!(p.len(), layer.num_parameters());
+        layer.set_parameters(&p);
+        assert_eq!(layer.parameters(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward_train")]
+    fn backward_without_forward_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut layer = Dense::new(2, 2, Activation::Relu, &mut rng);
+        let _ = layer.backward(&[1.0, 1.0]);
+    }
+}

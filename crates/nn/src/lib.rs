@@ -1,0 +1,136 @@
+//! # onslicing-nn
+//!
+//! A small, dependency-light dense neural-network library used by the
+//! OnSlicing reproduction in place of PyTorch.
+//!
+//! The paper's agents only need fully connected networks of modest size
+//! (`128 x 64 x 32` trunks with ReLU activations and Sigmoid policy heads),
+//! trained with Adam. This crate provides exactly that, plus the two less
+//! common pieces the paper relies on:
+//!
+//! * a **Gaussian policy head** ([`policy::GaussianPolicy`]) producing a
+//!   squashed mean in `(0, 1)` with a learnable, state-independent standard
+//!   deviation — the form used by the PPO actor (policy `π_θ`), and
+//! * a **Bayes-by-backprop variational layer** ([`bayesian::BayesianLinear`],
+//!   [`bayesian::BayesianMlp`]) used for the cost-value estimator (policy
+//!   `π_φ`), which must report both a mean and a standard deviation of the
+//!   baseline policy's remaining cost (paper §3, Eq. 6–8).
+//!
+//! All math is `f64`, all storage is plain `Vec<f64>`, and randomness flows
+//! through explicit [`rand`] RNGs so experiments are reproducible.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use onslicing_nn::{Mlp, Activation, Adam, mse_loss, mse_grad};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! // 2-in, 1-out regression network.
+//! let mut net = Mlp::new(&[2, 16, 16, 1], Activation::Relu, Activation::Identity, &mut rng);
+//! let mut opt = Adam::new(net.num_parameters(), 1e-2);
+//! for _ in 0..500 {
+//!     let x = vec![0.3, 0.7];
+//!     let target = vec![0.3f64 + 0.7];
+//!     net.zero_grad();
+//!     let y = net.forward_train(&x);
+//!     let grad = mse_grad(&y, &target);
+//!     net.backward(&grad);
+//!     opt.step(net.param_grad_pairs());
+//! }
+//! let y = net.forward(&[0.3, 0.7]);
+//! assert!((y[0] - 1.0).abs() < 0.05);
+//! ```
+
+pub mod activation;
+pub mod bayesian;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optimizer;
+pub mod policy;
+
+pub use activation::Activation;
+pub use bayesian::{BayesianLinear, BayesianMlp, BayesianPrediction};
+pub use layer::Dense;
+pub use loss::{gaussian_nll, gaussian_nll_grad, huber_loss, huber_grad, mse_grad, mse_loss};
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+pub use optimizer::{Adam, Sgd};
+pub use policy::{GaussianPolicy, PolicySample};
+
+/// Numerically stable softplus, `log(1 + e^x)`.
+///
+/// Used to map unconstrained parameters to positive standard deviations in
+/// the variational layers and the Gaussian policy head.
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+/// Derivative of [`softplus`], i.e. the logistic sigmoid.
+pub fn softplus_derivative(x: f64) -> f64 {
+    sigmoid(x)
+}
+
+/// Logistic sigmoid `1 / (1 + e^-x)` with saturation guards.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softplus_is_positive_and_monotone() {
+        let mut prev = softplus(-40.0);
+        assert!(prev >= 0.0);
+        for i in -39..40 {
+            let v = softplus(i as f64);
+            assert!(v > 0.0);
+            assert!(v >= prev, "softplus must be monotone");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn softplus_matches_reference_values() {
+        assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((softplus(50.0) - 50.0).abs() < 1e-9);
+        assert!(softplus(-50.0) < 1e-20);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_symmetric() {
+        for i in -50..=50 {
+            let x = i as f64 / 5.0;
+            let s = sigmoid(x);
+            assert!(s > 0.0 && s < 1.0);
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softplus_derivative_is_sigmoid() {
+        for i in -20..=20 {
+            let x = i as f64 / 2.0;
+            let h = 1e-6;
+            let numeric = (softplus(x + h) - softplus(x - h)) / (2.0 * h);
+            assert!((numeric - softplus_derivative(x)).abs() < 1e-5);
+        }
+    }
+}

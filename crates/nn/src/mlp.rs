@@ -1,0 +1,276 @@
+//! Multi-layer perceptron built from [`Dense`](crate::layer::Dense) layers.
+//!
+//! The OnSlicing paper uses 3-layer fully connected trunks of sizes
+//! `128 x 64 x 32` with ReLU hidden activations for every policy network
+//! (§6, "The OnSlicing agents"); [`Mlp::onslicing_default`] builds exactly
+//! that shape.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+
+/// A feed-forward network: a stack of dense layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP from a list of layer sizes.
+    ///
+    /// `sizes = [in, h1, ..., out]`; hidden layers use `hidden_activation`,
+    /// the final layer uses `output_activation`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(
+        sizes: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let is_last = layers.len() == sizes.len() - 2;
+            let act = if is_last { output_activation } else { hidden_activation };
+            layers.push(Dense::new(w[0], w[1], act, rng));
+        }
+        Self { layers }
+    }
+
+    /// The paper's default trunk: `input -> 128 -> 64 -> 32 -> output` with
+    /// ReLU hidden layers.
+    pub fn onslicing_default<R: Rng + ?Sized>(
+        input_dim: usize,
+        output_dim: usize,
+        output_activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(
+            &[input_dim, 128, 64, 32, output_dim],
+            Activation::Relu,
+            output_activation,
+            rng,
+        )
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.in_dim())
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.out_dim())
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Inference-only forward pass.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Forward pass caching intermediate values for [`Mlp::backward`].
+    pub fn forward_train(&mut self, input: &[f64]) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for layer in &mut self.layers {
+            x = layer.forward_train(&x);
+        }
+        x
+    }
+
+    /// Backpropagates `dL/dy` through the network and accumulates parameter
+    /// gradients. Returns `dL/dx` (rarely needed, but useful when an MLP is a
+    /// sub-module of a larger differentiable computation).
+    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        let mut g = grad_output.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Resets all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Scales all accumulated gradients (e.g. by `1/batch_size`).
+    pub fn scale_grad(&mut self, s: f64) {
+        for layer in &mut self.layers {
+            layer.scale_grad(s);
+        }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.num_parameters()).sum()
+    }
+
+    /// Returns `(parameter, gradient)` pairs across all layers.
+    pub fn param_grad_pairs(&mut self) -> Vec<(&mut f64, f64)> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for layer in &mut self.layers {
+            out.extend(layer.param_grad_pairs());
+        }
+        out
+    }
+
+    /// Flat snapshot of all parameters.
+    pub fn parameters(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for layer in &self.layers {
+            out.extend(layer.parameters());
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    /// Panics if the length does not match [`Mlp::num_parameters`].
+    pub fn set_parameters(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_parameters(), "parameter length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let n = layer.num_parameters();
+            layer.set_parameters(&params[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Copies the parameters from another MLP with the same architecture.
+    ///
+    /// # Panics
+    /// Panics if the architectures differ.
+    pub fn copy_parameters_from(&mut self, other: &Mlp) {
+        self.set_parameters(&other.parameters());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{mse_grad, mse_loss};
+    use crate::optimizer::Adam;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dimensions_are_derived_from_sizes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = Mlp::new(&[7, 16, 8, 3], Activation::Relu, Activation::Sigmoid, &mut rng);
+        assert_eq!(net.input_dim(), 7);
+        assert_eq!(net.output_dim(), 3);
+        assert_eq!(net.num_layers(), 3);
+    }
+
+    #[test]
+    fn onslicing_default_has_paper_architecture() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = Mlp::onslicing_default(20, 10, Activation::Sigmoid, &mut rng);
+        assert_eq!(net.num_layers(), 4);
+        assert_eq!(net.input_dim(), 20);
+        assert_eq!(net.output_dim(), 10);
+        // 20*128+128 + 128*64+64 + 64*32+32 + 32*10+10
+        assert_eq!(net.num_parameters(), 20 * 128 + 128 + 128 * 64 + 64 + 64 * 32 + 32 + 32 * 10 + 10);
+    }
+
+    #[test]
+    fn sigmoid_output_is_in_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let net = Mlp::new(&[4, 8, 3], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let y = net.forward(&[10.0, -10.0, 3.0, 0.0]);
+        assert!(y.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn gradient_check_full_network() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = Mlp::new(&[3, 5, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = vec![0.2, -0.4, 0.8];
+        let target = vec![0.5, -0.5];
+
+        net.zero_grad();
+        let y = net.forward_train(&x);
+        let grad = mse_grad(&y, &target);
+        net.backward(&grad);
+
+        let analytic: Vec<f64> = net.param_grad_pairs().iter().map(|(_, g)| *g).collect();
+        let params = net.parameters();
+        let h = 1e-6;
+        for i in (0..params.len()).step_by(7) {
+            let mut plus = params.clone();
+            plus[i] += h;
+            let mut minus = params.clone();
+            minus[i] -= h;
+            let mut np = net.clone();
+            np.set_parameters(&plus);
+            let mut nm = net.clone();
+            nm.set_parameters(&minus);
+            let lp = mse_loss(&np.forward(&x), &target);
+            let lm = mse_loss(&nm.forward(&x), &target);
+            let numeric = (lp - lm) / (2.0 * h);
+            assert!(
+                (numeric - analytic[i]).abs() < 1e-4,
+                "param {i}: numeric {numeric} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn can_learn_a_simple_regression_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut net = Mlp::new(&[2, 24, 24, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mut opt = Adam::new(net.num_parameters(), 5e-3);
+        // Learn f(a, b) = a * 0.5 + b * 0.25.
+        let dataset: Vec<(Vec<f64>, Vec<f64>)> = (0..64)
+            .map(|i| {
+                let a = (i % 8) as f64 / 8.0;
+                let b = (i / 8) as f64 / 8.0;
+                (vec![a, b], vec![0.5 * a + 0.25 * b])
+            })
+            .collect();
+        for _ in 0..400 {
+            net.zero_grad();
+            for (x, t) in &dataset {
+                let y = net.forward_train(x);
+                let mut g = mse_grad(&y, t);
+                for gi in &mut g {
+                    *gi /= dataset.len() as f64;
+                }
+                net.backward(&g);
+            }
+            opt.step(net.param_grad_pairs());
+        }
+        let mut total = 0.0;
+        for (x, t) in &dataset {
+            total += mse_loss(&net.forward(x), t);
+        }
+        assert!(total / (dataset.len() as f64) < 1e-3, "network failed to fit linear target");
+    }
+
+    #[test]
+    fn copy_parameters_from_makes_networks_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = Mlp::new(&[3, 8, 2], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let mut b = Mlp::new(&[3, 8, 2], Activation::Relu, Activation::Sigmoid, &mut rng);
+        b.copy_parameters_from(&a);
+        let x = vec![0.1, 0.9, -0.3];
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+}

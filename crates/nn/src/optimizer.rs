@@ -1,0 +1,210 @@
+//! First-order optimizers (SGD with momentum, Adam).
+//!
+//! Both optimizers work on `(parameter, gradient)` pairs as produced by
+//! [`Mlp::param_grad_pairs`](crate::mlp::Mlp::param_grad_pairs), so the same
+//! optimizer drives plain MLPs, Gaussian policies and Bayesian networks.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer (Kingma & Ba, 2015) with optional gradient clipping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    /// Global-norm gradient clip; `None` disables clipping.
+    max_grad_norm: Option<f64>,
+    step_count: u64,
+    first_moment: Vec<f64>,
+    second_moment: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for `num_params` parameters.
+    pub fn new(num_params: usize, learning_rate: f64) -> Self {
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            max_grad_norm: Some(5.0),
+            step_count: 0,
+            first_moment: vec![0.0; num_params],
+            second_moment: vec![0.0; num_params],
+        }
+    }
+
+    /// Sets the global-norm gradient clip (`None` disables clipping).
+    pub fn with_max_grad_norm(mut self, clip: Option<f64>) -> Self {
+        self.max_grad_norm = clip;
+        self
+    }
+
+    /// Changes the learning rate (e.g. for schedules).
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        self.learning_rate = lr;
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Applies one Adam update to the given `(parameter, gradient)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the number of pairs does not match the size the optimizer
+    /// was created with.
+    pub fn step(&mut self, pairs: Vec<(&mut f64, f64)>) {
+        assert_eq!(
+            pairs.len(),
+            self.first_moment.len(),
+            "optimizer was created for a different parameter count"
+        );
+        self.step_count += 1;
+        let mut grads: Vec<f64> = pairs.iter().map(|(_, g)| *g).collect();
+        if let Some(clip) = self.max_grad_norm {
+            let norm = grads.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if norm > clip && norm > 0.0 {
+                let scale = clip / norm;
+                for g in &mut grads {
+                    *g *= scale;
+                }
+            }
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.step_count as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step_count as i32);
+        for (i, (param, _)) in pairs.into_iter().enumerate() {
+            let g = grads[i];
+            self.first_moment[i] = self.beta1 * self.first_moment[i] + (1.0 - self.beta1) * g;
+            self.second_moment[i] = self.beta2 * self.second_moment[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.first_moment[i] / bc1;
+            let v_hat = self.second_moment[i] / bc2;
+            *param -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    /// Resets the moment estimates and step counter.
+    pub fn reset(&mut self) {
+        self.step_count = 0;
+        for m in &mut self.first_moment {
+            *m = 0.0;
+        }
+        for v in &mut self.second_moment {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    learning_rate: f64,
+    momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer for `num_params` parameters.
+    pub fn new(num_params: usize, learning_rate: f64, momentum: f64) -> Self {
+        Self { learning_rate, momentum, velocity: vec![0.0; num_params] }
+    }
+
+    /// Applies one SGD update.
+    ///
+    /// # Panics
+    /// Panics if the number of pairs does not match the optimizer size.
+    pub fn step(&mut self, pairs: Vec<(&mut f64, f64)>) {
+        assert_eq!(pairs.len(), self.velocity.len(), "parameter count mismatch");
+        for (i, (param, grad)) in pairs.into_iter().enumerate() {
+            self.velocity[i] = self.momentum * self.velocity[i] - self.learning_rate * grad;
+            *param += self.velocity[i];
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 starting at 0 and checks convergence.
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        let mut x = 0.0f64;
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let grad = 2.0 * (x - 3.0);
+            opt.step(vec![(&mut x, grad)]);
+        }
+        assert!((x - 3.0).abs() < 1e-3, "adam did not converge: {x}");
+    }
+
+    #[test]
+    fn sgd_minimizes_a_quadratic() {
+        let mut x = 10.0f64;
+        let mut opt = Sgd::new(1, 0.05, 0.9);
+        for _ in 0..500 {
+            let grad = 2.0 * (x - 3.0);
+            opt.step(vec![(&mut x, grad)]);
+        }
+        assert!((x - 3.0).abs() < 1e-2, "sgd did not converge: {x}");
+    }
+
+    #[test]
+    fn adam_handles_multidimensional_problems() {
+        let mut params = vec![5.0f64, -4.0, 2.0];
+        let targets = [1.0, 2.0, 3.0];
+        let mut opt = Adam::new(3, 0.05);
+        for _ in 0..2000 {
+            let grads: Vec<f64> = params
+                .iter()
+                .zip(targets.iter())
+                .map(|(p, t)| 2.0 * (p - t))
+                .collect();
+            let pairs: Vec<(&mut f64, f64)> =
+                params.iter_mut().zip(grads.into_iter()).collect();
+            opt.step(pairs);
+        }
+        for (p, t) in params.iter().zip(targets.iter()) {
+            assert!((p - t).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn gradient_clipping_limits_update_magnitude() {
+        let mut x = 0.0f64;
+        let mut opt = Adam::new(1, 1.0).with_max_grad_norm(Some(1e-3));
+        opt.step(vec![(&mut x, 1e9)]);
+        // With clipping, Adam's first step is bounded by the learning rate.
+        assert!(x.abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut x = 0.0f64;
+        let mut opt = Adam::new(1, 0.1);
+        opt.step(vec![(&mut x, 1.0)]);
+        assert_eq!(opt.steps_taken(), 1);
+        opt.reset();
+        assert_eq!(opt.steps_taken(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameter count")]
+    fn wrong_parameter_count_panics() {
+        let mut x = 0.0f64;
+        let mut opt = Adam::new(2, 0.1);
+        opt.step(vec![(&mut x, 1.0)]);
+    }
+}

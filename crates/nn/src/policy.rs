@@ -1,0 +1,429 @@
+//! Gaussian policy head used by the PPO actor (policy `π_θ`).
+//!
+//! The OnSlicing actor outputs a resource-orchestration action whose every
+//! dimension is a normalized share in `[0, 1]` (the paper uses Sigmoid output
+//! activations, §6). During online learning PPO needs a *stochastic* policy
+//! with a tractable log-density, so the policy is modeled as a diagonal
+//! Gaussian over the pre-clip action:
+//!
+//! * the **mean** is produced by an [`Mlp`] trunk with Sigmoid output, and
+//! * the **standard deviation** is a state-independent, learnable parameter
+//!   per action dimension (stored as an unconstrained value mapped through
+//!   softplus), the common PPO parameterization.
+//!
+//! Samples are clipped to `[0, 1]` when handed to the environment, but the
+//! log-probability is always evaluated on the *unclipped* sample so that the
+//! PPO ratio remains well defined.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::mlp::Mlp;
+use crate::softplus;
+use crate::softplus_derivative;
+
+/// Draws a standard-normal sample using the Box–Muller transform.
+///
+/// Kept local to avoid pulling in `rand_distr`; the policy and the Bayesian
+/// layers only ever need scalar `N(0, 1)` draws.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so that ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A sample drawn from a [`GaussianPolicy`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySample {
+    /// The raw (unclipped) Gaussian sample; this is what the log-probability
+    /// refers to.
+    pub raw_action: Vec<f64>,
+    /// The sample clipped to `[0, 1]`, ready to hand to the environment.
+    pub action: Vec<f64>,
+    /// The policy mean at the sampled state.
+    pub mean: Vec<f64>,
+    /// The (per-dimension) standard deviation used for the sample.
+    pub std: Vec<f64>,
+    /// Log-density of `raw_action` under the policy.
+    pub log_prob: f64,
+}
+
+/// Diagonal-Gaussian stochastic policy with an MLP mean and learnable,
+/// state-independent standard deviations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianPolicy {
+    mean_net: Mlp,
+    /// Unconstrained per-dimension parameters; `std = softplus(rho) + min_std`.
+    log_std_rho: Vec<f64>,
+    grad_log_std_rho: Vec<f64>,
+    min_std: f64,
+}
+
+impl GaussianPolicy {
+    /// Creates a policy with the paper's default trunk (`128x64x32`, ReLU,
+    /// Sigmoid output) and an initial standard deviation of roughly
+    /// `initial_std` in every action dimension.
+    pub fn new<R: Rng + ?Sized>(
+        state_dim: usize,
+        action_dim: usize,
+        initial_std: f64,
+        rng: &mut R,
+    ) -> Self {
+        let mean_net = Mlp::onslicing_default(state_dim, action_dim, Activation::Sigmoid, rng);
+        Self::from_mean_net(mean_net, action_dim, initial_std)
+    }
+
+    /// Creates a policy around an arbitrary mean network (useful for small
+    /// test networks).
+    ///
+    /// # Panics
+    /// Panics if the network's output dimension does not equal `action_dim`
+    /// or if `initial_std` is not strictly positive.
+    pub fn from_mean_net(mean_net: Mlp, action_dim: usize, initial_std: f64) -> Self {
+        assert_eq!(
+            mean_net.output_dim(),
+            action_dim,
+            "mean network output must match the action dimension"
+        );
+        assert!(initial_std > 0.0, "initial_std must be positive");
+        let min_std = 1e-3;
+        // Invert softplus so that softplus(rho) + min_std == initial_std.
+        let target = (initial_std - min_std).max(1e-6);
+        let rho = if target > 30.0 { target } else { (target.exp() - 1.0).ln() };
+        Self {
+            grad_log_std_rho: vec![0.0; action_dim],
+            log_std_rho: vec![rho; action_dim],
+            mean_net,
+            min_std,
+        }
+    }
+
+    /// State dimensionality expected by the policy.
+    pub fn state_dim(&self) -> usize {
+        self.mean_net.input_dim()
+    }
+
+    /// Action dimensionality produced by the policy.
+    pub fn action_dim(&self) -> usize {
+        self.mean_net.output_dim()
+    }
+
+    /// The current per-dimension standard deviations.
+    pub fn std(&self) -> Vec<f64> {
+        self.log_std_rho.iter().map(|&r| softplus(r) + self.min_std).collect()
+    }
+
+    /// Deterministic action: the policy mean, already in `[0, 1]`.
+    pub fn mean_action(&self, state: &[f64]) -> Vec<f64> {
+        self.mean_net.forward(state)
+    }
+
+    /// Draws a stochastic action for the given state.
+    pub fn sample<R: Rng + ?Sized>(&self, state: &[f64], rng: &mut R) -> PolicySample {
+        let mean = self.mean_net.forward(state);
+        let std = self.std();
+        let mut raw = Vec::with_capacity(mean.len());
+        for (m, s) in mean.iter().zip(std.iter()) {
+            let z = standard_normal(rng);
+            raw.push(m + s * z);
+        }
+        let log_prob = self.log_prob_given(&mean, &std, &raw);
+        let action = raw.iter().map(|&a| a.clamp(0.0, 1.0)).collect();
+        PolicySample { raw_action: raw, action, mean, std, log_prob }
+    }
+
+    /// Log-density of `raw_action` under the policy evaluated at `state`.
+    pub fn log_prob(&self, state: &[f64], raw_action: &[f64]) -> f64 {
+        let mean = self.mean_net.forward(state);
+        let std = self.std();
+        self.log_prob_given(&mean, &std, raw_action)
+    }
+
+    fn log_prob_given(&self, mean: &[f64], std: &[f64], raw_action: &[f64]) -> f64 {
+        assert_eq!(mean.len(), raw_action.len(), "action length mismatch");
+        let mut lp = 0.0;
+        for ((m, s), a) in mean.iter().zip(std.iter()).zip(raw_action.iter()) {
+            let s = s.max(1e-9);
+            let z = (a - m) / s;
+            lp += -0.5 * z * z - s.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        }
+        lp
+    }
+
+    /// Entropy of the diagonal Gaussian (state independent because the
+    /// standard deviation is state independent).
+    pub fn entropy(&self) -> f64 {
+        self.std()
+            .iter()
+            .map(|s| 0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * s * s).ln())
+            .sum()
+    }
+
+    /// Accumulates the gradient of the loss `-weight · log π(raw_action | state)`
+    /// with respect to all policy parameters, so that stepping the optimizer
+    /// (which minimizes) performs policy-gradient *ascent* on
+    /// `weight · log π`.
+    ///
+    /// This is the policy-gradient building block used by PPO: the caller
+    /// computes the (clipped) surrogate weight per transition and this method
+    /// backpropagates it. Gradients accumulate until [`GaussianPolicy::zero_grad`].
+    ///
+    /// Internally the std-deviation gradients are stored in the ascent
+    /// convention and negated in [`GaussianPolicy::param_grad_pairs`]; the
+    /// mean-network gradients are negated here at the MLP boundary.
+    pub fn accumulate_log_prob_grad(&mut self, state: &[f64], raw_action: &[f64], weight: f64) {
+        let mean = self.mean_net.forward_train(state);
+        let std = self.std();
+        // d logp / d mean_i = (a_i - m_i) / s_i^2
+        // d logp / d s_i    = ((a_i - m_i)^2 - s_i^2) / s_i^3
+        let mut grad_out = Vec::with_capacity(mean.len());
+        for (i, ((m, s), a)) in mean.iter().zip(std.iter()).zip(raw_action.iter()).enumerate() {
+            let s = s.max(1e-9);
+            let diff = a - m;
+            // Descent gradient on -weight*logp wrt the mean output.
+            grad_out.push(-weight * diff / (s * s));
+            let d_logp_d_std = (diff * diff - s * s) / (s * s * s);
+            let d_std_d_rho = softplus_derivative(self.log_std_rho[i]);
+            // Ascent convention, negated later in `param_grad_pairs`.
+            self.grad_log_std_rho[i] += weight * d_logp_d_std * d_std_d_rho;
+        }
+        self.mean_net.backward(&grad_out);
+    }
+
+    /// Adds `coeff * d(-entropy)/d rho` to the std-deviation gradients,
+    /// encouraging exploration when `coeff > 0` (entropy bonus).
+    pub fn accumulate_entropy_grad(&mut self, coeff: f64) {
+        for (i, &rho) in self.log_std_rho.iter().enumerate() {
+            let s = softplus(rho) + self.min_std;
+            // d entropy / d s = 1 / s ; ascent on entropy == descent on -entropy.
+            let d_ent_d_rho = (1.0 / s) * softplus_derivative(rho);
+            // Stored in ascent convention (see `param_grad_pairs`).
+            self.grad_log_std_rho[i] += coeff * d_ent_d_rho;
+        }
+    }
+
+    /// Resets accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.mean_net.zero_grad();
+        for g in &mut self.grad_log_std_rho {
+            *g = 0.0;
+        }
+    }
+
+    /// Scales accumulated gradients (e.g. by `1 / batch_size`).
+    pub fn scale_grad(&mut self, s: f64) {
+        self.mean_net.scale_grad(s);
+        for g in &mut self.grad_log_std_rho {
+            *g *= s;
+        }
+    }
+
+    /// Total number of trainable parameters (mean network + std parameters).
+    pub fn num_parameters(&self) -> usize {
+        self.mean_net.num_parameters() + self.log_std_rho.len()
+    }
+
+    /// `(parameter, gradient)` pairs in the *descent* convention expected by
+    /// the optimizers: stepping along the negative gradient decreases
+    /// `-(weight · log π)` (i.e. performs policy-gradient ascent).
+    pub fn param_grad_pairs(&mut self) -> Vec<(&mut f64, f64)> {
+        let mut pairs = self.mean_net.param_grad_pairs();
+        let std_grads: Vec<f64> = self.grad_log_std_rho.iter().map(|g| -g).collect();
+        pairs.extend(self.log_std_rho.iter_mut().zip(std_grads));
+        pairs
+    }
+
+    /// Flat snapshot of all parameters (mean network, then std parameters).
+    pub fn parameters(&self) -> Vec<f64> {
+        let mut p = self.mean_net.parameters();
+        p.extend_from_slice(&self.log_std_rho);
+        p
+    }
+
+    /// Overwrites all parameters from a flat vector produced by
+    /// [`GaussianPolicy::parameters`].
+    ///
+    /// # Panics
+    /// Panics if the length does not match [`GaussianPolicy::num_parameters`].
+    pub fn set_parameters(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_parameters(), "parameter length mismatch");
+        let n = self.mean_net.num_parameters();
+        self.mean_net.set_parameters(&params[..n]);
+        self.log_std_rho.copy_from_slice(&params[n..]);
+    }
+
+    /// Copies parameters from another policy with identical architecture.
+    pub fn copy_parameters_from(&mut self, other: &GaussianPolicy) {
+        self.set_parameters(&other.parameters());
+    }
+
+    /// Mutable access to the underlying mean network (used by behavior
+    /// cloning, which regresses the mean directly).
+    pub fn mean_net_mut(&mut self) -> &mut Mlp {
+        &mut self.mean_net
+    }
+
+    /// Immutable access to the underlying mean network.
+    pub fn mean_net(&self) -> &Mlp {
+        &self.mean_net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_policy(seed: u64) -> GaussianPolicy {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = Mlp::new(&[4, 12, 3], Activation::Tanh, Activation::Sigmoid, &mut rng);
+        GaussianPolicy::from_mean_net(net, 3, 0.2)
+    }
+
+    #[test]
+    fn initial_std_is_respected() {
+        let p = small_policy(0);
+        for s in p.std() {
+            assert!((s - 0.2).abs() < 1e-6, "std {s} should be ~0.2");
+        }
+    }
+
+    #[test]
+    fn mean_action_is_in_unit_interval() {
+        let p = small_policy(1);
+        let a = p.mean_action(&[0.5, -2.0, 3.0, 0.0]);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn sampled_actions_are_clipped_but_raw_actions_are_not_necessarily() {
+        let p = small_policy(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..200 {
+            let s = p.sample(&[0.1, 0.2, 0.3, 0.4], &mut rng);
+            assert!(s.action.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert_eq!(s.raw_action.len(), 3);
+            assert!(s.log_prob.is_finite());
+        }
+    }
+
+    #[test]
+    fn log_prob_is_highest_at_the_mean() {
+        let p = small_policy(3);
+        let state = [0.3, 0.3, 0.3, 0.3];
+        let mean = p.mean_action(&state);
+        let at_mean = p.log_prob(&state, &mean);
+        let off: Vec<f64> = mean.iter().map(|m| m + 0.3).collect();
+        assert!(at_mean > p.log_prob(&state, &off));
+    }
+
+    #[test]
+    fn log_prob_matches_analytic_gaussian_density() {
+        let p = small_policy(4);
+        let state = [0.0, 1.0, -1.0, 0.5];
+        let mean = p.mean_action(&state);
+        let std = p.std();
+        let action: Vec<f64> = mean.iter().map(|m| m + 0.1).collect();
+        let expected: f64 = mean
+            .iter()
+            .zip(std.iter())
+            .zip(action.iter())
+            .map(|((m, s), a)| {
+                let z = (a - m) / s;
+                -0.5 * z * z - s.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+            })
+            .sum();
+        assert!((p.log_prob(&state, &action) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_increases_with_std() {
+        let low = GaussianPolicy::from_mean_net(
+            Mlp::new(&[2, 4, 2], Activation::Relu, Activation::Sigmoid, &mut ChaCha8Rng::seed_from_u64(5)),
+            2,
+            0.05,
+        );
+        let high = GaussianPolicy::from_mean_net(
+            Mlp::new(&[2, 4, 2], Activation::Relu, Activation::Sigmoid, &mut ChaCha8Rng::seed_from_u64(6)),
+            2,
+            0.5,
+        );
+        assert!(high.entropy() > low.entropy());
+    }
+
+    #[test]
+    fn policy_gradient_ascent_moves_mean_toward_rewarded_action() {
+        // A single-state bandit: reward is higher when the action is close to
+        // 0.8. Ascending weight * logp with weight = advantage should move the
+        // policy mean toward 0.8.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let net = Mlp::new(&[1, 16, 1], Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let mut policy = GaussianPolicy::from_mean_net(net, 1, 0.15);
+        let mut opt = crate::optimizer::Adam::new(policy.num_parameters(), 5e-3);
+        let state = [1.0];
+        for _ in 0..600 {
+            policy.zero_grad();
+            let mut batch = Vec::new();
+            for _ in 0..16 {
+                let s = policy.sample(&state, &mut rng);
+                let reward = -(s.action[0] - 0.8) * (s.action[0] - 0.8);
+                batch.push((s, reward));
+            }
+            let mean_r = batch.iter().map(|(_, r)| *r).sum::<f64>() / batch.len() as f64;
+            for (s, r) in &batch {
+                let advantage = r - mean_r;
+                policy.accumulate_log_prob_grad(&state, &s.raw_action, advantage / 16.0);
+            }
+            opt.step(policy.param_grad_pairs());
+        }
+        let m = policy.mean_action(&state)[0];
+        assert!((m - 0.8).abs() < 0.1, "policy mean {m} did not move toward 0.8");
+    }
+
+    #[test]
+    fn parameter_roundtrip_preserves_behaviour() {
+        let mut p = small_policy(8);
+        let params = p.parameters();
+        assert_eq!(params.len(), p.num_parameters());
+        let state = [0.2, 0.4, 0.6, 0.8];
+        let before = p.mean_action(&state);
+        p.set_parameters(&params);
+        assert_eq!(p.mean_action(&state), before);
+    }
+
+    #[test]
+    fn copy_parameters_from_clones_behaviour() {
+        let a = small_policy(9);
+        let mut b = small_policy(10);
+        b.copy_parameters_from(&a);
+        let state = [0.9, -0.3, 0.0, 0.1];
+        assert_eq!(a.mean_action(&state), b.mean_action(&state));
+        assert_eq!(a.std(), b.std());
+    }
+
+    #[test]
+    fn entropy_bonus_increases_std() {
+        let mut p = small_policy(11);
+        let before: f64 = p.std().iter().sum();
+        let mut opt = crate::optimizer::Adam::new(p.num_parameters(), 1e-2);
+        for _ in 0..50 {
+            p.zero_grad();
+            p.accumulate_entropy_grad(0.1);
+            opt.step(p.param_grad_pairs());
+        }
+        let after: f64 = p.std().iter().sum();
+        assert!(after > before, "entropy bonus should inflate std: {before} -> {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mean network output must match")]
+    fn mismatched_action_dim_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let net = Mlp::new(&[2, 4, 2], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let _ = GaussianPolicy::from_mean_net(net, 3, 0.1);
+    }
+}

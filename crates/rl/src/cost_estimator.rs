@@ -1,0 +1,225 @@
+//! The variational cost-value estimator (policy `π_φ`, paper §3 Eq. 6–8).
+//!
+//! The proactive baseline switching rule needs, at every slot, the
+//! distribution of the *remaining episode cost* that would be incurred if the
+//! baseline policy took over now. The paper trains a Bayesian neural network
+//! on `(state, cost-to-go)` pairs collected while the baseline interacts with
+//! the network, maximizing the ELBO (Eq. 7); at decision time the estimator
+//! reports a mean `μ` and standard deviation `σ`, and the agent switches when
+//! `Σ cost + μ + η·σ ≥ T · C_max` (Eq. 8).
+//!
+//! [`CostValueEstimator`] wraps the Bayes-by-backprop network from
+//! `onslicing_nn`; [`CostValueEstimator::cost_to_go_dataset`] builds the
+//! training targets from raw per-slot baseline costs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use onslicing_nn::{Adam, BayesianMlp, BayesianPrediction};
+
+/// A `(state, remaining-episode cost)` training pair for the estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostToGoSample {
+    /// Flattened observation at the decision slot.
+    pub state: Vec<f64>,
+    /// Cost accumulated by the baseline from this slot to the end of the
+    /// episode.
+    pub cost_to_go: f64,
+}
+
+/// Hyper-parameters of the estimator's training stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimatorConfig {
+    /// Number of passes over the dataset per `fit` call.
+    pub epochs: usize,
+    /// Learning rate of the Adam optimizer.
+    pub learning_rate: f64,
+    /// Weight of the KL regularizer relative to the likelihood (the
+    /// `1/|D|` minibatch scaling of Bayes-by-backprop).
+    pub kl_weight: f64,
+    /// Number of posterior samples drawn per prediction.
+    pub prediction_samples: usize,
+}
+
+impl Default for CostEstimatorConfig {
+    fn default() -> Self {
+        Self { epochs: 20, learning_rate: 2e-3, kl_weight: 1e-4, prediction_samples: 16 }
+    }
+}
+
+/// The Bayesian cost-value estimator π_φ.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostValueEstimator {
+    network: BayesianMlp,
+    optimizer: Adam,
+    config: CostEstimatorConfig,
+}
+
+impl CostValueEstimator {
+    /// Creates an estimator for the given state dimensionality using a small
+    /// trunk (the estimator regresses a single scalar, so the paper-size
+    /// trunk is unnecessary and slow in tests).
+    pub fn new<R: Rng + ?Sized>(state_dim: usize, config: CostEstimatorConfig, rng: &mut R) -> Self {
+        let network = BayesianMlp::new(&[state_dim, 64, 32, 1], rng);
+        let optimizer = Adam::new(network.num_parameters(), config.learning_rate);
+        Self { network, optimizer, config }
+    }
+
+    /// The estimator's configuration.
+    pub fn config(&self) -> &CostEstimatorConfig {
+        &self.config
+    }
+
+    /// Builds cost-to-go training pairs from one baseline episode: for each
+    /// slot `t`, the target is `Σ_{m ≥ t} cost_m`.
+    ///
+    /// # Panics
+    /// Panics if the numbers of states and costs differ.
+    pub fn cost_to_go_dataset(states: &[Vec<f64>], costs: &[f64]) -> Vec<CostToGoSample> {
+        assert_eq!(states.len(), costs.len(), "states/costs length mismatch");
+        let mut acc = 0.0;
+        let mut togo = vec![0.0; costs.len()];
+        for i in (0..costs.len()).rev() {
+            acc += costs[i];
+            togo[i] = acc;
+        }
+        states
+            .iter()
+            .zip(togo)
+            .map(|(s, c)| CostToGoSample { state: s.clone(), cost_to_go: c })
+            .collect()
+    }
+
+    /// Trains the estimator on the dataset by maximizing the ELBO (Gaussian
+    /// likelihood + KL to the prior). Returns the mean squared error after
+    /// each epoch.
+    pub fn fit<R: Rng + ?Sized>(&mut self, dataset: &[CostToGoSample], rng: &mut R) -> Vec<f64> {
+        if dataset.is_empty() {
+            return Vec::new();
+        }
+        let n = dataset.len() as f64;
+        let mut epoch_errors = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            self.network.zero_grad();
+            let mut err_sum = 0.0;
+            for sample in dataset {
+                let y = self.network.forward_sample(&sample.state, rng)[0];
+                let err = y - sample.cost_to_go;
+                err_sum += err * err;
+                // Gradient of 0.5 * err^2 averaged over the dataset (the
+                // Gaussian likelihood term of the ELBO with unit observation
+                // noise).
+                self.network.backward(&[err / n]);
+            }
+            self.network.accumulate_kl_grad(self.config.kl_weight / n);
+            self.optimizer.step(self.network.param_grad_pairs());
+            epoch_errors.push(err_sum / n);
+        }
+        epoch_errors
+    }
+
+    /// Predictive mean and standard deviation of the baseline's remaining
+    /// episode cost at the given state.
+    pub fn predict<R: Rng + ?Sized>(&mut self, state: &[f64], rng: &mut R) -> BayesianPrediction {
+        let mut p = self.network.predict(state, self.config.prediction_samples, rng);
+        // Remaining cost is non-negative by construction.
+        p.mean = p.mean.max(0.0);
+        p
+    }
+
+    /// Deterministic point prediction (posterior means only) — the
+    /// "non-estimator" ablations use the cumulative cost alone, but this is
+    /// still handy for diagnostics.
+    pub fn predict_mean(&self, state: &[f64]) -> f64 {
+        self.network.forward_mean(state)[0].max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn cost_to_go_is_a_reverse_cumulative_sum() {
+        let states = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let costs = vec![0.1, 0.2, 0.3];
+        let ds = CostValueEstimator::cost_to_go_dataset(&states, &costs);
+        assert_eq!(ds.len(), 3);
+        assert!((ds[0].cost_to_go - 0.6).abs() < 1e-12);
+        assert!((ds[1].cost_to_go - 0.5).abs() < 1e-12);
+        assert!((ds[2].cost_to_go - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_learns_a_state_dependent_cost_to_go() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // Cost-to-go = 2 * s0 (e.g. early in the episode more cost remains).
+        let dataset: Vec<CostToGoSample> = (0..128)
+            .map(|i| {
+                let s = i as f64 / 128.0;
+                CostToGoSample { state: vec![s, 1.0 - s], cost_to_go: 2.0 * s }
+            })
+            .collect();
+        let mut est = CostValueEstimator::new(
+            2,
+            CostEstimatorConfig { epochs: 300, learning_rate: 5e-3, ..Default::default() },
+            &mut rng,
+        );
+        let errors = est.fit(&dataset, &mut rng);
+        assert!(errors.last().unwrap() < &0.05, "final mse {}", errors.last().unwrap());
+        let p_low = est.predict(&[0.1, 0.9], &mut rng);
+        let p_high = est.predict(&[0.9, 0.1], &mut rng);
+        assert!(p_high.mean > p_low.mean, "{} should exceed {}", p_high.mean, p_low.mean);
+        assert!((p_high.mean - 1.8).abs() < 0.5);
+        assert!(p_low.std >= 0.0 && p_high.std >= 0.0);
+    }
+
+    #[test]
+    fn predictions_are_non_negative() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut est = CostValueEstimator::new(2, CostEstimatorConfig::default(), &mut rng);
+        // Untrained network may output negatives; the wrapper clamps the mean.
+        let p = est.predict(&[0.5, 0.5], &mut rng);
+        assert!(p.mean >= 0.0);
+        assert!(est.predict_mean(&[0.5, 0.5]) >= 0.0);
+    }
+
+    #[test]
+    fn fitting_an_empty_dataset_returns_no_errors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut est = CostValueEstimator::new(2, CostEstimatorConfig::default(), &mut rng);
+        assert!(est.fit(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn uncertainty_is_larger_away_from_the_training_data() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Train only on states near 0.2.
+        let dataset: Vec<CostToGoSample> = (0..64)
+            .map(|i| {
+                let s = 0.15 + 0.1 * (i as f64 / 64.0);
+                CostToGoSample { state: vec![s], cost_to_go: 1.0 }
+            })
+            .collect();
+        let mut est = CostValueEstimator::new(
+            1,
+            CostEstimatorConfig { epochs: 200, learning_rate: 5e-3, ..Default::default() },
+            &mut rng,
+        );
+        est.fit(&dataset, &mut rng);
+        let in_dist: f64 = (0..10).map(|_| est.predict(&[0.2], &mut rng).std).sum::<f64>() / 10.0;
+        let out_dist: f64 = (0..10).map(|_| est.predict(&[3.0], &mut rng).std).sum::<f64>() / 10.0;
+        assert!(
+            out_dist > in_dist,
+            "uncertainty far from data ({out_dist}) should exceed in-distribution ({in_dist})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_dataset_construction_panics() {
+        let _ = CostValueEstimator::cost_to_go_dataset(&[vec![0.0]], &[0.1, 0.2]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Proximal policy optimization with a clipped surrogate objective.
+//!
+//! The paper trains policy `π_θ` with PPO rather than DDPG because the
+//! clipped surrogate prevents excessively large policy updates and produces
+//! the smooth performance improvement the online setting needs (§3, "Smooth
+//! Policy Improvement"). This is a from-scratch PPO-clip implementation on
+//! top of the [`onslicing_nn`] primitives:
+//!
+//! * actor — a [`GaussianPolicy`] (Sigmoid mean head, learnable state-
+//!   independent std);
+//! * critic — an [`Mlp`] regressing the (shaped) return;
+//! * generalized advantage estimation from the rollout buffer;
+//! * multiple epochs of minibatch updates with ratio clipping and an entropy
+//!   bonus.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use onslicing_nn::{Activation, Adam, GaussianPolicy, Mlp, PolicySample};
+
+use crate::buffer::RolloutBuffer;
+
+/// Hyper-parameters of the PPO learner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// GAE λ.
+    pub gae_lambda: f64,
+    /// Clip range of the probability ratio.
+    pub clip_epsilon: f64,
+    /// Number of optimization epochs per update.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub minibatch_size: usize,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Entropy bonus coefficient.
+    pub entropy_coef: f64,
+    /// Initial standard deviation of the Gaussian policy.
+    pub initial_std: f64,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            gae_lambda: 0.95,
+            clip_epsilon: 0.2,
+            epochs: 8,
+            minibatch_size: 64,
+            actor_lr: 3e-4,
+            critic_lr: 1e-3,
+            entropy_coef: 1e-3,
+            initial_std: 0.15,
+        }
+    }
+}
+
+/// Statistics of one PPO update (for logging and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PpoUpdateStats {
+    /// Number of transitions consumed.
+    pub num_transitions: usize,
+    /// Mean clipped-surrogate objective over the last epoch (higher is
+    /// better).
+    pub surrogate: f64,
+    /// Mean critic loss over the last epoch.
+    pub value_loss: f64,
+    /// Fraction of samples whose ratio was clipped in the last epoch.
+    pub clip_fraction: f64,
+    /// Mean probability ratio in the last epoch.
+    pub mean_ratio: f64,
+}
+
+/// A PPO actor-critic agent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoAgent {
+    config: PpoConfig,
+    policy: GaussianPolicy,
+    critic: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+}
+
+impl PpoAgent {
+    /// Creates an agent with the paper's network sizes for the given state
+    /// and action dimensionality.
+    pub fn new<R: Rng + ?Sized>(
+        state_dim: usize,
+        action_dim: usize,
+        config: PpoConfig,
+        rng: &mut R,
+    ) -> Self {
+        let policy = GaussianPolicy::new(state_dim, action_dim, config.initial_std, rng);
+        let critic = Mlp::onslicing_default(state_dim, 1, Activation::Identity, rng);
+        Self::from_parts(policy, critic, config)
+    }
+
+    /// Creates an agent with small networks (fast tests).
+    pub fn new_small<R: Rng + ?Sized>(
+        state_dim: usize,
+        action_dim: usize,
+        config: PpoConfig,
+        rng: &mut R,
+    ) -> Self {
+        let mean = Mlp::new(&[state_dim, 32, 16, action_dim], Activation::Tanh, Activation::Sigmoid, rng);
+        let policy = GaussianPolicy::from_mean_net(mean, action_dim, config.initial_std);
+        let critic = Mlp::new(&[state_dim, 32, 16, 1], Activation::Tanh, Activation::Identity, rng);
+        Self::from_parts(policy, critic, config)
+    }
+
+    /// Assembles an agent from an existing policy and critic (used after
+    /// offline behavior cloning).
+    pub fn from_parts(policy: GaussianPolicy, critic: Mlp, config: PpoConfig) -> Self {
+        let actor_opt = Adam::new(policy.num_parameters(), config.actor_lr);
+        let critic_opt = Adam::new(critic.num_parameters(), config.critic_lr);
+        Self { config, policy, critic, actor_opt, critic_opt }
+    }
+
+    /// The learner's configuration.
+    pub fn config(&self) -> &PpoConfig {
+        &self.config
+    }
+
+    /// Immutable access to the policy.
+    pub fn policy(&self) -> &GaussianPolicy {
+        &self.policy
+    }
+
+    /// Mutable access to the policy (used by behavior cloning).
+    pub fn policy_mut(&mut self) -> &mut GaussianPolicy {
+        &mut self.policy
+    }
+
+    /// Immutable access to the critic.
+    pub fn critic(&self) -> &Mlp {
+        &self.critic
+    }
+
+    /// Samples a stochastic action.
+    pub fn act<R: Rng + ?Sized>(&self, state: &[f64], rng: &mut R) -> PolicySample {
+        self.policy.sample(state, rng)
+    }
+
+    /// The deterministic (mean) action.
+    pub fn act_deterministic(&self, state: &[f64]) -> Vec<f64> {
+        self.policy.mean_action(state)
+    }
+
+    /// Critic estimate of the (shaped) return from `state` — also used as the
+    /// reward value function `R` that bootstraps truncated episodes.
+    pub fn value(&self, state: &[f64]) -> f64 {
+        self.critic.forward(state)[0]
+    }
+
+    /// Runs a full PPO update on the buffer's ready transitions.
+    ///
+    /// The buffer is left untouched (the caller clears it), so ablations can
+    /// inspect it afterwards.
+    pub fn update<R: Rng + ?Sized>(&mut self, buffer: &RolloutBuffer, rng: &mut R) -> PpoUpdateStats {
+        let (transitions, _advantages, returns) = buffer.ready_batch();
+        let advantages = buffer.normalized_advantages();
+        let n = transitions.len();
+        if n == 0 {
+            return PpoUpdateStats {
+                num_transitions: 0,
+                surrogate: 0.0,
+                value_loss: 0.0,
+                clip_fraction: 0.0,
+                mean_ratio: 1.0,
+            };
+        }
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut last_surrogate = 0.0;
+        let mut last_value_loss = 0.0;
+        let mut last_clip_fraction = 0.0;
+        let mut last_mean_ratio = 1.0;
+
+        for _epoch in 0..self.config.epochs {
+            indices.shuffle(rng);
+            let mut surrogate_sum = 0.0;
+            let mut value_loss_sum = 0.0;
+            let mut clipped = 0usize;
+            let mut ratio_sum = 0.0;
+
+            for chunk in indices.chunks(self.config.minibatch_size.max(1)) {
+                self.policy.zero_grad();
+                self.critic.zero_grad();
+                let batch = chunk.len() as f64;
+                for &i in chunk {
+                    let t = &transitions[i];
+                    let adv = advantages[i];
+                    let ret = returns[i];
+
+                    // ---- actor ----
+                    let new_log_prob = self.policy.log_prob(&t.state, &t.raw_action);
+                    let ratio = (new_log_prob - t.log_prob).exp();
+                    let clip_lo = 1.0 - self.config.clip_epsilon;
+                    let clip_hi = 1.0 + self.config.clip_epsilon;
+                    let unclipped = ratio * adv;
+                    let clipped_obj = ratio.clamp(clip_lo, clip_hi) * adv;
+                    let surrogate = unclipped.min(clipped_obj);
+                    surrogate_sum += surrogate;
+                    ratio_sum += ratio;
+                    // Gradient flows only when the unclipped branch is active.
+                    let active = unclipped <= clipped_obj + 1e-12;
+                    if active {
+                        self.policy
+                            .accumulate_log_prob_grad(&t.state, &t.raw_action, ratio * adv / batch);
+                    } else {
+                        clipped += 1;
+                    }
+
+                    // ---- critic ----
+                    let v = self.critic.forward_train(&t.state)[0];
+                    let err = v - ret;
+                    value_loss_sum += err * err;
+                    self.critic.backward(&[2.0 * err / batch]);
+                }
+                // Entropy bonus (per minibatch, not per sample).
+                self.policy.accumulate_entropy_grad(self.config.entropy_coef);
+                self.actor_opt.step(self.policy.param_grad_pairs());
+                self.critic_opt.step(self.critic.param_grad_pairs());
+            }
+            last_surrogate = surrogate_sum / n as f64;
+            last_value_loss = value_loss_sum / n as f64;
+            last_clip_fraction = clipped as f64 / n as f64;
+            last_mean_ratio = ratio_sum / n as f64;
+        }
+
+        PpoUpdateStats {
+            num_transitions: n,
+            surrogate: last_surrogate,
+            value_loss: last_value_loss,
+            clip_fraction: last_clip_fraction,
+            mean_ratio: last_mean_ratio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Transition;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A one-state continuous bandit: reward = 1 - (a0 - 0.7)^2 - (a1 - 0.2)^2.
+    fn bandit_reward(action: &[f64]) -> f64 {
+        1.0 - (action[0] - 0.7) * (action[0] - 0.7) - (action[1] - 0.2) * (action[1] - 0.2)
+    }
+
+    /// Collects `n` single-step bandit episodes (done after every step, so
+    /// the advantage of an action reflects only that action's reward).
+    fn collect_bandit_steps(
+        agent: &PpoAgent,
+        rng: &mut ChaCha8Rng,
+        buffer: &mut RolloutBuffer,
+        n: usize,
+    ) {
+        let state = vec![1.0, 0.0];
+        for _ in 0..n {
+            let sample = agent.act(&state, rng);
+            let reward = bandit_reward(&sample.action);
+            buffer.push(Transition {
+                state: state.clone(),
+                raw_action: sample.raw_action.clone(),
+                action: sample.action.clone(),
+                log_prob: sample.log_prob,
+                reward,
+                cost: 0.0,
+                value: agent.value(&state),
+                done: true,
+            });
+            buffer.finish_episode(0.0, agent.config().gamma, agent.config().gae_lambda);
+        }
+    }
+
+    #[test]
+    fn ppo_improves_a_continuous_bandit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let config = PpoConfig {
+            epochs: 4,
+            minibatch_size: 32,
+            actor_lr: 5e-3,
+            critic_lr: 5e-3,
+            ..PpoConfig::default()
+        };
+        let mut agent = PpoAgent::new_small(2, 2, config, &mut rng);
+        let state = vec![1.0, 0.0];
+        let before = bandit_reward(&agent.act_deterministic(&state));
+        for _ in 0..60 {
+            let mut buffer = RolloutBuffer::new();
+            collect_bandit_steps(&agent, &mut rng, &mut buffer, 64);
+            let stats = agent.update(&buffer, &mut rng);
+            assert_eq!(stats.num_transitions, 64);
+        }
+        let after = bandit_reward(&agent.act_deterministic(&state));
+        assert!(
+            after > before + 0.05 || after > 0.95,
+            "PPO failed to improve: before {before}, after {after}"
+        );
+        let a = agent.act_deterministic(&state);
+        assert!((a[0] - 0.7).abs() < 0.2, "a0 {} should approach 0.7", a[0]);
+        assert!((a[1] - 0.2).abs() < 0.2, "a1 {} should approach 0.2", a[1]);
+    }
+
+    #[test]
+    fn update_on_an_empty_buffer_is_a_noop() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut agent = PpoAgent::new_small(2, 2, PpoConfig::default(), &mut rng);
+        let buffer = RolloutBuffer::new();
+        let stats = agent.update(&buffer, &mut rng);
+        assert_eq!(stats.num_transitions, 0);
+    }
+
+    #[test]
+    fn critic_learns_the_return_of_a_constant_reward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let config = PpoConfig { epochs: 10, critic_lr: 5e-3, ..PpoConfig::default() };
+        let mut agent = PpoAgent::new_small(2, 1, config, &mut rng);
+        let state = vec![0.5, 0.5];
+        for _ in 0..30 {
+            let mut buffer = RolloutBuffer::new();
+            for _ in 0..32 {
+                let sample = agent.act(&state, &mut rng);
+                buffer.push(Transition {
+                    state: state.clone(),
+                    raw_action: sample.raw_action.clone(),
+                    action: sample.action.clone(),
+                    log_prob: sample.log_prob,
+                    reward: 1.0,
+                    cost: 0.0,
+                    value: agent.value(&state),
+                    done: true, // single-step episodes: return is exactly 1
+                });
+                buffer.finish_episode(0.0, agent.config().gamma, agent.config().gae_lambda);
+            }
+            agent.update(&buffer, &mut rng);
+        }
+        let v = agent.value(&state);
+        assert!((v - 1.0).abs() < 0.2, "critic value {v} should approach 1.0");
+    }
+
+    #[test]
+    fn clip_fraction_and_ratio_are_reported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut agent = PpoAgent::new_small(2, 2, PpoConfig { epochs: 6, ..PpoConfig::default() }, &mut rng);
+        let mut buffer = RolloutBuffer::new();
+        collect_bandit_steps(&agent, &mut rng, &mut buffer, 64);
+        let stats = agent.update(&buffer, &mut rng);
+        assert!((0.0..=1.0).contains(&stats.clip_fraction));
+        assert!(stats.mean_ratio > 0.0);
+        assert!(stats.value_loss >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_action_is_within_the_action_box() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let agent = PpoAgent::new_small(3, 4, PpoConfig::default(), &mut rng);
+        let a = agent.act_deterministic(&[0.1, 0.2, 0.3]);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

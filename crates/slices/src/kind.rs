@@ -1,0 +1,105 @@
+//! The three slice types evaluated in the paper (§7.1).
+
+use serde::{Deserialize, Serialize};
+
+/// The application class hosted by a slice.
+///
+/// The paper evaluates three slices, each hosting one mobile application with
+/// a distinct dominant resource demand and performance metric:
+///
+/// * **MAR** — mobile augmented reality: 540p frames are uploaded to an edge
+///   server for feature extraction and matching; delay-sensitive (500 ms
+///   average round-trip latency).
+/// * **HVS** — HD video streaming: a server streams 1080p video downlink;
+///   bandwidth-hungry (30 FPS average).
+/// * **RDC** — reliable distant control: IoT devices exchange 1-kbit control
+///   messages; reliability-sensitive (99.999 % radio delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SliceKind {
+    /// Mobile augmented reality (delay-sensitive).
+    Mar,
+    /// HD video streaming (bandwidth-hungry).
+    Hvs,
+    /// Reliable distant control (reliability-sensitive).
+    Rdc,
+}
+
+impl SliceKind {
+    /// All slice kinds in the order the paper lists them.
+    pub const ALL: [SliceKind; 3] = [SliceKind::Mar, SliceKind::Hvs, SliceKind::Rdc];
+
+    /// Short human-readable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SliceKind::Mar => "MAR",
+            SliceKind::Hvs => "HVS",
+            SliceKind::Rdc => "RDC",
+        }
+    }
+
+    /// The unit of the slice's raw performance metric.
+    pub fn performance_unit(self) -> &'static str {
+        match self {
+            SliceKind::Mar => "ms (round-trip latency)",
+            SliceKind::Hvs => "FPS",
+            SliceKind::Rdc => "delivery reliability",
+        }
+    }
+
+    /// Peak traffic rate used by the paper's testbed, in users per second
+    /// (5 for MAR, 2 for HVS, 100 for RDC; §7.1).
+    pub fn default_peak_users_per_second(self) -> f64 {
+        match self {
+            SliceKind::Mar => 5.0,
+            SliceKind::Hvs => 2.0,
+            SliceKind::Rdc => 100.0,
+        }
+    }
+
+    /// Whether a *larger* raw performance value is better (true for FPS and
+    /// reliability, false for latency).
+    pub fn higher_is_better(self) -> bool {
+        !matches!(self, SliceKind::Mar)
+    }
+}
+
+impl std::fmt::Display for SliceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_each_kind_once() {
+        assert_eq!(SliceKind::ALL.len(), 3);
+        assert!(SliceKind::ALL.contains(&SliceKind::Mar));
+        assert!(SliceKind::ALL.contains(&SliceKind::Hvs));
+        assert!(SliceKind::ALL.contains(&SliceKind::Rdc));
+    }
+
+    #[test]
+    fn names_are_the_paper_abbreviations() {
+        assert_eq!(SliceKind::Mar.name(), "MAR");
+        assert_eq!(SliceKind::Hvs.name(), "HVS");
+        assert_eq!(SliceKind::Rdc.name(), "RDC");
+        assert_eq!(format!("{}", SliceKind::Mar), "MAR");
+    }
+
+    #[test]
+    fn peak_rates_match_the_paper() {
+        assert_eq!(SliceKind::Mar.default_peak_users_per_second(), 5.0);
+        assert_eq!(SliceKind::Hvs.default_peak_users_per_second(), 2.0);
+        assert_eq!(SliceKind::Rdc.default_peak_users_per_second(), 100.0);
+    }
+
+    #[test]
+    fn only_latency_is_lower_is_better() {
+        assert!(!SliceKind::Mar.higher_is_better());
+        assert!(SliceKind::Hvs.higher_is_better());
+        assert!(SliceKind::Rdc.higher_is_better());
+    }
+}

@@ -1,0 +1,36 @@
+//! # onslicing-slices
+//!
+//! Slice definitions for the OnSlicing reproduction: the three paper slices
+//! (mobile AR, HD video streaming, reliable distant control), their service
+//! level agreements, the ten-dimensional resource-orchestration action space,
+//! the cost function of Eq. 10, per-slot KPIs and the DRL observation vector.
+//!
+//! This crate is the shared vocabulary of the workspace: the network
+//! simulator consumes [`Action`]s and produces [`SlotKpi`]s, the domain
+//! managers reason about [`ResourceKind`]s, and the agents observe
+//! [`SliceState`]s.
+//!
+//! ```
+//! use onslicing_slices::{Action, SliceKind, Sla};
+//!
+//! let sla = Sla::for_kind(SliceKind::Hvs);
+//! // A video-streaming slot that delivered 20 of the required 30 FPS has the
+//! // cost the paper uses as its running example (≈ 0.33).
+//! let cost = sla.cost_from_performance(20.0);
+//! assert!((cost - 1.0 / 3.0).abs() < 1e-9);
+//!
+//! let action = Action::uniform(0.25);
+//! assert!((action.resource_usage() - 1.5).abs() < 1e-12); // 6 counted dims × 0.25
+//! ```
+
+pub mod action;
+pub mod kind;
+pub mod kpi;
+pub mod sla;
+pub mod state;
+
+pub use action::{Action, ActionDim, ResourceKind, SchedulerKind, ACTION_DIM};
+pub use kind::SliceKind;
+pub use kpi::SlotKpi;
+pub use sla::Sla;
+pub use state::{SliceState, STATE_DIM};

@@ -1,0 +1,193 @@
+//! Service level agreements and the cost function of Eq. 10.
+//!
+//! A slice's SLA names its raw performance requirement (`P` in the paper) and
+//! the statistical threshold `C_max` on the time-averaged cost (Eq. 2). The
+//! per-slot cost is
+//!
+//! ```text
+//! c(s_t, a_t) = 1 − clip(p_t / P, 0, 1)                 (Eq. 10)
+//! ```
+//!
+//! where `p_t` is the slot's achieved performance *expressed so that larger
+//! is better*. For the latency-sensitive MAR slice the achieved performance
+//! is therefore `target_latency / achieved_latency`, and for the
+//! reliability-sensitive RDC slice it is the ratio of achieved to required
+//! "nines" (`ln(1 − r)` ratios), which keeps the score smooth even though the
+//! raw reliabilities are all close to 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kind::SliceKind;
+
+/// The service level agreement of one slice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sla {
+    /// Which application class this SLA belongs to.
+    pub kind: SliceKind,
+    /// The raw performance requirement `P`: 500 (ms) for MAR, 30 (FPS) for
+    /// HVS, 0.99999 (reliability) for RDC.
+    pub performance_target: f64,
+    /// The SLA threshold `C_max` on the episode-averaged cost (the paper
+    /// uses 5 %, i.e. a 95 % probability of SLA satisfaction).
+    pub cost_threshold: f64,
+}
+
+impl Sla {
+    /// The paper's default SLA threshold `C_max = 5 %`.
+    pub const DEFAULT_COST_THRESHOLD: f64 = 0.05;
+
+    /// The paper's SLA for the given slice kind (§7.1).
+    pub fn for_kind(kind: SliceKind) -> Self {
+        let performance_target = match kind {
+            SliceKind::Mar => 500.0,   // ms round-trip latency
+            SliceKind::Hvs => 30.0,    // FPS
+            SliceKind::Rdc => 0.99999, // radio delivery reliability
+        };
+        Self { kind, performance_target, cost_threshold: Self::DEFAULT_COST_THRESHOLD }
+    }
+
+    /// Returns a copy with a different cost threshold (used for the
+    /// conservativeness sweeps discussed in §9).
+    pub fn with_cost_threshold(mut self, cost_threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cost_threshold),
+            "cost threshold must be in [0, 1]"
+        );
+        self.cost_threshold = cost_threshold;
+        self
+    }
+
+    /// Normalized performance score `p_t / P` (larger is better, ≥ 0, may
+    /// exceed 1 when the slice over-performs).
+    ///
+    /// `raw_performance` is in the slice's natural unit: milliseconds of
+    /// round-trip latency for MAR, delivered FPS for HVS, delivery
+    /// reliability in `[0, 1)` for RDC.
+    pub fn performance_score(&self, raw_performance: f64) -> f64 {
+        match self.kind {
+            SliceKind::Mar => {
+                // Lower latency is better; meeting the target exactly scores 1.
+                if raw_performance <= 0.0 {
+                    // Zero/negative latency means "nothing was served";
+                    // treat it as a total miss rather than infinite goodness.
+                    0.0
+                } else {
+                    self.performance_target / raw_performance
+                }
+            }
+            SliceKind::Hvs => (raw_performance / self.performance_target).max(0.0),
+            SliceKind::Rdc => {
+                // Compare "nines": ln(1 - achieved) / ln(1 - target).
+                let achieved = raw_performance.clamp(0.0, 1.0 - 1e-12);
+                let target = self.performance_target.clamp(0.0, 1.0 - 1e-12);
+                let achieved_nines = -(1.0 - achieved).ln();
+                let target_nines = -(1.0 - target).ln();
+                (achieved_nines / target_nines).max(0.0)
+            }
+        }
+    }
+
+    /// Per-slot cost (Eq. 10) from a raw performance value.
+    pub fn cost_from_performance(&self, raw_performance: f64) -> f64 {
+        Self::cost_from_score(self.performance_score(raw_performance))
+    }
+
+    /// Per-slot cost (Eq. 10) from an already-normalized performance score.
+    pub fn cost_from_score(score: f64) -> f64 {
+        1.0 - score.clamp(0.0, 1.0)
+    }
+
+    /// Whether an episode with the given average cost violates this SLA
+    /// (the paper's violation metric: average cost exceeding `C_max`).
+    pub fn violates(&self, average_cost: f64) -> bool {
+        average_cost > self.cost_threshold + 1e-12
+    }
+
+    /// The episode cost budget `T · C_max` used by the proactive baseline
+    /// switching rule (Eq. 8).
+    pub fn episode_cost_budget(&self, horizon: usize) -> f64 {
+        horizon as f64 * self.cost_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_targets_match_the_paper() {
+        assert_eq!(Sla::for_kind(SliceKind::Mar).performance_target, 500.0);
+        assert_eq!(Sla::for_kind(SliceKind::Hvs).performance_target, 30.0);
+        assert_eq!(Sla::for_kind(SliceKind::Rdc).performance_target, 0.99999);
+        for k in SliceKind::ALL {
+            assert_eq!(Sla::for_kind(k).cost_threshold, 0.05);
+        }
+    }
+
+    #[test]
+    fn hvs_cost_matches_the_papers_running_example() {
+        // "a video streaming slice needs an FPS P = 30, then a cost 0.33 can
+        // be observed if p_t = 20" (§3).
+        let sla = Sla::for_kind(SliceKind::Hvs);
+        assert!((sla.cost_from_performance(20.0) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(sla.cost_from_performance(30.0), 0.0);
+        assert_eq!(sla.cost_from_performance(45.0), 0.0); // over-performance is not rewarded
+        assert_eq!(sla.cost_from_performance(0.0), 1.0);
+    }
+
+    #[test]
+    fn mar_cost_decreases_with_latency() {
+        let sla = Sla::for_kind(SliceKind::Mar);
+        assert_eq!(sla.cost_from_performance(400.0), 0.0); // better than target
+        assert_eq!(sla.cost_from_performance(500.0), 0.0); // exactly the target
+        let at_1000 = sla.cost_from_performance(1000.0);
+        assert!((at_1000 - 0.5).abs() < 1e-9);
+        let at_2000 = sla.cost_from_performance(2000.0);
+        assert!(at_2000 > at_1000);
+        assert_eq!(sla.cost_from_performance(0.0), 1.0); // nothing served
+    }
+
+    #[test]
+    fn rdc_cost_uses_nines_ratio() {
+        let sla = Sla::for_kind(SliceKind::Rdc);
+        // Meeting or exceeding the target is free.
+        assert_eq!(sla.cost_from_performance(0.99999), 0.0);
+        assert_eq!(sla.cost_from_performance(0.9999999), 0.0);
+        // 3 nines out of the required 5 costs ~2/5.
+        let c = sla.cost_from_performance(0.999);
+        assert!((c - 0.4).abs() < 0.02, "cost {c} should be near 0.4");
+        // Total loss costs 1.
+        assert!((sla.cost_from_performance(0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_is_always_within_unit_interval() {
+        for k in SliceKind::ALL {
+            let sla = Sla::for_kind(k);
+            for &p in &[0.0, 0.001, 0.5, 1.0, 10.0, 100.0, 1000.0, 1e6] {
+                let c = sla.cost_from_performance(p);
+                assert!((0.0..=1.0).contains(&c), "{k}: cost {c} out of range for p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn violation_uses_the_threshold() {
+        let sla = Sla::for_kind(SliceKind::Mar);
+        assert!(!sla.violates(0.0));
+        assert!(!sla.violates(0.05));
+        assert!(sla.violates(0.051));
+    }
+
+    #[test]
+    fn episode_budget_is_horizon_times_threshold() {
+        let sla = Sla::for_kind(SliceKind::Hvs);
+        assert!((sla.episode_cost_budget(96) - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost threshold must be in [0, 1]")]
+    fn invalid_threshold_is_rejected() {
+        let _ = Sla::for_kind(SliceKind::Mar).with_cost_threshold(1.5);
+    }
+}

@@ -1,0 +1,201 @@
+//! The DRL observation (state) vector of an OnSlicing agent (paper §3).
+//!
+//! The paper defines the state as the combination of the current time slot,
+//! the previous slot's slice traffic, average channel condition, radio
+//! resource usage, VNF/edge workload, reward and cost, plus the SLA threshold
+//! `C_max` and the cumulative cost so far. [`SliceState`] holds these in
+//! normalized form and flattens to a fixed-width vector for the policy
+//! networks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kpi::SlotKpi;
+use crate::sla::Sla;
+
+/// Dimensionality of the flattened state vector.
+pub const STATE_DIM: usize = 9;
+
+/// The observation an OnSlicing agent sees at the start of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceState {
+    /// Current slot index within the episode, normalized to `[0, 1)`
+    /// (`t / T`).
+    pub slot_fraction: f64,
+    /// Previous slot's traffic, normalized by the slice's peak rate.
+    pub traffic: f64,
+    /// Previous slot's average channel quality in `[0, 1]`.
+    pub channel_quality: f64,
+    /// Previous slot's radio-resource utilization in `[0, 1]`.
+    pub radio_usage: f64,
+    /// Previous slot's VNF / edge-server workload (≈ `[0, 1.5]`).
+    pub workload: f64,
+    /// Previous slot's resource usage normalized to `[0, 1]`
+    /// (the negated, rescaled reward).
+    pub prev_usage: f64,
+    /// Previous slot's cost in `[0, 1]`.
+    pub prev_cost: f64,
+    /// The SLA threshold `C_max`.
+    pub cost_threshold: f64,
+    /// Cumulative episode cost so far, normalized by the episode budget
+    /// `T · C_max` (1.0 means the budget is exactly exhausted).
+    pub budget_used: f64,
+}
+
+impl SliceState {
+    /// The observation at the very beginning of an episode, before any slot
+    /// has produced measurements.
+    pub fn initial(sla: &Sla, initial_traffic: f64) -> Self {
+        Self {
+            slot_fraction: 0.0,
+            traffic: initial_traffic.clamp(0.0, 2.0),
+            channel_quality: 1.0,
+            radio_usage: 0.0,
+            workload: 0.0,
+            prev_usage: 0.0,
+            prev_cost: 0.0,
+            cost_threshold: sla.cost_threshold,
+            budget_used: 0.0,
+        }
+    }
+
+    /// Builds the next observation from the slot that just finished.
+    ///
+    /// * `slot` / `horizon` — the index of the *upcoming* slot and the episode
+    ///   length `T`.
+    /// * `traffic` — the upcoming slot's expected traffic, normalized by the
+    ///   slice peak (the agent knows the time of day and last observed load).
+    /// * `kpi` — the measurements of the slot that just completed.
+    /// * `cumulative_cost` — `Σ c(s_m, a_m)` including the completed slot.
+    pub fn from_kpi(
+        sla: &Sla,
+        slot: usize,
+        horizon: usize,
+        traffic: f64,
+        kpi: &SlotKpi,
+        cumulative_cost: f64,
+    ) -> Self {
+        assert!(horizon > 0, "episode horizon must be positive");
+        let budget = sla.episode_cost_budget(horizon).max(1e-9);
+        Self {
+            slot_fraction: (slot % horizon) as f64 / horizon as f64,
+            traffic: traffic.clamp(0.0, 2.0),
+            channel_quality: kpi.avg_channel_quality.clamp(0.0, 1.0),
+            radio_usage: kpi.radio_utilization.clamp(0.0, 1.0),
+            workload: kpi.server_workload.clamp(0.0, 2.0),
+            prev_usage: (kpi.resource_usage / 6.0).clamp(0.0, 1.0),
+            prev_cost: kpi.cost.clamp(0.0, 1.0),
+            cost_threshold: sla.cost_threshold,
+            budget_used: (cumulative_cost / budget).clamp(0.0, 5.0),
+        }
+    }
+
+    /// Flattens the state into the vector consumed by the policy networks.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.slot_fraction,
+            self.traffic,
+            self.channel_quality,
+            self.radio_usage,
+            self.workload,
+            self.prev_usage,
+            self.prev_cost,
+            self.cost_threshold,
+            self.budget_used,
+        ]
+    }
+
+    /// Rebuilds a state from a flattened vector.
+    ///
+    /// # Panics
+    /// Panics if the vector does not have [`STATE_DIM`] elements.
+    pub fn from_vec(v: &[f64]) -> Self {
+        assert_eq!(v.len(), STATE_DIM, "state vector must have {STATE_DIM} elements");
+        Self {
+            slot_fraction: v[0],
+            traffic: v[1],
+            channel_quality: v[2],
+            radio_usage: v[3],
+            workload: v[4],
+            prev_usage: v[5],
+            prev_cost: v[6],
+            cost_threshold: v[7],
+            budget_used: v[8],
+        }
+    }
+
+    /// Whether every component is finite (useful as a guard before feeding a
+    /// policy network).
+    pub fn is_finite(&self) -> bool {
+        self.to_vec().iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::kind::SliceKind;
+
+    #[test]
+    fn state_dim_matches_to_vec_length() {
+        let sla = Sla::for_kind(SliceKind::Mar);
+        let s = SliceState::initial(&sla, 0.5);
+        assert_eq!(s.to_vec().len(), STATE_DIM);
+    }
+
+    #[test]
+    fn initial_state_has_zero_budget_used() {
+        let sla = Sla::for_kind(SliceKind::Hvs);
+        let s = SliceState::initial(&sla, 0.3);
+        assert_eq!(s.budget_used, 0.0);
+        assert_eq!(s.prev_cost, 0.0);
+        assert_eq!(s.cost_threshold, 0.05);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn from_kpi_normalizes_fields() {
+        let sla = Sla::for_kind(SliceKind::Hvs);
+        let action = Action::uniform(0.5);
+        let kpi = SlotKpi::new(&sla, &action, 15.0, 10, 10, 50.0, 1.0, 5.0, 15.0, 0.99, 0.02, 0.7, 0.4, 0.9);
+        let s = SliceState::from_kpi(&sla, 48, 96, 0.8, &kpi, 2.4);
+        assert!((s.slot_fraction - 0.5).abs() < 1e-12);
+        assert!((s.prev_usage - 0.5).abs() < 1e-12);
+        assert!((s.prev_cost - 0.5).abs() < 1e-12);
+        // budget = 96 * 0.05 = 4.8; 2.4 / 4.8 = 0.5
+        assert!((s.budget_used - 0.5).abs() < 1e-12);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn slot_fraction_wraps_at_the_horizon() {
+        let sla = Sla::for_kind(SliceKind::Mar);
+        let kpi = SlotKpi::idle(&Action::zeros());
+        let s = SliceState::from_kpi(&sla, 96, 96, 0.1, &kpi, 0.0);
+        assert_eq!(s.slot_fraction, 0.0);
+    }
+
+    #[test]
+    fn round_trip_through_vector() {
+        let sla = Sla::for_kind(SliceKind::Rdc);
+        let kpi = SlotKpi::idle(&Action::uniform(0.2));
+        let s = SliceState::from_kpi(&sla, 10, 96, 0.4, &kpi, 0.1);
+        let v = s.to_vec();
+        assert_eq!(SliceState::from_vec(&v), s);
+    }
+
+    #[test]
+    fn budget_used_is_clamped_but_can_exceed_one() {
+        let sla = Sla::for_kind(SliceKind::Mar);
+        let kpi = SlotKpi::idle(&Action::zeros());
+        let s = SliceState::from_kpi(&sla, 5, 96, 0.1, &kpi, 100.0);
+        assert!(s.budget_used > 1.0);
+        assert!(s.budget_used <= 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state vector must have")]
+    fn from_vec_rejects_wrong_length() {
+        let _ = SliceState::from_vec(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,83 @@
+//! A mobile-AR edge slice under the microscope: how the ten orchestration
+//! knobs shape end-to-end latency on the simulated testbed, and what the
+//! proactive switching statistic looks like over a day of traffic.
+//!
+//! This is the workload the paper's introduction motivates: 540p frames are
+//! uploaded to an edge server for feature extraction, and the slice's SLA is
+//! a 500 ms average round trip.
+//!
+//! ```sh
+//! cargo run --release --example mar_edge_slice
+//! ```
+
+use onslicing::core::{AgentConfig, OnSlicingAgent, RuleBasedBaseline, SliceEnvironment};
+use onslicing::netsim::NetworkConfig;
+use onslicing::slices::{Action, SliceKind, Sla};
+use onslicing::traffic::DiurnalTraceConfig;
+
+fn main() {
+    let kind = SliceKind::Mar;
+    let sla = Sla::for_kind(kind);
+    let network = NetworkConfig::testbed_default();
+
+    // 1. Sensitivity of the latency to the two key knobs (uplink radio share
+    //    and edge CPU share) at peak traffic.
+    let mut env = SliceEnvironment::with_trace_config(
+        kind,
+        sla,
+        network,
+        DiurnalTraceConfig::mar_default(),
+        24,
+        1,
+    );
+    println!("latency (ms) at peak traffic vs (uplink share, CPU share):");
+    println!("{:>8} {:>8} {:>12} {:>8}", "U_u", "U_c", "latency", "cost");
+    for uu in [0.1, 0.2, 0.3, 0.5] {
+        for uc in [0.1, 0.2, 0.4] {
+            let mut action = Action::uniform(0.2);
+            action.ul_bandwidth = uu;
+            action.cpu = uc;
+            env.reset();
+            let r = env.step(&action);
+            println!(
+                "{uu:>8.2} {uc:>8.2} {:>12.0} {:>8.3}",
+                r.kpi.avg_latency_ms, r.kpi.cost
+            );
+        }
+    }
+
+    // 2. The safety machinery over one emulated day: the switching statistic
+    //    E_t versus the episode budget T·C_max.
+    let baseline = RuleBasedBaseline::calibrate(kind, &sla, &network, 5.0, 5, 2);
+    let mut agent =
+        OnSlicingAgent::new(kind, sla, baseline, AgentConfig::onslicing().scaled_down(24), 5);
+    agent.offline_pretrain(&mut env, 2);
+    let budget = sla.episode_cost_budget(env.horizon());
+    let mut state = env.reset();
+    println!("\nslot-by-slot switching statistic (budget T*C_max = {budget:.2}):");
+    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "slot", "traffic", "E_t", "cum cost", "baseline");
+    loop {
+        let decision = agent.decide(&state, env.cumulative_cost(), false);
+        let r = env.step(&decision.action);
+        agent.record(&state, &decision, &decision.action, &r.kpi, r.done);
+        if env.slot() % 4 == 0 || decision.used_baseline {
+            println!(
+                "{:>6} {:>10.2} {:>10.3} {:>10.3} {:>10}",
+                env.slot(),
+                state.traffic,
+                decision.switching_statistic,
+                env.cumulative_cost(),
+                if decision.used_baseline { "yes" } else { "no" }
+            );
+        }
+        state = r.next_state;
+        if r.done {
+            break;
+        }
+    }
+    let summary = agent.end_episode();
+    println!(
+        "\nepisode summary: usage {:.1}%, avg cost {:.3}, violated: {}",
+        summary.avg_usage_percent, summary.avg_cost, summary.violated
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: simulate one slice, evaluate the rule-based baseline, and run
+//! a tiny safe online-learning loop with a single OnSlicing agent.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use onslicing::core::{evaluate_policy, AgentConfig, OnSlicingAgent, RuleBasedBaseline};
+use onslicing::netsim::NetworkConfig;
+use onslicing::slices::{Action, SliceKind, Sla};
+
+fn main() {
+    // 1. A mobile-AR slice on the simulated LTE testbed with 24 slots per
+    //    episode (a quarter of the paper's emulated day, for speed).
+    let kind = SliceKind::Mar;
+    let sla = Sla::for_kind(kind);
+    let network = NetworkConfig::testbed_default();
+    let mut env = onslicing::core::SliceEnvironment::with_trace_config(
+        kind,
+        sla,
+        network,
+        onslicing::traffic::DiurnalTraceConfig::mar_default(),
+        24,
+        7,
+    );
+
+    // 2. One hand-written action: what does a mid-size allocation achieve?
+    env.reset();
+    let action = Action::uniform(0.3);
+    let result = env.step(&action);
+    println!(
+        "one slot with a uniform 30% allocation: latency {:.0} ms, cost {:.3}, usage {:.1}%",
+        result.kpi.avg_latency_ms,
+        result.kpi.cost,
+        result.kpi.resource_usage_percent()
+    );
+
+    // 3. Calibrate the paper's rule-based baseline by grid search and
+    //    evaluate it over one episode.
+    let baseline = RuleBasedBaseline::calibrate(kind, &sla, &network, 5.0, 5, 1);
+    let eval = evaluate_policy(&baseline, &mut env, 1);
+    println!(
+        "rule-based baseline: usage {:.1}%, violation {:.0}%",
+        eval.avg_usage_percent, eval.violation_percent
+    );
+
+    // 4. Build an OnSlicing agent, imitate the baseline offline, then learn
+    //    online for a couple of episodes while staying SLA-safe.
+    let config = AgentConfig::onslicing().scaled_down(env.horizon());
+    let mut agent = OnSlicingAgent::new(kind, sla, baseline.clone(), config, 3);
+    let report = agent.offline_pretrain(&mut env, 2);
+    println!(
+        "offline imitation: {} demonstrations, final BC loss {:.4}",
+        report.num_demonstrations,
+        report.bc_losses.last().copied().unwrap_or(0.0)
+    );
+
+    for episode in 0..2 {
+        let mut state = env.reset();
+        loop {
+            let decision = agent.decide(&state, env.cumulative_cost(), false);
+            let step = env.step(&decision.action);
+            agent.record(&state, &decision, &decision.action, &step.kpi, step.done);
+            state = step.next_state;
+            if step.done {
+                break;
+            }
+        }
+        let summary = agent.end_episode();
+        agent.update_policy();
+        println!(
+            "online episode {episode}: usage {:.1}%, avg cost {:.3}, violated: {}, switched to baseline: {}",
+            summary.avg_usage_percent, summary.avg_cost, summary.violated, summary.switched_to_baseline
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! action algebra, cost bounds, simulator sanity, coordination feasibility
+//! and modifier monotonicity.
+
+use proptest::prelude::*;
+
+use onslicing::core::{ActionModifier, ModifierConfig};
+use onslicing::domains::DomainSet;
+use onslicing::netsim::{NetworkConfig, NetworkSimulator};
+use onslicing::slices::{Action, SliceKind, SliceState, Sla, ACTION_DIM, STATE_DIM};
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop::collection::vec(0.0f64..=1.0, ACTION_DIM).prop_map(|v| Action::from_vec(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 9: the resource usage of any valid action stays within [0, 6] and
+    /// the reward is its negation.
+    #[test]
+    fn action_usage_is_bounded_and_reward_is_negated(action in action_strategy()) {
+        let usage = action.resource_usage();
+        prop_assert!((0.0..=6.0).contains(&usage));
+        prop_assert!((action.reward() + usage).abs() < 1e-12);
+        prop_assert!((0.0..=100.0).contains(&action.resource_usage_percent()));
+    }
+
+    /// Round-tripping an action through its vector form is lossless.
+    #[test]
+    fn action_vector_round_trip(action in action_strategy()) {
+        prop_assert_eq!(Action::from_vec(&action.to_vec()), action);
+    }
+
+    /// Eq. 10: the cost of any raw performance value is within [0, 1] for
+    /// every slice kind.
+    #[test]
+    fn cost_is_always_a_probability(raw in 0.0f64..1.0e6, kind_idx in 0usize..3) {
+        let sla = Sla::for_kind(SliceKind::ALL[kind_idx]);
+        let cost = sla.cost_from_performance(raw);
+        prop_assert!((0.0..=1.0).contains(&cost));
+    }
+
+    /// Every KPI the simulator produces passes its own validity checks and
+    /// yields a finite observation vector, whatever the action and traffic.
+    #[test]
+    fn simulator_kpis_are_always_valid(
+        action in action_strategy(),
+        rate_scale in 0.0f64..=1.5,
+        kind_idx in 0usize..3,
+        seed in 0u64..50,
+    ) {
+        let kind = SliceKind::ALL[kind_idx];
+        let sla = Sla::for_kind(kind);
+        let mut sim = NetworkSimulator::new(NetworkConfig::testbed_default().with_seed(seed));
+        let rate = rate_scale * kind.default_peak_users_per_second();
+        let kpi = sim.step_slice(kind, &sla, &action, rate);
+        prop_assert!(kpi.validate().is_ok(), "invalid KPI: {:?}", kpi.validate());
+        let state = SliceState::from_kpi(&sla, 1, 96, rate_scale, &kpi, kpi.cost);
+        prop_assert!(state.is_finite());
+        prop_assert_eq!(state.to_vec().len(), STATE_DIM);
+    }
+
+    /// Projection always yields a feasible allocation and never increases any
+    /// share.
+    #[test]
+    fn projection_is_feasible_and_contractive(
+        actions in prop::collection::vec(action_strategy(), 1..6)
+    ) {
+        let domains = DomainSet::testbed_default();
+        let projected = domains.project(actions.iter());
+        prop_assert!(domains.is_feasible(projected.iter()));
+        for (orig, proj) in actions.iter().zip(projected.iter()) {
+            for (a, b) in orig.to_vec().iter().zip(proj.to_vec().iter()) {
+                prop_assert!(*b <= a + 1e-12);
+            }
+        }
+    }
+
+    /// The action modifier (without noise) never increases resource usage and
+    /// respects its retention floor.
+    #[test]
+    fn modifier_is_contractive_and_floored(
+        action in action_strategy(),
+        betas in prop::collection::vec(0.0f64..=2.0, 6),
+    ) {
+        let modifier = ActionModifier::new(ModifierConfig { retention_floor: 0.6, noise_std: 0.0 });
+        let mut rng = rand::thread_rng();
+        let betas_arr = [betas[0], betas[1], betas[2], betas[3], betas[4], betas[5]];
+        let modified = modifier.modify(&action, &betas_arr, &mut rng);
+        prop_assert!(modified.resource_usage() <= action.resource_usage() + 1e-12);
+        for r in onslicing::slices::ResourceKind::ALL {
+            let original = action.resource_share(r);
+            let new = modified.resource_share(r);
+            prop_assert!(new + 1e-12 >= 0.6 * original, "floor violated: {new} < 0.6 * {original}");
+        }
+    }
+
+    /// The Eq. 14 dual update keeps every beta non-negative and raises a beta
+    /// only when its resource is over-requested.
+    #[test]
+    fn dual_update_signs_are_correct(
+        actions in prop::collection::vec(action_strategy(), 1..5)
+    ) {
+        let mut domains = DomainSet::testbed_default();
+        let excess = domains.excess(actions.iter());
+        let betas = domains.update_coordination(actions.iter());
+        for (i, beta) in betas.iter().enumerate() {
+            prop_assert!(*beta >= 0.0);
+            if excess[i] <= 0.0 {
+                prop_assert!(*beta == 0.0, "beta grew for a feasible resource");
+            }
+        }
+    }
+}

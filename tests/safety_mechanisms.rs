@@ -1,0 +1,65 @@
+//! Integration tests of the safety mechanisms across crates: the switching
+//! ablations (OnSlicing vs -NE vs -NB) and the constraint-aware reward
+//! shaping, at CI scale.
+
+use onslicing::core::{AgentConfig, CoordinationMode, DeploymentBuilder};
+
+fn online_violation(config: AgentConfig, seed: u64) -> f64 {
+    let mut orch = DeploymentBuilder::new()
+        .agent_config(config)
+        .coordination(CoordinationMode::default())
+        .scaled_down(16)
+        .seed(seed)
+        .build();
+    if config.enable_imitation {
+        orch.offline_pretrain_all(2);
+    }
+    let curve = orch.run_online(3);
+    curve.iter().map(|m| m.violation_percent).sum::<f64>() / curve.len() as f64
+}
+
+/// The Fig. 3 motivation: an unsafe fixed-penalty learner without imitation
+/// violates far more than the full OnSlicing agent during online learning.
+#[test]
+fn unsafe_drl_violates_more_than_onslicing() {
+    let onslicing = online_violation(AgentConfig::onslicing(), 5);
+    let unsafe_drl = online_violation(AgentConfig::unsafe_drl(), 5);
+    assert!(
+        unsafe_drl >= onslicing,
+        "unsafe DRL ({unsafe_drl:.1}%) should violate at least as much as OnSlicing ({onslicing:.1}%)"
+    );
+    assert!(
+        unsafe_drl > 10.0,
+        "a from-scratch learner with wide exploration should violate noticeably, got {unsafe_drl:.1}%"
+    );
+}
+
+/// The Lagrangian multiplier only ratchets up under sustained violations.
+#[test]
+fn lambda_grows_only_for_violating_agents() {
+    let mut orch = DeploymentBuilder::new()
+        .agent_config(AgentConfig::onrl())
+        .coordination(CoordinationMode::Projection)
+        .scaled_down(12)
+        .seed(9)
+        .build();
+    let lambda_before: Vec<f64> = orch.agents().iter().map(|a| a.lambda()).collect();
+    orch.run_online(2);
+    let lambda_after: Vec<f64> = orch.agents().iter().map(|a| a.lambda()).collect();
+    // At least one untrained agent must have violated and raised its lambda;
+    // no lambda may become negative.
+    assert!(lambda_after.iter().any(|l| *l > lambda_before[0]));
+    assert!(lambda_after.iter().all(|l| *l >= 0.0));
+}
+
+/// Switching variants: disabling the baseline switch can only increase (or
+/// keep equal) the online violation rate relative to full OnSlicing.
+#[test]
+fn removing_the_switch_does_not_reduce_violations() {
+    let with_switch = online_violation(AgentConfig::onslicing(), 21);
+    let without_switch = online_violation(AgentConfig::onslicing_nb(), 21);
+    assert!(
+        without_switch + 1e-9 >= with_switch,
+        "OnSlicing-NB ({without_switch:.1}%) should not violate less than OnSlicing ({with_switch:.1}%)"
+    );
+}
