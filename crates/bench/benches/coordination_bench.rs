@@ -37,13 +37,20 @@ fn bench_coordination_round(c: &mut Criterion) {
         c.bench_function(&format!("coordination_round_{num_slices}_slices"), |b| {
             b.iter(|| {
                 let betas = domains.update_coordination(originals.iter());
-                let modified: Vec<Action> =
-                    originals.iter().map(|a| modifier.modify(a, &betas, &mut rng)).collect();
+                let modified: Vec<Action> = originals
+                    .iter()
+                    .map(|a| modifier.modify(a, &betas, &mut rng))
+                    .collect();
                 std::hint::black_box(domains.is_feasible(modified.iter()))
             })
         });
     }
 }
 
-criterion_group!(benches, bench_dual_update, bench_modifier, bench_coordination_round);
+criterion_group!(
+    benches,
+    bench_dual_update,
+    bench_modifier,
+    bench_coordination_round
+);
 criterion_main!(benches);

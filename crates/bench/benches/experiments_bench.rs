@@ -33,16 +33,30 @@ fn bench_slot(c: &mut Criterion) {
 
 fn bench_episode_variants(c: &mut Criterion) {
     let variants = [
-        ("episode_onslicing_modifier", AgentConfig::onslicing(), CoordinationMode::default()),
-        ("episode_onslicing_projection", AgentConfig::onslicing(), CoordinationMode::Projection),
-        ("episode_onrl", AgentConfig::onrl(), CoordinationMode::Projection),
+        (
+            "episode_onslicing_modifier",
+            AgentConfig::onslicing(),
+            CoordinationMode::default(),
+        ),
+        (
+            "episode_onslicing_projection",
+            AgentConfig::onslicing(),
+            CoordinationMode::Projection,
+        ),
+        (
+            "episode_onrl",
+            AgentConfig::onrl(),
+            CoordinationMode::Projection,
+        ),
     ];
     for (name, cfg, mode) in variants {
         let mut orch = build_deployment(cfg, mode, scale(), 1);
         if cfg.enable_imitation {
             orch.offline_pretrain_all(1);
         }
-        c.bench_function(name, |b| b.iter(|| std::hint::black_box(orch.run_episode(true))));
+        c.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(orch.run_episode(true)))
+        });
     }
 }
 

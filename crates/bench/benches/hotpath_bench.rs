@@ -1,0 +1,90 @@
+//! Hot-path benchmarks: the batched NN/PPO pipeline against the former
+//! per-sample path, plus the N-slice orchestrator slot.
+//!
+//! The acceptance targets tracked across PRs (see `BENCH_hotpath.json`,
+//! emitted by the `bench_hotpath` binary):
+//!
+//! * `mlp_forward_batch64` ≥ 3× faster per sample than
+//!   `mlp_forward_per_sample_x64`;
+//! * `ppo_minibatch_update_batched` ≥ 3× faster than
+//!   `ppo_minibatch_update_per_sample`;
+//! * orchestrator slot latency growing sub-linearly in the slice count on a
+//!   multi-core host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use onslicing_bench::hotpath::{
+    batched_ppo, filled_buffer, hotpath_ppo_config, paper_actor_critic, scaled_orchestrator,
+    NaiveMlp, PerSamplePpo,
+};
+use onslicing_nn::{Activation, BatchWorkspace, Matrix, Mlp};
+use onslicing_slices::{ACTION_DIM, STATE_DIM};
+
+const BATCH: usize = 64;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let net = Mlp::onslicing_default(STATE_DIM, ACTION_DIM, Activation::Sigmoid, &mut rng);
+    let naive = NaiveMlp::from_mlp(&net);
+    let x = vec![0.3; STATE_DIM];
+    c.bench_function("mlp_forward_per_sample_x64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..BATCH {
+                acc += naive.forward(std::hint::black_box(&x))[0];
+            }
+            acc
+        })
+    });
+
+    let mut batch = Matrix::zeros(BATCH, STATE_DIM);
+    for r in 0..BATCH {
+        batch.copy_row_from(r, &x);
+    }
+    let mut ws = BatchWorkspace::new();
+    c.bench_function("mlp_forward_batch64", |b| {
+        b.iter(|| {
+            net.forward_batch(std::hint::black_box(&batch), &mut ws)
+                .get(0, 0)
+        })
+    });
+}
+
+fn bench_ppo_update(c: &mut Criterion) {
+    let (policy, critic) = paper_actor_critic(1);
+    let buffer = filled_buffer(&policy, &critic, BATCH, 2);
+
+    let mut per_sample = PerSamplePpo::new(&policy, &critic, hotpath_ppo_config());
+    let mut batched = batched_ppo(&policy, &critic);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+
+    c.bench_function("ppo_minibatch_update_per_sample", |b| {
+        b.iter(|| per_sample.update(std::hint::black_box(&buffer)))
+    });
+    c.bench_function("ppo_minibatch_update_batched", |b| {
+        b.iter(|| batched.update(std::hint::black_box(&buffer), &mut rng))
+    });
+}
+
+fn bench_orchestrator_slot(c: &mut Criterion) {
+    // One deterministic 24-slot episode per iteration: episode time / 24 is
+    // the per-slot latency; sub-linear growth across the slice counts is the
+    // parallel-decision-phase acceptance criterion (on a multi-core host).
+    for num_slices in [3usize, 9, 18] {
+        let mut orch = scaled_orchestrator(num_slices, 10 + num_slices as u64);
+        c.bench_function(
+            &format!("orchestrator_episode24_{num_slices}_slices"),
+            |b| b.iter(|| orch.run_episode(false).avg_interactions),
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_ppo_update,
+    bench_orchestrator_slot
+);
+criterion_main!(benches);

@@ -13,7 +13,9 @@ fn bench_mlp(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut net = Mlp::onslicing_default(STATE_DIM, ACTION_DIM, Activation::Sigmoid, &mut rng);
     let x = vec![0.3; STATE_DIM];
-    c.bench_function("mlp_forward_128x64x32", |b| b.iter(|| std::hint::black_box(net.forward(&x))));
+    c.bench_function("mlp_forward_128x64x32", |b| {
+        b.iter(|| std::hint::black_box(net.forward(&x)))
+    });
     c.bench_function("mlp_forward_backward_128x64x32", |b| {
         b.iter(|| {
             net.zero_grad();
@@ -42,5 +44,10 @@ fn bench_bayesian_predict(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mlp, bench_policy_sample, bench_bayesian_predict);
+criterion_group!(
+    benches,
+    bench_mlp,
+    bench_policy_sample,
+    bench_bayesian_predict
+);
 criterion_main!(benches);

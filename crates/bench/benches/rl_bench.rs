@@ -33,7 +33,10 @@ fn filled_buffer(agent: &PpoAgent, rng: &mut ChaCha8Rng) -> RolloutBuffer {
 
 fn bench_ppo_update(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let config = PpoConfig { epochs: 4, ..PpoConfig::default() };
+    let config = PpoConfig {
+        epochs: 4,
+        ..PpoConfig::default()
+    };
     let mut agent = PpoAgent::new_small(STATE_DIM, ACTION_DIM, config, &mut rng);
     let buffer = filled_buffer(&agent, &mut rng);
     c.bench_function("ppo_update_96_transitions", |b| {
@@ -51,7 +54,10 @@ fn bench_behavior_cloning(c: &mut Criterion) {
             action: vec![0.3; ACTION_DIM],
         })
         .collect();
-    let bc = BcConfig { epochs: 1, ..BcConfig::default() };
+    let bc = BcConfig {
+        epochs: 1,
+        ..BcConfig::default()
+    };
     c.bench_function("behavior_cloning_one_epoch_96_demos", |b| {
         b.iter(|| std::hint::black_box(behavior_clone(agent.policy_mut(), &demos, &bc, &mut rng)))
     });
@@ -60,11 +66,17 @@ fn bench_behavior_cloning(c: &mut Criterion) {
 fn bench_cost_estimator(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let dataset: Vec<CostToGoSample> = (0..96)
-        .map(|i| CostToGoSample { state: vec![i as f64 / 96.0; STATE_DIM], cost_to_go: 0.5 })
+        .map(|i| CostToGoSample {
+            state: vec![i as f64 / 96.0; STATE_DIM],
+            cost_to_go: 0.5,
+        })
         .collect();
     let mut est = CostValueEstimator::new(
         STATE_DIM,
-        CostEstimatorConfig { epochs: 1, ..CostEstimatorConfig::default() },
+        CostEstimatorConfig {
+            epochs: 1,
+            ..CostEstimatorConfig::default()
+        },
         &mut rng,
     );
     c.bench_function("cost_estimator_fit_one_epoch", |b| {
@@ -76,5 +88,10 @@ fn bench_cost_estimator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ppo_update, bench_behavior_cloning, bench_cost_estimator);
+criterion_group!(
+    benches,
+    bench_ppo_update,
+    bench_behavior_cloning,
+    bench_cost_estimator
+);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use onslicing_netsim::{NetworkConfig, NetworkSimulator};
-use onslicing_slices::{Action, SliceKind, Sla};
+use onslicing_slices::{Action, Sla, SliceKind};
 
 fn bench_slot(c: &mut Criterion) {
     let mut sim = NetworkSimulator::new(NetworkConfig::testbed_default());

@@ -18,15 +18,13 @@ fn main() {
     // Pre-train each agent individually so we can print its BC curve and the
     // usage of the demonstrations it imitated.
     let kinds: Vec<_> = orch.env().envs().iter().map(|e| e.kind()).collect();
-    for i in 0..kinds.len() {
+    for (i, _kind) in kinds.iter().enumerate() {
         // Split borrows: temporarily move the environment out of the bundle.
         let mut env = orch.env().envs()[i].clone();
         let report = orch.agents_mut()[i].offline_pretrain(&mut env, scale.pretrain_episodes);
         println!(
             "\n{} — baseline demonstration usage: {:.2}% ({} transitions)",
-            kinds[i],
-            report.baseline_usage_percent,
-            report.num_demonstrations
+            kinds[i], report.baseline_usage_percent, report.num_demonstrations
         );
         println!("{:<8} {:>18}", "epoch", "BC loss (Eq. 15)");
         for (e, loss) in report.bc_losses.iter().enumerate() {

@@ -13,8 +13,13 @@ fn main() {
     ];
     let mut curves = Vec::new();
     for (i, (name, cfg)) in variants.iter().enumerate() {
-        let (_, curve) =
-            run_learning_method(name, *cfg, CoordinationMode::default(), scale, 91 + i as u64);
+        let (_, curve) = run_learning_method(
+            name,
+            *cfg,
+            CoordinationMode::default(),
+            scale,
+            91 + i as u64,
+        );
         curves.push((*name, curve));
     }
     println!("\n=== Fig. 13: violation over epochs for switching variants ===");

@@ -17,7 +17,10 @@ fn main() {
         let mut orch = build_deployment(
             AgentConfig::onslicing(),
             // Single round so the pinned betas are what the modifier sees.
-            CoordinationMode::Modifier { max_rounds: 1, warm_start: true },
+            CoordinationMode::Modifier {
+                max_rounds: 1,
+                warm_start: true,
+            },
             scale,
             101,
         );

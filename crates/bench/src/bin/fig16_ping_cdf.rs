@@ -14,12 +14,28 @@ fn main() {
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!("\n=== Fig. 16: ping delay in LTE and NR ===");
-    println!("LTE average RTT: {:.2} ms (paper: 27.99 ms)", avg(&lte_samples));
-    println!("NR  average RTT: {:.2} ms (paper: 11.99 ms)", avg(&nr_samples));
+    println!(
+        "LTE average RTT: {:.2} ms (paper: 27.99 ms)",
+        avg(&lte_samples)
+    );
+    println!(
+        "NR  average RTT: {:.2} ms (paper: 11.99 ms)",
+        avg(&nr_samples)
+    );
 
     let decimate = |cdf: Vec<(f64, f64)>| -> Vec<(f64, f64)> {
         cdf.into_iter().step_by((n / 20).max(1)).collect()
     };
-    print_series("LTE ping CDF", "RTT (ms)", "P", &decimate(empirical_cdf(&lte_samples)));
-    print_series("NR ping CDF", "RTT (ms)", "P", &decimate(empirical_cdf(&nr_samples)));
+    print_series(
+        "LTE ping CDF",
+        "RTT (ms)",
+        "P",
+        &decimate(empirical_cdf(&lte_samples)),
+    );
+    print_series(
+        "NR ping CDF",
+        "RTT (ms)",
+        "P",
+        &decimate(empirical_cdf(&nr_samples)),
+    );
 }

@@ -6,7 +6,7 @@
 use onslicing_bench::{empirical_cdf, slice_env, RunScale};
 use onslicing_core::{RuleBasedBaseline, SlicePolicy};
 use onslicing_netsim::{NetworkConfig, RanConfig};
-use onslicing_slices::{SliceKind, Sla};
+use onslicing_slices::{Sla, SliceKind};
 
 fn collect_scores(network: NetworkConfig, kind: SliceKind, horizon: usize, seed: u64) -> Vec<f64> {
     let sla = Sla::for_kind(kind);

@@ -5,7 +5,7 @@
 use onslicing_bench::{slice_env, RunScale};
 use onslicing_core::{evaluate_policy, RuleBasedBaseline};
 use onslicing_netsim::NetworkConfig;
-use onslicing_slices::{SliceKind, Sla};
+use onslicing_slices::{Sla, SliceKind};
 use onslicing_traffic::DiurnalTraceConfig;
 
 fn main() {
@@ -17,7 +17,10 @@ fn main() {
     let baseline = RuleBasedBaseline::calibrate(SliceKind::Mar, &sla, &network, 5.0, 5, 7);
 
     println!("\n=== Fig. 18: performance under varying numbers of emulated MAR users ===");
-    println!("{:<12} {:>16} {:>20}", "users (peak)", "avg usage (%)", "violation (%)");
+    println!(
+        "{:<12} {:>16} {:>20}",
+        "users (peak)", "avg usage (%)", "violation (%)"
+    );
     for users in [1.0, 5.0, 10.0, 20.0, 30.0] {
         let trace = DiurnalTraceConfig::mar_default().with_peak_rate(users);
         let mut env = onslicing_core::SliceEnvironment::with_trace_config(
@@ -32,7 +35,10 @@ fn main() {
         // so heavier loads look like >100% traffic (clamped), exactly the
         // "overwhelmed" regime of the paper.
         let eval = evaluate_policy(&baseline, &mut env, scale.eval_episodes);
-        println!("{:<12} {:>16.2} {:>20.2}", users, eval.avg_usage_percent, eval.violation_percent);
+        println!(
+            "{:<12} {:>16.2} {:>20.2}",
+            users, eval.avg_usage_percent, eval.violation_percent
+        );
         let _ = slice_env(SliceKind::Mar, network, scale.horizon, 0); // keep helper linked
     }
     println!("\nPaper shape: usage grows with the user count; violations stay low until the system is overwhelmed (~20+ users).");

@@ -9,7 +9,7 @@ use onslicing_core::{
 };
 use onslicing_domains::DomainSet;
 use onslicing_netsim::NetworkConfig;
-use onslicing_slices::{SliceKind, Sla};
+use onslicing_slices::{Sla, SliceKind};
 
 fn build_scaled(num_slices: usize, horizon: usize, seed: u64) -> Orchestrator {
     let network = NetworkConfig::testbed_default();
@@ -39,7 +39,10 @@ fn build_scaled(num_slices: usize, horizon: usize, seed: u64) -> Orchestrator {
         MultiSliceEnvironment::from_envs(envs),
         agents,
         DomainSet::with_parameters(capacity, 1.0),
-        OrchestratorConfig { coordination: CoordinationMode::default(), episodes_per_epoch: 1 },
+        OrchestratorConfig {
+            coordination: CoordinationMode::default(),
+            episodes_per_epoch: 1,
+        },
     )
 }
 

@@ -17,7 +17,10 @@ fn main() {
     );
     let (baseline_row, _) = evaluate_rule_based(scale, 42);
 
-    print_learning_curve("Fig. 3: unsafe DRL (fixed penalty, no safety mechanisms)", &unsafe_curve);
+    print_learning_curve(
+        "Fig. 3: unsafe DRL (fixed penalty, no safety mechanisms)",
+        &unsafe_curve,
+    );
     println!(
         "\nBaseline reference (flat across epochs): usage {:.2}%, violation {:.2}%",
         baseline_row.usage_percent, baseline_row.violation_percent

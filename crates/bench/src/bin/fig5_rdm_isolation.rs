@@ -14,7 +14,10 @@ fn main() {
     // Vanilla: one tenant owning the whole carrier.
     let vanilla_dl = sim.saturation_throughput_mbps(SliceKind::Mar, 1.0, Direction::Downlink);
     let vanilla_ul = sim.saturation_throughput_mbps(SliceKind::Mar, 1.0, Direction::Uplink);
-    println!("{:<12} {:>14.2} {:>14.2}", "Vanilla", vanilla_dl, vanilla_ul);
+    println!(
+        "{:<12} {:>14.2} {:>14.2}",
+        "Vanilla", vanilla_dl, vanilla_ul
+    );
 
     // Three slices with equal one-third shares.
     let mut total_dl = 0.0;
@@ -24,9 +27,17 @@ fn main() {
         let ul = sim.saturation_throughput_mbps(*kind, 1.0 / 3.0, Direction::Uplink);
         total_dl += dl;
         total_ul += ul;
-        println!("{:<12} {:>14.2} {:>14.2}", format!("Slice {}", i + 1), dl, ul);
+        println!(
+            "{:<12} {:>14.2} {:>14.2}",
+            format!("Slice {}", i + 1),
+            dl,
+            ul
+        );
     }
-    println!("{:<12} {:>14.2} {:>14.2}", "Slices total", total_dl, total_ul);
+    println!(
+        "{:<12} {:>14.2} {:>14.2}",
+        "Slices total", total_dl, total_ul
+    );
     println!(
         "\nVirtualization overhead: DL {:.1}%, UL {:.1}% (paper: total of slices ≈ vanilla)",
         100.0 * (1.0 - total_dl / vanilla_dl),

@@ -6,7 +6,10 @@ use onslicing_netsim::ran::{retransmission_probability, Direction};
 
 fn main() {
     println!("\n=== Fig. 6: MCS offset vs. retransmission probability ===");
-    println!("{:<12} {:>16} {:>16}", "MCS offset", "UL retx prob", "DL retx prob");
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "MCS offset", "UL retx prob", "DL retx prob"
+    );
     for offset in 0..=10u32 {
         let ul = retransmission_probability(Direction::Uplink, offset);
         let dl = retransmission_probability(Direction::Downlink, offset);

@@ -30,12 +30,18 @@ fn main() {
         println!("\n{name}:");
         println!("{:<8} {:>14} {:>16}", "epoch", "usage (%)", "violation (%)");
         for (i, m) in curve.iter().enumerate() {
-            println!("{:<8} {:>14.2} {:>16.2}", i, m.avg_usage_percent, m.violation_percent);
+            println!(
+                "{:<8} {:>14.2} {:>16.2}",
+                i, m.avg_usage_percent, m.violation_percent
+            );
         }
     }
     println!("\nSingle-point methods:");
     for row in [baseline, model_based] {
-        println!("{:<14} usage {:>8.2}%  violation {:>8.2}%", row.name, row.usage_percent, row.violation_percent);
+        println!(
+            "{:<14} usage {:>8.2}%  violation {:>8.2}%",
+            row.name, row.usage_percent, row.violation_percent
+        );
     }
     println!("\nPaper shape: OnSlicing moves left (less usage) staying at ~0 violation; OnRL starts top-right and wanders.");
 }

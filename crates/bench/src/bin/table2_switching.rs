@@ -25,12 +25,20 @@ fn main() {
         ("OnSlicing", AgentConfig::onslicing()),
         ("OnSlicing-NE", AgentConfig::onslicing_ne()),
         ("OnSlicing-NB", AgentConfig::onslicing_nb()),
-        ("OnSlicing Est. Noise", AgentConfig::onslicing_estimator_noise(1.0)),
+        (
+            "OnSlicing Est. Noise",
+            AgentConfig::onslicing_estimator_noise(1.0),
+        ),
     ];
     let mut rows = Vec::new();
     for (i, (name, cfg)) in variants.iter().enumerate() {
-        let (_test, curve) =
-            run_learning_method(name, *cfg, CoordinationMode::default(), scale, 10 + i as u64);
+        let (_test, curve) = run_learning_method(
+            name,
+            *cfg,
+            CoordinationMode::default(),
+            scale,
+            10 + i as u64,
+        );
         rows.push(online_average(name, &curve));
     }
     print_method_table(

@@ -16,7 +16,13 @@ struct Row {
     interactions: f64,
 }
 
-fn run(name: &'static str, cfg: AgentConfig, mode: CoordinationMode, scale: RunScale, seed: u64) -> Row {
+fn run(
+    name: &'static str,
+    cfg: AgentConfig,
+    mode: CoordinationMode,
+    scale: RunScale,
+    seed: u64,
+) -> Row {
     let mut orch = build_deployment(cfg, mode, scale, seed);
     orch.offline_pretrain_all(scale.pretrain_episodes);
     let curve = orch.run_online(scale.online_epochs);

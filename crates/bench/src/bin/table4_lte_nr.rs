@@ -32,7 +32,12 @@ fn main() {
     let scale = RunScale::from_args();
     let rows = [
         run("5G NR (fixed MCS 9)", RanConfig::nr_fixed_mcs9(), scale, 31),
-        run("4G LTE (fixed MCS 9)", RanConfig::lte_fixed_mcs9(), scale, 32),
+        run(
+            "4G LTE (fixed MCS 9)",
+            RanConfig::lte_fixed_mcs9(),
+            scale,
+            32,
+        ),
     ];
     print_method_table("Table 4: OnSlicing in 4G LTE and 5G NSA", &rows);
     println!("\nPaper reference: 5G NR 43.5/0.00, 4G LTE 45.9/0.66");

@@ -1,0 +1,428 @@
+//! Shared fixtures for the hot-path benchmarks: the batched NN/PPO path
+//! versus a faithful reconstruction of the former per-sample path.
+//!
+//! Used by both `benches/hotpath_bench.rs` (criterion) and the
+//! `bench_hotpath` binary (which emits the machine-readable
+//! `BENCH_hotpath.json` tracked across PRs).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use onslicing_core::{
+    AgentConfig, CoordinationMode, DeploymentBuilder, MultiSliceEnvironment, OnSlicingAgent,
+    Orchestrator, OrchestratorConfig, SliceEnvironment,
+};
+use onslicing_domains::DomainSet;
+use onslicing_netsim::NetworkConfig;
+use onslicing_nn::{Activation, Adam, GaussianPolicy, Matrix, Mlp};
+use onslicing_rl::{PpoAgent, PpoConfig, RolloutBuffer, Transition};
+use onslicing_slices::{Sla, SliceKind, ACTION_DIM, STATE_DIM};
+
+/// The paper-sized actor/critic pair used by every hot-path comparison
+/// (`onslicing_default` 128×64×32 trunks on the real state/action dims).
+pub fn paper_actor_critic(seed: u64) -> (GaussianPolicy, Mlp) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let policy = GaussianPolicy::new(STATE_DIM, ACTION_DIM, 0.1, &mut rng);
+    let critic = Mlp::onslicing_default(STATE_DIM, 1, Activation::Identity, &mut rng);
+    (policy, critic)
+}
+
+/// Fills a rollout buffer with `n` single-episode transitions drawn from the
+/// policy (the same shape a real 96-slot day produces).
+pub fn filled_buffer(policy: &GaussianPolicy, critic: &Mlp, n: usize, seed: u64) -> RolloutBuffer {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut buffer = RolloutBuffer::new();
+    for i in 0..n {
+        let state: Vec<f64> = (0..STATE_DIM).map(|_| rng.gen::<f64>()).collect();
+        let sample = policy.sample(&state, &mut rng);
+        let value = critic.forward(&state)[0];
+        buffer.push(Transition {
+            state,
+            raw_action: sample.raw_action.clone(),
+            action: sample.action.clone(),
+            log_prob: sample.log_prob,
+            reward: -0.3 + 0.1 * rng.gen::<f64>(),
+            cost: 0.01,
+            value,
+            done: i + 1 == n,
+        });
+    }
+    buffer.finish_episode(0.0, 0.99, 0.95);
+    buffer
+}
+
+/// One dense layer with the **seed repository's** kernels: serial-accumulator
+/// `matvec` with the `a == 0.0` / `v == 0.0` skip branches, a freshly
+/// allocated `Vec` per product, and an allocated outer-product matrix per
+/// backward call. This is the pre-PR hot path, reconstructed so
+/// `BENCH_hotpath.json` tracks the batched rewrite against what the code
+/// actually did before it.
+struct NaiveLayer {
+    weights: Matrix,
+    bias: Vec<f64>,
+    grad_weights: Matrix,
+    grad_bias: Vec<f64>,
+    activation: Activation,
+    cached_input: Vec<f64>,
+    cached_pre: Vec<f64>,
+}
+
+fn naive_matvec(m: &Matrix, v: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; m.rows()];
+    for (o, i) in out.iter_mut().zip(0..m.rows()) {
+        let mut acc = 0.0;
+        for (a, b) in m.row(i).iter().zip(v.iter()) {
+            acc += a * b;
+        }
+        *o = acc;
+    }
+    out
+}
+
+fn naive_t_matvec(m: &Matrix, v: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; m.cols()];
+    for (i, &vi) in v.iter().enumerate() {
+        if vi == 0.0 {
+            continue;
+        }
+        for (o, a) in out.iter_mut().zip(m.row(i).iter()) {
+            *o += a * vi;
+        }
+    }
+    out
+}
+
+impl NaiveLayer {
+    fn from_dense(layer: &onslicing_nn::Dense) -> Self {
+        Self {
+            weights: layer.weights().clone(),
+            bias: layer.bias().to_vec(),
+            grad_weights: Matrix::zeros(layer.out_dim(), layer.in_dim()),
+            grad_bias: vec![0.0; layer.out_dim()],
+            activation: layer.activation(),
+            cached_input: Vec::new(),
+            cached_pre: Vec::new(),
+        }
+    }
+
+    fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut pre = naive_matvec(&self.weights, input);
+        for (p, b) in pre.iter_mut().zip(self.bias.iter()) {
+            *p += b;
+        }
+        pre.iter().map(|&x| self.activation.apply(x)).collect()
+    }
+
+    fn forward_train(&mut self, input: &[f64]) -> Vec<f64> {
+        let mut pre = naive_matvec(&self.weights, input);
+        for (p, b) in pre.iter_mut().zip(self.bias.iter()) {
+            *p += b;
+        }
+        let out = pre.iter().map(|&x| self.activation.apply(x)).collect();
+        self.cached_input = input.to_vec();
+        self.cached_pre = pre;
+        out
+    }
+
+    fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        let delta: Vec<f64> = grad_output
+            .iter()
+            .zip(self.cached_pre.iter())
+            .map(|(&g, &z)| g * self.activation.derivative(z))
+            .collect();
+        let gw = Matrix::outer(&delta, &self.cached_input);
+        self.grad_weights.add_scaled_assign(&gw, 1.0);
+        for (gb, d) in self.grad_bias.iter_mut().zip(delta.iter()) {
+            *gb += d;
+        }
+        naive_t_matvec(&self.weights, &delta)
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weights.fill(0.0);
+        for g in &mut self.grad_bias {
+            *g = 0.0;
+        }
+    }
+
+    fn param_grad_pairs(&mut self) -> Vec<(&mut f64, f64)> {
+        let grads: Vec<f64> = self
+            .grad_weights
+            .data()
+            .iter()
+            .copied()
+            .chain(self.grad_bias.iter().copied())
+            .collect();
+        self.weights
+            .data_mut()
+            .iter_mut()
+            .chain(self.bias.iter_mut())
+            .zip(grads)
+            .collect()
+    }
+}
+
+/// The seed's per-sample MLP (stack of [`NaiveLayer`]s).
+pub struct NaiveMlp {
+    layers: Vec<NaiveLayer>,
+}
+
+impl NaiveMlp {
+    /// Snapshots an [`Mlp`]'s weights into the seed-kernel implementation.
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        Self {
+            layers: mlp
+                .layers_ref()
+                .iter()
+                .map(NaiveLayer::from_dense)
+                .collect(),
+        }
+    }
+
+    /// Per-sample inference forward (one allocation chain per layer).
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn forward_train(&mut self, input: &[f64]) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for layer in &mut self.layers {
+            x = layer.forward_train(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        let mut g = grad_output.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.rows() * l.weights.cols() + l.bias.len())
+            .sum()
+    }
+
+    fn param_grad_pairs(&mut self) -> Vec<(&mut f64, f64)> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            out.extend(layer.param_grad_pairs());
+        }
+        out
+    }
+}
+
+/// The pre-batching PPO learner: the seed's sample-by-sample minibatch loops
+/// over the seed's naive kernels. Kept as the baseline the criterion
+/// comparison and `BENCH_hotpath.json` measure the batched path against.
+pub struct PerSamplePpo {
+    mean_net: NaiveMlp,
+    critic: NaiveMlp,
+    std: Vec<f64>,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    config: PpoConfig,
+}
+
+impl PerSamplePpo {
+    /// Builds the per-sample learner from the same initial weights as the
+    /// batched learner (fair head-to-head start).
+    pub fn new(policy: &GaussianPolicy, critic: &Mlp, config: PpoConfig) -> Self {
+        let mean_net = NaiveMlp::from_mlp(policy.mean_net());
+        let critic = NaiveMlp::from_mlp(critic);
+        // The std parameters train too, but their gradient cost is O(action
+        // dim) on both paths; pinning them keeps the baseline simple without
+        // skewing the comparison.
+        let actor_opt = Adam::new(mean_net.num_parameters(), config.actor_lr);
+        let critic_opt = Adam::new(critic.num_parameters(), config.critic_lr);
+        Self {
+            mean_net,
+            critic,
+            std: policy.std(),
+            actor_opt,
+            critic_opt,
+            config,
+        }
+    }
+
+    fn log_prob(&mut self, state: &[f64], raw_action: &[f64]) -> f64 {
+        let mean = self.mean_net.forward(state);
+        let mut lp = 0.0;
+        for ((m, s), a) in mean.iter().zip(self.std.iter()).zip(raw_action.iter()) {
+            let s = s.max(1e-9);
+            let z = (a - m) / s;
+            lp += -0.5 * z * z - s.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        }
+        lp
+    }
+
+    fn accumulate_log_prob_grad(&mut self, state: &[f64], raw_action: &[f64], weight: f64) {
+        let mean = self.mean_net.forward_train(state);
+        let mut grad_out = Vec::with_capacity(mean.len());
+        for ((m, s), a) in mean.iter().zip(self.std.iter()).zip(raw_action.iter()) {
+            let s = s.max(1e-9);
+            grad_out.push(-weight * (a - m) / (s * s));
+        }
+        self.mean_net.backward(&grad_out);
+    }
+
+    /// One full PPO update (all epochs) with per-sample forward/backward
+    /// passes — the former hot path, minus the shuffle (deterministic chunk
+    /// order keeps the comparison reproducible).
+    pub fn update(&mut self, buffer: &RolloutBuffer) {
+        let (transitions, _advantages, returns) = buffer.ready_batch();
+        let advantages = buffer.normalized_advantages();
+        let n = transitions.len();
+        if n == 0 {
+            return;
+        }
+        let indices: Vec<usize> = (0..n).collect();
+        for _epoch in 0..self.config.epochs {
+            for chunk in indices.chunks(self.config.minibatch_size.max(1)) {
+                self.mean_net.zero_grad();
+                self.critic.zero_grad();
+                let batch = chunk.len() as f64;
+                for &i in chunk {
+                    let t = &transitions[i];
+                    let adv = advantages[i];
+                    let new_log_prob = self.log_prob(&t.state, &t.raw_action);
+                    let ratio = (new_log_prob - t.log_prob).exp();
+                    let clip_lo = 1.0 - self.config.clip_epsilon;
+                    let clip_hi = 1.0 + self.config.clip_epsilon;
+                    let unclipped = ratio * adv;
+                    let clipped_obj = ratio.clamp(clip_lo, clip_hi) * adv;
+                    if unclipped <= clipped_obj + 1e-12 {
+                        self.accumulate_log_prob_grad(&t.state, &t.raw_action, ratio * adv / batch);
+                    }
+                    let v = self.critic.forward_train(&t.state)[0];
+                    let err = v - returns[i];
+                    self.critic.backward(&[2.0 * err / batch]);
+                }
+                let pairs = self.mean_net.param_grad_pairs();
+                self.actor_opt.step(pairs);
+                let pairs = self.critic.param_grad_pairs();
+                self.critic_opt.step(pairs);
+            }
+        }
+    }
+}
+
+/// PPO hyper-parameters for the hot-path comparison: one epoch over one
+/// 64-transition minibatch, so a single `update` call is exactly the "PPO
+/// minibatch update" of the acceptance criteria.
+///
+/// Learning rates are zero: the Adam math still runs in full (identical
+/// instruction stream), but the weights stay pinned, so every timed
+/// iteration measures the *same* workload. With live learning rates the
+/// policy drifts away from the behavior policy across the timing loop, the
+/// clip fraction climbs, and the per-sample baseline — which skips the
+/// gradient pass for clipped samples — gets progressively cheaper,
+/// corrupting the comparison.
+pub fn hotpath_ppo_config() -> PpoConfig {
+    PpoConfig {
+        epochs: 1,
+        minibatch_size: 64,
+        actor_lr: 0.0,
+        critic_lr: 0.0,
+        ..PpoConfig::default()
+    }
+}
+
+/// The batched learner sharing the baseline's initial weights.
+pub fn batched_ppo(policy: &GaussianPolicy, critic: &Mlp) -> PpoAgent {
+    PpoAgent::from_parts(policy.clone(), critic.clone(), hotpath_ppo_config())
+}
+
+/// Builds an `num_slices`-slice deployment (paper agents, paper networks
+/// scaled to a short horizon) for the orchestrator-slot scaling benchmark.
+pub fn scaled_orchestrator(num_slices: usize, seed: u64) -> Orchestrator {
+    let network = NetworkConfig::testbed_default();
+    let horizon = 24;
+    let baselines = DeploymentBuilder::new()
+        .scaled_down(horizon)
+        .seed(seed)
+        .calibrate_baselines();
+    let mut envs = Vec::new();
+    let mut agents = Vec::new();
+    for i in 0..num_slices {
+        let kind = SliceKind::ALL[i % 3];
+        envs.push(SliceEnvironment::new(kind, network, seed + i as u64));
+        let mut cfg = AgentConfig::onslicing().scaled_down(horizon);
+        cfg.horizon = envs[i].horizon();
+        agents.push(OnSlicingAgent::new(
+            kind,
+            Sla::for_kind(kind),
+            baselines[i % 3].clone(),
+            cfg,
+            seed + 100 + i as u64,
+        ));
+    }
+    let capacity = (num_slices as f64 / 3.0).max(1.0);
+    Orchestrator::new(
+        MultiSliceEnvironment::from_envs(envs),
+        agents,
+        DomainSet::with_parameters(capacity, 1.0),
+        OrchestratorConfig {
+            coordination: CoordinationMode::default(),
+            episodes_per_epoch: 1,
+        },
+    )
+}
+
+/// Median wall-clock nanoseconds of `f` over `samples` runs of `iters`
+/// iterations each (simple, dependency-free timing for the JSON emitter).
+pub fn median_ns_per_iter<F: FnMut()>(samples: usize, iters: usize, mut f: F) -> f64 {
+    let mut results = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        results.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    results.sort_by(|a, b| a.partial_cmp(b).expect("NaN timing"));
+    results[results.len() / 2]
+}
+
+/// Paired comparison of a baseline and a contender under identical
+/// conditions: each sample times both back-to-back, so slow phases of a
+/// noisy (shared/throttled) host hit both sides equally and cancel out of
+/// the ratio. Returns `(median baseline ns, median contender ns)` taken from
+/// the sample pair whose ratio is the median ratio.
+pub fn paired_median_ns<A: FnMut(), B: FnMut()>(
+    samples: usize,
+    iters: usize,
+    mut baseline: A,
+    mut contender: B,
+) -> (f64, f64) {
+    let mut pairs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            baseline();
+        }
+        let base_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            contender();
+        }
+        let cont_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        pairs.push((base_ns, cont_ns));
+    }
+    pairs.sort_by(|a, b| (a.0 / a.1).partial_cmp(&(b.0 / b.1)).expect("NaN timing"));
+    pairs[pairs.len() / 2]
+}

@@ -15,12 +15,14 @@
 //! The helpers in this library are shared by both: deployment construction,
 //! method presets, and plain-text table/series printing.
 
+pub mod hotpath;
+
 use onslicing_core::{
     evaluate_policy, AgentConfig, CoordinationMode, DeploymentBuilder, EpochMetrics,
     ModelBasedPolicy, Orchestrator, PolicyEvaluation, RuleBasedBaseline, SliceEnvironment,
 };
 use onslicing_netsim::NetworkConfig;
-use onslicing_slices::{SliceKind, Sla};
+use onslicing_slices::{Sla, SliceKind};
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,18 +190,30 @@ fn average_row(name: &str, evals: &[PolicyEvaluation]) -> MethodResult {
 /// Prints a Table-1-style comparison.
 pub fn print_method_table(title: &str, rows: &[MethodResult]) {
     println!("\n=== {title} ===");
-    println!("{:<24} {:>20} {:>22}", "Method", "Avg. res. usage (%)", "Avg. SLA violation (%)");
+    println!(
+        "{:<24} {:>20} {:>22}",
+        "Method", "Avg. res. usage (%)", "Avg. SLA violation (%)"
+    );
     for r in rows {
-        println!("{:<24} {:>20.2} {:>22.2}", r.name, r.usage_percent, r.violation_percent);
+        println!(
+            "{:<24} {:>20.2} {:>22.2}",
+            r.name, r.usage_percent, r.violation_percent
+        );
     }
 }
 
 /// Prints a learning curve (one line per epoch).
 pub fn print_learning_curve(title: &str, curve: &[EpochMetrics]) {
     println!("\n--- {title} ---");
-    println!("{:<8} {:>18} {:>20}", "epoch", "avg usage (%)", "avg violation (%)");
+    println!(
+        "{:<8} {:>18} {:>20}",
+        "epoch", "avg usage (%)", "avg violation (%)"
+    );
     for (i, m) in curve.iter().enumerate() {
-        println!("{:<8} {:>18.2} {:>20.2}", i, m.avg_usage_percent, m.violation_percent);
+        println!(
+            "{:<8} {:>18.2} {:>20.2}",
+            i, m.avg_usage_percent, m.violation_percent
+        );
     }
 }
 
@@ -250,7 +264,13 @@ mod tests {
 
     #[test]
     fn rule_based_evaluation_produces_three_slices() {
-        let scale = RunScale { horizon: 8, pretrain_episodes: 1, online_epochs: 1, episodes_per_epoch: 1, eval_episodes: 1 };
+        let scale = RunScale {
+            horizon: 8,
+            pretrain_episodes: 1,
+            online_epochs: 1,
+            episodes_per_epoch: 1,
+            eval_episodes: 1,
+        };
         let (row, evals) = evaluate_rule_based(scale, 1);
         assert_eq!(evals.len(), 3);
         assert!(row.usage_percent > 0.0);

@@ -25,7 +25,7 @@ use onslicing_rl::{
     behavior_clone, BcConfig, CostEstimatorConfig, CostValueEstimator, Demonstration,
     LagrangianMultiplier, PpoAgent, PpoConfig, PpoUpdateStats, RolloutBuffer, Transition,
 };
-use onslicing_slices::{Action, SliceKind, SliceState, Sla, SlotKpi, ACTION_DIM, STATE_DIM};
+use onslicing_slices::{Action, Sla, SliceKind, SliceState, SlotKpi, ACTION_DIM, STATE_DIM};
 
 use crate::baselines::{RuleBasedBaseline, SlicePolicy};
 use crate::env::SliceEnvironment;
@@ -84,7 +84,10 @@ impl AgentConfig {
     /// Table 1).
     pub fn onslicing() -> Self {
         Self {
-            ppo: PpoConfig { initial_std: 0.03, ..PpoConfig::default() },
+            ppo: PpoConfig {
+                initial_std: 0.03,
+                ..PpoConfig::default()
+            },
             bc: BcConfig::default(),
             estimator: CostEstimatorConfig::default(),
             modifier: ModifierConfig::default(),
@@ -103,18 +106,27 @@ impl AgentConfig {
 
     /// OnSlicing-NB: no baseline switching at all.
     pub fn onslicing_nb() -> Self {
-        Self { enable_switching: false, ..Self::onslicing() }
+        Self {
+            enable_switching: false,
+            ..Self::onslicing()
+        }
     }
 
     /// OnSlicing-NE: switching without the cost-value estimator (reactive,
     /// based on the cumulative cost alone).
     pub fn onslicing_ne() -> Self {
-        Self { enable_estimator: false, ..Self::onslicing() }
+        Self {
+            enable_estimator: false,
+            ..Self::onslicing()
+        }
     }
 
     /// OnSlicing with a noisy estimator (robustness ablation of Table 2).
     pub fn onslicing_estimator_noise(noise_std: f64) -> Self {
-        Self { estimator_noise_std: noise_std, ..Self::onslicing() }
+        Self {
+            estimator_noise_std: noise_std,
+            ..Self::onslicing()
+        }
     }
 
     /// OnSlicing with a noisy action modifier (robustness ablation of
@@ -235,8 +247,7 @@ impl OnSlicingAgent {
             PpoAgent::new(STATE_DIM, ACTION_DIM, config.ppo, &mut rng)
         };
         let estimator = CostValueEstimator::new(STATE_DIM, config.estimator, &mut rng);
-        let lagrangian =
-            LagrangianMultiplier::new(1.0, config.lagrangian_step, sla.cost_threshold);
+        let lagrangian = LagrangianMultiplier::new(1.0, config.lagrangian_step, sla.cost_threshold);
         Self {
             kind,
             sla,
@@ -300,7 +311,10 @@ impl OnSlicingAgent {
             loop {
                 let action = self.baseline.act(&state);
                 episode_states.push(state.to_vec());
-                demos.push(Demonstration { state: state.to_vec(), action: action.to_vec() });
+                demos.push(Demonstration {
+                    state: state.to_vec(),
+                    action: action.to_vec(),
+                });
                 let r = env.step(&action);
                 episode_costs.push(r.kpi.cost);
                 usage_sum += r.kpi.resource_usage_percent();
@@ -310,11 +324,18 @@ impl OnSlicingAgent {
                     break;
                 }
             }
-            cost_dataset
-                .extend(CostValueEstimator::cost_to_go_dataset(&episode_states, &episode_costs));
+            cost_dataset.extend(CostValueEstimator::cost_to_go_dataset(
+                &episode_states,
+                &episode_costs,
+            ));
         }
         let bc_losses = if self.config.enable_imitation && !demos.is_empty() {
-            behavior_clone(self.ppo.policy_mut(), &demos, &self.config.bc, &mut self.rng)
+            behavior_clone(
+                self.ppo.policy_mut(),
+                &demos,
+                &self.config.bc,
+                &mut self.rng,
+            )
         } else {
             Vec::new()
         };
@@ -387,7 +408,12 @@ impl OnSlicingAgent {
         }
         if deterministic {
             let action = Action::from_vec(&self.ppo.act_deterministic(&state.to_vec()));
-            return Decision { action, used_baseline: false, sample: None, switching_statistic: statistic };
+            return Decision {
+                action,
+                used_baseline: false,
+                sample: None,
+                switching_statistic: statistic,
+            };
         }
         let sample = self.ppo.act(&state.to_vec(), &mut self.rng);
         Decision {
@@ -546,7 +572,12 @@ mod tests {
         assert!(!AgentConfig::onslicing_ne().enable_estimator);
         assert!(AgentConfig::onslicing_ne().enable_switching);
         assert!(AgentConfig::onslicing_estimator_noise(1.0).estimator_noise_std > 0.0);
-        assert!(AgentConfig::onslicing_modifier_noise(1.0).modifier.noise_std > 0.0);
+        assert!(
+            AgentConfig::onslicing_modifier_noise(1.0)
+                .modifier
+                .noise_std
+                > 0.0
+        );
         assert!(!AgentConfig::onrl().enable_imitation);
         assert!(!AgentConfig::unsafe_drl().constraint_aware);
     }
@@ -573,7 +604,10 @@ mod tests {
         let d = agent.decide(&state, 0.0, true);
         let baseline_action = agent.baseline().act(&state);
         let distance = d.action.squared_distance(&baseline_action);
-        assert!(distance < 0.5, "cloned action too far from the baseline: {distance}");
+        assert!(
+            distance < 0.5,
+            "cloned action too far from the baseline: {distance}"
+        );
     }
 
     #[test]
@@ -590,7 +624,10 @@ mod tests {
         assert!(d2.used_baseline);
         let summary = agent.end_episode();
         assert!(summary.switched_to_baseline || summary.avg_cost == 0.0);
-        assert!(!agent.has_switched(), "switch flag must reset at episode end");
+        assert!(
+            !agent.has_switched(),
+            "switch flag must reset at episode end"
+        );
     }
 
     #[test]
@@ -614,7 +651,10 @@ mod tests {
             agent.end_episode();
         }
         let after = agent.shaped_reward(&r.kpi);
-        assert!(after < before, "penalty should grow with lambda: {before} -> {after}");
+        assert!(
+            after < before,
+            "penalty should grow with lambda: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -53,11 +53,13 @@ impl SlicePolicy for FixedPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use onslicing_slices::{SliceKind, Sla};
+    use onslicing_slices::{Sla, SliceKind};
 
     #[test]
     fn fixed_policy_ignores_the_state() {
-        let p = FixedPolicy { action: Action::uniform(0.3) };
+        let p = FixedPolicy {
+            action: Action::uniform(0.3),
+        };
         let sla = Sla::for_kind(SliceKind::Mar);
         let s1 = SliceState::initial(&sla, 0.1);
         let s2 = SliceState::initial(&sla, 0.9);

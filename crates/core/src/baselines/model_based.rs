@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use onslicing_netsim::SliceWorkload;
-use onslicing_slices::{Action, SliceKind, SliceState, Sla};
+use onslicing_slices::{Action, Sla, SliceKind, SliceState};
 
 use super::SlicePolicy;
 
@@ -71,10 +71,12 @@ impl ModelBasedPolicy {
                 // p_MAR = (f·s)/R_u + l_s ≤ P  with R_u = U_u · C_ul:
                 // the share must carry the offered bit-rate within the
                 // latency budget that remains after the assumed static part.
-                let budget_s =
-                    ((self.sla.performance_target - self.assumed_static_latency_ms) / 1e3).max(0.05);
+                let budget_s = ((self.sla.performance_target - self.assumed_static_latency_ms)
+                    / 1e3)
+                    .max(0.05);
                 let offered_mbps = workload.ul_demand_mbps(f);
-                let required_mbps = (workload.ul_bits_per_request / 1e6 / budget_s).max(offered_mbps);
+                let required_mbps =
+                    (workload.ul_bits_per_request / 1e6 / budget_s).max(offered_mbps);
                 let uu = (required_mbps / self.assumed_ul_capacity_mbps * self.safety_margin)
                     .clamp(0.05, 1.0);
                 Action {
@@ -146,7 +148,11 @@ mod tests {
     use onslicing_netsim::NetworkConfig;
 
     fn policy(kind: SliceKind) -> ModelBasedPolicy {
-        ModelBasedPolicy::new(kind, Sla::for_kind(kind), kind.default_peak_users_per_second())
+        ModelBasedPolicy::new(
+            kind,
+            Sla::for_kind(kind),
+            kind.default_peak_users_per_second(),
+        )
     }
 
     #[test]

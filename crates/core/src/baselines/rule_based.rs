@@ -15,7 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use onslicing_netsim::{NetworkConfig, NetworkSimulator};
-use onslicing_slices::{Action, SliceKind, SliceState, Sla};
+use onslicing_slices::{Action, Sla, SliceKind, SliceState};
 
 use super::SlicePolicy;
 
@@ -66,7 +66,7 @@ impl RuleBasedBaseline {
             for candidate in &candidates {
                 if Self::meets_requirement(&mut sim, kind, sla, candidate, arrival) {
                     let usage = candidate.resource_usage();
-                    if best.as_ref().map_or(true, |(u, _)| usage < *u) {
+                    if best.as_ref().is_none_or(|(u, _)| usage < *u) {
                         best = Some((usage, *candidate));
                     }
                 }
@@ -82,7 +82,11 @@ impl RuleBasedBaseline {
             });
             table.push(chosen);
         }
-        Self { kind, table, num_buckets }
+        Self {
+            kind,
+            table,
+            num_buckets,
+        }
     }
 
     /// The slice this baseline was calibrated for.
@@ -255,7 +259,10 @@ mod tests {
         let b = calibrated(SliceKind::Mar);
         let low = b.action_for_traffic(0.1).resource_usage();
         let high = b.action_for_traffic(1.0).resource_usage();
-        assert!(high >= low, "peak-traffic allocation {high} should not be below idle {low}");
+        assert!(
+            high >= low,
+            "peak-traffic allocation {high} should not be below idle {low}"
+        );
     }
 
     #[test]

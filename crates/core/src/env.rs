@@ -13,7 +13,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use onslicing_netsim::{NetworkConfig, NetworkSimulator};
-use onslicing_slices::{Action, SliceKind, SliceState, Sla, SlotKpi};
+use onslicing_slices::{Action, Sla, SliceKind, SliceState, SlotKpi};
 use onslicing_traffic::{DiurnalTraceConfig, TraceGenerator, TrafficTrace, SLOTS_PER_DAY};
 
 /// Result of one environment step.
@@ -52,7 +52,14 @@ impl SliceEnvironment {
             SliceKind::Hvs => DiurnalTraceConfig::hvs_default(),
             SliceKind::Rdc => DiurnalTraceConfig::rdc_default(),
         };
-        Self::with_trace_config(kind, Sla::for_kind(kind), network, trace_config, SLOTS_PER_DAY, seed)
+        Self::with_trace_config(
+            kind,
+            Sla::for_kind(kind),
+            network,
+            trace_config,
+            SLOTS_PER_DAY,
+            seed,
+        )
     }
 
     /// Creates an environment with explicit SLA, traffic profile and horizon.
@@ -159,7 +166,11 @@ impl SliceEnvironment {
             &kpi,
             self.cumulative_cost,
         );
-        StepResult { kpi, next_state: self.state, done }
+        StepResult {
+            kpi,
+            next_state: self.state,
+            done,
+        }
     }
 
     /// Average per-slot cost of the episode so far (the violation metric is
@@ -206,7 +217,10 @@ impl MultiSliceEnvironment {
     /// Wraps an explicit set of environments (used for the slice-count
     /// scaling experiment of Fig. 19).
     pub fn from_envs(envs: Vec<SliceEnvironment>) -> Self {
-        assert!(!envs.is_empty(), "at least one slice environment is required");
+        assert!(
+            !envs.is_empty(),
+            "at least one slice environment is required"
+        );
         Self { envs }
     }
 
@@ -282,7 +296,11 @@ mod tests {
                 break;
             }
         }
-        assert!(!e.is_violated(), "average cost {} should satisfy the SLA", e.average_cost());
+        assert!(
+            !e.is_violated(),
+            "average cost {} should satisfy the SLA",
+            e.average_cost()
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use onslicing_domains::DomainSet;
 use onslicing_netsim::NetworkConfig;
-use onslicing_slices::{SliceKind, Sla};
+use onslicing_slices::{Sla, SliceKind};
 
 use crate::agent::{AgentConfig, OnSlicingAgent};
 use crate::baselines::{RuleBasedBaseline, SlicePolicy};
@@ -214,8 +214,12 @@ mod tests {
     #[test]
     fn evaluate_policy_reports_usage_and_violation() {
         let mut env = SliceEnvironment::new(SliceKind::Mar, NetworkConfig::testbed_default(), 9);
-        let generous = FixedPolicy { action: Action::uniform(0.6) };
-        let starved = FixedPolicy { action: Action::uniform(0.02) };
+        let generous = FixedPolicy {
+            action: Action::uniform(0.6),
+        };
+        let starved = FixedPolicy {
+            action: Action::uniform(0.02),
+        };
         let good = evaluate_policy(&generous, &mut env, 1);
         let bad = evaluate_policy(&starved, &mut env, 1);
         assert!(good.violation_percent < bad.violation_percent || bad.violation_percent == 100.0);
@@ -244,7 +248,9 @@ mod tests {
     #[should_panic(expected = "at least one evaluation episode")]
     fn zero_episode_evaluation_is_rejected() {
         let mut env = SliceEnvironment::new(SliceKind::Hvs, NetworkConfig::testbed_default(), 1);
-        let p = FixedPolicy { action: Action::uniform(0.5) };
+        let p = FixedPolicy {
+            action: Action::uniform(0.5),
+        };
         let _ = evaluate_policy(&p, &mut env, 0);
     }
 }

@@ -188,7 +188,10 @@ mod tests {
         assert_eq!(agg.num_slice_episodes, 0);
         assert_eq!(agg.avg_usage_percent, 0.0);
         assert_eq!(agg.violation_percent, 0.0);
-        let ep = EpisodeMetrics { slices: vec![], avg_interactions: 0.0 };
+        let ep = EpisodeMetrics {
+            slices: vec![],
+            avg_interactions: 0.0,
+        };
         assert_eq!(ep.avg_usage_percent(), 0.0);
         assert_eq!(ep.violation_percent(), 0.0);
     }

@@ -39,7 +39,10 @@ pub struct ModifierConfig {
 
 impl Default for ModifierConfig {
     fn default() -> Self {
-        Self { retention_floor: 0.6, noise_std: 0.0 }
+        Self {
+            retention_floor: 0.6,
+            noise_std: 0.0,
+        }
     }
 }
 
@@ -74,7 +77,12 @@ impl ActionModifier {
     ///
     /// Dimensions that do not draw from a shared resource (MCS offsets,
     /// scheduler selectors) are returned unchanged.
-    pub fn modify<R: Rng + ?Sized>(&self, original: &Action, betas: &[f64; 6], rng: &mut R) -> Action {
+    pub fn modify<R: Rng + ?Sized>(
+        &self,
+        original: &Action,
+        betas: &[f64; 6],
+        rng: &mut R,
+    ) -> Action {
         let mut modified = *original;
         for resource in ResourceKind::ALL {
             let beta = betas[resource.index()].max(0.0);
@@ -153,12 +161,18 @@ mod tests {
 
     #[test]
     fn retention_floor_bounds_the_reduction() {
-        let m = ActionModifier::new(ModifierConfig { retention_floor: 0.6, noise_std: 0.0 });
+        let m = ActionModifier::new(ModifierConfig {
+            retention_floor: 0.6,
+            noise_std: 0.0,
+        });
         let a = Action::uniform(0.5);
         let mut betas = [0.0; 6];
         betas[ResourceKind::UplinkRadio.index()] = 10.0; // enormous price
         let modified = m.modify(&a, &betas, &mut rng());
-        assert!((modified.ul_bandwidth - 0.3).abs() < 1e-12, "floor = 0.6 * 0.5");
+        assert!(
+            (modified.ul_bandwidth - 0.3).abs() < 1e-12,
+            "floor = 0.6 * 0.5"
+        );
     }
 
     #[test]
@@ -188,7 +202,10 @@ mod tests {
 
     #[test]
     fn noise_perturbs_the_output() {
-        let noisy = ActionModifier::new(ModifierConfig { retention_floor: 0.6, noise_std: 1.0 });
+        let noisy = ActionModifier::new(ModifierConfig {
+            retention_floor: 0.6,
+            noise_std: 1.0,
+        });
         let a = Action::uniform(0.5);
         let out = noisy.modify(&a, &[0.0; 6], &mut rng());
         assert_ne!(out, a);
@@ -211,7 +228,8 @@ mod tests {
         // on the capacity (the orchestrator falls back to projection for the
         // residual sliver).
         while current.iter().map(|a| a.cpu).sum::<f64>() > 1.0 + 1e-6 && rounds < 50 {
-            betas[ResourceKind::EdgeCpu.index()] += 0.5 * (current.iter().map(|a| a.cpu).sum::<f64>() - 1.0);
+            betas[ResourceKind::EdgeCpu.index()] +=
+                0.5 * (current.iter().map(|a| a.cpu).sum::<f64>() - 1.0);
             current = [
                 m.modify(&originals[0], &betas, &mut rng()),
                 m.modify(&originals[1], &betas, &mut rng()),
@@ -228,6 +246,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "retention floor must be in [0, 1]")]
     fn invalid_floor_is_rejected() {
-        let _ = ActionModifier::new(ModifierConfig { retention_floor: 1.5, noise_std: 0.0 });
+        let _ = ActionModifier::new(ModifierConfig {
+            retention_floor: 1.5,
+            noise_std: 0.0,
+        });
     }
 }

@@ -12,7 +12,19 @@
 //!    the network simulator;
 //! 4. the agents record the outcome and, at epoch boundaries, update their
 //!    policies.
+//!
+//! ## Parallelism
+//!
+//! Per-slice agents are fully independent between coordination rounds: each
+//! owns its policy networks, RNG and rollout buffer, and each slice
+//! environment owns its simulator. The decision phase, the environment
+//! stepping phase, per-agent PPO updates and offline pre-training therefore
+//! fan out across cores with `rayon`; only the β-pricing coordination loop —
+//! which is a sequential fixed-point iteration by construction (paper §4,
+//! Eq. 13–14) — stays single-threaded. Determinism is unaffected: no RNG is
+//! shared between agents, so results are identical to a sequential run.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use onslicing_domains::{DomainSet, SliceId};
@@ -42,7 +54,10 @@ pub enum CoordinationMode {
 
 impl Default for CoordinationMode {
     fn default() -> Self {
-        CoordinationMode::Modifier { max_rounds: 10, warm_start: true }
+        CoordinationMode::Modifier {
+            max_rounds: 10,
+            warm_start: true,
+        }
     }
 }
 
@@ -59,7 +74,10 @@ pub struct OrchestratorConfig {
 
 impl Default for OrchestratorConfig {
     fn default() -> Self {
-        Self { coordination: CoordinationMode::default(), episodes_per_epoch: 2 }
+        Self {
+            coordination: CoordinationMode::default(),
+            episodes_per_epoch: 2,
+        }
     }
 }
 
@@ -101,7 +119,12 @@ impl Orchestrator {
             agents.len(),
             "one agent per slice environment is required"
         );
-        let mut orchestrator = Self { env, agents, domains, config };
+        let mut orchestrator = Self {
+            env,
+            agents,
+            domains,
+            config,
+        };
         for i in 0..orchestrator.agents.len() {
             // Slices may already exist when an orchestrator is rebuilt around
             // a shared DomainSet; ignore duplicates.
@@ -142,11 +165,14 @@ impl Orchestrator {
     }
 
     /// Runs the offline pre-training stage of every agent (§5) with
-    /// `episodes_per_agent` baseline episodes each.
+    /// `episodes_per_agent` baseline episodes each — one core per slice.
     pub fn offline_pretrain_all(&mut self, episodes_per_agent: usize) {
-        for (agent, env) in self.agents.iter_mut().zip(self.env.envs_mut()) {
-            agent.offline_pretrain(env, episodes_per_agent);
-        }
+        self.agents
+            .par_iter_mut()
+            .zip(self.env.envs_mut().par_iter_mut())
+            .for_each(|(agent, env)| {
+                agent.offline_pretrain(env, episodes_per_agent);
+            });
     }
 
     /// Resolves the slices' proposed actions against the shared capacities
@@ -154,7 +180,10 @@ impl Orchestrator {
     fn coordinate(&mut self, proposals: &[Action]) -> (Vec<Action>, usize) {
         match self.config.coordination {
             CoordinationMode::Projection => (self.domains.project(proposals.iter()), 1),
-            CoordinationMode::Modifier { max_rounds, warm_start } => {
+            CoordinationMode::Modifier {
+                max_rounds,
+                warm_start,
+            } => {
                 if !warm_start {
                     self.domains.reset_betas();
                 }
@@ -192,12 +221,19 @@ impl Orchestrator {
     /// evaluation).
     pub fn run_slot(&mut self, learn: bool) -> SlotOutcome {
         let states: Vec<_> = self.env.envs().iter().map(|e| e.state()).collect();
-        let costs: Vec<f64> = self.env.envs().iter().map(|e| e.cumulative_cost()).collect();
+        let costs: Vec<f64> = self
+            .env
+            .envs()
+            .iter()
+            .map(|e| e.cumulative_cost())
+            .collect();
+        // Decision phase: every agent proposes independently (own networks,
+        // own RNG), so the sweep fans out across cores.
         let decisions: Vec<Decision> = self
             .agents
-            .iter_mut()
-            .zip(states.iter().zip(costs.iter()))
-            .map(|(agent, (state, cost))| agent.decide(state, *cost, !learn))
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, agent)| agent.decide(&states[i], costs[i], !learn))
             .collect();
         let proposals: Vec<Action> = decisions.iter().map(|d| d.action).collect();
         let (executed, interactions) = self.coordinate(&proposals);
@@ -206,15 +242,30 @@ impl Orchestrator {
                 .enforce(SliceId(i as u32), *action)
                 .expect("slices are registered at construction");
         }
-        for (i, agent) in self.agents.iter_mut().enumerate() {
-            let result = self.env.envs_mut()[i].step(&executed[i]);
-            // Always record so that episode usage/cost summaries are
-            // available; the agent only stores a learning transition when the
-            // decision carried a stochastic sample (i.e. `learn` was true and
-            // π_θ acted).
-            agent.record(&states[i], &decisions[i], &executed[i], &result.kpi, result.done);
+        // Execution phase: each slice steps its own simulator and records its
+        // own outcome, again one core per slice. The agent only stores a
+        // learning transition when the decision carried a stochastic sample
+        // (i.e. `learn` was true and π_θ acted); recording always happens so
+        // episode usage/cost summaries stay available.
+        self.agents
+            .par_iter_mut()
+            .zip(self.env.envs_mut().par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (agent, env))| {
+                let result = env.step(&executed[i]);
+                agent.record(
+                    &states[i],
+                    &decisions[i],
+                    &executed[i],
+                    &result.kpi,
+                    result.done,
+                );
+            });
+        SlotOutcome {
+            decisions,
+            executed,
+            interactions,
         }
-        SlotOutcome { decisions, executed, interactions }
     }
 
     /// Runs one full episode (one emulated day) and returns its metrics.
@@ -226,7 +277,10 @@ impl Orchestrator {
             interactions += self.run_slot(learn).interactions;
         }
         let slices = self.agents.iter_mut().map(|a| a.end_episode()).collect();
-        EpisodeMetrics { slices, avg_interactions: interactions as f64 / horizon as f64 }
+        EpisodeMetrics {
+            slices,
+            avg_interactions: interactions as f64 / horizon as f64,
+        }
     }
 
     /// Runs one learning epoch (`episodes_per_epoch` episodes followed by a
@@ -236,9 +290,10 @@ impl Orchestrator {
         for _ in 0..self.config.episodes_per_epoch {
             episodes.push(self.run_episode(true));
         }
-        for agent in &mut self.agents {
+        // PPO updates are per-slice and independent — run them concurrently.
+        self.agents.par_iter_mut().for_each(|agent| {
             agent.update_policy();
-        }
+        });
         EpochMetrics::from_episodes(&episodes)
     }
 
@@ -251,8 +306,7 @@ impl Orchestrator {
     /// Evaluates the current policies deterministically over `episodes`
     /// episodes (the "test performance" of Table 1).
     pub fn evaluate(&mut self, episodes: usize) -> EpochMetrics {
-        let runs: Vec<EpisodeMetrics> =
-            (0..episodes).map(|_| self.run_episode(false)).collect();
+        let runs: Vec<EpisodeMetrics> = (0..episodes).map(|_| self.run_episode(false)).collect();
         EpochMetrics::from_episodes(&runs)
     }
 }
@@ -263,7 +317,7 @@ mod tests {
     use crate::agent::AgentConfig;
     use crate::baselines::RuleBasedBaseline;
     use onslicing_netsim::NetworkConfig;
-    use onslicing_slices::{SliceKind, Sla};
+    use onslicing_slices::{Sla, SliceKind};
     use onslicing_traffic::SLOTS_PER_DAY;
 
     fn build(config: AgentConfig, coordination: CoordinationMode) -> Orchestrator {
@@ -290,7 +344,10 @@ mod tests {
             env,
             agents,
             DomainSet::testbed_default(),
-            OrchestratorConfig { coordination, episodes_per_epoch: 1 },
+            OrchestratorConfig {
+                coordination,
+                episodes_per_epoch: 1,
+            },
         )
     }
 

@@ -34,7 +34,12 @@ impl ParameterCoordinator {
     pub fn new(resource: ResourceKind, capacity: f64, step_size: f64) -> Self {
         assert!(capacity > 0.0, "capacity must be positive");
         assert!(step_size > 0.0, "step size must be positive");
-        Self { resource, capacity, step_size, beta: 0.0 }
+        Self {
+            resource,
+            capacity,
+            step_size,
+            beta: 0.0,
+        }
     }
 
     /// The current coordinating parameter `β_k`.

@@ -33,8 +33,12 @@ pub enum DomainKind {
 
 impl DomainKind {
     /// All domains in the paper's order.
-    pub const ALL: [DomainKind; 4] =
-        [DomainKind::Radio, DomainKind::Transport, DomainKind::Core, DomainKind::Edge];
+    pub const ALL: [DomainKind; 4] = [
+        DomainKind::Radio,
+        DomainKind::Transport,
+        DomainKind::Core,
+        DomainKind::Edge,
+    ];
 
     /// Short name used in experiment output.
     pub fn name(self) -> &'static str {
@@ -54,9 +58,10 @@ impl DomainKind {
     pub fn resources(self) -> &'static [ResourceKind] {
         match self {
             DomainKind::Radio => &[ResourceKind::UplinkRadio, ResourceKind::DownlinkRadio],
-            DomainKind::Transport => {
-                &[ResourceKind::TransportBandwidth, ResourceKind::TransportPath]
-            }
+            DomainKind::Transport => &[
+                ResourceKind::TransportBandwidth,
+                ResourceKind::TransportPath,
+            ],
             DomainKind::Core => &[],
             DomainKind::Edge => &[ResourceKind::EdgeCpu, ResourceKind::EdgeRam],
         }
@@ -91,7 +96,12 @@ impl DomainManager {
             .iter()
             .map(|r| ParameterCoordinator::new(*r, capacity, step_size))
             .collect();
-        Self { kind, coordinators, allocations: BTreeMap::new(), enforcement_count: 0 }
+        Self {
+            kind,
+            coordinators,
+            allocations: BTreeMap::new(),
+            enforcement_count: 0,
+        }
     }
 
     /// Which domain this manager controls.
@@ -152,7 +162,10 @@ impl DomainManager {
 
     /// Sum of the currently enforced shares of one owned resource.
     pub fn total_enforced_share(&self, resource: ResourceKind) -> f64 {
-        self.allocations.values().map(|a| a.resource_share(resource)).sum()
+        self.allocations
+            .values()
+            .map(|a| a.resource_share(resource))
+            .sum()
     }
 
     /// Whether a set of requested actions fits every resource this manager
@@ -164,8 +177,7 @@ impl DomainManager {
     {
         let iter = requests.into_iter();
         self.coordinators.iter().all(|c| {
-            let shares: Vec<f64> =
-                iter.clone().map(|a| a.resource_share(c.resource)).collect();
+            let shares: Vec<f64> = iter.clone().map(|a| a.resource_share(c.resource)).collect();
             c.is_feasible(&shares)
         })
     }
@@ -185,12 +197,19 @@ impl DomainManager {
             feasible &= c.is_feasible(&shares);
             betas.push((c.resource, c.update(&shares)));
         }
-        CoordinationUpdate { slot, betas, feasible }
+        CoordinationUpdate {
+            slot,
+            betas,
+            feasible,
+        }
     }
 
     /// The current dual variables of this manager's resources.
     pub fn betas(&self) -> Vec<(ResourceKind, f64)> {
-        self.coordinators.iter().map(|c| (c.resource, c.beta())).collect()
+        self.coordinators
+            .iter()
+            .map(|c| (c.resource, c.beta()))
+            .collect()
     }
 
     /// Overwrites the dual variable of one owned resource (warm start or
@@ -220,7 +239,10 @@ impl DomainManager {
     {
         let mut actions: Vec<Action> = requests.into_iter().copied().collect();
         for c in &self.coordinators {
-            let shares: Vec<f64> = actions.iter().map(|a| a.resource_share(c.resource)).collect();
+            let shares: Vec<f64> = actions
+                .iter()
+                .map(|a| a.resource_share(c.resource))
+                .collect();
             let projected = c.project(&shares);
             for (a, p) in actions.iter_mut().zip(projected) {
                 a.set(c.resource.action_dim(), p);
@@ -252,12 +274,16 @@ mod tests {
         let id = SliceId(1);
         assert!(rdm.apply(SliceConfigCommand::Create(id)).is_ok());
         assert!(rdm.apply(SliceConfigCommand::Create(id)).is_err());
-        assert!(rdm.apply(SliceConfigCommand::Adjust(id, Action::uniform(0.4))).is_ok());
+        assert!(rdm
+            .apply(SliceConfigCommand::Adjust(id, Action::uniform(0.4)))
+            .is_ok());
         assert_eq!(rdm.allocation_of(id).unwrap().ul_bandwidth, 0.4);
         assert_eq!(rdm.enforcement_count(), 1);
         assert!(rdm.apply(SliceConfigCommand::Delete(id)).is_ok());
         assert!(rdm.apply(SliceConfigCommand::Delete(id)).is_err());
-        assert!(rdm.apply(SliceConfigCommand::Adjust(id, Action::zeros())).is_err());
+        assert!(rdm
+            .apply(SliceConfigCommand::Adjust(id, Action::zeros()))
+            .is_err());
     }
 
     #[test]
@@ -265,7 +291,8 @@ mod tests {
         let mut edm = DomainManager::new(DomainKind::Edge);
         for i in 0..3 {
             edm.apply(SliceConfigCommand::Create(SliceId(i))).unwrap();
-            edm.apply(SliceConfigCommand::Adjust(SliceId(i), Action::uniform(0.2))).unwrap();
+            edm.apply(SliceConfigCommand::Adjust(SliceId(i), Action::uniform(0.2)))
+                .unwrap();
         }
         assert!((edm.total_enforced_share(ResourceKind::EdgeCpu) - 0.6).abs() < 1e-12);
     }
@@ -273,8 +300,8 @@ mod tests {
     #[test]
     fn feasibility_and_coordination_follow_the_owned_resources() {
         let mut rdm = DomainManager::new(DomainKind::Radio);
-        let fits = vec![Action::uniform(0.4), Action::uniform(0.4)];
-        let too_much = vec![Action::uniform(0.7), Action::uniform(0.7)];
+        let fits = [Action::uniform(0.4), Action::uniform(0.4)];
+        let too_much = [Action::uniform(0.7), Action::uniform(0.7)];
         assert!(rdm.is_feasible(fits.iter()));
         assert!(!rdm.is_feasible(too_much.iter()));
 
@@ -307,7 +334,7 @@ mod tests {
     #[test]
     fn projection_only_touches_owned_resources() {
         let rdm = DomainManager::new(DomainKind::Radio);
-        let requests = vec![Action::uniform(0.8), Action::uniform(0.8)];
+        let requests = [Action::uniform(0.8), Action::uniform(0.8)];
         let projected = rdm.project(requests.iter());
         // Radio shares scaled to fit...
         let total_ul: f64 = projected.iter().map(|a| a.ul_bandwidth).sum();

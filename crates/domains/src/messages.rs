@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn resource_request_reads_the_right_share() {
-        let req = ResourceRequest { slice: SliceId(3), slot: 7, action: Action::uniform(0.25) };
+        let req = ResourceRequest {
+            slice: SliceId(3),
+            slot: 7,
+            action: Action::uniform(0.25),
+        };
         assert_eq!(req.share_of(ResourceKind::EdgeCpu), 0.25);
         assert_eq!(req.slice, SliceId(3));
     }
@@ -110,7 +114,11 @@ mod tests {
 
     #[test]
     fn messages_serialize_round_trip() {
-        let req = ResourceRequest { slice: SliceId(9), slot: 42, action: Action::uniform(0.5) };
+        let req = ResourceRequest {
+            slice: SliceId(9),
+            slot: 42,
+            action: Action::uniform(0.5),
+        };
         let json = serde_json::to_string(&req).unwrap();
         let back: ResourceRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, req);

@@ -45,12 +45,18 @@ impl DomainSet {
 
     /// The manager of one domain.
     pub fn manager(&self, kind: DomainKind) -> &DomainManager {
-        self.managers.iter().find(|m| m.kind() == kind).expect("all domains exist")
+        self.managers
+            .iter()
+            .find(|m| m.kind() == kind)
+            .expect("all domains exist")
     }
 
     /// Mutable access to the manager of one domain.
     pub fn manager_mut(&mut self, kind: DomainKind) -> &mut DomainManager {
-        self.managers.iter_mut().find(|m| m.kind() == kind).expect("all domains exist")
+        self.managers
+            .iter_mut()
+            .find(|m| m.kind() == kind)
+            .expect("all domains exist")
     }
 
     /// Registers a slice in every domain.
@@ -86,7 +92,9 @@ impl DomainSet {
         I::IntoIter: Clone,
     {
         let actions: Vec<&Action> = requests.into_iter().collect();
-        self.managers.iter().all(|m| m.is_feasible(actions.iter().copied()))
+        self.managers
+            .iter()
+            .all(|m| m.is_feasible(actions.iter().copied()))
     }
 
     /// One coordination round across all domains: every manager updates its
@@ -194,7 +202,11 @@ mod tests {
     #[test]
     fn feasibility_covers_every_resource() {
         let set = DomainSet::testbed_default();
-        let ok = vec![Action::uniform(0.3), Action::uniform(0.3), Action::uniform(0.3)];
+        let ok = vec![
+            Action::uniform(0.3),
+            Action::uniform(0.3),
+            Action::uniform(0.3),
+        ];
         assert!(set.is_feasible(ok.iter()));
         let mut bad = ok.clone();
         bad[0].ram = 0.9; // 0.9 + 0.3 + 0.3 > 1
@@ -226,7 +238,11 @@ mod tests {
     #[test]
     fn projection_makes_any_request_set_feasible() {
         let set = DomainSet::testbed_default();
-        let requests = vec![Action::uniform(0.9), Action::uniform(0.8), Action::uniform(0.7)];
+        let requests = [
+            Action::uniform(0.9),
+            Action::uniform(0.8),
+            Action::uniform(0.7),
+        ];
         let projected = set.project(requests.iter());
         assert!(set.is_feasible(projected.iter()));
         // Projection preserves relative ordering.
@@ -236,7 +252,7 @@ mod tests {
     #[test]
     fn excess_reports_per_resource_overload() {
         let set = DomainSet::testbed_default();
-        let requests = vec![Action::uniform(0.6), Action::uniform(0.6)];
+        let requests = [Action::uniform(0.6), Action::uniform(0.6)];
         let excess = set.excess(requests.iter());
         for e in excess {
             assert!((e - 0.2).abs() < 1e-12);
@@ -260,7 +276,10 @@ mod tests {
             }
             rounds += 1;
         }
-        assert!(set.is_feasible(requests.iter()), "coordination failed to converge");
+        assert!(
+            set.is_feasible(requests.iter()),
+            "coordination failed to converge"
+        );
         assert!(rounds <= 10, "too many interactions: {rounds}");
     }
 }

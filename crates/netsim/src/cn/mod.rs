@@ -41,7 +41,11 @@ pub struct CnConfig {
 impl CnConfig {
     /// The testbed's workstation-hosted SPGW-U.
     pub fn testbed_default() -> Self {
-        Self { max_pps: 50_000.0, base_delay_ms: 0.3, max_queue_multiplier: 25.0 }
+        Self {
+            max_pps: 50_000.0,
+            base_delay_ms: 0.3,
+            max_queue_multiplier: 25.0,
+        }
     }
 
     /// Evaluates packet processing for one slice and one slot.
@@ -54,7 +58,11 @@ impl CnConfig {
         if capacity <= 1e-9 {
             return CnOutcome {
                 capacity_pps: 0.0,
-                offered_load: if packet_rate_pps > 0.0 { f64::INFINITY } else { 0.0 },
+                offered_load: if packet_rate_pps > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                },
                 avg_delay_ms: self.base_delay_ms * self.max_queue_multiplier,
                 loss_prob: if packet_rate_pps > 0.0 { 1.0 } else { 0.0 },
             };
@@ -103,7 +111,11 @@ impl SpgwuPool {
     /// Panics if `instances` is zero.
     pub fn new(instances: usize, policy: AttachPolicy) -> Self {
         assert!(instances > 0, "a slice needs at least one SPGW-U instance");
-        Self { users_per_instance: vec![0; instances], policy, next_rr: 0 }
+        Self {
+            users_per_instance: vec![0; instances],
+            policy,
+            next_rr: 0,
+        }
     }
 
     /// Number of instances in the pool.

@@ -43,13 +43,21 @@ impl EdgeConfig {
     /// Profile for the MAR back-end (ORB feature extraction + matching):
     /// a full CPU sustains ≈ 40 frames/s.
     pub fn mar_default() -> Self {
-        Self { max_service_rate_rps: 40.0, max_concurrent_requests: 64.0, max_queue_multiplier: 25.0 }
+        Self {
+            max_service_rate_rps: 40.0,
+            max_concurrent_requests: 64.0,
+            max_queue_multiplier: 25.0,
+        }
     }
 
     /// Profile for the HVS streaming server: pushing chunks is cheap,
     /// a full CPU feeds ≈ 120 chunk requests/s.
     pub fn hvs_default() -> Self {
-        Self { max_service_rate_rps: 120.0, max_concurrent_requests: 96.0, max_queue_multiplier: 25.0 }
+        Self {
+            max_service_rate_rps: 120.0,
+            max_concurrent_requests: 96.0,
+            max_queue_multiplier: 25.0,
+        }
     }
 
     /// Profile for the RDC control server: tiny messages, very high rate.
@@ -78,7 +86,11 @@ impl EdgeConfig {
         if capacity <= 1e-9 {
             return EdgeOutcome {
                 service_rate_rps: 0.0,
-                offered_load: if request_rate_rps > 0.0 { f64::INFINITY } else { 0.0 },
+                offered_load: if request_rate_rps > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                },
                 avg_delay_ms: 5_000.0,
                 loss_prob: if request_rate_rps > 0.0 { 1.0 } else { 0.0 },
                 workload: if request_rate_rps > 0.0 { 2.0 } else { 0.0 },
@@ -122,7 +134,11 @@ mod tests {
         // the paper's 500 ms end-to-end budget.
         let edge = EdgeConfig::mar_default();
         let out = edge.evaluate(0.25, 1.0, 5.0);
-        assert!(out.avg_delay_ms > 100.0 && out.avg_delay_ms < 400.0, "delay {}", out.avg_delay_ms);
+        assert!(
+            out.avg_delay_ms > 100.0 && out.avg_delay_ms < 400.0,
+            "delay {}",
+            out.avg_delay_ms
+        );
     }
 
     #[test]

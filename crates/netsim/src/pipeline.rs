@@ -12,11 +12,11 @@
 use std::collections::HashMap;
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use onslicing_slices::{Action, SliceKind, Sla, SlotKpi};
+use onslicing_slices::{Action, Sla, SliceKind, SlotKpi};
 use onslicing_traffic::{PoissonArrivals, SLOT_SECONDS};
 
 use crate::cn::CnConfig;
@@ -50,8 +50,8 @@ impl SliceWorkload {
                 target_fps: 0.0,
             },
             SliceKind::Hvs => Self {
-                ul_bits_per_request: 8_000.0,      // chunk request
-                dl_bits_per_request: 5_000_000.0,  // 1 s of 1080p video
+                ul_bits_per_request: 8_000.0,     // chunk request
+                dl_bits_per_request: 5_000_000.0, // 1 s of 1080p video
                 packet_bits: 12_000.0,
                 target_fps: 30.0,
             },
@@ -118,7 +118,10 @@ impl NetworkConfig {
 
     /// The 5G NR variant of the testbed.
     pub fn testbed_nr() -> Self {
-        Self { ran: RanConfig::nr_default(), ..Self::testbed_default() }
+        Self {
+            ran: RanConfig::nr_default(),
+            ..Self::testbed_default()
+        }
     }
 
     /// Returns a copy with a different seed.
@@ -169,7 +172,11 @@ impl NetworkSimulator {
         for kind in SliceKind::ALL {
             channels.insert(kind, ChannelModel::testbed_default());
         }
-        Self { channels, rng: ChaCha8Rng::seed_from_u64(config.seed), config }
+        Self {
+            channels,
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            config,
+        }
     }
 
     /// The simulator's configuration.
@@ -246,8 +253,8 @@ impl NetworkSimulator {
         let edge = SliceWorkload::edge_config(kind).evaluate(action.cpu, action.ram, arrival_rate);
 
         // Latency jitter from the RAN profile (scheduling randomness).
-        let jitter = self.config.ran.profile.latency_jitter_ms
-            * crate::standard_normal(&mut self.rng).abs();
+        let jitter =
+            self.config.ran.profile.latency_jitter_ms * crate::standard_normal(&mut self.rng).abs();
 
         let breakdown = SlotBreakdown {
             ul_radio_ms: ul.avg_delay_ms,
@@ -269,9 +276,9 @@ impl NetworkSimulator {
             + breakdown.edge_ms
             + jitter;
 
-        let served_requests =
-            (offered_requests as f64 * breakdown.service_ratio).round().min(offered_requests as f64)
-                as u64;
+        let served_requests = (offered_requests as f64 * breakdown.service_ratio)
+            .round()
+            .min(offered_requests as f64) as u64;
 
         // Raw performance in the slice's natural unit. Idle slots (no offered
         // traffic) report the SLA target itself: the application has nothing
@@ -312,8 +319,16 @@ impl NetworkSimulator {
             rtt_ms,
             ul.goodput_mbps,
             dl.goodput_mbps,
-            if kind == SliceKind::Hvs { raw_performance } else { 0.0 },
-            if kind == SliceKind::Rdc { raw_performance } else { breakdown.service_ratio },
+            if kind == SliceKind::Hvs {
+                raw_performance
+            } else {
+                0.0
+            },
+            if kind == SliceKind::Rdc {
+                raw_performance
+            } else {
+                breakdown.service_ratio
+            },
             ul.retransmission_prob.max(dl.retransmission_prob),
             channel_quality,
             0.5 * (ul.utilization + dl.utilization),
@@ -415,7 +430,11 @@ mod tests {
         let sla = Sla::for_kind(SliceKind::Mar);
         let kpi = s.step_slice(SliceKind::Mar, &sla, &generous(), 5.0);
         assert!(kpi.validate().is_ok());
-        assert!(kpi.avg_latency_ms < 500.0, "latency {} should meet the SLA", kpi.avg_latency_ms);
+        assert!(
+            kpi.avg_latency_ms < 500.0,
+            "latency {} should meet the SLA",
+            kpi.avg_latency_ms
+        );
         assert_eq!(kpi.cost, 0.0);
     }
 
@@ -462,7 +481,11 @@ mod tests {
         let kpi_with = s.step_slice(SliceKind::Rdc, &sla, &with_offset, 100.0);
         assert!(kpi_without.reliability < 0.9999);
         assert!(kpi_without.cost > 0.1);
-        assert!(kpi_with.reliability > 0.99999, "reliability {}", kpi_with.reliability);
+        assert!(
+            kpi_with.reliability > 0.99999,
+            "reliability {}",
+            kpi_with.reliability
+        );
         assert_eq!(kpi_with.cost, 0.0);
     }
 
@@ -494,9 +517,18 @@ mod tests {
         let mut nr = NetworkSimulator::new(NetworkConfig::testbed_nr().with_seed(3));
         let lte_avg: f64 = (0..200).map(|_| lte.ping_rtt_ms()).sum::<f64>() / 200.0;
         let nr_avg: f64 = (0..200).map(|_| nr.ping_rtt_ms()).sum::<f64>() / 200.0;
-        assert!(nr_avg < lte_avg, "NR ping {nr_avg} should beat LTE ping {lte_avg}");
-        assert!(lte_avg > 20.0 && lte_avg < 45.0, "LTE ping {lte_avg} should be tens of ms");
-        assert!(nr_avg > 5.0 && nr_avg < 25.0, "NR ping {nr_avg} should be ~10-20 ms");
+        assert!(
+            nr_avg < lte_avg,
+            "NR ping {nr_avg} should beat LTE ping {lte_avg}"
+        );
+        assert!(
+            lte_avg > 20.0 && lte_avg < 45.0,
+            "LTE ping {lte_avg} should be tens of ms"
+        );
+        assert!(
+            nr_avg > 5.0 && nr_avg < 25.0,
+            "NR ping {nr_avg} should be ~10-20 ms"
+        );
     }
 
     #[test]
@@ -505,7 +537,10 @@ mod tests {
         let half = s.saturation_throughput_mbps(SliceKind::Hvs, 0.5, Direction::Downlink);
         let full = s.saturation_throughput_mbps(SliceKind::Hvs, 1.0, Direction::Downlink);
         assert!(full > 1.8 * half);
-        assert!(full > 30.0, "full-carrier DL throughput {full} Mbps should be tens of Mbps");
+        assert!(
+            full > 30.0,
+            "full-carrier DL throughput {full} Mbps should be tens of Mbps"
+        );
     }
 
     #[test]
@@ -527,6 +562,9 @@ mod tests {
         let (kpi, b) = s.step_slice_detailed(SliceKind::Mar, &sla, &generous(), 5.0);
         let sum = b.ul_radio_ms + b.dl_radio_ms + b.transport_ms + b.core_ms + b.edge_ms;
         assert!(kpi.avg_latency_ms >= sum - 1e-9);
-        assert!(kpi.avg_latency_ms <= sum + 5.0 * 4.0 + 1.0, "jitter should be bounded");
+        assert!(
+            kpi.avg_latency_ms <= sum + 5.0 * 4.0 + 1.0,
+            "jitter should be bounded"
+        );
     }
 }

@@ -193,8 +193,14 @@ mod tests {
         let lte = RatProfile::lte();
         let dl = lte.dl_capacity_mbps(9);
         let ul = lte.ul_capacity_mbps(9);
-        assert!((dl - 14.3).abs() / 14.3 < 0.3, "LTE DL {dl} Mbps should be near 14.3");
-        assert!((ul - 6.71).abs() / 6.71 < 0.3, "LTE UL {ul} Mbps should be near 6.71");
+        assert!(
+            (dl - 14.3).abs() / 14.3 < 0.3,
+            "LTE DL {dl} Mbps should be near 14.3"
+        );
+        assert!(
+            (ul - 6.71).abs() / 6.71 < 0.3,
+            "LTE UL {ul} Mbps should be near 6.71"
+        );
     }
 
     #[test]
@@ -203,8 +209,14 @@ mod tests {
         let nr = RatProfile::nr();
         let dl = nr.dl_capacity_mbps(9);
         let ul = nr.ul_capacity_mbps(9);
-        assert!((dl - 18.5).abs() / 18.5 < 0.3, "NR DL {dl} Mbps should be near 18.5");
-        assert!((ul - 11.5).abs() / 11.5 < 0.3, "NR UL {ul} Mbps should be near 11.5");
+        assert!(
+            (dl - 18.5).abs() / 18.5 < 0.3,
+            "NR DL {dl} Mbps should be near 18.5"
+        );
+        assert!(
+            (ul - 11.5).abs() / 11.5 < 0.3,
+            "NR UL {ul} Mbps should be near 11.5"
+        );
     }
 
     #[test]

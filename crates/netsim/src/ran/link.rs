@@ -77,10 +77,21 @@ impl ChannelModel {
     /// # Panics
     /// Panics if the parameters are outside their valid ranges.
     pub fn new(mean_cqi: f64, std_cqi: f64, correlation: f64) -> Self {
-        assert!((1.0..=f64::from(MAX_CQI)).contains(&mean_cqi), "mean CQI out of range");
+        assert!(
+            (1.0..=f64::from(MAX_CQI)).contains(&mean_cqi),
+            "mean CQI out of range"
+        );
         assert!(std_cqi >= 0.0, "std must be non-negative");
-        assert!((0.0..1.0).contains(&correlation), "correlation must be in [0, 1)");
-        Self { mean_cqi, std_cqi, correlation, current_cqi: mean_cqi }
+        assert!(
+            (0.0..1.0).contains(&correlation),
+            "correlation must be in [0, 1)"
+        );
+        Self {
+            mean_cqi,
+            std_cqi,
+            correlation,
+            current_cqi: mean_cqi,
+        }
     }
 
     /// The paper-testbed default: good indoor channel, CQI ≈ 12 ± 1.2,
@@ -109,9 +120,8 @@ impl ChannelModel {
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
         let noise_std = self.std_cqi * (1.0 - self.correlation * self.correlation).sqrt();
         let z = crate::standard_normal(rng);
-        let next = self.mean_cqi
-            + self.correlation * (self.current_cqi - self.mean_cqi)
-            + noise_std * z;
+        let next =
+            self.mean_cqi + self.correlation * (self.current_cqi - self.mean_cqi) + noise_std * z;
         self.current_cqi = next.clamp(1.0, f64::from(MAX_CQI));
         self.current_cqi
     }
@@ -173,7 +183,7 @@ mod tests {
     fn expected_transmissions_is_at_least_one() {
         for o in 0..=10 {
             let e = expected_transmissions(Direction::Uplink, o);
-            assert!(e >= 1.0 && e < 1.2);
+            assert!((1.0..1.2).contains(&e));
         }
     }
 
@@ -194,7 +204,10 @@ mod tests {
         let mut ch = ChannelModel::new(10.0, 1.0, 0.5);
         let n = 5000;
         let mean: f64 = (0..n).map(|_| ch.step(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - 10.0).abs() < 0.2, "empirical mean {mean} should be near 10");
+        assert!(
+            (mean - 10.0).abs() < 0.2,
+            "empirical mean {mean} should be near 10"
+        );
     }
 
     #[test]

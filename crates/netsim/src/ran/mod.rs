@@ -14,7 +14,9 @@ pub mod cqi;
 pub mod link;
 pub mod scheduler;
 
-pub use cqi::{apply_mcs_offset, cqi_to_mcs, spectral_efficiency, RatKind, RatProfile, MAX_CQI, MAX_MCS};
+pub use cqi::{
+    apply_mcs_offset, cqi_to_mcs, spectral_efficiency, RatKind, RatProfile, MAX_CQI, MAX_MCS,
+};
 pub use link::{
     expected_transmissions, residual_loss_probability, retransmission_probability, ChannelModel,
     Direction,
@@ -75,17 +77,27 @@ impl RanConfig {
 
     /// 5G NR with adaptive MCS.
     pub fn nr_default() -> Self {
-        Self { profile: RatProfile::nr(), ..Self::lte_default() }
+        Self {
+            profile: RatProfile::nr(),
+            ..Self::lte_default()
+        }
     }
 
     /// LTE pinned to MCS 9 (the paper's stabilized 4G/5G comparison setting).
     pub fn lte_fixed_mcs9() -> Self {
-        Self { fixed_mcs: Some(9), ..Self::lte_default() }
+        Self {
+            fixed_mcs: Some(9),
+            ..Self::lte_default()
+        }
     }
 
     /// NR pinned to MCS 9.
     pub fn nr_fixed_mcs9() -> Self {
-        Self { profile: RatProfile::nr(), fixed_mcs: Some(9), ..Self::lte_default() }
+        Self {
+            profile: RatProfile::nr(),
+            fixed_mcs: Some(9),
+            ..Self::lte_default()
+        }
     }
 
     /// The MCS used for a transmission given the current CQI and the slice's
@@ -133,7 +145,11 @@ impl RanConfig {
             // No allocation: nothing is served; delay saturates.
             return RadioLinkOutcome {
                 capacity_mbps: 0.0,
-                offered_load: if demand_mbps > 0.0 { f64::INFINITY } else { 0.0 },
+                offered_load: if demand_mbps > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                },
                 utilization: 0.0,
                 goodput_mbps: 0.0,
                 avg_delay_ms: self.overload_delay_ms(),
@@ -153,9 +169,9 @@ impl RanConfig {
         } else {
             self.max_queue_multiplier
         };
-        let avg_delay_ms =
-            self.profile.base_latency_ms * effect.delay_factor + tx_ms * queue_mult;
-        let residual = residual_loss_probability(direction, mcs_offset_steps, self.max_harq_retransmissions);
+        let avg_delay_ms = self.profile.base_latency_ms * effect.delay_factor + tx_ms * queue_mult;
+        let residual =
+            residual_loss_probability(direction, mcs_offset_steps, self.max_harq_retransmissions);
         // When overloaded, the excess traffic is dropped (adds to loss).
         let drop_prob = if rho > 1.0 { 1.0 - 1.0 / rho } else { 0.0 };
         RadioLinkOutcome {
@@ -268,8 +284,24 @@ mod tests {
     #[test]
     fn downlink_has_more_capacity_than_uplink() {
         let cfg = RanConfig::lte_default();
-        let ul = cfg.evaluate(Direction::Uplink, 0.4, 0, SchedulerKind::RoundRobin, 12, 1.0, 1e5);
-        let dl = cfg.evaluate(Direction::Downlink, 0.4, 0, SchedulerKind::RoundRobin, 12, 1.0, 1e5);
+        let ul = cfg.evaluate(
+            Direction::Uplink,
+            0.4,
+            0,
+            SchedulerKind::RoundRobin,
+            12,
+            1.0,
+            1e5,
+        );
+        let dl = cfg.evaluate(
+            Direction::Downlink,
+            0.4,
+            0,
+            SchedulerKind::RoundRobin,
+            12,
+            1.0,
+            1e5,
+        );
         assert!(dl.capacity_mbps > ul.capacity_mbps);
     }
 

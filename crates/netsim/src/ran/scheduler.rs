@@ -85,7 +85,11 @@ mod tests {
 
     #[test]
     fn factors_are_positive_and_bounded() {
-        for kind in [SchedulerKind::RoundRobin, SchedulerKind::ProportionalFair, SchedulerKind::MaxCqi] {
+        for kind in [
+            SchedulerKind::RoundRobin,
+            SchedulerKind::ProportionalFair,
+            SchedulerKind::MaxCqi,
+        ] {
             for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
                 let e = scheduler_effect(kind, q);
                 assert!(e.throughput_factor > 0.5 && e.throughput_factor < 1.5);

@@ -75,7 +75,11 @@ impl TnConfig {
         if capacity <= 1e-9 {
             return TnOutcome {
                 capacity_mbps: 0.0,
-                offered_load: if demand_mbps > 0.0 { f64::INFINITY } else { 0.0 },
+                offered_load: if demand_mbps > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                },
                 goodput_mbps: 0.0,
                 avg_delay_ms: self.base_delay_ms
                     + self.cross_traffic_delay_ms

@@ -78,6 +78,55 @@ impl Activation {
     pub fn apply_vec(self, xs: &[f64]) -> Vec<f64> {
         xs.iter().map(|&x| self.apply(x)).collect()
     }
+
+    /// Writes `act(src[i])` into `dst[i]` — the allocation-free batched
+    /// forward kernel.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn apply_into(self, src: &[f64], dst: &mut [f64]) {
+        assert_eq!(src.len(), dst.len(), "activation buffer length mismatch");
+        match self {
+            // Specialized loops keep the hot ReLU/Identity cases branch-free
+            // inside the element body.
+            Activation::Relu => {
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d = if s > 0.0 { s } else { 0.0 };
+                }
+            }
+            Activation::Identity => dst.copy_from_slice(src),
+            act => {
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d = act.apply(s);
+                }
+            }
+        }
+    }
+
+    /// Multiplies `delta[i]` by `act'(pre[i])` in place — the batched
+    /// backward kernel turning `dL/dy` into `dL/d(pre-activation)`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn mul_derivative_into(self, pre: &[f64], delta: &mut [f64]) {
+        assert_eq!(pre.len(), delta.len(), "derivative buffer length mismatch");
+        match self {
+            Activation::Relu => {
+                // Branchless select: the pre-activation sign is data
+                // dependent, so a conditional store would mispredict half
+                // the time and block vectorization.
+                for (d, &z) in delta.iter_mut().zip(pre.iter()) {
+                    *d = if z > 0.0 { *d } else { 0.0 };
+                }
+            }
+            Activation::Identity => {}
+            act => {
+                for (d, &z) in delta.iter_mut().zip(pre.iter()) {
+                    *d *= act.derivative(z);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,10 @@ pub struct BayesianLinear {
     cached_pre_activation: Vec<f64>,
     cached_weight_eps: Matrix,
     cached_bias_eps: Vec<f64>,
+    // Materialized weight sample `W = μ + softplus(ρ)·ε` for the batched
+    // path, where one posterior draw serves a whole minibatch.
+    sampled_weights: Matrix,
+    sampled_bias: Vec<f64>,
     /// Weight of the prior's standard deviation (standard-normal prior when 1).
     prior_std: f64,
 }
@@ -101,6 +105,10 @@ impl BayesianLinear {
             cached_pre_activation: Vec::new(),
             cached_weight_eps: Matrix::zeros(out_dim, in_dim),
             cached_bias_eps: vec![0.0; out_dim],
+            // Deliberately empty until the first `resample_weights` call, so
+            // the batched passes can detect a never-drawn sample.
+            sampled_weights: Matrix::default(),
+            sampled_bias: vec![0.0; out_dim],
             prior_std: 1.0,
         }
     }
@@ -128,6 +136,7 @@ impl BayesianLinear {
 
     /// Stochastic forward pass sampling weights with the reparameterization
     /// trick and caching everything needed by [`BayesianLinear::backward`].
+    #[allow(clippy::needless_range_loop)] // row/column ranges mirror the math
     pub fn forward_sample<R: Rng + ?Sized>(&mut self, input: &[f64], rng: &mut R) -> Vec<f64> {
         debug_assert_eq!(input.len(), self.in_dim);
         let mut pre = vec![0.0; self.out_dim];
@@ -161,6 +170,7 @@ impl BayesianLinear {
     ///
     /// # Panics
     /// Panics if called before `forward_sample`.
+    #[allow(clippy::needless_range_loop)] // row/column ranges mirror the math
     pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
         assert!(
             !self.cached_pre_activation.is_empty(),
@@ -195,6 +205,137 @@ impl BayesianLinear {
         grad_input
     }
 
+    /// Draws one posterior weight sample and materializes the effective
+    /// `W = μ + softplus(ρ)·ε` and bias for the batched passes below. The ε
+    /// draw is cached so [`BayesianLinear::backward_batch`] can route
+    /// gradients through both `μ` and `ρ`.
+    pub fn resample_weights<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.sampled_weights.resize(self.out_dim, self.in_dim);
+        for r in 0..self.out_dim {
+            for c in 0..self.in_dim {
+                let eps = standard_normal(rng);
+                self.cached_weight_eps.set(r, c, eps);
+                let w = self.weight_mu.get(r, c) + softplus(self.weight_rho.get(r, c)) * eps;
+                self.sampled_weights.set(r, c, w);
+            }
+        }
+        for r in 0..self.out_dim {
+            let eps = standard_normal(rng);
+            self.cached_bias_eps[r] = eps;
+            self.sampled_bias[r] = self.bias_mu[r] + softplus(self.bias_rho[r]) * eps;
+        }
+    }
+
+    /// Batched stochastic forward pass under the weight sample drawn by the
+    /// last [`BayesianLinear::resample_weights`] — one GEMM for the whole
+    /// minibatch (one shared posterior draw). `weights_t` is the
+    /// transposed-weight scratch (see [`crate::layer::Dense::forward_batch_into`]).
+    ///
+    /// # Panics
+    /// Panics if [`BayesianLinear::resample_weights`] has never been called
+    /// (the materialized sample would otherwise silently be all zeros).
+    pub fn forward_batch_into(
+        &self,
+        input: &Matrix,
+        weights_t: &mut Matrix,
+        pre: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            (self.sampled_weights.rows(), self.sampled_weights.cols()),
+            (self.out_dim, self.in_dim),
+            "forward_batch called before resample_weights"
+        );
+        debug_assert_eq!(
+            input.cols(),
+            self.in_dim,
+            "bayesian batch input size mismatch"
+        );
+        self.sampled_weights.transpose_into(weights_t);
+        input.matmul_into(weights_t, pre);
+        pre.add_row_broadcast(&self.sampled_bias);
+        out.resize(pre.rows(), pre.cols());
+        self.activation.apply_into(pre.data(), out.data_mut());
+    }
+
+    /// Batched backward pass through the last
+    /// [`BayesianLinear::forward_batch_into`].
+    ///
+    /// `delta` enters as `dL/dy` and is turned into `dL/d(pre)` in place;
+    /// `grad_scratch` is a caller-owned `(out × in)` buffer for the shared
+    /// `δᵀ·X` GEMM, whose result feeds both the `μ` gradient (directly) and
+    /// the `ρ` gradient (chained through the cached ε and softplus').
+    pub fn backward_batch(
+        &mut self,
+        delta: &mut Matrix,
+        input: &Matrix,
+        pre: &Matrix,
+        grad_scratch: &mut Matrix,
+        grad_input: Option<&mut Matrix>,
+    ) {
+        assert_eq!(
+            delta.cols(),
+            self.out_dim,
+            "bayesian backward output dim mismatch"
+        );
+        assert_eq!(
+            input.rows(),
+            delta.rows(),
+            "bayesian backward batch mismatch"
+        );
+        self.activation
+            .mul_derivative_into(pre.data(), delta.data_mut());
+        grad_scratch.resize(self.out_dim, self.in_dim);
+        delta.matmul_tn_acc_into(input, grad_scratch);
+        for r in 0..self.out_dim {
+            for c in 0..self.in_dim {
+                let g = grad_scratch.get(r, c);
+                self.grad_weight_mu
+                    .set(r, c, self.grad_weight_mu.get(r, c) + g);
+                let chain = self.cached_weight_eps.get(r, c)
+                    * softplus_derivative(self.weight_rho.get(r, c));
+                self.grad_weight_rho
+                    .set(r, c, self.grad_weight_rho.get(r, c) + g * chain);
+            }
+        }
+        for b in 0..delta.rows() {
+            for (r, d) in delta.row(b).iter().enumerate() {
+                self.grad_bias_mu[r] += d;
+                self.grad_bias_rho[r] +=
+                    d * self.cached_bias_eps[r] * softplus_derivative(self.bias_rho[r]);
+            }
+        }
+        if let Some(grad_input) = grad_input {
+            delta.matmul_into(&self.sampled_weights, grad_input);
+        }
+    }
+
+    /// Squared l2 norm of all accumulated gradients.
+    pub fn grad_norm_squared(&self) -> f64 {
+        self.grad_weight_mu
+            .data()
+            .iter()
+            .map(|g| g * g)
+            .sum::<f64>()
+            + self
+                .grad_weight_rho
+                .data()
+                .iter()
+                .map(|g| g * g)
+                .sum::<f64>()
+            + self.grad_bias_mu.iter().map(|g| g * g).sum::<f64>()
+            + self.grad_bias_rho.iter().map(|g| g * g).sum::<f64>()
+    }
+
+    /// Visits `(params, grads, scale)` blocks in
+    /// [`BayesianLinear::param_grad_pairs`] order without allocating.
+    pub fn visit_param_blocks(&mut self, f: &mut crate::optimizer::ParamBlockVisitor<'_>) {
+        f(self.weight_mu.data_mut(), self.grad_weight_mu.data(), 1.0);
+        f(self.weight_rho.data_mut(), self.grad_weight_rho.data(), 1.0);
+        f(&mut self.bias_mu, &self.grad_bias_mu, 1.0);
+        f(&mut self.bias_rho, &self.grad_bias_rho, 1.0);
+    }
+
     /// KL divergence `KL(q(φ) ‖ p(φ))` of this layer's posterior from the
     /// standard-normal prior, summed over all weights and biases.
     pub fn kl_to_prior(&self) -> f64 {
@@ -204,14 +345,14 @@ impl BayesianLinear {
             for c in 0..self.in_dim {
                 let mu = self.weight_mu.get(r, c);
                 let sigma = softplus(self.weight_rho.get(r, c)).max(1e-9);
-                kl += (self.prior_std / sigma).ln()
-                    + (sigma * sigma + mu * mu) / (2.0 * prior_var)
+                kl += (self.prior_std / sigma).ln() + (sigma * sigma + mu * mu) / (2.0 * prior_var)
                     - 0.5;
             }
         }
         for (mu, rho) in self.bias_mu.iter().zip(self.bias_rho.iter()) {
             let sigma = softplus(*rho).max(1e-9);
-            kl += (self.prior_std / sigma).ln() + (sigma * sigma + mu * mu) / (2.0 * prior_var) - 0.5;
+            kl +=
+                (self.prior_std / sigma).ln() + (sigma * sigma + mu * mu) / (2.0 * prior_var) - 0.5;
         }
         kl
     }
@@ -228,8 +369,11 @@ impl BayesianLinear {
                 let rho = self.weight_rho.get(r, c);
                 let sigma = softplus(rho).max(1e-9);
                 // d KL / d mu = mu / prior_var
-                self.grad_weight_mu
-                    .set(r, c, self.grad_weight_mu.get(r, c) + weight * mu / prior_var);
+                self.grad_weight_mu.set(
+                    r,
+                    c,
+                    self.grad_weight_mu.get(r, c) + weight * mu / prior_var,
+                );
                 // d KL / d sigma = -1/sigma + sigma/prior_var
                 let d_sigma = -1.0 / sigma + sigma / prior_var;
                 self.grad_weight_rho.set(
@@ -289,6 +433,35 @@ impl BayesianLinear {
     }
 }
 
+/// Reusable scratch buffers for the batched Bayesian forward/backward pass
+/// (mirrors [`crate::mlp::BatchWorkspace`] plus the shared-GEMM gradient
+/// scratch the variational backward pass needs).
+#[derive(Debug, Clone, Default)]
+pub struct BayesWorkspace {
+    /// `activations[0]` is the input batch, `activations[i + 1]` layer `i`'s
+    /// output.
+    activations: Vec<Matrix>,
+    pre_activations: Vec<Matrix>,
+    weights_t: Vec<Matrix>,
+    delta_a: Matrix,
+    delta_b: Matrix,
+    grad_scratch: Matrix,
+}
+
+impl BayesWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The output batch of the last batched forward pass.
+    pub fn output(&self) -> &Matrix {
+        self.activations
+            .last()
+            .expect("forward_batch has not run on this workspace")
+    }
+}
+
 /// A small Bayesian MLP producing a scalar prediction with uncertainty.
 ///
 /// Used as the cost value estimator: input is the slice state, output is the
@@ -306,11 +479,18 @@ impl BayesianMlp {
     /// # Panics
     /// Panics if fewer than two sizes are given.
     pub fn new<R: Rng + ?Sized>(sizes: &[usize], rng: &mut R) -> Self {
-        assert!(sizes.len() >= 2, "a Bayesian MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "a Bayesian MLP needs at least input and output sizes"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for (i, w) in sizes.windows(2).enumerate() {
             let is_last = i == sizes.len() - 2;
-            let act = if is_last { Activation::Identity } else { Activation::Relu };
+            let act = if is_last {
+                Activation::Identity
+            } else {
+                Activation::Relu
+            };
             layers.push(BayesianLinear::new(w[0], w[1], act, rng));
         }
         Self { layers }
@@ -359,6 +539,82 @@ impl BayesianMlp {
         g
     }
 
+    /// Draws one posterior weight sample per layer for the batched passes.
+    pub fn resample_weights<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for layer in &mut self.layers {
+            layer.resample_weights(rng);
+        }
+    }
+
+    /// Batched stochastic forward pass under the current weight sample — one
+    /// GEMM per layer for the whole minibatch. `input` is
+    /// `(batch × input_dim)`; the returned reference is the output batch
+    /// inside `ws`. Call [`BayesianMlp::resample_weights`] first.
+    pub fn forward_batch<'w>(&self, input: &Matrix, ws: &'w mut BayesWorkspace) -> &'w Matrix {
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "forward_batch input dim mismatch"
+        );
+        ws.activations
+            .resize_with(self.layers.len() + 1, Matrix::default);
+        ws.pre_activations
+            .resize_with(self.layers.len(), Matrix::default);
+        ws.weights_t.resize_with(self.layers.len(), Matrix::default);
+        ws.activations[0].resize(input.rows(), input.cols());
+        ws.activations[0].data_mut().copy_from_slice(input.data());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let BayesWorkspace {
+                activations,
+                pre_activations,
+                weights_t,
+                ..
+            } = ws;
+            let (head, tail) = activations.split_at_mut(i + 1);
+            layer.forward_batch_into(
+                &head[i],
+                &mut weights_t[i],
+                &mut pre_activations[i],
+                &mut tail[0],
+            );
+        }
+        ws.output()
+    }
+
+    /// Batched backward pass over the caches of the last
+    /// [`BayesianMlp::forward_batch`]; `grad_output` is `dL/dy` for the whole
+    /// minibatch. Gradients for `μ` and `ρ` accumulate into the layers.
+    pub fn backward_batch(&mut self, grad_output: &Matrix, ws: &mut BayesWorkspace) {
+        assert_eq!(
+            ws.activations.len(),
+            self.layers.len() + 1,
+            "backward_batch called before forward_batch"
+        );
+        ws.delta_a.resize(grad_output.rows(), grad_output.cols());
+        ws.delta_a.data_mut().copy_from_slice(grad_output.data());
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let BayesWorkspace {
+                activations,
+                pre_activations,
+                delta_a,
+                delta_b,
+                grad_scratch,
+                ..
+            } = ws;
+            let grad_input = if i > 0 { Some(&mut *delta_b) } else { None };
+            layer.backward_batch(
+                delta_a,
+                &activations[i],
+                &pre_activations[i],
+                grad_scratch,
+                grad_input,
+            );
+            if i > 0 {
+                std::mem::swap(delta_a, delta_b);
+            }
+        }
+    }
+
     /// Total KL divergence of the posterior from the prior.
     pub fn kl_to_prior(&self) -> f64 {
         self.layers.iter().map(|l| l.kl_to_prior()).sum()
@@ -392,6 +648,14 @@ impl BayesianMlp {
         out
     }
 
+    /// Squared l2 norm of all accumulated gradients.
+    pub fn grad_norm_squared(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(BayesianLinear::grad_norm_squared)
+            .sum()
+    }
+
     /// Predictive mean and standard deviation of the scalar output, estimated
     /// from `num_samples` stochastic forward passes.
     ///
@@ -403,7 +667,11 @@ impl BayesianMlp {
         num_samples: usize,
         rng: &mut R,
     ) -> BayesianPrediction {
-        assert_eq!(self.output_dim(), 1, "predict requires a scalar output head");
+        assert_eq!(
+            self.output_dim(),
+            1,
+            "predict requires a scalar output head"
+        );
         assert!(num_samples > 0, "at least one posterior sample is required");
         let mut values = Vec::with_capacity(num_samples);
         for _ in 0..num_samples {
@@ -415,7 +683,22 @@ impl BayesianMlp {
         } else {
             0.0
         };
-        BayesianPrediction { mean, std: var.max(0.0).sqrt() }
+        BayesianPrediction {
+            mean,
+            std: var.max(0.0).sqrt(),
+        }
+    }
+}
+
+impl crate::optimizer::ParameterSet for BayesianMlp {
+    fn grad_norm_squared(&self) -> f64 {
+        BayesianMlp::grad_norm_squared(self)
+    }
+
+    fn visit_param_blocks(&mut self, f: &mut crate::optimizer::ParamBlockVisitor<'_>) {
+        for layer in &mut self.layers {
+            layer.visit_param_blocks(f);
+        }
     }
 }
 
@@ -502,10 +785,12 @@ mod tests {
         let mut net = BayesianMlp::new(&[1, 24, 1], &mut rng);
         let mut opt = Adam::new(net.num_parameters(), 5e-3);
         // Fit y = 2x on x in [0, 1].
-        let dataset: Vec<(f64, f64)> = (0..32).map(|i| {
-            let x = i as f64 / 32.0;
-            (x, 2.0 * x)
-        }).collect();
+        let dataset: Vec<(f64, f64)> = (0..32)
+            .map(|i| {
+                let x = i as f64 / 32.0;
+                (x, 2.0 * x)
+            })
+            .collect();
         for _ in 0..400 {
             net.zero_grad();
             for (x, t) in &dataset {
@@ -517,8 +802,16 @@ mod tests {
             opt.step(net.param_grad_pairs());
         }
         let pred = net.predict(&[0.5], 64, &mut rng);
-        assert!((pred.mean - 1.0).abs() < 0.2, "predictive mean {} should be near 1.0", pred.mean);
-        assert!(pred.std >= 0.0 && pred.std < 1.0, "uncertainty {} should be modest", pred.std);
+        assert!(
+            (pred.mean - 1.0).abs() < 0.2,
+            "predictive mean {} should be near 1.0",
+            pred.mean
+        );
+        assert!(
+            pred.std >= 0.0 && pred.std < 1.0,
+            "uncertainty {} should be modest",
+            pred.std
+        );
     }
 
     #[test]
@@ -541,7 +834,10 @@ mod tests {
             opt.step(net.param_grad_pairs());
         }
         let after = net.kl_to_prior();
-        assert!(after < before, "optimizing the KL alone must reduce it: {before} -> {after}");
+        assert!(
+            after < before,
+            "optimizing the KL alone must reduce it: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -549,6 +845,16 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let layer = BayesianLinear::new(3, 2, Activation::Relu, &mut rng);
         assert_eq!(layer.num_parameters(), 2 * (3 * 2 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "forward_batch called before resample_weights")]
+    fn batched_forward_without_resample_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let net = BayesianMlp::new(&[2, 4, 1], &mut rng);
+        let mut ws = BayesWorkspace::new();
+        let input = Matrix::zeros(3, 2);
+        let _ = net.forward_batch(&input, &mut ws);
     }
 
     #[test]

@@ -83,8 +83,14 @@ mod tests {
     #[test]
     fn default_scheme_matches_activation_family() {
         assert_eq!(Init::for_activation(Activation::Relu), Init::HeUniform);
-        assert_eq!(Init::for_activation(Activation::Sigmoid), Init::XavierUniform);
-        assert_eq!(Init::for_activation(Activation::Identity), Init::XavierUniform);
+        assert_eq!(
+            Init::for_activation(Activation::Sigmoid),
+            Init::XavierUniform
+        );
+        assert_eq!(
+            Init::for_activation(Activation::Identity),
+            Init::XavierUniform
+        );
     }
 
     #[test]

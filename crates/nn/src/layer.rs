@@ -69,7 +69,11 @@ impl Dense {
 
     /// Inference-only forward pass (does not populate caches).
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        debug_assert_eq!(input.len(), self.in_dim(), "dense layer input size mismatch");
+        debug_assert_eq!(
+            input.len(),
+            self.in_dim(),
+            "dense layer input size mismatch"
+        );
         let mut pre = self.weights.matvec(input);
         for (p, b) in pre.iter_mut().zip(self.bias.iter()) {
             *p += b;
@@ -79,7 +83,11 @@ impl Dense {
 
     /// Forward pass that caches the input and pre-activation for `backward`.
     pub fn forward_train(&mut self, input: &[f64]) -> Vec<f64> {
-        debug_assert_eq!(input.len(), self.in_dim(), "dense layer input size mismatch");
+        debug_assert_eq!(
+            input.len(),
+            self.in_dim(),
+            "dense layer input size mismatch"
+        );
         let mut pre = self.weights.matvec(input);
         for (p, b) in pre.iter_mut().zip(self.bias.iter()) {
             *p += b;
@@ -116,6 +124,114 @@ impl Dense {
         }
         // dL/dx = Wᵀ delta
         self.weights.t_matvec(&delta)
+    }
+
+    /// Batched forward pass: one GEMM for the whole minibatch.
+    ///
+    /// `input` is `(batch × in_dim)`; `pre` and `out` are caller-owned
+    /// buffers resized to `(batch × out_dim)` (no allocation once warm).
+    /// `weights_t` is a scratch buffer receiving `Wᵀ`: transposing the
+    /// weights once per minibatch (`O(out·in)`) lets the `O(batch·out·in)`
+    /// GEMM run the row-streaming kernel whose inner loop the compiler
+    /// vectorizes, instead of a scalar dot-reduction per output element.
+    /// `pre` receives the pre-activation `X·Wᵀ + b` — keep it around and hand
+    /// it back to [`Dense::backward_batch`] for training, or pass a scratch
+    /// buffer for pure inference.
+    pub fn forward_batch_into(
+        &self,
+        input: &Matrix,
+        weights_t: &mut Matrix,
+        pre: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        debug_assert_eq!(
+            input.cols(),
+            self.in_dim(),
+            "dense layer batch input size mismatch"
+        );
+        self.weights.transpose_into(weights_t);
+        input.matmul_into(weights_t, pre);
+        pre.add_row_broadcast(&self.bias);
+        out.resize(pre.rows(), pre.cols());
+        self.activation.apply_into(pre.data(), out.data_mut());
+    }
+
+    /// Batched backward pass.
+    ///
+    /// `delta` enters as `dL/dy` (batch × out_dim) and is turned into
+    /// `dL/d(pre-activation)` in place using the `pre` buffer produced by the
+    /// matching [`Dense::forward_batch_into`] call on `input`. Parameter
+    /// gradients for the whole minibatch accumulate into the layer with one
+    /// GEMM; when `grad_input` is `Some`, `dL/dx` is written into it (skip it
+    /// for the first layer — its input gradient is never consumed).
+    ///
+    /// # Panics
+    /// Panics if the buffer shapes are inconsistent.
+    pub fn backward_batch(
+        &mut self,
+        delta: &mut Matrix,
+        input: &Matrix,
+        pre: &Matrix,
+        grad_input: Option<&mut Matrix>,
+    ) {
+        assert_eq!(
+            (delta.rows(), delta.cols()),
+            (pre.rows(), pre.cols()),
+            "backward_batch delta shape mismatch"
+        );
+        assert_eq!(
+            delta.cols(),
+            self.out_dim(),
+            "backward_batch output dim mismatch"
+        );
+        assert_eq!(
+            input.cols(),
+            self.in_dim(),
+            "backward_batch input dim mismatch"
+        );
+        assert_eq!(
+            input.rows(),
+            delta.rows(),
+            "backward_batch batch size mismatch"
+        );
+        // delta <- dL/dy ⊙ act'(pre), whole minibatch at once.
+        self.activation
+            .mul_derivative_into(pre.data(), delta.data_mut());
+        // dL/dW += δᵀ · X (one GEMM), dL/db += column sums of δ.
+        delta.matmul_tn_acc_into(input, &mut self.grad_weights);
+        for b in 0..delta.rows() {
+            for (gb, d) in self.grad_bias.iter_mut().zip(delta.row(b).iter()) {
+                *gb += d;
+            }
+        }
+        // dL/dx = δ · W.
+        if let Some(grad_input) = grad_input {
+            delta.matmul_into(&self.weights, grad_input);
+        }
+    }
+
+    /// Immutable access to the weight matrix (used by batched policy code).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Immutable access to the bias vector.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Squared l2 norm of the accumulated gradients (for global-norm
+    /// clipping without materializing a flat gradient vector).
+    pub fn grad_norm_squared(&self) -> f64 {
+        self.grad_weights.data().iter().map(|g| g * g).sum::<f64>()
+            + self.grad_bias.iter().map(|g| g * g).sum::<f64>()
+    }
+
+    /// Visits `(params, grads, scale)` blocks in the same order as
+    /// [`Dense::param_grad_pairs`] without allocating.
+    pub fn visit_param_blocks(&mut self, f: &mut crate::optimizer::ParamBlockVisitor<'_>) {
+        f(self.weights.data_mut(), self.grad_weights.data(), 1.0);
+        f(&mut self.bias, &self.grad_bias, 1.0);
     }
 
     /// Resets accumulated gradients to zero.
@@ -166,7 +282,11 @@ impl Dense {
     /// # Panics
     /// Panics if the length does not match [`Dense::num_parameters`].
     pub fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter length mismatch"
+        );
         let nw = self.weights.rows() * self.weights.cols();
         self.weights.data_mut().copy_from_slice(&params[..nw]);
         self.bias.copy_from_slice(&params[nw..]);

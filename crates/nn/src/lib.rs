@@ -53,12 +53,12 @@ pub mod optimizer;
 pub mod policy;
 
 pub use activation::Activation;
-pub use bayesian::{BayesianLinear, BayesianMlp, BayesianPrediction};
+pub use bayesian::{BayesWorkspace, BayesianLinear, BayesianMlp, BayesianPrediction};
 pub use layer::Dense;
-pub use loss::{gaussian_nll, gaussian_nll_grad, huber_loss, huber_grad, mse_grad, mse_loss};
+pub use loss::{gaussian_nll, gaussian_nll_grad, huber_grad, huber_loss, mse_grad, mse_loss};
 pub use matrix::Matrix;
-pub use mlp::Mlp;
-pub use optimizer::{Adam, Sgd};
+pub use mlp::{BatchWorkspace, Mlp};
+pub use optimizer::{Adam, ParameterSet, Sgd};
 pub use policy::{GaussianPolicy, PolicySample};
 
 /// Numerically stable softplus, `log(1 + e^x)`.

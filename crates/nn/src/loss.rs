@@ -95,7 +95,8 @@ pub fn gaussian_nll_grad(mean: f64, std: f64, target: f64) -> (f64, f64) {
 pub fn gaussian_kl(mu_q: f64, sigma_q: f64, mu_p: f64, sigma_p: f64) -> f64 {
     let sigma_q = sigma_q.max(1e-9);
     let sigma_p = sigma_p.max(1e-9);
-    (sigma_p / sigma_q).ln() + (sigma_q * sigma_q + (mu_q - mu_p) * (mu_q - mu_p)) / (2.0 * sigma_p * sigma_p)
+    (sigma_p / sigma_q).ln()
+        + (sigma_q * sigma_q + (mu_q - mu_p) * (mu_q - mu_p)) / (2.0 * sigma_p * sigma_p)
         - 0.5
 }
 
@@ -172,8 +173,10 @@ mod tests {
         let (mean, std, target) = (0.7, 0.6, 0.2);
         let (dm, ds) = gaussian_nll_grad(mean, std, target);
         let h = 1e-6;
-        let ndm = (gaussian_nll(mean + h, std, target) - gaussian_nll(mean - h, std, target)) / (2.0 * h);
-        let nds = (gaussian_nll(mean, std + h, target) - gaussian_nll(mean, std - h, target)) / (2.0 * h);
+        let ndm =
+            (gaussian_nll(mean + h, std, target) - gaussian_nll(mean - h, std, target)) / (2.0 * h);
+        let nds =
+            (gaussian_nll(mean, std + h, target) - gaussian_nll(mean, std - h, target)) / (2.0 * h);
         assert!((dm - ndm).abs() < 1e-5);
         assert!((ds - nds).abs() < 1e-5);
     }

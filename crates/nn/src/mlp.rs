@@ -10,6 +10,65 @@ use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
 use crate::layer::Dense;
+use crate::matrix::Matrix;
+
+/// Reusable per-layer scratch buffers for the batched forward/backward pass.
+///
+/// One workspace serves one network (or several networks of identical
+/// architecture). All buffers are plain [`Matrix`] values that are *resized*,
+/// never reallocated, between minibatches — after the first (largest) batch
+/// the steady-state forward/backward path performs zero heap allocations.
+///
+/// The workspace also carries the caches the backward pass needs
+/// (per-layer inputs and pre-activations), which keeps `Mlp::forward_batch`
+/// usable through `&self` and lets one network own many concurrent batched
+/// evaluations if needed.
+#[derive(Debug, Clone, Default)]
+pub struct BatchWorkspace {
+    /// `activations[0]` is the input batch; `activations[i + 1]` is layer
+    /// `i`'s output. Length `num_layers + 1` once used.
+    activations: Vec<Matrix>,
+    /// `pre_activations[i]` is layer `i`'s pre-activation batch.
+    pre_activations: Vec<Matrix>,
+    /// Per-layer transposed-weight scratch for the forward GEMM.
+    weights_t: Vec<Matrix>,
+    /// Ping-pong buffers for the backward delta.
+    delta_a: Matrix,
+    delta_b: Matrix,
+}
+
+impl BatchWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, num_layers: usize) {
+        self.activations
+            .resize_with(num_layers + 1, Matrix::default);
+        self.pre_activations
+            .resize_with(num_layers, Matrix::default);
+        self.weights_t.resize_with(num_layers, Matrix::default);
+    }
+
+    /// The input buffer, resized to `(batch × dim)`; fill it (e.g. by
+    /// gathering minibatch rows) and pass the workspace to
+    /// [`Mlp::forward_batch`] with `input: None` to avoid an extra copy.
+    pub fn input_mut(&mut self, batch: usize, dim: usize) -> &mut Matrix {
+        if self.activations.is_empty() {
+            self.activations.push(Matrix::default());
+        }
+        self.activations[0].resize(batch, dim);
+        &mut self.activations[0]
+    }
+
+    /// The output batch of the last `forward_batch` call.
+    pub fn output(&self) -> &Matrix {
+        self.activations
+            .last()
+            .expect("forward_batch has not run on this workspace")
+    }
+}
 
 /// A feed-forward network: a stack of dense layers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,11 +90,18 @@ impl Mlp {
         output_activation: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least an input and an output size"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for w in sizes.windows(2) {
             let is_last = layers.len() == sizes.len() - 2;
-            let act = if is_last { output_activation } else { hidden_activation };
+            let act = if is_last {
+                output_activation
+            } else {
+                hidden_activation
+            };
             layers.push(Dense::new(w[0], w[1], act, rng));
         }
         Self { layers }
@@ -72,6 +138,12 @@ impl Mlp {
         self.layers.len()
     }
 
+    /// Immutable view of the layer stack (used by benchmarks reconstructing
+    /// reference implementations around the same weights).
+    pub fn layers_ref(&self) -> &[Dense] {
+        &self.layers
+    }
+
     /// Inference-only forward pass.
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
         let mut x = input.to_vec();
@@ -99,6 +171,98 @@ impl Mlp {
             g = layer.backward(&g);
         }
         g
+    }
+
+    /// Batched forward pass: one GEMM per layer for the whole minibatch.
+    ///
+    /// `input` is `(batch × input_dim)`. Activations and pre-activations are
+    /// cached in `ws` for a subsequent [`Mlp::backward_batch`]; the returned
+    /// reference is the `(batch × output_dim)` output living inside `ws`.
+    /// Steady state performs zero heap allocations.
+    pub fn forward_batch<'w>(&self, input: &Matrix, ws: &'w mut BatchWorkspace) -> &'w Matrix {
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "forward_batch input dim mismatch"
+        );
+        let buf = ws.input_mut(input.rows(), input.cols());
+        buf.data_mut().copy_from_slice(input.data());
+        self.forward_batch_prefilled(ws)
+    }
+
+    /// Like [`Mlp::forward_batch`], but the input batch was already written
+    /// into [`BatchWorkspace::input_mut`] — the gather-into-workspace pattern
+    /// the PPO minibatch loop uses to skip one copy.
+    pub fn forward_batch_prefilled<'w>(&self, ws: &'w mut BatchWorkspace) -> &'w Matrix {
+        ws.prepare(self.layers.len());
+        assert_eq!(
+            ws.activations[0].cols(),
+            self.input_dim(),
+            "workspace input dim mismatch"
+        );
+        for (i, layer) in self.layers.iter().enumerate() {
+            // Split so the layer reads activations[i] and writes
+            // pre_activations[i] / activations[i + 1] without overlap.
+            let BatchWorkspace {
+                activations,
+                pre_activations,
+                weights_t,
+                ..
+            } = ws;
+            let (head, tail) = activations.split_at_mut(i + 1);
+            layer.forward_batch_into(
+                &head[i],
+                &mut weights_t[i],
+                &mut pre_activations[i],
+                &mut tail[0],
+            );
+        }
+        ws.output()
+    }
+
+    /// Batched backward pass over the caches of the last
+    /// [`Mlp::forward_batch`] on `ws`: `grad_output` is `dL/dy` for the whole
+    /// minibatch `(batch × output_dim)`. Parameter gradients accumulate into
+    /// the layers (one GEMM per layer); the input gradient is not computed —
+    /// no caller needs `dL/dx` on the batched path.
+    ///
+    /// # Panics
+    /// Panics if `ws` was not filled by a matching forward pass.
+    pub fn backward_batch(&mut self, grad_output: &Matrix, ws: &mut BatchWorkspace) {
+        assert_eq!(
+            ws.activations.len(),
+            self.layers.len() + 1,
+            "backward_batch called before forward_batch"
+        );
+        ws.delta_a.resize(grad_output.rows(), grad_output.cols());
+        ws.delta_a.data_mut().copy_from_slice(grad_output.data());
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let BatchWorkspace {
+                activations,
+                pre_activations,
+                delta_a,
+                delta_b,
+                ..
+            } = ws;
+            let grad_input = if i > 0 { Some(&mut *delta_b) } else { None };
+            layer.backward_batch(delta_a, &activations[i], &pre_activations[i], grad_input);
+            if i > 0 {
+                std::mem::swap(delta_a, delta_b);
+            }
+        }
+    }
+
+    /// Squared l2 norm of all accumulated gradients.
+    pub fn grad_norm_squared(&self) -> f64 {
+        self.layers.iter().map(Dense::grad_norm_squared).sum()
+    }
+
+    /// Visits `(params, grads, scale)` blocks in [`Mlp::param_grad_pairs`]
+    /// order without allocating.
+    pub fn visit_param_blocks(&mut self, f: &mut crate::optimizer::ParamBlockVisitor<'_>) {
+        for layer in &mut self.layers {
+            layer.visit_param_blocks(f);
+        }
     }
 
     /// Resets all accumulated gradients.
@@ -143,7 +307,11 @@ impl Mlp {
     /// # Panics
     /// Panics if the length does not match [`Mlp::num_parameters`].
     pub fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter length mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             let n = layer.num_parameters();
@@ -161,6 +329,16 @@ impl Mlp {
     }
 }
 
+impl crate::optimizer::ParameterSet for Mlp {
+    fn grad_norm_squared(&self) -> f64 {
+        Mlp::grad_norm_squared(self)
+    }
+
+    fn visit_param_blocks(&mut self, f: &mut crate::optimizer::ParamBlockVisitor<'_>) {
+        Mlp::visit_param_blocks(self, f);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,7 +350,12 @@ mod tests {
     #[test]
     fn dimensions_are_derived_from_sizes() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let net = Mlp::new(&[7, 16, 8, 3], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let net = Mlp::new(
+            &[7, 16, 8, 3],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
         assert_eq!(net.input_dim(), 7);
         assert_eq!(net.output_dim(), 3);
         assert_eq!(net.num_layers(), 3);
@@ -186,7 +369,10 @@ mod tests {
         assert_eq!(net.input_dim(), 20);
         assert_eq!(net.output_dim(), 10);
         // 20*128+128 + 128*64+64 + 64*32+32 + 32*10+10
-        assert_eq!(net.num_parameters(), 20 * 128 + 128 + 128 * 64 + 64 + 64 * 32 + 32 + 32 * 10 + 10);
+        assert_eq!(
+            net.num_parameters(),
+            20 * 128 + 128 + 128 * 64 + 64 + 64 * 32 + 32 + 32 * 10 + 10
+        );
     }
 
     #[test]
@@ -235,7 +421,12 @@ mod tests {
     #[test]
     fn can_learn_a_simple_regression_target() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let mut net = Mlp::new(&[2, 24, 24, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mut net = Mlp::new(
+            &[2, 24, 24, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         let mut opt = Adam::new(net.num_parameters(), 5e-3);
         // Learn f(a, b) = a * 0.5 + b * 0.25.
         let dataset: Vec<(Vec<f64>, Vec<f64>)> = (0..64)
@@ -261,7 +452,102 @@ mod tests {
         for (x, t) in &dataset {
             total += mse_loss(&net.forward(x), t);
         }
-        assert!(total / (dataset.len() as f64) < 1e-3, "network failed to fit linear target");
+        assert!(
+            total / (dataset.len() as f64) < 1e-3,
+            "network failed to fit linear target"
+        );
+    }
+
+    #[test]
+    fn forward_batch_matches_per_sample_forward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let net = Mlp::new(
+            &[5, 16, 8, 3],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let mut batch = Matrix::zeros(7, 5);
+        for b in 0..7 {
+            for c in 0..5 {
+                batch.set(b, c, (b as f64 - 3.0) * 0.3 + c as f64 * 0.1);
+            }
+        }
+        let mut ws = BatchWorkspace::new();
+        let out = net.forward_batch(&batch, &mut ws);
+        for b in 0..7 {
+            let per_sample = net.forward(batch.row(b));
+            for (x, y) in out.row(b).iter().zip(per_sample.iter()) {
+                assert!((x - y).abs() < 1e-12, "row {b}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_batch_accumulates_the_same_gradients_as_per_sample_backward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let proto = Mlp::new(
+            &[4, 12, 6, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
+        let mut per_sample = proto.clone();
+        let mut batched = proto.clone();
+        let batch = 9;
+        let mut inputs = Matrix::zeros(batch, 4);
+        let mut grads = Matrix::zeros(batch, 2);
+        for b in 0..batch {
+            for c in 0..4 {
+                inputs.set(b, c, ((b * 4 + c) as f64 * 0.37).sin());
+            }
+            grads.set(b, 0, 0.5 - b as f64 * 0.1);
+            grads.set(b, 1, 0.2 + b as f64 * 0.05);
+        }
+
+        per_sample.zero_grad();
+        for b in 0..batch {
+            let _ = per_sample.forward_train(inputs.row(b));
+            per_sample.backward(grads.row(b));
+        }
+        batched.zero_grad();
+        let mut ws = BatchWorkspace::new();
+        let _ = batched.forward_batch(&inputs, &mut ws);
+        batched.backward_batch(&grads, &mut ws);
+
+        let a: Vec<f64> = per_sample
+            .param_grad_pairs()
+            .iter()
+            .map(|(_, g)| *g)
+            .collect();
+        let b: Vec<f64> = batched.param_grad_pairs().iter().map(|(_, g)| *g).collect();
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-12,
+                "grad {i}: per-sample {x} vs batched {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_serves_varying_batch_sizes_without_confusion() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let net = Mlp::new(&[3, 8, 2], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let mut ws = BatchWorkspace::new();
+        for &batch in &[16usize, 3, 16, 1] {
+            let mut input = Matrix::zeros(batch, 3);
+            for b in 0..batch {
+                input.set(b, 0, b as f64 * 0.1);
+            }
+            let out = net.forward_batch(&input, &mut ws);
+            assert_eq!((out.rows(), out.cols()), (batch, 2));
+            for b in 0..batch {
+                let reference = net.forward(input.row(b));
+                for (x, y) in out.row(b).iter().zip(reference.iter()) {
+                    assert!((x - y).abs() < 1e-12);
+                }
+            }
+        }
     }
 
     #[test]

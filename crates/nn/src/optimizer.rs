@@ -6,6 +6,26 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A model whose parameters and accumulated gradients can be visited as
+/// contiguous blocks — the allocation-free alternative to
+/// [`Mlp::param_grad_pairs`](crate::mlp::Mlp::param_grad_pairs).
+///
+/// Implementations must visit the same blocks in the same order on every
+/// call, and the total length must match the size the optimizer was created
+/// with. The `scale` passed to the visitor multiplies the stored gradient
+/// (used by the Gaussian policy, whose std-deviation gradients are stored in
+/// the ascent convention and stepped with `scale = -1`).
+pub trait ParameterSet {
+    /// Squared l2 norm of all accumulated gradients.
+    fn grad_norm_squared(&self) -> f64;
+
+    /// Visits every `(params, grads, scale)` block in a stable order.
+    fn visit_param_blocks(&mut self, f: &mut ParamBlockVisitor<'_>);
+}
+
+/// Visitor over `(params, grads, scale)` parameter blocks.
+pub type ParamBlockVisitor<'a> = dyn FnMut(&mut [f64], &[f64], f64) + 'a;
+
 /// Adam optimizer (Kingma & Ba, 2015) with optional gradient clipping.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
@@ -90,6 +110,71 @@ impl Adam {
         }
     }
 
+    /// Applies one Adam update directly on a [`ParameterSet`] — numerically
+    /// identical to [`Adam::step`] but without materializing the
+    /// `(parameter, gradient)` pair vector, so the training loop stays free
+    /// of per-step heap allocations.
+    ///
+    /// # Panics
+    /// Panics if the set's total parameter count does not match the size the
+    /// optimizer was created with.
+    pub fn step_set<P: ParameterSet + ?Sized>(&mut self, set: &mut P) {
+        self.step_count += 1;
+        let clip_scale = match self.max_grad_norm {
+            Some(clip) => {
+                let norm = set.grad_norm_squared().sqrt();
+                if norm > clip && norm > 0.0 {
+                    clip / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        let inv_bc1 = 1.0 / (1.0 - self.beta1.powi(self.step_count as i32));
+        let inv_bc2 = 1.0 / (1.0 - self.beta2.powi(self.step_count as i32));
+        let (lr, b1, b2, eps) = (self.learning_rate, self.beta1, self.beta2, self.epsilon);
+        let first = &mut self.first_moment;
+        let second = &mut self.second_moment;
+        let mut offset = 0usize;
+        set.visit_param_blocks(&mut |params, grads, scale| {
+            assert_eq!(
+                params.len(),
+                grads.len(),
+                "parameter/gradient block length mismatch"
+            );
+            assert!(
+                offset + params.len() <= first.len(),
+                "optimizer was created for a different parameter count"
+            );
+            let fm = &mut first[offset..offset + params.len()];
+            let sm = &mut second[offset..offset + params.len()];
+            let g_scale = scale * clip_scale;
+            // Zipped iteration (no index bounds checks) so the update
+            // vectorizes; the bias corrections are hoisted reciprocals, so
+            // the loop carries one sqrt and one division per parameter.
+            for (((p, &g_raw), m), v) in params
+                .iter_mut()
+                .zip(grads.iter())
+                .zip(fm.iter_mut())
+                .zip(sm.iter_mut())
+            {
+                let g = g_raw * g_scale;
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let m_hat = *m * inv_bc1;
+                let v_hat = *v * inv_bc2;
+                *p -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            offset += params.len();
+        });
+        assert_eq!(
+            offset,
+            self.first_moment.len(),
+            "optimizer was created for a different parameter count"
+        );
+    }
+
     /// Resets the moment estimates and step counter.
     pub fn reset(&mut self) {
         self.step_count = 0;
@@ -113,7 +198,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer for `num_params` parameters.
     pub fn new(num_params: usize, learning_rate: f64, momentum: f64) -> Self {
-        Self { learning_rate, momentum, velocity: vec![0.0; num_params] }
+        Self {
+            learning_rate,
+            momentum,
+            velocity: vec![0.0; num_params],
+        }
     }
 
     /// Applies one SGD update.
@@ -163,7 +252,7 @@ mod tests {
 
     #[test]
     fn adam_handles_multidimensional_problems() {
-        let mut params = vec![5.0f64, -4.0, 2.0];
+        let mut params = [5.0f64, -4.0, 2.0];
         let targets = [1.0, 2.0, 3.0];
         let mut opt = Adam::new(3, 0.05);
         for _ in 0..2000 {
@@ -172,8 +261,7 @@ mod tests {
                 .zip(targets.iter())
                 .map(|(p, t)| 2.0 * (p - t))
                 .collect();
-            let pairs: Vec<(&mut f64, f64)> =
-                params.iter_mut().zip(grads.into_iter()).collect();
+            let pairs: Vec<(&mut f64, f64)> = params.iter_mut().zip(grads).collect();
             opt.step(pairs);
         }
         for (p, t) in params.iter().zip(targets.iter()) {

@@ -19,7 +19,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
-use crate::mlp::Mlp;
+use crate::matrix::Matrix;
+use crate::mlp::{BatchWorkspace, Mlp};
+use crate::optimizer::ParameterSet;
 use crate::softplus;
 use crate::softplus_derivative;
 
@@ -91,7 +93,11 @@ impl GaussianPolicy {
         let min_std = 1e-3;
         // Invert softplus so that softplus(rho) + min_std == initial_std.
         let target = (initial_std - min_std).max(1e-6);
-        let rho = if target > 30.0 { target } else { (target.exp() - 1.0).ln() };
+        let rho = if target > 30.0 {
+            target
+        } else {
+            (target.exp() - 1.0).ln()
+        };
         Self {
             grad_log_std_rho: vec![0.0; action_dim],
             log_std_rho: vec![rho; action_dim],
@@ -112,7 +118,10 @@ impl GaussianPolicy {
 
     /// The current per-dimension standard deviations.
     pub fn std(&self) -> Vec<f64> {
-        self.log_std_rho.iter().map(|&r| softplus(r) + self.min_std).collect()
+        self.log_std_rho
+            .iter()
+            .map(|&r| softplus(r) + self.min_std)
+            .collect()
     }
 
     /// Deterministic action: the policy mean, already in `[0, 1]`.
@@ -131,7 +140,13 @@ impl GaussianPolicy {
         }
         let log_prob = self.log_prob_given(&mean, &std, &raw);
         let action = raw.iter().map(|&a| a.clamp(0.0, 1.0)).collect();
-        PolicySample { raw_action: raw, action, mean, std, log_prob }
+        PolicySample {
+            raw_action: raw,
+            action,
+            mean,
+            std,
+            log_prob,
+        }
     }
 
     /// Log-density of `raw_action` under the policy evaluated at `state`.
@@ -179,7 +194,12 @@ impl GaussianPolicy {
         // d logp / d mean_i = (a_i - m_i) / s_i^2
         // d logp / d s_i    = ((a_i - m_i)^2 - s_i^2) / s_i^3
         let mut grad_out = Vec::with_capacity(mean.len());
-        for (i, ((m, s), a)) in mean.iter().zip(std.iter()).zip(raw_action.iter()).enumerate() {
+        for (i, ((m, s), a)) in mean
+            .iter()
+            .zip(std.iter())
+            .zip(raw_action.iter())
+            .enumerate()
+        {
             let s = s.max(1e-9);
             let diff = a - m;
             // Descent gradient on -weight*logp wrt the mean output.
@@ -190,6 +210,137 @@ impl GaussianPolicy {
             self.grad_log_std_rho[i] += weight * d_logp_d_std * d_std_d_rho;
         }
         self.mean_net.backward(&grad_out);
+    }
+
+    /// Batched log-probability evaluation: one forward GEMM per layer for
+    /// the whole minibatch.
+    ///
+    /// `states` is `(batch × state_dim)`, `raw_actions` is
+    /// `(batch × action_dim)`; `log_probs` is cleared and refilled with one
+    /// log-density per row. The policy means stay cached in `ws`, so a
+    /// following [`GaussianPolicy::accumulate_log_prob_grad_batch`] call
+    /// reuses this single forward pass instead of running its own.
+    pub fn log_probs_batch(
+        &self,
+        states: &Matrix,
+        raw_actions: &Matrix,
+        ws: &mut BatchWorkspace,
+        log_probs: &mut Vec<f64>,
+    ) {
+        assert_eq!(states.rows(), raw_actions.rows(), "batch size mismatch");
+        let buf = ws.input_mut(states.rows(), states.cols());
+        buf.data_mut().copy_from_slice(states.data());
+        self.log_probs_batch_prefilled(raw_actions, ws, log_probs);
+    }
+
+    /// Like [`GaussianPolicy::log_probs_batch`], but the state batch was
+    /// already gathered into [`BatchWorkspace::input_mut`] (the PPO minibatch
+    /// loop writes shuffled rows straight into the workspace).
+    pub fn log_probs_batch_prefilled(
+        &self,
+        raw_actions: &Matrix,
+        ws: &mut BatchWorkspace,
+        log_probs: &mut Vec<f64>,
+    ) {
+        assert_eq!(raw_actions.cols(), self.action_dim(), "action dim mismatch");
+        // The std is state independent, so the normalization constant and
+        // the per-dimension precision are minibatch constants — the per-row
+        // work reduces to one fused multiply-add per action dimension.
+        let std = self.std();
+        let mut log_norm = 0.0;
+        let inv_two_var: Vec<f64> = std
+            .iter()
+            .map(|s| {
+                let s = s.max(1e-9);
+                log_norm += -s.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+                0.5 / (s * s)
+            })
+            .collect();
+        let means = self.mean_net.forward_batch_prefilled(ws);
+        assert_eq!(means.rows(), raw_actions.rows(), "batch size mismatch");
+        log_probs.clear();
+        log_probs.reserve(raw_actions.rows());
+        for b in 0..raw_actions.rows() {
+            let mean_row = means.row(b);
+            let action_row = raw_actions.row(b);
+            let mut quad = 0.0;
+            for ((m, w), a) in mean_row
+                .iter()
+                .zip(inv_two_var.iter())
+                .zip(action_row.iter())
+            {
+                let diff = a - m;
+                quad += diff * diff * w;
+            }
+            log_probs.push(log_norm - quad);
+        }
+    }
+
+    /// Batched policy-gradient accumulation for the minibatch evaluated by
+    /// the immediately preceding [`GaussianPolicy::log_probs_batch`] call on
+    /// `ws` (the cached means and activations are reused — one forward and
+    /// one backward GEMM pass per layer per minibatch in total).
+    ///
+    /// `weights[b]` is the per-transition surrogate weight; like the
+    /// per-sample [`GaussianPolicy::accumulate_log_prob_grad`], the
+    /// accumulated gradient descends `-Σ_b weights[b] · log π(a_b | s_b)`.
+    /// `grad_buf` is a caller-owned scratch matrix.
+    ///
+    /// # Panics
+    /// Panics if the buffer shapes do not line up with the cached forward.
+    pub fn accumulate_log_prob_grad_batch(
+        &mut self,
+        raw_actions: &Matrix,
+        weights: &[f64],
+        ws: &mut BatchWorkspace,
+        grad_buf: &mut Matrix,
+    ) {
+        let batch = raw_actions.rows();
+        assert_eq!(weights.len(), batch, "weight count mismatch");
+        {
+            let means = ws.output();
+            assert_eq!(
+                (means.rows(), means.cols()),
+                (batch, self.action_dim()),
+                "workspace does not hold a matching forward pass"
+            );
+            // Hoist all per-dimension factors (state independent) out of the
+            // batch loop; the per-element work is then multiply-add only.
+            let std = self.std();
+            let inv_var: Vec<f64> = std
+                .iter()
+                .map(|s| 1.0 / (s.max(1e-9) * s.max(1e-9)))
+                .collect();
+            // d logp/d s · ds/dρ = ((diff² − s²)/s³) · σ'(ρ), split into a
+            // diff²-coefficient and a constant per dimension.
+            let rho_quad: Vec<f64> = std
+                .iter()
+                .zip(self.log_std_rho.iter())
+                .map(|(s, &r)| {
+                    let s = s.max(1e-9);
+                    softplus_derivative(r) / (s * s * s)
+                })
+                .collect();
+            let rho_const: Vec<f64> = std
+                .iter()
+                .zip(self.log_std_rho.iter())
+                .map(|(s, &r)| softplus_derivative(r) / s.max(1e-9))
+                .collect();
+            grad_buf.resize(batch, self.action_dim());
+            for (b, &w) in weights.iter().enumerate() {
+                let mean_row = means.row(b);
+                let action_row = raw_actions.row(b);
+                let grad_row = grad_buf.row_mut(b);
+                for (i, (m, a)) in mean_row.iter().zip(action_row.iter()).enumerate() {
+                    let diff = a - m;
+                    // Descent gradient on -w·logp wrt the mean output.
+                    grad_row[i] = -w * diff * inv_var[i];
+                    // Ascent convention, negated in `param_grad_pairs`.
+                    self.grad_log_std_rho[i] += w * (diff * diff * rho_quad[i] - rho_const[i]);
+                }
+            }
+        }
+        self.mean_net.backward_batch(grad_buf, ws);
     }
 
     /// Adds `coeff * d(-entropy)/d rho` to the std-deviation gradients,
@@ -248,7 +399,11 @@ impl GaussianPolicy {
     /// # Panics
     /// Panics if the length does not match [`GaussianPolicy::num_parameters`].
     pub fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter length mismatch"
+        );
         let n = self.mean_net.num_parameters();
         self.mean_net.set_parameters(&params[..n]);
         self.log_std_rho.copy_from_slice(&params[n..]);
@@ -268,6 +423,20 @@ impl GaussianPolicy {
     /// Immutable access to the underlying mean network.
     pub fn mean_net(&self) -> &Mlp {
         &self.mean_net
+    }
+}
+
+impl ParameterSet for GaussianPolicy {
+    fn grad_norm_squared(&self) -> f64 {
+        self.mean_net.grad_norm_squared() + self.grad_log_std_rho.iter().map(|g| g * g).sum::<f64>()
+    }
+
+    fn visit_param_blocks(&mut self, f: &mut crate::optimizer::ParamBlockVisitor<'_>) {
+        self.mean_net.visit_param_blocks(f);
+        // Std-deviation gradients are stored in the ascent convention; the
+        // -1 scale flips them to the descent convention the optimizer
+        // expects, matching `param_grad_pairs`.
+        f(&mut self.log_std_rho, &self.grad_log_std_rho, -1.0);
     }
 }
 
@@ -343,12 +512,22 @@ mod tests {
     #[test]
     fn entropy_increases_with_std() {
         let low = GaussianPolicy::from_mean_net(
-            Mlp::new(&[2, 4, 2], Activation::Relu, Activation::Sigmoid, &mut ChaCha8Rng::seed_from_u64(5)),
+            Mlp::new(
+                &[2, 4, 2],
+                Activation::Relu,
+                Activation::Sigmoid,
+                &mut ChaCha8Rng::seed_from_u64(5),
+            ),
             2,
             0.05,
         );
         let high = GaussianPolicy::from_mean_net(
-            Mlp::new(&[2, 4, 2], Activation::Relu, Activation::Sigmoid, &mut ChaCha8Rng::seed_from_u64(6)),
+            Mlp::new(
+                &[2, 4, 2],
+                Activation::Relu,
+                Activation::Sigmoid,
+                &mut ChaCha8Rng::seed_from_u64(6),
+            ),
             2,
             0.5,
         );
@@ -381,7 +560,10 @@ mod tests {
             opt.step(policy.param_grad_pairs());
         }
         let m = policy.mean_action(&state)[0];
-        assert!((m - 0.8).abs() < 0.1, "policy mean {m} did not move toward 0.8");
+        assert!(
+            (m - 0.8).abs() < 0.1,
+            "policy mean {m} did not move toward 0.8"
+        );
     }
 
     #[test]
@@ -416,7 +598,10 @@ mod tests {
             opt.step(p.param_grad_pairs());
         }
         let after: f64 = p.std().iter().sum();
-        assert!(after > before, "entropy bonus should inflate std: {before} -> {after}");
+        assert!(
+            after > before,
+            "entropy bonus should inflate std: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use onslicing_nn::{mse_grad, mse_loss, Adam, GaussianPolicy};
+use onslicing_nn::{mse_loss, Adam, BatchWorkspace, GaussianPolicy, Matrix};
 
 /// A state → baseline-action demonstration pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,7 +40,11 @@ pub struct BcConfig {
 
 impl Default for BcConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 64, learning_rate: 1e-3 }
+        Self {
+            epochs: 10,
+            batch_size: 64,
+            learning_rate: 1e-3,
+        }
     }
 }
 
@@ -58,33 +62,71 @@ pub fn behavior_clone<R: Rng + ?Sized>(
     config: &BcConfig,
     rng: &mut R,
 ) -> Vec<f64> {
-    assert!(!demonstrations.is_empty(), "behavior cloning needs at least one demonstration");
+    assert!(
+        !demonstrations.is_empty(),
+        "behavior cloning needs at least one demonstration"
+    );
     for d in demonstrations {
-        assert_eq!(d.state.len(), policy.state_dim(), "demonstration state dimension mismatch");
-        assert_eq!(d.action.len(), policy.action_dim(), "demonstration action dimension mismatch");
+        assert_eq!(
+            d.state.len(),
+            policy.state_dim(),
+            "demonstration state dimension mismatch"
+        );
+        assert_eq!(
+            d.action.len(),
+            policy.action_dim(),
+            "demonstration action dimension mismatch"
+        );
     }
+    let n = demonstrations.len();
+    let state_dim = policy.state_dim();
+    let action_dim = policy.action_dim();
     let mut opt = Adam::new(policy.mean_net().num_parameters(), config.learning_rate);
-    let mut indices: Vec<usize> = (0..demonstrations.len()).collect();
+
+    // Pack the demonstration set once; minibatches gather rows from it.
+    let mut all_states = Matrix::zeros(n, state_dim);
+    let mut all_actions = Matrix::zeros(n, action_dim);
+    for (i, d) in demonstrations.iter().enumerate() {
+        all_states.copy_row_from(i, &d.state);
+        all_actions.copy_row_from(i, &d.action);
+    }
+
+    let mut ws = BatchWorkspace::new();
+    let mut grad = Matrix::default();
+    let mut indices: Vec<usize> = (0..n).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     for _ in 0..config.epochs {
         indices.shuffle(rng);
         let mut loss_sum = 0.0;
         for chunk in indices.chunks(config.batch_size.max(1)) {
             policy.mean_net_mut().zero_grad();
-            let batch = chunk.len() as f64;
-            for &i in chunk {
-                let d = &demonstrations[i];
-                let y = policy.mean_net_mut().forward_train(&d.state);
-                loss_sum += mse_loss(&y, &d.action);
-                let mut grad = mse_grad(&y, &d.action);
-                for g in &mut grad {
-                    *g /= batch;
-                }
-                policy.mean_net_mut().backward(&grad);
+            let batch = chunk.len();
+            let input = ws.input_mut(batch, state_dim);
+            for (b, &i) in chunk.iter().enumerate() {
+                input.copy_row_from(b, all_states.row(i));
             }
-            opt.step(policy.mean_net_mut().param_grad_pairs());
+            grad.resize(batch, action_dim);
+            {
+                // One GEMM pass for the whole minibatch; the per-row mse
+                // gradient is `2 (y − t) / (action_dim · batch)`, matching
+                // the former per-sample `mse_grad(...) / batch`.
+                let y = policy.mean_net().forward_batch_prefilled(&mut ws);
+                let scale = 2.0 / (action_dim as f64 * batch as f64);
+                for (b, &i) in chunk.iter().enumerate() {
+                    loss_sum += mse_loss(y.row(b), all_actions.row(i));
+                    for (g, (p, t)) in grad
+                        .row_mut(b)
+                        .iter_mut()
+                        .zip(y.row(b).iter().zip(all_actions.row(i).iter()))
+                    {
+                        *g = scale * (p - t);
+                    }
+                }
+            }
+            policy.mean_net_mut().backward_batch(&grad, &mut ws);
+            opt.step_set(policy.mean_net_mut());
         }
-        epoch_losses.push(loss_sum / demonstrations.len() as f64);
+        epoch_losses.push(loss_sum / n as f64);
     }
     epoch_losses
 }
@@ -118,14 +160,22 @@ mod tests {
         (0..n)
             .map(|i| {
                 let s = vec![i as f64 / n as f64, (i % 7) as f64 / 7.0];
-                Demonstration { action: synthetic_baseline(&s), state: s }
+                Demonstration {
+                    action: synthetic_baseline(&s),
+                    state: s,
+                }
             })
             .collect()
     }
 
     fn small_policy(seed: u64) -> GaussianPolicy {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let net = Mlp::new(&[2, 32, 16, 2], Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let net = Mlp::new(
+            &[2, 32, 16, 2],
+            Activation::Tanh,
+            Activation::Sigmoid,
+            &mut rng,
+        );
         GaussianPolicy::from_mean_net(net, 2, 0.1)
     }
 
@@ -138,13 +188,23 @@ mod tests {
         let losses = behavior_clone(
             &mut policy,
             &demos,
-            &BcConfig { epochs: 30, batch_size: 32, learning_rate: 3e-3 },
+            &BcConfig {
+                epochs: 30,
+                batch_size: 32,
+                learning_rate: 3e-3,
+            },
             &mut rng,
         );
         let after = imitation_error(&policy, &demos);
         assert_eq!(losses.len(), 30);
-        assert!(after < before, "imitation error should drop: {before} -> {after}");
-        assert!(after < 0.01, "cloned policy should be close to the baseline, got {after}");
+        assert!(
+            after < before,
+            "imitation error should drop: {before} -> {after}"
+        );
+        assert!(
+            after < 0.01,
+            "cloned policy should be close to the baseline, got {after}"
+        );
         // The loss curve should be (weakly) improving overall.
         assert!(losses.last().unwrap() < losses.first().unwrap());
     }
@@ -157,7 +217,11 @@ mod tests {
         behavior_clone(
             &mut policy,
             &demos,
-            &BcConfig { epochs: 40, batch_size: 32, learning_rate: 3e-3 },
+            &BcConfig {
+                epochs: 40,
+                batch_size: 32,
+                learning_rate: 3e-3,
+            },
             &mut rng,
         );
         let s = vec![0.42, 0.3];
@@ -187,7 +251,10 @@ mod tests {
     fn dimension_mismatch_is_rejected() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let mut policy = small_policy(8);
-        let demos = vec![Demonstration { state: vec![0.0; 5], action: vec![0.5, 0.5] }];
+        let demos = vec![Demonstration {
+            state: vec![0.0; 5],
+            action: vec![0.5, 0.5],
+        }];
         let _ = behavior_clone(&mut policy, &demos, &BcConfig::default(), &mut rng);
     }
 }

@@ -45,7 +45,11 @@ pub fn compute_gae(
     gamma: f64,
     lambda: f64,
 ) -> (Vec<f64>, Vec<f64>) {
-    assert_eq!(rewards.len(), values.len(), "rewards/values length mismatch");
+    assert_eq!(
+        rewards.len(),
+        values.len(),
+        "rewards/values length mismatch"
+    );
     assert_eq!(rewards.len(), dones.len(), "rewards/dones length mismatch");
     let n = rewards.len();
     let mut advantages = vec![0.0; n];
@@ -63,7 +67,11 @@ pub fn compute_gae(
         gae = delta + gamma * lambda * not_done * gae;
         advantages[i] = gae;
     }
-    let returns = advantages.iter().zip(values.iter()).map(|(a, v)| a + v).collect();
+    let returns = advantages
+        .iter()
+        .zip(values.iter())
+        .map(|(a, v)| a + v)
+        .collect();
     (advantages, returns)
 }
 
@@ -149,7 +157,10 @@ impl RolloutBuffer {
 
     /// Total raw cost of the ready transitions (for the Lagrangian update).
     pub fn total_cost(&self) -> f64 {
-        self.transitions[..self.num_ready()].iter().map(|t| t.cost).sum()
+        self.transitions[..self.num_ready()]
+            .iter()
+            .map(|t| t.cost)
+            .sum()
     }
 
     /// Average raw cost per ready transition (0 when empty).

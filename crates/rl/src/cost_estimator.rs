@@ -15,7 +15,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use onslicing_nn::{Adam, BayesianMlp, BayesianPrediction};
+use onslicing_nn::{Adam, BayesWorkspace, BayesianMlp, BayesianPrediction, Matrix};
 
 /// A `(state, remaining-episode cost)` training pair for the estimator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,7 +43,12 @@ pub struct CostEstimatorConfig {
 
 impl Default for CostEstimatorConfig {
     fn default() -> Self {
-        Self { epochs: 20, learning_rate: 2e-3, kl_weight: 1e-4, prediction_samples: 16 }
+        Self {
+            epochs: 20,
+            learning_rate: 2e-3,
+            kl_weight: 1e-4,
+            prediction_samples: 16,
+        }
     }
 }
 
@@ -59,10 +64,18 @@ impl CostValueEstimator {
     /// Creates an estimator for the given state dimensionality using a small
     /// trunk (the estimator regresses a single scalar, so the paper-size
     /// trunk is unnecessary and slow in tests).
-    pub fn new<R: Rng + ?Sized>(state_dim: usize, config: CostEstimatorConfig, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        state_dim: usize,
+        config: CostEstimatorConfig,
+        rng: &mut R,
+    ) -> Self {
         let network = BayesianMlp::new(&[state_dim, 64, 32, 1], rng);
         let optimizer = Adam::new(network.num_parameters(), config.learning_rate);
-        Self { network, optimizer, config }
+        Self {
+            network,
+            optimizer,
+            config,
+        }
     }
 
     /// The estimator's configuration.
@@ -86,33 +99,54 @@ impl CostValueEstimator {
         states
             .iter()
             .zip(togo)
-            .map(|(s, c)| CostToGoSample { state: s.clone(), cost_to_go: c })
+            .map(|(s, c)| CostToGoSample {
+                state: s.clone(),
+                cost_to_go: c,
+            })
             .collect()
     }
 
     /// Trains the estimator on the dataset by maximizing the ELBO (Gaussian
     /// likelihood + KL to the prior). Returns the mean squared error after
     /// each epoch.
+    ///
+    /// The batched path draws **one posterior weight sample per epoch** and
+    /// pushes the whole dataset through it with one GEMM per layer (a
+    /// single-sample Monte-Carlo ELBO estimate, the standard
+    /// Bayes-by-backprop minibatch scheme), instead of resampling every
+    /// weight for every data point as the per-sample loop did. Both are
+    /// unbiased ELBO gradient estimators; the batched one is far cheaper.
     pub fn fit<R: Rng + ?Sized>(&mut self, dataset: &[CostToGoSample], rng: &mut R) -> Vec<f64> {
         if dataset.is_empty() {
             return Vec::new();
         }
         let n = dataset.len() as f64;
+        let state_dim = self.network.input_dim();
+        let mut states = Matrix::zeros(dataset.len(), state_dim);
+        for (i, sample) in dataset.iter().enumerate() {
+            states.copy_row_from(i, &sample.state);
+        }
+        let mut ws = BayesWorkspace::new();
+        let mut grad = Matrix::zeros(dataset.len(), 1);
         let mut epoch_errors = Vec::with_capacity(self.config.epochs);
         for _ in 0..self.config.epochs {
             self.network.zero_grad();
+            self.network.resample_weights(rng);
             let mut err_sum = 0.0;
-            for sample in dataset {
-                let y = self.network.forward_sample(&sample.state, rng)[0];
-                let err = y - sample.cost_to_go;
-                err_sum += err * err;
-                // Gradient of 0.5 * err^2 averaged over the dataset (the
-                // Gaussian likelihood term of the ELBO with unit observation
-                // noise).
-                self.network.backward(&[err / n]);
+            {
+                let y = self.network.forward_batch(&states, &mut ws);
+                for (i, sample) in dataset.iter().enumerate() {
+                    let err = y.get(i, 0) - sample.cost_to_go;
+                    err_sum += err * err;
+                    // Gradient of 0.5 * err^2 averaged over the dataset (the
+                    // Gaussian likelihood term of the ELBO with unit
+                    // observation noise).
+                    grad.set(i, 0, err / n);
+                }
             }
+            self.network.backward_batch(&grad, &mut ws);
             self.network.accumulate_kl_grad(self.config.kl_weight / n);
-            self.optimizer.step(self.network.param_grad_pairs());
+            self.optimizer.step_set(&mut self.network);
             epoch_errors.push(err_sum / n);
         }
         epoch_errors
@@ -121,7 +155,9 @@ impl CostValueEstimator {
     /// Predictive mean and standard deviation of the baseline's remaining
     /// episode cost at the given state.
     pub fn predict<R: Rng + ?Sized>(&mut self, state: &[f64], rng: &mut R) -> BayesianPrediction {
-        let mut p = self.network.predict(state, self.config.prediction_samples, rng);
+        let mut p = self
+            .network
+            .predict(state, self.config.prediction_samples, rng);
         // Remaining cost is non-negative by construction.
         p.mean = p.mean.max(0.0);
         p
@@ -159,19 +195,35 @@ mod tests {
         let dataset: Vec<CostToGoSample> = (0..128)
             .map(|i| {
                 let s = i as f64 / 128.0;
-                CostToGoSample { state: vec![s, 1.0 - s], cost_to_go: 2.0 * s }
+                CostToGoSample {
+                    state: vec![s, 1.0 - s],
+                    cost_to_go: 2.0 * s,
+                }
             })
             .collect();
         let mut est = CostValueEstimator::new(
             2,
-            CostEstimatorConfig { epochs: 300, learning_rate: 5e-3, ..Default::default() },
+            CostEstimatorConfig {
+                epochs: 300,
+                learning_rate: 5e-3,
+                ..Default::default()
+            },
             &mut rng,
         );
         let errors = est.fit(&dataset, &mut rng);
-        assert!(errors.last().unwrap() < &0.05, "final mse {}", errors.last().unwrap());
+        assert!(
+            errors.last().unwrap() < &0.05,
+            "final mse {}",
+            errors.last().unwrap()
+        );
         let p_low = est.predict(&[0.1, 0.9], &mut rng);
         let p_high = est.predict(&[0.9, 0.1], &mut rng);
-        assert!(p_high.mean > p_low.mean, "{} should exceed {}", p_high.mean, p_low.mean);
+        assert!(
+            p_high.mean > p_low.mean,
+            "{} should exceed {}",
+            p_high.mean,
+            p_low.mean
+        );
         assert!((p_high.mean - 1.8).abs() < 0.5);
         assert!(p_low.std >= 0.0 && p_high.std >= 0.0);
     }
@@ -200,17 +252,30 @@ mod tests {
         let dataset: Vec<CostToGoSample> = (0..64)
             .map(|i| {
                 let s = 0.15 + 0.1 * (i as f64 / 64.0);
-                CostToGoSample { state: vec![s], cost_to_go: 1.0 }
+                CostToGoSample {
+                    state: vec![s],
+                    cost_to_go: 1.0,
+                }
             })
             .collect();
         let mut est = CostValueEstimator::new(
             1,
-            CostEstimatorConfig { epochs: 200, learning_rate: 5e-3, ..Default::default() },
+            CostEstimatorConfig {
+                epochs: 200,
+                learning_rate: 5e-3,
+                ..Default::default()
+            },
             &mut rng,
         );
         est.fit(&dataset, &mut rng);
-        let in_dist: f64 = (0..10).map(|_| est.predict(&[0.2], &mut rng).std).sum::<f64>() / 10.0;
-        let out_dist: f64 = (0..10).map(|_| est.predict(&[3.0], &mut rng).std).sum::<f64>() / 10.0;
+        let in_dist: f64 = (0..10)
+            .map(|_| est.predict(&[0.2], &mut rng).std)
+            .sum::<f64>()
+            / 10.0;
+        let out_dist: f64 = (0..10)
+            .map(|_| est.predict(&[3.0], &mut rng).std)
+            .sum::<f64>()
+            / 10.0;
         assert!(
             out_dist > in_dist,
             "uncertainty far from data ({out_dist}) should exceed in-distribution ({in_dist})"

@@ -33,8 +33,15 @@ impl LagrangianMultiplier {
     pub fn new(initial_lambda: f64, step_size: f64, cost_threshold: f64) -> Self {
         assert!(initial_lambda >= 0.0, "lambda must be non-negative");
         assert!(step_size > 0.0, "step size must be positive");
-        assert!((0.0..=1.0).contains(&cost_threshold), "C_max must be in [0, 1]");
-        Self { lambda: initial_lambda, step_size, cost_threshold }
+        assert!(
+            (0.0..=1.0).contains(&cost_threshold),
+            "C_max must be in [0, 1]"
+        );
+        Self {
+            lambda: initial_lambda,
+            step_size,
+            cost_threshold,
+        }
     }
 
     /// The paper-style default: start neutral (λ = 1) with a moderate dual
@@ -58,7 +65,8 @@ impl LagrangianMultiplier {
     /// Dual update from the average per-slot cost observed since the last
     /// update (Eq. 5). Returns the new multiplier.
     pub fn update(&mut self, average_cost: f64) -> f64 {
-        self.lambda = (self.lambda + self.step_size * (average_cost - self.cost_threshold)).max(0.0);
+        self.lambda =
+            (self.lambda + self.step_size * (average_cost - self.cost_threshold)).max(0.0);
         self.lambda
     }
 

@@ -17,7 +17,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use onslicing_nn::{Activation, Adam, GaussianPolicy, Mlp, PolicySample};
+use onslicing_nn::{Activation, Adam, BatchWorkspace, GaussianPolicy, Matrix, Mlp, PolicySample};
 
 use crate::buffer::RolloutBuffer;
 
@@ -76,6 +76,24 @@ pub struct PpoUpdateStats {
     pub mean_ratio: f64,
 }
 
+/// Reusable buffers for [`PpoAgent::update`]: network workspaces, gathered
+/// minibatch matrices and per-sample scalars. Living inside the agent, they
+/// persist across updates, so steady-state training re-touches warm memory
+/// instead of faulting in fresh allocations every epoch.
+#[derive(Debug, Clone, Default)]
+struct UpdateScratch {
+    actor_ws: BatchWorkspace,
+    critic_ws: BatchWorkspace,
+    all_states: Matrix,
+    all_raw: Matrix,
+    mb_raw: Matrix,
+    actor_grad: Matrix,
+    critic_grad: Matrix,
+    new_log_probs: Vec<f64>,
+    weights: Vec<f64>,
+    indices: Vec<usize>,
+}
+
 /// A PPO actor-critic agent.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PpoAgent {
@@ -84,6 +102,9 @@ pub struct PpoAgent {
     critic: Mlp,
     actor_opt: Adam,
     critic_opt: Adam,
+    /// Scratch memory only — never part of the agent's serialized state.
+    #[serde(skip)]
+    scratch: UpdateScratch,
 }
 
 impl PpoAgent {
@@ -107,9 +128,19 @@ impl PpoAgent {
         config: PpoConfig,
         rng: &mut R,
     ) -> Self {
-        let mean = Mlp::new(&[state_dim, 32, 16, action_dim], Activation::Tanh, Activation::Sigmoid, rng);
+        let mean = Mlp::new(
+            &[state_dim, 32, 16, action_dim],
+            Activation::Tanh,
+            Activation::Sigmoid,
+            rng,
+        );
         let policy = GaussianPolicy::from_mean_net(mean, action_dim, config.initial_std);
-        let critic = Mlp::new(&[state_dim, 32, 16, 1], Activation::Tanh, Activation::Identity, rng);
+        let critic = Mlp::new(
+            &[state_dim, 32, 16, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            rng,
+        );
         Self::from_parts(policy, critic, config)
     }
 
@@ -118,7 +149,14 @@ impl PpoAgent {
     pub fn from_parts(policy: GaussianPolicy, critic: Mlp, config: PpoConfig) -> Self {
         let actor_opt = Adam::new(policy.num_parameters(), config.actor_lr);
         let critic_opt = Adam::new(critic.num_parameters(), config.critic_lr);
-        Self { config, policy, critic, actor_opt, critic_opt }
+        Self {
+            config,
+            policy,
+            critic,
+            actor_opt,
+            critic_opt,
+            scratch: UpdateScratch::default(),
+        }
     }
 
     /// The learner's configuration.
@@ -141,6 +179,12 @@ impl PpoAgent {
         &self.critic
     }
 
+    /// Mutable access to the critic (used by offline value pre-training and
+    /// the per-sample reference implementation in the benchmarks).
+    pub fn critic_mut(&mut self) -> &mut Mlp {
+        &mut self.critic
+    }
+
     /// Samples a stochastic action.
     pub fn act<R: Rng + ?Sized>(&self, state: &[f64], rng: &mut R) -> PolicySample {
         self.policy.sample(state, rng)
@@ -159,9 +203,20 @@ impl PpoAgent {
 
     /// Runs a full PPO update on the buffer's ready transitions.
     ///
+    /// The whole minibatch flows through the batched network API: per epoch
+    /// and minibatch there is exactly **one** forward GEMM pass (shared by
+    /// the new log-probabilities and the policy gradient), one policy
+    /// backward pass, and one critic forward/backward pass — instead of the
+    /// former per-sample `matvec` loops. All scratch matrices are reused
+    /// across minibatches, so the inner loop allocates nothing once warm.
+    ///
     /// The buffer is left untouched (the caller clears it), so ablations can
     /// inspect it afterwards.
-    pub fn update<R: Rng + ?Sized>(&mut self, buffer: &RolloutBuffer, rng: &mut R) -> PpoUpdateStats {
+    pub fn update<R: Rng + ?Sized>(
+        &mut self,
+        buffer: &RolloutBuffer,
+        rng: &mut R,
+    ) -> PpoUpdateStats {
         let (transitions, _advantages, returns) = buffer.ready_batch();
         let advantages = buffer.normalized_advantages();
         let n = transitions.len();
@@ -174,57 +229,111 @@ impl PpoAgent {
                 mean_ratio: 1.0,
             };
         }
-        let mut indices: Vec<usize> = (0..n).collect();
+        let Self {
+            config,
+            policy,
+            critic,
+            actor_opt,
+            critic_opt,
+            scratch,
+        } = self;
+        let state_dim = policy.state_dim();
+        let action_dim = policy.action_dim();
+        // Pack the rollout into matrices once; minibatches gather rows from
+        // these instead of touching the transition structs again. All
+        // buffers live in the agent's scratch, so steady-state updates
+        // allocate nothing.
+        scratch.all_states.resize(n, state_dim);
+        scratch.all_raw.resize(n, action_dim);
+        for (i, t) in transitions.iter().enumerate() {
+            scratch.all_states.copy_row_from(i, &t.state);
+            scratch.all_raw.copy_row_from(i, &t.raw_action);
+        }
+
+        scratch.indices.clear();
+        scratch.indices.extend(0..n);
         let mut last_surrogate = 0.0;
         let mut last_value_loss = 0.0;
         let mut last_clip_fraction = 0.0;
         let mut last_mean_ratio = 1.0;
+        let clip_lo = 1.0 - config.clip_epsilon;
+        let clip_hi = 1.0 + config.clip_epsilon;
 
-        for _epoch in 0..self.config.epochs {
-            indices.shuffle(rng);
+        for _epoch in 0..config.epochs {
+            scratch.indices.shuffle(rng);
             let mut surrogate_sum = 0.0;
             let mut value_loss_sum = 0.0;
             let mut clipped = 0usize;
             let mut ratio_sum = 0.0;
 
-            for chunk in indices.chunks(self.config.minibatch_size.max(1)) {
-                self.policy.zero_grad();
-                self.critic.zero_grad();
-                let batch = chunk.len() as f64;
-                for &i in chunk {
-                    let t = &transitions[i];
-                    let adv = advantages[i];
-                    let ret = returns[i];
+            for chunk in scratch.indices.chunks(config.minibatch_size.max(1)) {
+                policy.zero_grad();
+                critic.zero_grad();
+                let batch = chunk.len();
+                let batch_f = batch as f64;
 
-                    // ---- actor ----
-                    let new_log_prob = self.policy.log_prob(&t.state, &t.raw_action);
-                    let ratio = (new_log_prob - t.log_prob).exp();
-                    let clip_lo = 1.0 - self.config.clip_epsilon;
-                    let clip_hi = 1.0 + self.config.clip_epsilon;
+                // Gather the shuffled minibatch rows straight into the
+                // workspaces' input buffers.
+                let actor_in = scratch.actor_ws.input_mut(batch, state_dim);
+                for (b, &i) in chunk.iter().enumerate() {
+                    actor_in.copy_row_from(b, scratch.all_states.row(i));
+                }
+                scratch.mb_raw.resize(batch, action_dim);
+                for (b, &i) in chunk.iter().enumerate() {
+                    scratch.mb_raw.copy_row_from(b, scratch.all_raw.row(i));
+                }
+
+                // ---- actor: one batched forward, shared by the ratio
+                // computation and the policy gradient ----
+                policy.log_probs_batch_prefilled(
+                    &scratch.mb_raw,
+                    &mut scratch.actor_ws,
+                    &mut scratch.new_log_probs,
+                );
+                scratch.weights.clear();
+                for (b, &i) in chunk.iter().enumerate() {
+                    let adv = advantages[i];
+                    let ratio = (scratch.new_log_probs[b] - transitions[i].log_prob).exp();
                     let unclipped = ratio * adv;
                     let clipped_obj = ratio.clamp(clip_lo, clip_hi) * adv;
-                    let surrogate = unclipped.min(clipped_obj);
-                    surrogate_sum += surrogate;
+                    surrogate_sum += unclipped.min(clipped_obj);
                     ratio_sum += ratio;
-                    // Gradient flows only when the unclipped branch is active.
-                    let active = unclipped <= clipped_obj + 1e-12;
-                    if active {
-                        self.policy
-                            .accumulate_log_prob_grad(&t.state, &t.raw_action, ratio * adv / batch);
+                    // Gradient flows only when the unclipped branch is
+                    // active; clipped samples keep a zero weight.
+                    if unclipped <= clipped_obj + 1e-12 {
+                        scratch.weights.push(ratio * adv / batch_f);
                     } else {
+                        scratch.weights.push(0.0);
                         clipped += 1;
                     }
-
-                    // ---- critic ----
-                    let v = self.critic.forward_train(&t.state)[0];
-                    let err = v - ret;
-                    value_loss_sum += err * err;
-                    self.critic.backward(&[2.0 * err / batch]);
                 }
+                policy.accumulate_log_prob_grad_batch(
+                    &scratch.mb_raw,
+                    &scratch.weights,
+                    &mut scratch.actor_ws,
+                    &mut scratch.actor_grad,
+                );
                 // Entropy bonus (per minibatch, not per sample).
-                self.policy.accumulate_entropy_grad(self.config.entropy_coef);
-                self.actor_opt.step(self.policy.param_grad_pairs());
-                self.critic_opt.step(self.critic.param_grad_pairs());
+                policy.accumulate_entropy_grad(config.entropy_coef);
+
+                // ---- critic: one batched forward/backward ----
+                let critic_in = scratch.critic_ws.input_mut(batch, state_dim);
+                for (b, &i) in chunk.iter().enumerate() {
+                    critic_in.copy_row_from(b, scratch.all_states.row(i));
+                }
+                scratch.critic_grad.resize(batch, 1);
+                {
+                    let values = critic.forward_batch_prefilled(&mut scratch.critic_ws);
+                    for (b, &i) in chunk.iter().enumerate() {
+                        let err = values.get(b, 0) - returns[i];
+                        value_loss_sum += err * err;
+                        scratch.critic_grad.set(b, 0, 2.0 * err / batch_f);
+                    }
+                }
+                critic.backward_batch(&scratch.critic_grad, &mut scratch.critic_ws);
+
+                actor_opt.step_set(policy);
+                critic_opt.step_set(critic);
             }
             last_surrogate = surrogate_sum / n as f64;
             last_value_loss = value_loss_sum / n as f64;
@@ -321,7 +430,11 @@ mod tests {
     #[test]
     fn critic_learns_the_return_of_a_constant_reward() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let config = PpoConfig { epochs: 10, critic_lr: 5e-3, ..PpoConfig::default() };
+        let config = PpoConfig {
+            epochs: 10,
+            critic_lr: 5e-3,
+            ..PpoConfig::default()
+        };
         let mut agent = PpoAgent::new_small(2, 1, config, &mut rng);
         let state = vec![0.5, 0.5];
         for _ in 0..30 {
@@ -343,13 +456,24 @@ mod tests {
             agent.update(&buffer, &mut rng);
         }
         let v = agent.value(&state);
-        assert!((v - 1.0).abs() < 0.2, "critic value {v} should approach 1.0");
+        assert!(
+            (v - 1.0).abs() < 0.2,
+            "critic value {v} should approach 1.0"
+        );
     }
 
     #[test]
     fn clip_fraction_and_ratio_are_reported() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let mut agent = PpoAgent::new_small(2, 2, PpoConfig { epochs: 6, ..PpoConfig::default() }, &mut rng);
+        let mut agent = PpoAgent::new_small(
+            2,
+            2,
+            PpoConfig {
+                epochs: 6,
+                ..PpoConfig::default()
+            },
+            &mut rng,
+        );
         let mut buffer = RolloutBuffer::new();
         collect_bandit_steps(&agent, &mut rng, &mut buffer, 64);
         let stats = agent.update(&buffer, &mut rng);

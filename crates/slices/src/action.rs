@@ -75,7 +75,10 @@ impl ActionDim {
 
     /// Index of this dimension in the flat action vector.
     pub fn index(self) -> usize {
-        ActionDim::ALL.iter().position(|d| *d == self).expect("dimension is in ALL")
+        ActionDim::ALL
+            .iter()
+            .position(|d| *d == self)
+            .expect("dimension is in ALL")
     }
 
     /// Whether this dimension contributes to the resource-usage reward
@@ -138,7 +141,10 @@ impl ResourceKind {
 
     /// Index of this resource in [`ResourceKind::ALL`].
     pub fn index(self) -> usize {
-        ResourceKind::ALL.iter().position(|r| *r == self).expect("resource is in ALL")
+        ResourceKind::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("resource is in ALL")
     }
 
     /// The action dimension through which a slice requests this resource.
@@ -259,7 +265,11 @@ impl Action {
     /// # Panics
     /// Panics if the vector does not have [`ACTION_DIM`] elements.
     pub fn from_vec(v: &[f64]) -> Self {
-        assert_eq!(v.len(), ACTION_DIM, "action vector must have {ACTION_DIM} elements");
+        assert_eq!(
+            v.len(),
+            ACTION_DIM,
+            "action vector must have {ACTION_DIM} elements"
+        );
         Self {
             ul_bandwidth: v[0].clamp(0.0, 1.0),
             ul_mcs_offset: v[1].clamp(0.0, 1.0),
@@ -310,7 +320,12 @@ impl Action {
     /// Total virtual resource usage, i.e. the negated reward of Eq. 9:
     /// `U_u + U_d + U_b + U_l + U_c + U_r`. The result is in `[0, 6]`.
     pub fn resource_usage(&self) -> f64 {
-        self.ul_bandwidth + self.dl_bandwidth + self.tn_bandwidth + self.tn_path + self.cpu + self.ram
+        self.ul_bandwidth
+            + self.dl_bandwidth
+            + self.tn_bandwidth
+            + self.tn_path
+            + self.cpu
+            + self.ram
     }
 
     /// Average per-dimension resource usage as a percentage (0–100), the unit
@@ -364,7 +379,11 @@ impl Action {
     pub fn lerp(&self, other: &Action, t: f64) -> Action {
         let a = self.to_vec();
         let b = other.to_vec();
-        let v: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| (1.0 - t) * x + t * y).collect();
+        let v: Vec<f64> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (1.0 - t) * x + t * y)
+            .collect();
         Action::from_vec(&v)
     }
 }
@@ -389,7 +408,10 @@ mod tests {
 
     #[test]
     fn usage_counts_exactly_six_dimensions() {
-        let counted = ActionDim::ALL.iter().filter(|d| d.counts_toward_usage()).count();
+        let counted = ActionDim::ALL
+            .iter()
+            .filter(|d| d.counts_toward_usage())
+            .count();
         assert_eq!(counted, 6);
         // and they are exactly the dimensions mapped to shared resources
         for d in ActionDim::ALL {
@@ -467,10 +489,20 @@ mod tests {
 
     #[test]
     fn scheduler_decoding_covers_all_kinds() {
-        assert_eq!(SchedulerKind::from_normalized(0.1), SchedulerKind::RoundRobin);
-        assert_eq!(SchedulerKind::from_normalized(0.5), SchedulerKind::ProportionalFair);
+        assert_eq!(
+            SchedulerKind::from_normalized(0.1),
+            SchedulerKind::RoundRobin
+        );
+        assert_eq!(
+            SchedulerKind::from_normalized(0.5),
+            SchedulerKind::ProportionalFair
+        );
         assert_eq!(SchedulerKind::from_normalized(0.9), SchedulerKind::MaxCqi);
-        for k in [SchedulerKind::RoundRobin, SchedulerKind::ProportionalFair, SchedulerKind::MaxCqi] {
+        for k in [
+            SchedulerKind::RoundRobin,
+            SchedulerKind::ProportionalFair,
+            SchedulerKind::MaxCqi,
+        ] {
             assert_eq!(SchedulerKind::from_normalized(k.to_normalized()), k);
         }
     }

@@ -157,7 +157,10 @@ impl SlotKpi {
             return Err(format!("reliability {} out of [0, 1]", self.reliability));
         }
         if !(0.0..=1.0).contains(&self.retransmission_prob) {
-            return Err(format!("retransmission prob {} out of [0, 1]", self.retransmission_prob));
+            return Err(format!(
+                "retransmission prob {} out of [0, 1]",
+                self.retransmission_prob
+            ));
         }
         if !(0.0..=1.0).contains(&self.cost) {
             return Err(format!("cost {} out of [0, 1]", self.cost));

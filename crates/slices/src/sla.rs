@@ -43,7 +43,11 @@ impl Sla {
             SliceKind::Hvs => 30.0,    // FPS
             SliceKind::Rdc => 0.99999, // radio delivery reliability
         };
-        Self { kind, performance_target, cost_threshold: Self::DEFAULT_COST_THRESHOLD }
+        Self {
+            kind,
+            performance_target,
+            cost_threshold: Self::DEFAULT_COST_THRESHOLD,
+        }
     }
 
     /// Returns a copy with a different cost threshold (used for the
@@ -166,7 +170,10 @@ mod tests {
             let sla = Sla::for_kind(k);
             for &p in &[0.0, 0.001, 0.5, 1.0, 10.0, 100.0, 1000.0, 1e6] {
                 let c = sla.cost_from_performance(p);
-                assert!((0.0..=1.0).contains(&c), "{k}: cost {c} out of range for p={p}");
+                assert!(
+                    (0.0..=1.0).contains(&c),
+                    "{k}: cost {c} out of range for p={p}"
+                );
             }
         }
     }

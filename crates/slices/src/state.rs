@@ -109,7 +109,11 @@ impl SliceState {
     /// # Panics
     /// Panics if the vector does not have [`STATE_DIM`] elements.
     pub fn from_vec(v: &[f64]) -> Self {
-        assert_eq!(v.len(), STATE_DIM, "state vector must have {STATE_DIM} elements");
+        assert_eq!(
+            v.len(),
+            STATE_DIM,
+            "state vector must have {STATE_DIM} elements"
+        );
         Self {
             slot_fraction: v[0],
             traffic: v[1],
@@ -157,7 +161,9 @@ mod tests {
     fn from_kpi_normalizes_fields() {
         let sla = Sla::for_kind(SliceKind::Hvs);
         let action = Action::uniform(0.5);
-        let kpi = SlotKpi::new(&sla, &action, 15.0, 10, 10, 50.0, 1.0, 5.0, 15.0, 0.99, 0.02, 0.7, 0.4, 0.9);
+        let kpi = SlotKpi::new(
+            &sla, &action, 15.0, 10, 10, 50.0, 1.0, 5.0, 15.0, 0.99, 0.02, 0.7, 0.4, 0.9,
+        );
         let s = SliceState::from_kpi(&sla, 48, 96, 0.8, &kpi, 2.4);
         assert!((s.slot_fraction - 0.5).abs() < 1e-12);
         assert!((s.prev_usage - 0.5).abs() < 1e-12);

@@ -34,7 +34,10 @@ impl PoissonArrivals {
     /// # Panics
     /// Panics if the rate is negative or the duration is not positive.
     pub fn new(rate: f64, duration: f64) -> Self {
-        assert!(rate >= 0.0 && rate.is_finite(), "rate must be finite and non-negative");
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "rate must be finite and non-negative"
+        );
         assert!(duration > 0.0, "duration must be positive");
         Self { rate, duration }
     }
@@ -145,7 +148,10 @@ mod tests {
     fn sample_count_matches_expectation_for_large_lambda() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let p = PoissonArrivals::new(100.0, 900.0); // expect 90 000
-        let mean: f64 = (0..100).map(|_| p.sample_count(&mut rng) as f64).sum::<f64>() / 100.0;
+        let mean: f64 = (0..100)
+            .map(|_| p.sample_count(&mut rng) as f64)
+            .sum::<f64>()
+            / 100.0;
         assert!((mean - 90_000.0).abs() / 90_000.0 < 0.01);
     }
 
@@ -153,8 +159,14 @@ mod tests {
     fn sample_count_matches_expectation_for_small_lambda() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let p = PoissonArrivals::new(0.01, 300.0); // expect 3
-        let mean: f64 = (0..5_000).map(|_| p.sample_count(&mut rng) as f64).sum::<f64>() / 5_000.0;
-        assert!((mean - 3.0).abs() < 0.15, "empirical mean {mean} should be near 3");
+        let mean: f64 = (0..5_000)
+            .map(|_| p.sample_count(&mut rng) as f64)
+            .sum::<f64>()
+            / 5_000.0;
+        assert!(
+            (mean - 3.0).abs() < 0.15,
+            "empirical mean {mean} should be near 3"
+        );
     }
 
     #[test]

@@ -84,17 +84,29 @@ impl DiurnalTraceConfig {
     /// Validates the configuration, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.peak_rate > 0.0) {
-            return Err(format!("peak_rate must be positive, got {}", self.peak_rate));
+        if self.peak_rate <= 0.0 {
+            return Err(format!(
+                "peak_rate must be positive, got {}",
+                self.peak_rate
+            ));
         }
         if !(0.0..=1.0).contains(&self.base_fraction) {
-            return Err(format!("base_fraction must be in [0, 1], got {}", self.base_fraction));
+            return Err(format!(
+                "base_fraction must be in [0, 1], got {}",
+                self.base_fraction
+            ));
         }
         if self.noise_std < 0.0 {
-            return Err(format!("noise_std must be non-negative, got {}", self.noise_std));
+            return Err(format!(
+                "noise_std must be non-negative, got {}",
+                self.noise_std
+            ));
         }
         if !(0.0..24.0).contains(&self.peak_hour) {
-            return Err(format!("peak_hour must be in [0, 24), got {}", self.peak_hour));
+            return Err(format!(
+                "peak_hour must be in [0, 24), got {}",
+                self.peak_hour
+            ));
         }
         Ok(())
     }
@@ -118,7 +130,10 @@ impl TrafficTrace {
             "arrival rates must be finite and non-negative"
         );
         assert!(slot_seconds > 0.0, "slot duration must be positive");
-        Self { rates, slot_seconds }
+        Self {
+            rates,
+            slot_seconds,
+        }
     }
 
     /// Number of slots in the trace.
@@ -200,7 +215,10 @@ impl TraceGenerator {
         if let Err(e) = config.validate() {
             panic!("invalid trace configuration: {e}");
         }
-        Self { config, slot_seconds: crate::SLOT_SECONDS }
+        Self {
+            config,
+            slot_seconds: crate::SLOT_SECONDS,
+        }
     }
 
     /// Overrides the slot duration (useful for tests at a faster timescale).
@@ -224,7 +242,8 @@ impl TraceGenerator {
         let phase = (hour - c.peak_hour) / 24.0 * std::f64::consts::TAU;
         // Main 24-hour component peaking at `peak_hour`, plus a 12-hour
         // harmonic producing a secondary busy period.
-        let mut shape = 0.5 * (1.0 + phase.cos()) + c.second_harmonic * 0.5 * (1.0 + (2.0 * phase).cos());
+        let mut shape =
+            0.5 * (1.0 + phase.cos()) + c.second_harmonic * 0.5 * (1.0 + (2.0 * phase).cos());
         shape /= 1.0 + c.second_harmonic;
         let mut v = c.base_fraction + (1.0 - c.base_fraction) * shape;
         // Weekend attenuation (days 5 and 6 of each week).
@@ -255,7 +274,10 @@ impl TraceGenerator {
         for r in &mut rates {
             *r *= scale;
         }
-        TrafficTrace { rates, slot_seconds: self.slot_seconds }
+        TrafficTrace {
+            rates,
+            slot_seconds: self.slot_seconds,
+        }
     }
 
     /// Generates the noise-free envelope trace (deterministic), rescaled to
@@ -269,7 +291,10 @@ impl TraceGenerator {
         for r in &mut rates {
             *r *= scale;
         }
-        TrafficTrace { rates, slot_seconds: self.slot_seconds }
+        TrafficTrace {
+            rates,
+            slot_seconds: self.slot_seconds,
+        }
     }
 }
 
@@ -317,15 +342,23 @@ mod tests {
             .unwrap()
             .0;
         let hour = argmax as f64 * 24.0 / SLOTS_PER_DAY as f64;
-        assert!((hour - 14.0).abs() < 1.5, "peak hour {hour} should be near 14:00");
+        assert!(
+            (hour - 14.0).abs() < 1.5,
+            "peak hour {hour} should be near 14:00"
+        );
     }
 
     #[test]
     fn rdc_trace_is_flatter_than_mar_trace() {
-        let mar = TraceGenerator::new(DiurnalTraceConfig::mar_default()).generate_mean(SLOTS_PER_DAY);
-        let rdc = TraceGenerator::new(DiurnalTraceConfig::rdc_default()).generate_mean(SLOTS_PER_DAY);
+        let mar =
+            TraceGenerator::new(DiurnalTraceConfig::mar_default()).generate_mean(SLOTS_PER_DAY);
+        let rdc =
+            TraceGenerator::new(DiurnalTraceConfig::rdc_default()).generate_mean(SLOTS_PER_DAY);
         let ratio = |t: &TrafficTrace| t.mean_rate() / t.peak_rate();
-        assert!(ratio(&rdc) > ratio(&mar), "machine-type traffic should be flatter");
+        assert!(
+            ratio(&rdc) > ratio(&mar),
+            "machine-type traffic should be flatter"
+        );
     }
 
     #[test]

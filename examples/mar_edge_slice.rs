@@ -12,7 +12,7 @@
 
 use onslicing::core::{AgentConfig, OnSlicingAgent, RuleBasedBaseline, SliceEnvironment};
 use onslicing::netsim::NetworkConfig;
-use onslicing::slices::{Action, SliceKind, Sla};
+use onslicing::slices::{Action, Sla, SliceKind};
 use onslicing::traffic::DiurnalTraceConfig;
 
 fn main() {
@@ -49,18 +49,26 @@ fn main() {
     // 2. The safety machinery over one emulated day: the switching statistic
     //    E_t versus the episode budget T·C_max.
     let baseline = RuleBasedBaseline::calibrate(kind, &sla, &network, 5.0, 5, 2);
-    let mut agent =
-        OnSlicingAgent::new(kind, sla, baseline, AgentConfig::onslicing().scaled_down(24), 5);
+    let mut agent = OnSlicingAgent::new(
+        kind,
+        sla,
+        baseline,
+        AgentConfig::onslicing().scaled_down(24),
+        5,
+    );
     agent.offline_pretrain(&mut env, 2);
     let budget = sla.episode_cost_budget(env.horizon());
     let mut state = env.reset();
     println!("\nslot-by-slot switching statistic (budget T*C_max = {budget:.2}):");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "slot", "traffic", "E_t", "cum cost", "baseline");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "slot", "traffic", "E_t", "cum cost", "baseline"
+    );
     loop {
         let decision = agent.decide(&state, env.cumulative_cost(), false);
         let r = env.step(&decision.action);
         agent.record(&state, &decision, &decision.action, &r.kpi, r.done);
-        if env.slot() % 4 == 0 || decision.used_baseline {
+        if env.slot().is_multiple_of(4) || decision.used_baseline {
             println!(
                 "{:>6} {:>10.2} {:>10.3} {:>10.3} {:>10}",
                 env.slot(),

@@ -14,8 +14,11 @@ fn main() {
     // Part 1: the mechanics. Two greedy requests exceed the CPU capacity;
     // watch the coordinating parameters rise and price the overload away.
     let mut domains = DomainSet::testbed_default();
-    let requests = vec![Action::uniform(0.7), Action::uniform(0.6)];
-    println!("initial feasibility: {}", domains.is_feasible(requests.iter()));
+    let requests = [Action::uniform(0.7), Action::uniform(0.6)];
+    println!(
+        "initial feasibility: {}",
+        domains.is_feasible(requests.iter())
+    );
     for round in 1..=3 {
         let betas = domains.update_coordination(requests.iter());
         println!(
@@ -36,7 +39,10 @@ fn main() {
     // modifier-based coordination, then the same variant with projection.
     for (label, mode) in [
         ("modifier (OnSlicing)", CoordinationMode::default()),
-        ("projection (Baseline/OnRL style)", CoordinationMode::Projection),
+        (
+            "projection (Baseline/OnRL style)",
+            CoordinationMode::Projection,
+        ),
     ] {
         let mut orch = DeploymentBuilder::new()
             .agent_config(AgentConfig::onslicing())

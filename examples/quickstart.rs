@@ -7,7 +7,7 @@
 
 use onslicing::core::{evaluate_policy, AgentConfig, OnSlicingAgent, RuleBasedBaseline};
 use onslicing::netsim::NetworkConfig;
-use onslicing::slices::{Action, SliceKind, Sla};
+use onslicing::slices::{Action, Sla, SliceKind};
 
 fn main() {
     // 1. A mobile-AR slice on the simulated LTE testbed with 24 slots per

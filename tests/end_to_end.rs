@@ -6,7 +6,7 @@ use onslicing::core::{
     RuleBasedBaseline, SliceEnvironment,
 };
 use onslicing::netsim::NetworkConfig;
-use onslicing::slices::{SliceKind, Sla};
+use onslicing::slices::{Sla, SliceKind};
 use onslicing::traffic::DiurnalTraceConfig;
 
 fn small_env(kind: SliceKind, horizon: usize, seed: u64) -> SliceEnvironment {
@@ -51,7 +51,10 @@ fn baseline_is_safe_and_model_based_is_more_expensive() {
         baseline_violation += b.violation_percent;
         model_usage += m.avg_usage_percent;
     }
-    assert_eq!(baseline_violation, 0.0, "the rule-based baseline must never violate");
+    assert_eq!(
+        baseline_violation, 0.0,
+        "the rule-based baseline must never violate"
+    );
     assert!(
         model_usage > baseline_usage,
         "model-based ({model_usage:.1}) should use more than the baseline ({baseline_usage:.1})"

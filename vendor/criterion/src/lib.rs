@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros so the workspace's benchmark
+//! files compile and run without the real crate. Measurement is deliberately
+//! simple: a warm-up phase sizes the iteration count to a target duration,
+//! then a fixed number of timed samples yields mean / median / min
+//! nanoseconds per iteration, printed in a criterion-like one-line format.
+//!
+//! Not implemented: statistical outlier analysis, HTML reports, comparison
+//! against saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A single measured sample set for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark identifier.
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest observed sample, nanoseconds per iteration.
+    pub min_ns: f64,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement_time: Duration,
+    samples: usize,
+    /// Everything measured so far (available to custom runners).
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1200),
+            samples: 20,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Shrinks warm-up/measurement time (useful in CI).
+    pub fn quick() -> Self {
+        Self {
+            warm_up: Duration::from_millis(50),
+            measurement_time: Duration::from_millis(250),
+            samples: 8,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Sets the total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                budget: self.warm_up,
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+            },
+        };
+        f(&mut bencher);
+        let per_iter = match bencher.mode {
+            Mode::WarmUp {
+                iters_done,
+                elapsed,
+                ..
+            } if iters_done > 0 => elapsed.as_secs_f64() / iters_done as f64,
+            _ => 1e-6,
+        };
+        // Aim each timed sample at measurement_time / samples.
+        let sample_budget = self.measurement_time.as_secs_f64() / self.samples as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut bencher = Bencher {
+                mode: Mode::Timed {
+                    iters: iters_per_sample,
+                    elapsed: Duration::ZERO,
+                },
+            };
+            f(&mut bencher);
+            if let Mode::Timed { elapsed, .. } = bencher.mode {
+                samples_ns.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("NaN timing sample"));
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        println!(
+            "{name:<48} time: [{} {} {}]  ({} iters/sample, {} samples)",
+            format_ns(min),
+            format_ns(median),
+            format_ns(mean),
+            iters_per_sample,
+            samples_ns.len(),
+        );
+        self.measurements.push(Measurement {
+            name: name.to_string(),
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+        });
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+enum Mode {
+    WarmUp {
+        budget: Duration,
+        iters_done: u64,
+        elapsed: Duration,
+    },
+    Timed {
+        iters: u64,
+        elapsed: Duration,
+    },
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match &mut self.mode {
+            Mode::WarmUp {
+                budget,
+                iters_done,
+                elapsed,
+            } => {
+                let start = Instant::now();
+                while start.elapsed() < *budget {
+                    black_box(routine());
+                    *iters_done += 1;
+                }
+                *elapsed = start.elapsed();
+            }
+            Mode::Timed { iters, elapsed } => {
+                let start = Instant::now();
+                for _ in 0..*iters {
+                    black_box(routine());
+                }
+                *elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = if std::env::var_os("CRITERION_QUICK").is_some() {
+                $crate::Criterion::quick()
+            } else {
+                $crate::Criterion::default()
+            };
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_function() {
+        let mut c = Criterion::quick();
+        c.sample_size(4).measurement_time(Duration::from_millis(40));
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        assert_eq!(c.measurements.len(), 1);
+        let m = &c.measurements[0];
+        assert!(
+            m.mean_ns > 0.0 && m.mean_ns < 1e6,
+            "implausible timing {}",
+            m.mean_ns
+        );
+        assert!(m.min_ns <= m.mean_ns * 1.5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: range
+//! strategies over numbers, `prop::collection::vec`, `Strategy::prop_map`,
+//! the `proptest!` macro with an optional `ProptestConfig`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics with
+//! the generated inputs unshrunk (tests derive their seed from the test name,
+//! so failures are reproducible). For the invariant-style properties in this
+//! repository that trade-off is acceptable.
+
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy: Sized {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, i32, i64, u32, u64, usize);
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // Closed interval: scale a [0, 1) draw onto [lo, hi] and include the
+        // endpoint via the final multiplication.
+        lo + (hi - lo) * (rng.next_u64() as f64 / u64::MAX as f64)
+    }
+}
+
+/// `prop::...` namespace mirroring real proptest.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{RngCore, Strategy};
+        use rand::Rng;
+
+        /// Length specification: a fixed `usize` or a `Range<usize>`.
+        pub trait IntoLen {
+            /// Draws a concrete length.
+            fn pick<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize;
+        }
+
+        impl IntoLen for usize {
+            fn pick<R: RngCore + ?Sized>(&self, _rng: &mut R) -> usize {
+                *self
+            }
+        }
+
+        impl IntoLen for std::ops::Range<usize> {
+            fn pick<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy generating vectors of values from an element strategy.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        /// Builds a [`VecStrategy`].
+        pub fn vec<S: Strategy, L: IntoLen>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy, L: IntoLen> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+                let n = self.len.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Builds the deterministic per-test RNG (seed = FNV-1a of the test path).
+#[doc(hidden)]
+pub fn test_rng(name: &str) -> rand::Xoshiro256PlusPlus {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    rand::Xoshiro256PlusPlus::seed_from_u64(hash)
+}
+
+#[doc(hidden)]
+pub fn generate_case<S: Strategy, R: RngCore + ?Sized>(strategy: &S, rng: &mut R) -> S::Value {
+    strategy.generate(rng)
+}
+
+/// Asserts a condition inside a property, reporting the failing case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Declares property tests. Mirrors proptest's macro for the
+/// `fn name(binding in strategy, ...) { body }` form with an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($binding:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $binding = $crate::generate_case(&$strategy, &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { [$cfg] $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.0f64..=1.0, n in 1usize..5) {
+            prop_assert!((0.0..=1.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes_and_maps(v in prop::collection::vec(0.0f64..1.0, 3)) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies_function() {
+        let s = (0.0f64..1.0).prop_map(|x| x * 10.0);
+        let mut rng = crate::test_rng("map");
+        for _ in 0..100 {
+            let v = crate::generate_case(&s, &mut rng);
+            assert!((0.0..10.0).contains(&v));
+        }
+    }
+}

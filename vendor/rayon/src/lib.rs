@@ -1,0 +1,298 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The registry mirror is unreachable from this build environment, so the
+//! workspace vendors a minimal data-parallelism layer under the `rayon` name.
+//! It supports the call shapes the orchestrator uses:
+//!
+//! ```ignore
+//! items.par_iter_mut().enumerate().map(|(i, x)| ...).collect::<Vec<_>>();
+//! items.par_iter_mut().zip(other.par_iter_mut()).for_each(|(a, b)| ...);
+//! rayon::join(|| ..., || ...);
+//! ```
+//!
+//! Execution model: the element sequence is materialized (the elements are
+//! references, so this is cheap), split into one contiguous chunk per worker,
+//! and processed on `std::thread::scope` threads. Small inputs run inline to
+//! avoid spawn overhead. There is no work stealing; the per-slice workloads
+//! this repository parallelizes are statistically balanced.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the shim will use (`rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Inputs shorter than this are processed inline — thread spawn overhead
+/// would dominate.
+const MIN_PARALLEL_LEN: usize = 2;
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: worker panicked"))
+    })
+}
+
+/// A "parallel iterator": a plan over an ordinary iterator whose `map`
+/// closure is executed on worker threads at the terminal operation.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Pairs every element with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Zips two parallel iterators element-wise.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter {
+            inner: self.inner.zip(other.inner),
+        }
+    }
+
+    /// Registers the per-element closure; it runs on worker threads when the
+    /// terminal operation executes.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I::Item) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            inner: self.inner,
+            f,
+        }
+    }
+
+    /// Runs `f` over every element on worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let _ = ParMap {
+            inner: self.inner,
+            f: |item| f(item),
+        }
+        .run();
+    }
+}
+
+/// A mapped parallel iterator awaiting its terminal operation.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, R> ParMap<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    fn run(self) -> Vec<R> {
+        let items: Vec<I::Item> = self.inner.collect();
+        let n = items.len();
+        let workers = current_num_threads().min(n.max(1));
+        let f = &self.f;
+        if workers <= 1 || n < MIN_PARALLEL_LEN {
+            return items.into_iter().map(f).collect();
+        }
+        // One contiguous chunk per worker, order restored by concatenation.
+        let chunk_len = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<I::Item>> = Vec::with_capacity(workers);
+        {
+            let mut items = items.into_iter();
+            loop {
+                let chunk: Vec<I::Item> = items.by_ref().take(chunk_len).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                chunks.push(chunk);
+            }
+        }
+        let mut results: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim: worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in &mut results {
+            out.append(part);
+        }
+        out
+    }
+
+    /// Executes the plan and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Executes the plan, discarding results.
+    pub fn for_each(self) {
+        let _ = self.run();
+    }
+}
+
+/// Conversion traits mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{ParIter, ParMap};
+
+    /// `.par_iter()` for shared slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: Send + 'a;
+        /// Underlying sequential iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Creates the parallel-iterator plan.
+        fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> ParIter<Self::Iter> {
+            ParIter { inner: self.iter() }
+        }
+    }
+
+    impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> ParIter<Self::Iter> {
+            ParIter { inner: self.iter() }
+        }
+    }
+
+    /// `.par_iter_mut()` for exclusive slices.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Element type.
+        type Item: Send + 'a;
+        /// Underlying sequential iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Creates the parallel-iterator plan.
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+            ParIter {
+                inner: self.iter_mut(),
+            }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+            ParIter {
+                inner: self.iter_mut(),
+            }
+        }
+    }
+
+    /// `.into_par_iter()` for owning containers and ranges.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Underlying sequential iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Creates the parallel-iterator plan.
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter {
+                inner: self.into_iter(),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter { inner: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_every_element() {
+        let mut v: Vec<i64> = vec![1; 257];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn enumerate_and_zip_line_up() {
+        let mut a = vec![0usize; 64];
+        let b: Vec<usize> = (0..64).collect();
+        let sums: Vec<usize> = a
+            .par_iter_mut()
+            .zip(b.par_iter())
+            .enumerate()
+            .map(|(i, (x, y))| {
+                *x = i;
+                *x + *y
+            })
+            .collect();
+        assert_eq!(sums, (0..64).map(|i| 2 * i).collect::<Vec<_>>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors a minimal serialization framework under the same
+//! crate name. It keeps the parts the codebase actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on plain structs and enums
+//!   (named-field structs, tuple structs, unit/tuple/struct enum variants);
+//! * `serde::{Serialize, Deserialize}` trait imports;
+//! * round-tripping through `serde_json::{to_string, from_str}`.
+//!
+//! Instead of serde's visitor-based zero-copy data model, everything funnels
+//! through an owned JSON-like [`Value`]. That is entirely sufficient for the
+//! small config/message payloads this workspace serializes, and it keeps the
+//! vendored code auditable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Owned JSON-like value — the data model of the vendored framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate so `u64` round-trips losslessly).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object (insertion-ordered).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements when this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Convenience constructor.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data-model value.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a data-model value.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Float(f) => Ok(*f as $t),
+                    _ => Err(DeError::msg(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) if *i >= 0 => Ok(*i as $t),
+                    _ => Err(DeError::msg(concat!("expected unsigned integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    _ => Err(DeError::msg(concat!("expected number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_arr().ok_or_else(|| DeError::msg("expected array"))?;
+        if items.len() != N {
+            return Err(DeError::msg("array length mismatch"));
+        }
+        let mut out = [T::default(); N];
+        for (o, item) in out.iter_mut().zip(items) {
+            *o = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::msg("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_arr() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(DeError::msg("expected 3-element array")),
+        }
+    }
+}
+
+// Maps serialize as arrays of `[key, value]` pairs so non-string keys work.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(
+            self.iter()
+                .map(|(k, v)| Value::Arr(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| DeError::msg("expected array of pairs"))?;
+        let mut map = HashMap::with_capacity_and_hasher(items.len(), S::default());
+        for item in items {
+            let (k, val) = <(K, V)>::from_value(item)?;
+            map.insert(k, val);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(
+            self.iter()
+                .map(|(k, v)| Value::Arr(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| DeError::msg("expected array of pairs"))?;
+        let mut map = BTreeMap::new();
+        for item in items {
+            let (k, val) = <(K, V)>::from_value(item)?;
+            map.insert(k, val);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_value(&42u64.serialize_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.serialize_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.serialize_value()).unwrap());
+        let v: Vec<f64> = Deserialize::from_value(&vec![1.0, 2.0].serialize_value()).unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn option_round_trips_through_null() {
+        let none: Option<u8> = None;
+        assert_eq!(none.serialize_value(), Value::Null);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_value(&Value::UInt(7)).unwrap(), Some(7));
+    }
+}

@@ -1,0 +1,437 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline). Supports
+//! the item shapes this workspace actually derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs,
+//! * enums with unit, tuple and struct variants.
+//!
+//! `#[serde(skip)]` on named struct fields is honored (omitted when
+//! serializing, `Default::default()` when deserializing). Generics and every
+//! other `#[serde(...)]` attribute are intentionally unsupported and produce
+//! a compile error, so silent misbehaviour is impossible.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item a derive is attached to.
+enum Item {
+    /// `struct Name { a: T, b: U }` — fields carry their `#[serde(skip)]`
+    /// flag.
+    NamedStruct {
+        name: String,
+        fields: Vec<(String, bool)>,
+    },
+    /// `struct Name(T, U);`
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Splits a token list on commas that sit outside any `<...>` nesting.
+/// (Brackets/braces/parens arrive pre-grouped, so only angle brackets need
+/// explicit depth tracking.)
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Removes `#[...]` attribute pairs (including doc comments) from a token
+/// list.
+fn strip_attributes(tokens: &[TokenTree]) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip `#` and the following `[...]` group (and an optional
+                // `!` for inner attributes, which cannot appear here anyway).
+                i += 1;
+                if let Some(TokenTree::Punct(bang)) = tokens.get(i) {
+                    if bang.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            t => {
+                out.push(t.clone());
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether the chunk's attributes contain `#[serde(skip)]`.
+fn has_serde_skip(chunk: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
+                    let text = g.stream().to_string().replace(' ', "");
+                    if text.contains("serde(skip)") {
+                        return true;
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    false
+}
+
+/// Field name = the identifier immediately before the first top-level `:`.
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let chunk = strip_attributes(chunk);
+    let mut last_ident: Option<String> = None;
+    for t in &chunk {
+        match t {
+            TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ':' => return last_ident,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses `(name, skipped)` pairs; `#[serde(skip)]` fields are serialized as
+/// nothing and deserialized via `Default::default()`.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<(String, bool)> {
+    split_top_level_commas(group_tokens)
+        .iter()
+        .filter_map(|chunk| field_name(chunk).map(|name| (name, has_serde_skip(chunk))))
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = strip_attributes(&tokens);
+    let mut i = 0;
+    // Skip visibility (`pub`, `pub(crate)`, ...).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "pub" => i += 1,
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => i += 1,
+            _ => break,
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: unexpected token {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored shim");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&inner),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_top_level_commas(&inner)
+                    .iter()
+                    .filter(|c| !c.is_empty())
+                    .count();
+                Item::TupleStruct { name, arity }
+            }
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => {
+            let group = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let variants = split_top_level_commas(&inner)
+                .iter()
+                .map(|chunk| strip_attributes(chunk))
+                .filter(|chunk| !chunk.is_empty())
+                .map(|chunk| {
+                    let vname = match &chunk[0] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        other => panic!("serde_derive: expected variant name, found {other}"),
+                    };
+                    let kind = match chunk.get(1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            let arity = split_top_level_commas(&inner)
+                                .iter()
+                                .filter(|c| !c.is_empty())
+                                .count();
+                            VariantKind::Tuple(arity)
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Struct(
+                                parse_named_fields(&inner)
+                                    .into_iter()
+                                    .map(|(n, _)| n)
+                                    .collect(),
+                            )
+                        }
+                        _ => VariantKind::Unit,
+                    };
+                    Variant { name: vname, kind }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Implements `serde::Serialize` (vendored shim) for the annotated item.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .filter(|(_, skipped)| !skipped)
+                .map(|(f, _)| {
+                    format!(
+                        "(String::from(\"{f}\"), ::serde::Serialize::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Arr(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("v{i}")).collect();
+                            let sers: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Obj(vec![(String::from(\"{vn}\"), ::serde::Value::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                sers.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(String::from(\"{f}\"), ::serde::Serialize::serialize_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(vec![(String::from(\"{vn}\"), ::serde::Value::Obj(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Implements `serde::Deserialize` (vendored shim) for the annotated item.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|(f, skipped)| {
+                    if *skipped {
+                        format!("{f}: Default::default()")
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| ::serde::DeError::msg(\"missing field `{f}` in {name}\"))?)?"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::DeError::msg(\"missing tuple field {i} in {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         let items = v.as_arr().ok_or_else(|| ::serde::DeError::msg(\"expected array for {name}\"))?;\n\
+                         Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::DeError::msg(\"missing field {i} of {name}::{vn}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let items = payload.as_arr().ok_or_else(|| ::serde::DeError::msg(\"expected array payload for {name}::{vn}\"))?;\n\
+                                     return Ok({name}::{vn}({}));\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(payload.get(\"{f}\").ok_or_else(|| ::serde::DeError::msg(\"missing field `{f}` of {name}::{vn}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => return Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             match s.as_str() {{\n{}\n_ => {{}}\n}}\n\
+                         }}\n\
+                         if let ::serde::Value::Obj(pairs) = v {{\n\
+                             if let Some((tag, payload)) = pairs.first() {{\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n{}\n_ => {{}}\n}}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::msg(\"unrecognized variant for {name}\"))\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
