@@ -1,0 +1,37 @@
+//! Benchmarks of the scenario engine: full scenario runs for the workload
+//! extremes (`steady` vs `stress-many-slices`) and one orchestrated slot of
+//! each live deployment. The `bench_scenario` binary emits the same
+//! comparison as the machine-readable `BENCH_scenario.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use onslicing_scenario::{builtin, Scenario, ScenarioConfig, ScenarioEngine};
+
+fn engine(scenario: Scenario) -> ScenarioEngine {
+    ScenarioEngine::new(scenario, ScenarioConfig::default()).expect("built-ins are valid")
+}
+
+fn bench_scenario_runs(c: &mut Criterion) {
+    for scenario in [builtin::steady(), builtin::stress_many_slices()] {
+        let name = format!("scenario_run_{}", scenario.name);
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut e = engine(std::hint::black_box(scenario.clone()));
+                std::hint::black_box(e.run())
+            })
+        });
+    }
+}
+
+fn bench_scenario_slot(c: &mut Criterion) {
+    for scenario in [builtin::steady(), builtin::stress_many_slices()] {
+        let name = format!("scenario_slot_{}", scenario.name);
+        let mut e = engine(scenario);
+        c.bench_function(&name, |b| {
+            b.iter(|| std::hint::black_box(e.orchestrator_mut().run_slot(true)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_scenario_runs, bench_scenario_slot);
+criterion_main!(benches);

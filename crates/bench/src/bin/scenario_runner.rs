@@ -1,0 +1,215 @@
+//! Executes scenarios end to end and emits per-scenario JSON metrics.
+//!
+//! ```sh
+//! # Run the whole built-in catalogue:
+//! cargo run --release --bin scenario_runner
+//! # Run selected built-ins:
+//! cargo run --release --bin scenario_runner -- steady tn-degradation
+//! # Run a scenario file:
+//! cargo run --release --bin scenario_runner -- --file my_scenario.json
+//! # Print a built-in as JSON (a starting point for custom files):
+//! cargo run --release --bin scenario_runner -- --dump flash-crowd
+//! ```
+//!
+//! Options: `--list` (catalogue), `--seed N` (master seed, default 0),
+//! `--out PATH` (metrics file, default `SCENARIO_metrics.json`),
+//! `--dump NAME` (print a built-in scenario's JSON and exit).
+//!
+//! The process exits non-zero if any scenario panics or reports a NaN
+//! metric, which is what the CI smoke step keys on.
+
+use std::process::ExitCode;
+
+use serde::Serialize;
+
+use onslicing_scenario::{builtin, Scenario, ScenarioConfig, ScenarioEngine, ScenarioReport};
+
+/// The schema of the emitted metrics file.
+#[derive(Serialize)]
+struct MetricsFile {
+    schema: String,
+    seed: u64,
+    scenarios: Vec<ScenarioReport>,
+}
+
+struct Args {
+    names: Vec<String>,
+    file: Option<String>,
+    dump: Option<String>,
+    list: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        names: Vec::new(),
+        file: None,
+        dump: None,
+        list: false,
+        seed: 0,
+        out: "SCENARIO_metrics.json".to_string(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--file" => {
+                args.file = Some(iter.next().ok_or("--file needs a path")?);
+            }
+            "--dump" => {
+                args.dump = Some(iter.next().ok_or("--dump needs a scenario name")?);
+            }
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
+            }
+            "--out" => {
+                args.out = iter.next().ok_or("--out needs a path")?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            name => args.names.push(name.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn print_report(report: &ScenarioReport) {
+    println!(
+        "  {:<20} {:>4} slots  {:>3} episodes  {:>6.1}% violations  {:>5.2} rounds/slot  \
+         {:>8.0} slice-slots/s  {:>7.0} ms",
+        report.scenario,
+        report.total_slots,
+        report.slice_episodes,
+        report.sla_violation_percent,
+        report.avg_coordination_rounds,
+        report.slice_slots_per_second,
+        report.wall_clock_ms,
+    );
+    for s in &report.slices {
+        let lifetime = match s.torn_down_at_slot {
+            Some(t) => format!("slots {}..{}", s.admitted_at_slot, t),
+            None => format!("slots {}..end", s.admitted_at_slot),
+        };
+        println!(
+            "    slice {:>2} {:<4} {:<14} {:>2} episodes  {:>2} violations  {:>2} updates  \
+             usage {:>5.1}%",
+            s.id,
+            s.kind.name(),
+            lifetime,
+            s.episodes,
+            s.violations,
+            s.policy_updates,
+            s.avg_usage_percent,
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("scenario_runner: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        println!("built-in scenarios:");
+        for scenario in builtin::all() {
+            println!("  {:<20} {}", scenario.name, scenario.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &args.dump {
+        match builtin::by_name(name) {
+            Some(scenario) => {
+                println!("{}", scenario.to_json());
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!("scenario_runner: no built-in scenario named `{name}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    if let Some(path) = &args.file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("scenario_runner: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match Scenario::from_json(&text) {
+            Ok(s) => scenarios.push(s),
+            Err(e) => {
+                eprintln!("scenario_runner: invalid scenario file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.file.is_none() && args.names.is_empty() {
+        scenarios = builtin::all();
+    }
+    for name in &args.names {
+        match builtin::by_name(name) {
+            Some(s) => scenarios.push(s),
+            None => {
+                eprintln!("scenario_runner: no built-in scenario named `{name}` (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let config = ScenarioConfig {
+        seed: args.seed,
+        ..ScenarioConfig::default()
+    };
+    println!(
+        "scenario_runner: {} scenario(s), seed {}",
+        scenarios.len(),
+        args.seed
+    );
+    let mut reports = Vec::new();
+    let mut nan_failures = 0usize;
+    for scenario in scenarios {
+        let mut engine = match ScenarioEngine::new(scenario, config) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("scenario_runner: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = engine.run();
+        print_report(&report);
+        if report.has_nan() {
+            eprintln!(
+                "scenario_runner: scenario `{}` reported NaN metrics",
+                report.scenario
+            );
+            nan_failures += 1;
+        }
+        reports.push(report);
+    }
+
+    let payload = serde_json::to_string_pretty(&MetricsFile {
+        schema: "onslicing-scenario-metrics/1".to_string(),
+        seed: args.seed,
+        scenarios: reports,
+    })
+    .expect("report serialization cannot fail");
+    if let Err(e) = std::fs::write(&args.out, &payload) {
+        eprintln!("scenario_runner: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+    if nan_failures > 0 {
+        eprintln!("scenario_runner: {nan_failures} scenario(s) reported NaN metrics");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -272,6 +272,19 @@ impl OnSlicingAgent {
         self.kind
     }
 
+    /// The SLA the agent currently enforces.
+    pub fn sla(&self) -> &Sla {
+        &self.sla
+    }
+
+    /// Replaces the agent's SLA (renegotiation): the switching budget and
+    /// the violation check follow the new terms from the next decision; the
+    /// learned Lagrangian multiplier is kept so the dual state carries over.
+    pub fn set_sla(&mut self, sla: Sla) {
+        self.sla = sla;
+        self.lagrangian.set_cost_threshold(sla.cost_threshold);
+    }
+
     /// The agent's configuration.
     pub fn config(&self) -> &AgentConfig {
         &self.config

@@ -40,6 +40,9 @@ pub struct SliceEnvironment {
     cumulative_cost: f64,
     state: SliceState,
     rng: ChaCha8Rng,
+    /// Multiplier on the trace's arrival rates (traffic regime shifts and
+    /// bursts injected by scenarios); persists across episode resets.
+    traffic_scale: f64,
 }
 
 impl SliceEnvironment {
@@ -88,6 +91,7 @@ impl SliceEnvironment {
             cumulative_cost: 0.0,
             state,
             rng,
+            traffic_scale: 1.0,
         }
     }
 
@@ -126,15 +130,55 @@ impl SliceEnvironment {
         &self.trace
     }
 
-    /// Arrival rate (users/s) of the given slot.
+    /// Arrival rate (users/s) of the given slot, including any active
+    /// traffic-scale override.
     pub fn arrival_rate_at(&self, slot: usize) -> f64 {
-        self.trace.rate_at(slot)
+        self.trace.rate_at(slot) * self.traffic_scale
     }
 
     /// Traffic of the given slot normalized by the trace peak (the `f_t`
-    /// component of the observation).
+    /// component of the observation). A scale override pushes this above 1
+    /// — capped at 2 so the observation stays inside the state box — which
+    /// is exactly how the agent "sees" a surge.
     pub fn normalized_traffic_at(&self, slot: usize) -> f64 {
-        self.trace.rate_at(slot) / self.trace.peak_rate().max(1e-9)
+        (self.trace.rate_at(slot) * self.traffic_scale / self.trace.peak_rate().max(1e-9)).min(2.0)
+    }
+
+    /// The current traffic-scale override (1.0 = the trace as generated).
+    pub fn traffic_scale(&self) -> f64 {
+        self.traffic_scale
+    }
+
+    /// Sets the traffic-scale override: every future slot's arrival rate is
+    /// the trace rate times `scale`. Persists across episode resets (a
+    /// regime shift), so bursts are modeled as a scale-up followed by a
+    /// scale-down event.
+    ///
+    /// # Panics
+    /// Panics if the scale is not positive and finite.
+    pub fn set_traffic_scale(&mut self, scale: f64) {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "traffic scale must be positive and finite"
+        );
+        self.traffic_scale = scale;
+    }
+
+    /// Replaces the slice's SLA mid-deployment (renegotiation). Takes effect
+    /// from the next step: future per-slot costs and violation checks use
+    /// the new terms; the cost already accumulated this episode stands.
+    pub fn set_sla(&mut self, sla: Sla) {
+        self.sla = sla;
+    }
+
+    /// Replaces the diurnal traffic profile (a long-horizon regime change,
+    /// e.g. a new tenant mix). The remaining slots of the current episode
+    /// keep the old trace; the next reset generates from the new profile.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn set_trace_config(&mut self, config: DiurnalTraceConfig) {
+        self.trace_generator = TraceGenerator::new(config);
     }
 
     /// Starts a new episode: regenerates the day's traffic (new noise), picks
@@ -239,6 +283,26 @@ impl MultiSliceEnvironment {
         &mut self.envs
     }
 
+    /// Adds a slice environment at the end of the bundle (mid-run slice
+    /// admission).
+    pub fn push_env(&mut self, env: SliceEnvironment) {
+        self.envs.push(env);
+    }
+
+    /// Removes and returns the environment at `index` (mid-run slice
+    /// teardown); later environments shift down.
+    ///
+    /// # Panics
+    /// Panics if the index is out of bounds.
+    pub fn remove_env(&mut self, index: usize) -> SliceEnvironment {
+        assert!(
+            index < self.envs.len(),
+            "slice environment index {index} out of bounds ({} slices)",
+            self.envs.len()
+        );
+        self.envs.remove(index)
+    }
+
     /// Resets every slice and returns the initial observations.
     pub fn reset_all(&mut self) -> Vec<SliceState> {
         self.envs.iter_mut().map(|e| e.reset()).collect()
@@ -338,5 +402,69 @@ mod tests {
     #[should_panic(expected = "at least one slice environment")]
     fn empty_multi_slice_environment_is_rejected() {
         let _ = MultiSliceEnvironment::from_envs(vec![]);
+    }
+
+    #[test]
+    fn traffic_scale_raises_arrivals_and_the_observation() {
+        let mut e = env(SliceKind::Mar);
+        e.reset();
+        let base_rate = e.arrival_rate_at(3);
+        let base_traffic = e.normalized_traffic_at(3);
+        e.set_traffic_scale(1.5);
+        assert!((e.arrival_rate_at(3) - 1.5 * base_rate).abs() < 1e-12);
+        let surged = e.normalized_traffic_at(3);
+        assert!(surged > base_traffic && surged <= 2.0);
+        // The override survives an episode reset (regime shift, not noise).
+        e.reset();
+        assert_eq!(e.traffic_scale(), 1.5);
+        // Scaling back down restores the original rates.
+        e.set_traffic_scale(1.0);
+        assert_eq!(e.traffic_scale(), 1.0);
+    }
+
+    #[test]
+    fn sla_renegotiation_changes_future_violation_checks() {
+        let mut e = env(SliceKind::Hvs);
+        e.reset();
+        for _ in 0..4 {
+            e.step(&Action::uniform(0.02)); // starved -> high cost
+        }
+        assert!(e.is_violated());
+        // Loosen the SLA until the running average is acceptable.
+        let generous = Sla::for_kind(SliceKind::Hvs).with_cost_threshold(1.0);
+        e.set_sla(generous);
+        assert!(!e.is_violated());
+        assert_eq!(e.sla().cost_threshold, 1.0);
+    }
+
+    #[test]
+    fn trace_config_swap_takes_effect_on_the_next_reset() {
+        let mut e = env(SliceKind::Mar);
+        e.reset();
+        let mar_peak = e.trace().peak_rate();
+        e.set_trace_config(DiurnalTraceConfig::mar_default().with_peak_rate(50.0));
+        // Current episode keeps the old trace.
+        assert_eq!(e.trace().peak_rate(), mar_peak);
+        e.reset();
+        assert!((e.trace().peak_rate() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn environments_can_join_and_leave_the_bundle() {
+        let mut m = MultiSliceEnvironment::testbed_default(NetworkConfig::testbed_default(), 1);
+        m.push_env(env(SliceKind::Mar));
+        assert_eq!(m.num_slices(), 4);
+        let removed = m.remove_env(1);
+        assert_eq!(removed.kind(), SliceKind::Hvs);
+        assert_eq!(m.num_slices(), 3);
+        let kinds: Vec<SliceKind> = m.envs().iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec![SliceKind::Mar, SliceKind::Rdc, SliceKind::Mar]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn removing_a_missing_environment_panics() {
+        let mut m = MultiSliceEnvironment::testbed_default(NetworkConfig::testbed_default(), 1);
+        let _ = m.remove_env(7);
     }
 }

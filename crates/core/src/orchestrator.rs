@@ -28,10 +28,10 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use onslicing_domains::{DomainSet, SliceId};
-use onslicing_slices::Action;
+use onslicing_slices::{Action, Sla};
 
 use crate::agent::{Decision, OnSlicingAgent};
-use crate::env::MultiSliceEnvironment;
+use crate::env::{MultiSliceEnvironment, SliceEnvironment};
 use crate::metrics::{EpisodeMetrics, EpochMetrics};
 
 /// How over-requests of shared resources are resolved.
@@ -100,6 +100,11 @@ pub struct Orchestrator {
     agents: Vec<OnSlicingAgent>,
     domains: DomainSet,
     config: OrchestratorConfig,
+    /// Stable identity of each active slice, parallel to `agents`/`env`.
+    /// Positions shift on teardown; ids never do.
+    slice_ids: Vec<SliceId>,
+    /// Next id handed out by [`Orchestrator::admit_slice`].
+    next_slice_id: u32,
 }
 
 impl Orchestrator {
@@ -119,16 +124,19 @@ impl Orchestrator {
             agents.len(),
             "one agent per slice environment is required"
         );
+        let slice_ids: Vec<SliceId> = (0..agents.len() as u32).map(SliceId).collect();
         let mut orchestrator = Self {
             env,
             agents,
             domains,
             config,
+            next_slice_id: slice_ids.len() as u32,
+            slice_ids,
         };
-        for i in 0..orchestrator.agents.len() {
+        for id in orchestrator.slice_ids.clone() {
             // Slices may already exist when an orchestrator is rebuilt around
             // a shared DomainSet; ignore duplicates.
-            let _ = orchestrator.domains.create_slice(SliceId(i as u32));
+            let _ = orchestrator.domains.create_slice(id);
         }
         orchestrator
     }
@@ -136,6 +144,79 @@ impl Orchestrator {
     /// Immutable access to the agents.
     pub fn agents(&self) -> &[OnSlicingAgent] {
         &self.agents
+    }
+
+    /// The stable ids of the active slices, parallel to
+    /// [`Orchestrator::agents`] and the environment bundle.
+    pub fn slice_ids(&self) -> &[SliceId] {
+        &self.slice_ids
+    }
+
+    /// Number of currently active slices.
+    pub fn num_slices(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// The position of a slice id, if the slice is active.
+    pub fn index_of(&self, id: SliceId) -> Option<usize> {
+        self.slice_ids.iter().position(|s| *s == id)
+    }
+
+    /// Burns the next slice id without admitting anything. Scenario files
+    /// number mid-run slices by admission-event order, so a *denied*
+    /// admission must still consume its id — otherwise every later scripted
+    /// id would silently shift onto the wrong slice.
+    pub fn reserve_slice_id(&mut self) -> SliceId {
+        let id = SliceId(self.next_slice_id);
+        self.next_slice_id += 1;
+        id
+    }
+
+    /// Admits a new slice mid-run: registers it with every domain manager,
+    /// appends its agent and environment, and returns its stable id. The
+    /// caller decides *whether* admission is allowed (capacity checks live
+    /// in the admission controller, not here).
+    pub fn admit_slice(
+        &mut self,
+        agent: OnSlicingAgent,
+        env: SliceEnvironment,
+    ) -> Result<SliceId, String> {
+        let id = SliceId(self.next_slice_id);
+        self.domains.create_slice(id)?;
+        self.next_slice_id += 1;
+        self.slice_ids.push(id);
+        self.agents.push(agent);
+        self.env.push_env(env);
+        Ok(id)
+    }
+
+    /// Tears a slice down mid-run: deregisters it from every domain manager
+    /// (its enforced allocation stops counting against capacity immediately)
+    /// and returns its agent and environment to the caller.
+    pub fn teardown_slice(
+        &mut self,
+        id: SliceId,
+    ) -> Result<(OnSlicingAgent, SliceEnvironment), String> {
+        let index = self
+            .index_of(id)
+            .ok_or_else(|| format!("{id} is not an active slice"))?;
+        self.domains.delete_slice(id)?;
+        self.slice_ids.remove(index);
+        let agent = self.agents.remove(index);
+        let env = self.env.remove_env(index);
+        Ok((agent, env))
+    }
+
+    /// Renegotiates one slice's SLA: both the environment (cost/violation
+    /// accounting) and the agent (switching budget, Lagrangian constraint)
+    /// move to the new terms.
+    pub fn renegotiate_sla(&mut self, id: SliceId, sla: Sla) -> Result<(), String> {
+        let index = self
+            .index_of(id)
+            .ok_or_else(|| format!("{id} is not an active slice"))?;
+        self.agents[index].set_sla(sla);
+        self.env.envs_mut()[index].set_sla(sla);
+        Ok(())
     }
 
     /// Mutable access to the agents (e.g. for offline pre-training).
@@ -239,8 +320,8 @@ impl Orchestrator {
         let (executed, interactions) = self.coordinate(&proposals);
         for (i, action) in executed.iter().enumerate() {
             self.domains
-                .enforce(SliceId(i as u32), *action)
-                .expect("slices are registered at construction");
+                .enforce(self.slice_ids[i], *action)
+                .expect("active slices are registered with every domain");
         }
         // Execution phase: each slice steps its own simulator and records its
         // own outcome, again one core per slice. The agent only stores a
@@ -269,7 +350,14 @@ impl Orchestrator {
     }
 
     /// Runs one full episode (one emulated day) and returns its metrics.
+    /// With no active slices (all torn down) the episode is empty.
     pub fn run_episode(&mut self, learn: bool) -> EpisodeMetrics {
+        if self.agents.is_empty() {
+            return EpisodeMetrics {
+                slices: Vec::new(),
+                avg_interactions: 0.0,
+            };
+        }
         self.env.reset_all();
         let horizon = self.env.envs()[0].horizon();
         let mut interactions = 0usize;
@@ -402,6 +490,87 @@ mod tests {
         let metrics = orch.evaluate(1);
         assert_eq!(metrics.num_slice_episodes, 3);
         assert_eq!(orch.agents()[0].pending_transitions(), before);
+    }
+
+    fn extra_slice(kind: SliceKind, seed: u64) -> (OnSlicingAgent, crate::env::SliceEnvironment) {
+        let network = NetworkConfig::testbed_default();
+        let sla = Sla::for_kind(kind);
+        let baseline = RuleBasedBaseline::calibrate(
+            kind,
+            &sla,
+            &network,
+            kind.default_peak_users_per_second(),
+            4,
+            seed,
+        );
+        let env = crate::env::SliceEnvironment::new(kind, network, seed);
+        let horizon = env.horizon();
+        let agent = OnSlicingAgent::new(
+            kind,
+            sla,
+            baseline,
+            AgentConfig::onslicing().scaled_down(horizon),
+            seed,
+        );
+        (agent, env)
+    }
+
+    #[test]
+    fn slices_can_join_and_leave_mid_run() {
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        orch.env_mut().reset_all();
+        orch.run_slot(true);
+        assert_eq!(
+            orch.slice_ids().to_vec(),
+            vec![SliceId(0), SliceId(1), SliceId(2)]
+        );
+
+        let (agent, env) = extra_slice(SliceKind::Mar, 400);
+        let id = orch.admit_slice(agent, env).unwrap();
+        assert_eq!(id, SliceId(3));
+        assert_eq!(orch.num_slices(), 4);
+        assert!(orch.domains().has_slice(id));
+        let outcome = orch.run_slot(true);
+        assert_eq!(outcome.executed.len(), 4);
+        assert!(orch.domains().is_feasible(outcome.executed.iter()));
+
+        // Tear down a *middle* slice: ids stay stable, positions shift.
+        let (torn_agent, _torn_env) = orch.teardown_slice(SliceId(1)).unwrap();
+        assert_eq!(torn_agent.kind(), SliceKind::Hvs);
+        assert_eq!(
+            orch.slice_ids().to_vec(),
+            vec![SliceId(0), SliceId(2), SliceId(3)]
+        );
+        assert!(!orch.domains().has_slice(SliceId(1)));
+        assert_eq!(orch.index_of(SliceId(3)), Some(2));
+        let outcome = orch.run_slot(true);
+        assert_eq!(outcome.executed.len(), 3);
+        // The torn-down slice's allocation no longer counts against capacity.
+        for m in orch.domains().managers() {
+            assert_eq!(m.num_slices(), 3);
+        }
+        assert!(orch.teardown_slice(SliceId(1)).is_err());
+    }
+
+    #[test]
+    fn reserved_slice_ids_are_never_handed_out_again() {
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        assert_eq!(orch.reserve_slice_id(), SliceId(3));
+        let (agent, env) = extra_slice(SliceKind::Hvs, 500);
+        assert_eq!(orch.admit_slice(agent, env).unwrap(), SliceId(4));
+        assert!(orch.index_of(SliceId(3)).is_none());
+    }
+
+    #[test]
+    fn sla_renegotiation_reaches_agent_and_environment() {
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        let loose = Sla::for_kind(SliceKind::Hvs).with_cost_threshold(0.5);
+        orch.renegotiate_sla(SliceId(1), loose).unwrap();
+        assert_eq!(orch.agents()[1].sla().cost_threshold, 0.5);
+        assert_eq!(orch.env().envs()[1].sla().cost_threshold, 0.5);
+        assert!(orch
+            .renegotiate_sla(SliceId(9), Sla::for_kind(SliceKind::Mar))
+            .is_err());
     }
 
     #[test]

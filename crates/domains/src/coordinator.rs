@@ -53,6 +53,20 @@ impl ParameterCoordinator {
         self.beta = beta.max(0.0);
     }
 
+    /// Overwrites the capacity `L_max` (fault injection / recovery: a
+    /// degraded link or an overloaded edge host shrinks the resource the
+    /// coordinator prices).
+    ///
+    /// # Panics
+    /// Panics if the new capacity is not positive and finite.
+    pub fn set_capacity(&mut self, capacity: f64) {
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "capacity must be positive and finite"
+        );
+        self.capacity = capacity;
+    }
+
     /// Excess demand `Σ_i â_i,k − L_max` for a set of requested shares
     /// (positive when the resource is over-requested).
     pub fn excess(&self, requested_shares: &[f64]) -> f64 {

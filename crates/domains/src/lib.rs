@@ -45,7 +45,7 @@ pub mod set;
 
 pub use coordinator::ParameterCoordinator;
 pub use manager::{DomainKind, DomainManager};
-pub use messages::{CoordinationUpdate, ResourceRequest, SliceConfigCommand};
+pub use messages::{CapacityOverride, CoordinationUpdate, ResourceRequest, SliceConfigCommand};
 pub use set::DomainSet;
 
 use serde::{Deserialize, Serialize};

@@ -79,6 +79,11 @@ pub struct DomainManager {
     /// Count of enforcement operations (used to reason about virtualization
     /// overhead in tests and benches).
     enforcement_count: u64,
+    /// Fault-free capacity of every owned resource; the coordinators carry
+    /// `nominal_capacity · capacity_scale`.
+    nominal_capacity: f64,
+    /// Current fault multiplier on the nominal capacity (1.0 = healthy).
+    capacity_scale: f64,
 }
 
 impl DomainManager {
@@ -101,6 +106,8 @@ impl DomainManager {
             coordinators,
             allocations: BTreeMap::new(),
             enforcement_count: 0,
+            nominal_capacity: capacity,
+            capacity_scale: 1.0,
         }
     }
 
@@ -127,6 +134,48 @@ impl DomainManager {
     /// The last enforced allocation of a slice, if any.
     pub fn allocation_of(&self, slice: SliceId) -> Option<&Action> {
         self.allocations.get(&slice)
+    }
+
+    /// Whether a slice is registered with this manager.
+    pub fn has_slice(&self, slice: SliceId) -> bool {
+        self.allocations.contains_key(&slice)
+    }
+
+    /// The fault-free capacity every owned resource was configured with.
+    pub fn nominal_capacity(&self) -> f64 {
+        self.nominal_capacity
+    }
+
+    /// The current fault multiplier on the nominal capacity (1.0 = healthy).
+    pub fn capacity_scale(&self) -> f64 {
+        self.capacity_scale
+    }
+
+    /// The *effective* (possibly degraded) capacity of one resource, or
+    /// `None` when this manager does not own it.
+    pub fn capacity_of(&self, resource: ResourceKind) -> Option<f64> {
+        self.coordinators
+            .iter()
+            .find(|c| c.resource == resource)
+            .map(|c| c.capacity)
+    }
+
+    /// Applies a fault (or recovery) to every resource this manager owns:
+    /// the effective capacity becomes `nominal · scale`. `scale = 1.0`
+    /// restores the healthy infrastructure; `scale < 1.0` models degradation
+    /// (a failing transport link, a throttled edge host, radio interference).
+    ///
+    /// # Panics
+    /// Panics if the scale is not positive and finite.
+    pub fn set_capacity_scale(&mut self, scale: f64) {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "capacity scale must be positive and finite"
+        );
+        self.capacity_scale = scale;
+        for c in &mut self.coordinators {
+            c.set_capacity(self.nominal_capacity * scale);
+        }
     }
 
     /// Applies a slice lifecycle command.
@@ -341,6 +390,33 @@ mod tests {
         assert!((total_ul - 1.0).abs() < 1e-9);
         // ...but the CPU shares are untouched (not owned by the RDM).
         assert!(projected.iter().all(|a| (a.cpu - 0.8).abs() < 1e-12));
+    }
+
+    #[test]
+    fn capacity_scale_degrades_and_restores_every_owned_resource() {
+        let mut tdm = DomainManager::new(DomainKind::Transport);
+        assert_eq!(tdm.capacity_scale(), 1.0);
+        assert_eq!(tdm.capacity_of(ResourceKind::TransportBandwidth), Some(1.0));
+        assert_eq!(tdm.capacity_of(ResourceKind::EdgeCpu), None);
+
+        let healthy = [Action::uniform(0.4), Action::uniform(0.4)];
+        assert!(tdm.is_feasible(healthy.iter()));
+        tdm.set_capacity_scale(0.5);
+        assert!(!tdm.is_feasible(healthy.iter()));
+        assert_eq!(tdm.capacity_of(ResourceKind::TransportPath), Some(0.5));
+        // The degraded capacity also feeds the dual update.
+        let upd = tdm.update_coordination(0, healthy.iter());
+        assert!(upd.beta_for(ResourceKind::TransportBandwidth) > 0.0);
+        // Recovery restores the nominal capacity.
+        tdm.set_capacity_scale(1.0);
+        assert_eq!(tdm.capacity_of(ResourceKind::TransportPath), Some(1.0));
+        assert!(tdm.is_feasible(healthy.iter()));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity scale must be positive")]
+    fn zero_capacity_scale_is_rejected() {
+        DomainManager::new(DomainKind::Radio).set_capacity_scale(0.0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use onslicing_slices::{Action, ResourceKind};
 
+use crate::manager::DomainKind;
 use crate::SliceId;
 
 /// A slice agent's resource request for the upcoming slot.
@@ -52,6 +53,18 @@ impl CoordinationUpdate {
             .map(|(_, b)| *b)
             .unwrap_or(0.0)
     }
+}
+
+/// A fault-injection / recovery notification for one domain: the effective
+/// capacity of every resource the domain owns becomes `nominal · scale`
+/// (`scale = 1.0` heals the domain). Emitted by scenario engines and
+/// consumed via [`crate::DomainSet::apply_capacity_override`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityOverride {
+    /// The faulted (or healed) domain.
+    pub domain: DomainKind,
+    /// Multiplier on the domain's nominal capacity; must be positive.
+    pub scale: f64,
 }
 
 /// Slice lifecycle commands issued by the orchestrator to a domain manager.

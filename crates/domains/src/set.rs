@@ -59,6 +59,52 @@ impl DomainSet {
             .expect("all domains exist")
     }
 
+    /// Applies a fault (or recovery) to one domain: every resource that
+    /// domain owns gets its effective capacity scaled to `nominal · scale`.
+    /// `scale = 1.0` heals the domain.
+    pub fn set_domain_capacity_scale(&mut self, kind: DomainKind, scale: f64) {
+        self.manager_mut(kind).set_capacity_scale(scale);
+    }
+
+    /// Applies a [`CapacityOverride`] message (fault injection / recovery).
+    pub fn apply_capacity_override(&mut self, o: &crate::messages::CapacityOverride) {
+        self.set_domain_capacity_scale(o.domain, o.scale);
+    }
+
+    /// Heals every domain back to its nominal capacity.
+    pub fn clear_capacity_overrides(&mut self) {
+        for m in &mut self.managers {
+            m.set_capacity_scale(1.0);
+        }
+    }
+
+    /// The *effective* (possibly fault-degraded) capacity of one resource.
+    /// Resources no manager owns report the set-wide nominal capacity.
+    pub fn capacity_of(&self, resource: ResourceKind) -> f64 {
+        self.managers
+            .iter()
+            .find_map(|m| m.capacity_of(resource))
+            .unwrap_or(self.capacity)
+    }
+
+    /// Residual capacity of one resource after the currently *enforced*
+    /// allocations: what an admission controller may still hand out.
+    pub fn residual_capacity(&self, resource: ResourceKind) -> f64 {
+        let enforced: f64 = self
+            .managers
+            .iter()
+            .find(|m| m.resources().contains(&resource))
+            .map(|m| m.total_enforced_share(resource))
+            .unwrap_or(0.0);
+        self.capacity_of(resource) - enforced
+    }
+
+    /// Whether a slice is registered (in every domain; registration is
+    /// all-or-nothing through [`DomainSet::create_slice`]).
+    pub fn has_slice(&self, id: SliceId) -> bool {
+        self.managers.iter().all(|m| m.has_slice(id))
+    }
+
     /// Registers a slice in every domain.
     pub fn create_slice(&mut self, id: SliceId) -> Result<(), String> {
         for m in &mut self.managers {
@@ -160,7 +206,8 @@ impl DomainSet {
     }
 
     /// The per-resource excess demand (`Σ â − L`, positive entries mean
-    /// over-request) in [`ResourceKind::ALL`] order.
+    /// over-request) in [`ResourceKind::ALL`] order, against the *effective*
+    /// (possibly fault-degraded) capacities.
     pub fn excess<'a, I>(&self, requests: I) -> [f64; 6]
     where
         I: IntoIterator<Item = &'a Action>,
@@ -169,12 +216,12 @@ impl DomainSet {
         let mut out = [0.0; 6];
         for (i, r) in ResourceKind::ALL.iter().enumerate() {
             let total: f64 = actions.iter().map(|a| a.resource_share(*r)).sum();
-            out[i] = total - self.capacity;
+            out[i] = total - self.capacity_of(*r);
         }
         out
     }
 
-    /// The normalized capacity shared by every resource.
+    /// The nominal (fault-free) capacity shared by every resource.
     pub fn capacity(&self) -> f64 {
         self.capacity
     }
@@ -257,6 +304,43 @@ mod tests {
         for e in excess {
             assert!((e - 0.2).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn domain_fault_shrinks_capacity_residual_and_feasibility() {
+        let mut set = DomainSet::testbed_default();
+        set.create_slice(SliceId(0)).unwrap();
+        set.enforce(SliceId(0), Action::uniform(0.3)).unwrap();
+        assert!((set.residual_capacity(ResourceKind::TransportBandwidth) - 0.7).abs() < 1e-12);
+
+        let requests = [Action::uniform(0.4), Action::uniform(0.4)];
+        assert!(set.is_feasible(requests.iter()));
+        set.set_domain_capacity_scale(DomainKind::Transport, 0.5);
+        assert_eq!(set.capacity_of(ResourceKind::TransportPath), 0.5);
+        // Untouched domains keep their nominal capacity.
+        assert_eq!(set.capacity_of(ResourceKind::EdgeCpu), 1.0);
+        assert!(!set.is_feasible(requests.iter()));
+        // `excess` prices the degraded transport, not the healthy radio.
+        let excess = set.excess(requests.iter());
+        assert!((excess[ResourceKind::TransportBandwidth.index()] - 0.3).abs() < 1e-12);
+        assert!((excess[ResourceKind::UplinkRadio.index()] + 0.2).abs() < 1e-12);
+        // Projection respects the degraded capacity too.
+        let projected = set.project(requests.iter());
+        assert!(set.is_feasible(projected.iter()));
+        // Healing restores everything.
+        set.clear_capacity_overrides();
+        assert!(set.is_feasible(requests.iter()));
+        assert!((set.residual_capacity(ResourceKind::TransportBandwidth) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_slice_tracks_the_lifecycle() {
+        let mut set = DomainSet::testbed_default();
+        assert!(!set.has_slice(SliceId(4)));
+        set.create_slice(SliceId(4)).unwrap();
+        assert!(set.has_slice(SliceId(4)));
+        set.delete_slice(SliceId(4)).unwrap();
+        assert!(!set.has_slice(SliceId(4)));
     }
 
     #[test]

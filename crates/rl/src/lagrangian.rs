@@ -74,6 +74,20 @@ impl LagrangianMultiplier {
     pub fn is_violated(&self, average_cost: f64) -> bool {
         average_cost > self.cost_threshold + 1e-12
     }
+
+    /// Replaces the constraint threshold `C_max` while keeping the learned
+    /// multiplier — an SLA renegotiation tightens or loosens the constraint
+    /// mid-deployment without resetting the dual state.
+    ///
+    /// # Panics
+    /// Panics if the threshold is outside `[0, 1]`.
+    pub fn set_cost_threshold(&mut self, cost_threshold: f64) {
+        assert!(
+            (0.0..=1.0).contains(&cost_threshold),
+            "C_max must be in [0, 1]"
+        );
+        self.cost_threshold = cost_threshold;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,203 @@
+//! The admission controller: decides whether the infrastructure can host
+//! one more slice before an agent and environment are instantiated.
+//!
+//! The check is against *residual per-domain capacity*: for every shared
+//! resource, the effective (possibly fault-degraded) capacity minus the
+//! allocations the domain managers currently enforce must leave room for the
+//! newcomer's estimated steady-state share plus a configurable headroom.
+
+use serde::{Deserialize, Serialize};
+
+use onslicing_domains::DomainSet;
+use onslicing_slices::ResourceKind;
+
+/// Tuning of the admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Estimated steady-state share of each resource a new slice needs.
+    pub estimated_share: f64,
+    /// Fraction of each resource's effective capacity kept free on top of
+    /// the estimate (0.0 = admit up to the brim).
+    pub headroom: f64,
+}
+
+impl AdmissionConfig {
+    /// Validates the tuning, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.estimated_share > 0.0 && self.estimated_share.is_finite()) {
+            return Err(format!(
+                "estimated share must be positive and finite, got {}",
+                self.estimated_share
+            ));
+        }
+        if !(0.0..1.0).contains(&self.headroom) {
+            return Err(format!("headroom must be in [0, 1), got {}", self.headroom));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            estimated_share: 0.15,
+            headroom: 0.0,
+        }
+    }
+}
+
+/// Why an admission request was denied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionDenied {
+    /// The first resource that could not host the newcomer.
+    pub resource: ResourceKind,
+    /// Residual capacity of that resource at decision time.
+    pub residual: f64,
+    /// What the newcomer would have needed (estimate + headroom).
+    pub required: f64,
+}
+
+impl std::fmt::Display for AdmissionDenied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admission denied: {} residual {:.3} < required {:.3}",
+            self.resource.name(),
+            self.residual,
+            self.required
+        )
+    }
+}
+
+/// The admission controller itself.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+}
+
+impl AdmissionController {
+    /// Creates a controller, rejecting invalid tuning — the fallible
+    /// constructor `Result`-returning callers (the scenario engine) use.
+    pub fn try_new(config: AdmissionConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// Creates a controller.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`AdmissionConfig::validate`]); use [`AdmissionController::try_new`]
+    /// to handle user-supplied tuning gracefully.
+    pub fn new(config: AdmissionConfig) -> Self {
+        match Self::try_new(config) {
+            Ok(controller) => controller,
+            Err(e) => panic!("invalid admission config: {e}"),
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Checks whether one more slice fits the current infrastructure.
+    pub fn evaluate(&self, domains: &DomainSet) -> Result<(), AdmissionDenied> {
+        for resource in ResourceKind::ALL {
+            let residual = domains.residual_capacity(resource);
+            let required =
+                self.config.estimated_share + self.config.headroom * domains.capacity_of(resource);
+            if residual < required {
+                return Err(AdmissionDenied {
+                    resource,
+                    residual,
+                    required,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onslicing_domains::{DomainKind, SliceId};
+    use onslicing_slices::Action;
+
+    #[test]
+    fn admits_while_residual_capacity_lasts() {
+        let controller = AdmissionController::new(AdmissionConfig {
+            estimated_share: 0.3,
+            headroom: 0.0,
+        });
+        let mut domains = DomainSet::testbed_default();
+        assert!(controller.evaluate(&domains).is_ok());
+        for i in 0..3 {
+            domains.create_slice(SliceId(i)).unwrap();
+            domains.enforce(SliceId(i), Action::uniform(0.25)).unwrap();
+        }
+        // 0.75 enforced, 0.25 residual < 0.3 required.
+        let denied = controller.evaluate(&domains).unwrap_err();
+        assert!(denied.residual < denied.required);
+        // Tearing a slice down frees its share again.
+        domains.delete_slice(SliceId(0)).unwrap();
+        assert!(controller.evaluate(&domains).is_ok());
+    }
+
+    #[test]
+    fn faults_shrink_the_admittable_capacity() {
+        let controller = AdmissionController::new(AdmissionConfig {
+            estimated_share: 0.4,
+            headroom: 0.0,
+        });
+        let mut domains = DomainSet::testbed_default();
+        domains.create_slice(SliceId(0)).unwrap();
+        domains.enforce(SliceId(0), Action::uniform(0.3)).unwrap();
+        assert!(controller.evaluate(&domains).is_ok());
+        domains.set_domain_capacity_scale(DomainKind::Transport, 0.5);
+        let denied = controller.evaluate(&domains).unwrap_err();
+        assert_eq!(denied.resource, ResourceKind::TransportBandwidth);
+    }
+
+    #[test]
+    fn headroom_reserves_extra_capacity() {
+        let tight = AdmissionController::new(AdmissionConfig {
+            estimated_share: 0.5,
+            headroom: 0.0,
+        });
+        let cautious = AdmissionController::new(AdmissionConfig {
+            estimated_share: 0.5,
+            headroom: 0.6,
+        });
+        let domains = DomainSet::testbed_default();
+        assert!(tight.evaluate(&domains).is_ok());
+        assert!(cautious.evaluate(&domains).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom must be in [0, 1)")]
+    fn invalid_headroom_is_rejected() {
+        let _ = AdmissionController::new(AdmissionConfig {
+            estimated_share: 0.1,
+            headroom: 1.0,
+        });
+    }
+
+    #[test]
+    fn try_new_reports_invalid_tuning_instead_of_panicking() {
+        assert!(AdmissionController::try_new(AdmissionConfig {
+            estimated_share: 0.0,
+            headroom: 0.0,
+        })
+        .unwrap_err()
+        .contains("estimated share"));
+        assert!(AdmissionController::try_new(AdmissionConfig {
+            estimated_share: 0.1,
+            headroom: 1.5,
+        })
+        .unwrap_err()
+        .contains("headroom"));
+        assert!(AdmissionController::try_new(AdmissionConfig::default()).is_ok());
+    }
+}

@@ -1,0 +1,964 @@
+//! The scenario engine: executes a [`Scenario`] timeline slot by slot over a
+//! live orchestrator — admitting and tearing down slices, shifting traffic
+//! regimes, injecting domain faults, renegotiating SLAs — and aggregates the
+//! per-scenario metrics.
+//!
+//! ## Determinism
+//!
+//! Everything is seeded from [`ScenarioConfig::seed`]: slice construction
+//! seeds are derived from the admission order, the rayon fan-out inside the
+//! orchestrator shares no RNG between slices, and events fire at scripted
+//! slots. Two runs of the same scenario with the same seed produce identical
+//! reports (up to the wall-clock fields, which
+//! [`ScenarioReport::deterministic_fields_eq`] ignores).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use onslicing_core::{
+    AgentConfig, CoordinationMode, MultiSliceEnvironment, OnSlicingAgent, Orchestrator,
+    OrchestratorConfig, RuleBasedBaseline, SliceEnvironment,
+};
+use onslicing_domains::{CapacityOverride, DomainKind, DomainSet, SliceId};
+use onslicing_slices::SliceKind;
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::spec::{Scenario, ScenarioEvent, SliceSpec, TimedEvent};
+
+/// Tuning of a scenario run (everything that is not part of the scenario
+/// file itself).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Master seed; every slice's RNG chain derives from it.
+    pub seed: u64,
+    /// Over-request resolution mechanism.
+    pub coordination: CoordinationMode,
+    /// Grid resolution of the rule-based baseline calibration.
+    pub baseline_buckets: usize,
+    /// Offline imitation episodes before a slice goes online (initial and
+    /// admitted slices alike).
+    pub pretrain_episodes: usize,
+    /// Admission-control tuning.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            coordination: CoordinationMode::default(),
+            baseline_buckets: 4,
+            // One pretrain episode leaves the cost estimator so uncertain
+            // that the safety switch can pin a slice to its baseline for
+            // the whole scenario; two make π_θ reliably go online.
+            pretrain_episodes: 2,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// Per-slice outcome of a scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceReport {
+    /// Stable slice id.
+    pub id: u32,
+    /// Application class.
+    pub kind: SliceKind,
+    /// Slot the slice joined (0 for initial slices).
+    pub admitted_at_slot: usize,
+    /// Slot the slice was torn down, if it was.
+    pub torn_down_at_slot: Option<usize>,
+    /// Completed (or final partial) episodes.
+    pub episodes: usize,
+    /// Episodes that violated the slice's SLA.
+    pub violations: usize,
+    /// PPO updates that consumed at least one transition (> 0 means the
+    /// slice actually trained online during the scenario).
+    pub policy_updates: usize,
+    /// Episodes in which the agent switched to its baseline policy.
+    pub switched_episodes: usize,
+    /// Mean episode-average cost.
+    pub avg_cost: f64,
+    /// Mean episode-average resource usage in percent.
+    pub avg_usage_percent: f64,
+}
+
+/// Aggregate outcome of a scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Scheduled scenario length in slots.
+    pub total_slots: usize,
+    /// Sum over slots of the number of active slices (the work actually
+    /// executed).
+    pub slice_slots: usize,
+    /// Largest number of concurrently active slices.
+    pub peak_concurrent_slices: usize,
+    /// Events applied (admissions count only when granted).
+    pub events_applied: usize,
+    /// Admissions the controller rejected.
+    pub admissions_denied: usize,
+    /// Events that referenced a slice no longer (or not yet) active.
+    pub events_skipped: usize,
+    /// Total slice-episodes closed.
+    pub slice_episodes: usize,
+    /// Percentage of slice-episodes that violated their SLA.
+    pub sla_violation_percent: f64,
+    /// Mean episode-average cost across slice-episodes.
+    pub avg_cost: f64,
+    /// Mean agent↔manager coordination rounds per executed slot.
+    pub avg_coordination_rounds: f64,
+    /// Executed slice-slots per wall-clock second (scenario throughput).
+    pub slice_slots_per_second: f64,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_clock_ms: f64,
+    /// One report per slice that ever existed, in id order.
+    pub slices: Vec<SliceReport>,
+}
+
+impl ScenarioReport {
+    /// Whether any reported metric is NaN (the CI smoke check).
+    pub fn has_nan(&self) -> bool {
+        let aggregate = [
+            self.sla_violation_percent,
+            self.avg_cost,
+            self.avg_coordination_rounds,
+            self.slice_slots_per_second,
+            self.wall_clock_ms,
+        ];
+        aggregate.iter().any(|v| v.is_nan())
+            || self
+                .slices
+                .iter()
+                .any(|s| s.avg_cost.is_nan() || s.avg_usage_percent.is_nan())
+    }
+
+    /// Equality on everything except the wall-clock-derived fields — the
+    /// determinism contract of a fixed-seed run.
+    pub fn deterministic_fields_eq(&self, other: &Self) -> bool {
+        let strip = |r: &Self| {
+            let mut r = r.clone();
+            r.wall_clock_ms = 0.0;
+            r.slice_slots_per_second = 0.0;
+            r
+        };
+        strip(self) == strip(other)
+    }
+}
+
+/// Accumulates one slice's episode history during a run.
+#[derive(Debug, Clone)]
+struct SliceStats {
+    kind: SliceKind,
+    admitted_at_slot: usize,
+    torn_down_at_slot: Option<usize>,
+    episode_costs: Vec<f64>,
+    episode_usages: Vec<f64>,
+    violations: usize,
+    policy_updates: usize,
+    switched_episodes: usize,
+}
+
+impl SliceStats {
+    fn new(kind: SliceKind, admitted_at_slot: usize) -> Self {
+        Self {
+            kind,
+            admitted_at_slot,
+            torn_down_at_slot: None,
+            episode_costs: Vec::new(),
+            episode_usages: Vec::new(),
+            violations: 0,
+            policy_updates: 0,
+            switched_episodes: 0,
+        }
+    }
+
+    fn into_report(self, id: u32) -> SliceReport {
+        let n = self.episode_costs.len();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        SliceReport {
+            id,
+            kind: self.kind,
+            admitted_at_slot: self.admitted_at_slot,
+            torn_down_at_slot: self.torn_down_at_slot,
+            episodes: n,
+            violations: self.violations,
+            policy_updates: self.policy_updates,
+            switched_episodes: self.switched_episodes,
+            avg_cost: mean(&self.episode_costs),
+            avg_usage_percent: mean(&self.episode_usages),
+        }
+    }
+}
+
+/// A scheduled restoration of transient state (burst end, fault healed).
+///
+/// Each restore remembers the value it *expects* to find (its own override)
+/// and the value it captured when the override began; if a later event
+/// changed the state in the meantime, the restore is skipped so the newer
+/// regime wins. Nested transients (a short fault inside a long one) unwind
+/// correctly; restores of partially-overlapping transients whose inner end
+/// outlives the outer keep the inner's captured value. Known limitation:
+/// "still in effect" is detected by value equality, so a permanent event
+/// that sets *exactly* the value an active transient applied is treated as
+/// that transient and rolled back at its expiry — script a marginally
+/// different value (2.0 vs 2.001) if that corner ever matters.
+#[derive(Debug, Clone)]
+enum Restore {
+    Domain {
+        domain: DomainKind,
+        expected: f64,
+        previous: f64,
+    },
+    Traffic {
+        slice: u32,
+        expected: f64,
+        previous: f64,
+    },
+}
+
+/// Builds agent + environment pairs from [`SliceSpec`]s with seeds derived
+/// from the construction order, caching calibrated baselines (calibration is
+/// a grid search, so clones are much cheaper than re-deriving identical
+/// policies for cloned slices).
+#[derive(Debug)]
+struct SliceFactory {
+    seed: u64,
+    horizon: usize,
+    baseline_buckets: usize,
+    baseline_cache: HashMap<(SliceKind, u64, u64), RuleBasedBaseline>,
+    slices_built: u64,
+}
+
+impl SliceFactory {
+    fn new(config: &ScenarioConfig, horizon: usize) -> Self {
+        Self {
+            seed: config.seed,
+            horizon,
+            baseline_buckets: config.baseline_buckets,
+            baseline_cache: HashMap::new(),
+            slices_built: 0,
+        }
+    }
+
+    fn build(&mut self, spec: &SliceSpec) -> (OnSlicingAgent, SliceEnvironment) {
+        let network = onslicing_netsim::NetworkConfig::testbed_default();
+        let ordinal = self.slices_built;
+        self.slices_built += 1;
+        let seed = self.seed.wrapping_add(1_000).wrapping_add(17 * ordinal);
+        let sla = spec.sla();
+        let trace_config = spec.trace_config();
+        let cache_key = (
+            spec.kind,
+            trace_config.peak_rate.to_bits(),
+            sla.cost_threshold.to_bits(),
+        );
+        let baseline = self
+            .baseline_cache
+            .entry(cache_key)
+            .or_insert_with(|| {
+                RuleBasedBaseline::calibrate(
+                    spec.kind,
+                    &sla,
+                    &network,
+                    trace_config.peak_rate,
+                    self.baseline_buckets,
+                    self.seed.wrapping_add(77),
+                )
+            })
+            .clone();
+        let env = SliceEnvironment::with_trace_config(
+            spec.kind,
+            sla,
+            network,
+            trace_config,
+            self.horizon,
+            seed,
+        );
+        let agent = OnSlicingAgent::new(
+            spec.kind,
+            sla,
+            baseline,
+            AgentConfig::onslicing().scaled_down(self.horizon),
+            seed.wrapping_add(1),
+        );
+        (agent, env)
+    }
+}
+
+/// The engine: a scenario, its configuration and the live deployment.
+#[derive(Debug)]
+pub struct ScenarioEngine {
+    scenario: Scenario,
+    config: ScenarioConfig,
+    orch: Orchestrator,
+    admission: AdmissionController,
+    factory: SliceFactory,
+    stats: HashMap<u32, SliceStats>,
+    has_run: bool,
+}
+
+impl ScenarioEngine {
+    /// Builds the initial deployment of a validated scenario (including
+    /// offline pre-training of the initial agents).
+    pub fn new(scenario: Scenario, config: ScenarioConfig) -> Result<Self, String> {
+        scenario.validate()?;
+        let admission = AdmissionController::try_new(config.admission)?;
+        let mut factory = SliceFactory::new(&config, scenario.horizon);
+        let mut envs = Vec::new();
+        let mut agents = Vec::new();
+        let mut stats = HashMap::new();
+        for (i, spec) in scenario.initial_slices.iter().enumerate() {
+            let (agent, env) = factory.build(spec);
+            agents.push(agent);
+            envs.push(env);
+            stats.insert(i as u32, SliceStats::new(spec.kind, 0));
+        }
+        let orch = Orchestrator::new(
+            MultiSliceEnvironment::from_envs(envs),
+            agents,
+            DomainSet::with_parameters(scenario.capacity, 1.0),
+            OrchestratorConfig {
+                coordination: config.coordination,
+                episodes_per_epoch: 1,
+            },
+        );
+        let mut engine = Self {
+            scenario,
+            config,
+            orch,
+            admission,
+            factory,
+            stats,
+            has_run: false,
+        };
+        if engine.config.pretrain_episodes > 0 {
+            engine
+                .orch
+                .offline_pretrain_all(engine.config.pretrain_episodes);
+        }
+        engine.orch.env_mut().reset_all();
+        Ok(engine)
+    }
+
+    /// The scenario being executed.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The live orchestrator (inspection before or after the run).
+    pub fn orchestrator(&self) -> &Orchestrator {
+        &self.orch
+    }
+
+    /// Mutable access to the live orchestrator.
+    pub fn orchestrator_mut(&mut self) -> &mut Orchestrator {
+        &mut self.orch
+    }
+
+    /// Closes the running episode of the slice at `index`: harvests the
+    /// summary, updates the policy, resets the environment.
+    fn close_episode(&mut self, index: usize) {
+        let id = self.orch.slice_ids()[index].0;
+        let summary = self.orch.agents_mut()[index].end_episode();
+        let update = self.orch.agents_mut()[index].update_policy();
+        let stats = self.stats.get_mut(&id).expect("every slice has stats");
+        stats.episode_costs.push(summary.avg_cost);
+        stats.episode_usages.push(summary.avg_usage_percent);
+        if summary.violated {
+            stats.violations += 1;
+        }
+        if summary.switched_to_baseline {
+            stats.switched_episodes += 1;
+        }
+        if update.num_transitions > 0 {
+            stats.policy_updates += 1;
+        }
+        self.orch.env_mut().envs_mut()[index].reset();
+    }
+
+    /// Applies one scripted event; returns any restoration to schedule.
+    fn apply_event(
+        &mut self,
+        slot: usize,
+        event: &ScenarioEvent,
+        report: &mut ScenarioReport,
+    ) -> Option<(usize, Restore)> {
+        match event {
+            ScenarioEvent::AdmitSlice { slice } => {
+                if self.admission.evaluate(self.orch.domains()).is_err() {
+                    // The denied slice still consumes its id: scripted ids
+                    // are assigned by admission-event order, and later
+                    // events must keep targeting the slices the file author
+                    // numbered, whatever this admission's runtime outcome.
+                    let _ = self.orch.reserve_slice_id();
+                    report.admissions_denied += 1;
+                    return None;
+                }
+                let (mut agent, mut env) = self.factory.build(slice);
+                if self.config.pretrain_episodes > 0 {
+                    // Admitted slices pre-train offline before going live,
+                    // exactly like the initial deployment did.
+                    agent.offline_pretrain(&mut env, self.config.pretrain_episodes);
+                }
+                env.reset();
+                let id = self
+                    .orch
+                    .admit_slice(agent, env)
+                    .expect("fresh slice ids never collide");
+                self.stats.insert(id.0, SliceStats::new(slice.kind, slot));
+                report.events_applied += 1;
+                None
+            }
+            ScenarioEvent::TeardownSlice { slice } => {
+                let Some(index) = self.orch.index_of(SliceId(*slice)) else {
+                    report.events_skipped += 1;
+                    return None;
+                };
+                // Close the partial episode so its slots still count.
+                if self.orch.env().envs()[index].slot() > 0 {
+                    self.close_episode(index);
+                }
+                self.orch
+                    .teardown_slice(SliceId(*slice))
+                    .expect("index_of verified the slice is active");
+                self.stats
+                    .get_mut(slice)
+                    .expect("every slice has stats")
+                    .torn_down_at_slot = Some(slot);
+                report.events_applied += 1;
+                None
+            }
+            ScenarioEvent::SetTrafficScale { slice, scale } => {
+                let Some(index) = self.orch.index_of(SliceId(*slice)) else {
+                    report.events_skipped += 1;
+                    return None;
+                };
+                self.orch.env_mut().envs_mut()[index].set_traffic_scale(*scale);
+                report.events_applied += 1;
+                None
+            }
+            ScenarioEvent::SetTraceProfile { slice, profile } => {
+                let Some(index) = self.orch.index_of(SliceId(*slice)) else {
+                    report.events_skipped += 1;
+                    return None;
+                };
+                self.orch.env_mut().envs_mut()[index].set_trace_config(profile.clone());
+                report.events_applied += 1;
+                None
+            }
+            ScenarioEvent::TrafficBurst {
+                slice,
+                scale,
+                duration_slots,
+            } => {
+                let Some(index) = self.orch.index_of(SliceId(*slice)) else {
+                    report.events_skipped += 1;
+                    return None;
+                };
+                let previous = self.orch.env().envs()[index].traffic_scale();
+                self.orch.env_mut().envs_mut()[index].set_traffic_scale(*scale);
+                report.events_applied += 1;
+                Some((
+                    slot + duration_slots,
+                    Restore::Traffic {
+                        slice: *slice,
+                        expected: *scale,
+                        previous,
+                    },
+                ))
+            }
+            ScenarioEvent::DomainFault {
+                domain,
+                capacity_scale,
+                duration_slots,
+            } => {
+                let previous = self.orch.domains().manager(*domain).capacity_scale();
+                self.orch
+                    .domains_mut()
+                    .apply_capacity_override(&CapacityOverride {
+                        domain: *domain,
+                        scale: *capacity_scale,
+                    });
+                report.events_applied += 1;
+                Some((
+                    slot + duration_slots,
+                    Restore::Domain {
+                        domain: *domain,
+                        expected: *capacity_scale,
+                        previous,
+                    },
+                ))
+            }
+            ScenarioEvent::RenegotiateSla {
+                slice,
+                cost_threshold,
+            } => {
+                let Some(index) = self.orch.index_of(SliceId(*slice)) else {
+                    report.events_skipped += 1;
+                    return None;
+                };
+                let sla = self.orch.agents()[index]
+                    .sla()
+                    .with_cost_threshold(*cost_threshold);
+                self.orch
+                    .renegotiate_sla(SliceId(*slice), sla)
+                    .expect("index_of verified the slice is active");
+                report.events_applied += 1;
+                None
+            }
+        }
+    }
+
+    /// Executes the scenario end to end and returns the aggregated report.
+    ///
+    /// # Panics
+    /// Panics when called a second time: the timeline has already been
+    /// consumed and the deployment state mutated, so a replay would produce
+    /// a silently wrong report. Build a new engine for a fresh run.
+    pub fn run(&mut self) -> ScenarioReport {
+        assert!(
+            !self.has_run,
+            "ScenarioEngine::run consumed the timeline already; build a new engine for a fresh run"
+        );
+        self.has_run = true;
+        let start = Instant::now();
+        let mut report = ScenarioReport {
+            scenario: self.scenario.name.clone(),
+            seed: self.config.seed,
+            total_slots: self.scenario.total_slots,
+            slice_slots: 0,
+            peak_concurrent_slices: 0,
+            events_applied: 0,
+            admissions_denied: 0,
+            events_skipped: 0,
+            slice_episodes: 0,
+            sla_violation_percent: 0.0,
+            avg_cost: 0.0,
+            avg_coordination_rounds: 0.0,
+            slice_slots_per_second: 0.0,
+            wall_clock_ms: 0.0,
+            slices: Vec::new(),
+        };
+        let mut timeline: Vec<TimedEvent> = self.scenario.events.clone();
+        timeline.sort_by_key(|t| t.at_slot);
+        let mut next_event = 0usize;
+        let mut restores: Vec<(usize, Restore)> = Vec::new();
+        let mut rounds_total = 0usize;
+        let mut executed_slots = 0usize;
+
+        for slot in 0..self.scenario.total_slots {
+            // Transient state restores first: a fault scheduled to end at
+            // this slot heals before new events and the orchestration round.
+            let due: Vec<Restore> = {
+                let (fire, keep): (Vec<_>, Vec<_>) =
+                    restores.drain(..).partition(|(at, _)| *at <= slot);
+                restores = keep;
+                fire.into_iter().map(|(_, r)| r).collect()
+            };
+            for restore in due {
+                // A restore only fires if its own override is still in
+                // effect; if a later event re-shaped the state meanwhile,
+                // the newer regime wins and this restore is dropped.
+                match restore {
+                    Restore::Domain {
+                        domain,
+                        expected,
+                        previous,
+                    } => {
+                        if self.orch.domains().manager(domain).capacity_scale() == expected {
+                            self.orch
+                                .domains_mut()
+                                .apply_capacity_override(&CapacityOverride {
+                                    domain,
+                                    scale: previous,
+                                });
+                        }
+                    }
+                    Restore::Traffic {
+                        slice,
+                        expected,
+                        previous,
+                    } => {
+                        if let Some(index) = self.orch.index_of(SliceId(slice)) {
+                            if self.orch.env().envs()[index].traffic_scale() == expected {
+                                self.orch.env_mut().envs_mut()[index].set_traffic_scale(previous);
+                            }
+                        }
+                    }
+                }
+            }
+            while next_event < timeline.len() && timeline[next_event].at_slot <= slot {
+                let event = timeline[next_event].event.clone();
+                if let Some(restore) = self.apply_event(slot, &event, &mut report) {
+                    restores.push(restore);
+                }
+                next_event += 1;
+            }
+            if self.orch.num_slices() == 0 {
+                continue; // idle infrastructure (everything torn down)
+            }
+            let outcome = self.orch.run_slot(true);
+            rounds_total += outcome.interactions;
+            executed_slots += 1;
+            report.slice_slots += self.orch.num_slices();
+            report.peak_concurrent_slices =
+                report.peak_concurrent_slices.max(self.orch.num_slices());
+            // Staggered per-slice episode boundaries: a slice admitted at
+            // slot s ends its first episode at s + horizon.
+            for index in 0..self.orch.num_slices() {
+                let env = &self.orch.env().envs()[index];
+                if env.slot() >= env.horizon() {
+                    self.close_episode(index);
+                }
+            }
+        }
+        // Close the final partial episode of every still-active slice.
+        for index in 0..self.orch.num_slices() {
+            if self.orch.env().envs()[index].slot() > 0 {
+                self.close_episode(index);
+            }
+        }
+
+        let mut per_slice: Vec<(u32, SliceStats)> =
+            self.stats.iter().map(|(k, v)| (*k, v.clone())).collect();
+        per_slice.sort_by_key(|(id, _)| *id);
+        let mut episode_costs = 0.0;
+        for (id, stats) in per_slice {
+            let slice_report = stats.into_report(id);
+            report.slice_episodes += slice_report.episodes;
+            report.sla_violation_percent += slice_report.violations as f64;
+            episode_costs += slice_report.avg_cost * slice_report.episodes as f64;
+            report.slices.push(slice_report);
+        }
+        if report.slice_episodes > 0 {
+            report.sla_violation_percent *= 100.0 / report.slice_episodes as f64;
+            report.avg_cost = episode_costs / report.slice_episodes as f64;
+        }
+        if executed_slots > 0 {
+            report.avg_coordination_rounds = rounds_total as f64 / executed_slots as f64;
+        }
+        let elapsed = start.elapsed();
+        report.wall_clock_ms = elapsed.as_secs_f64() * 1_000.0;
+        report.slice_slots_per_second = if elapsed.as_secs_f64() > 0.0 {
+            report.slice_slots as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        report
+    }
+}
+
+/// Convenience: builds the engine and runs the scenario in one call.
+pub fn run_scenario(scenario: Scenario, config: ScenarioConfig) -> Result<ScenarioReport, String> {
+    Ok(ScenarioEngine::new(scenario, config)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SliceSpec;
+
+    // Horizons below ~12 slots leave the episode cost budget so tight that
+    // the proactive safety switch hands every slot to the baseline and π_θ
+    // never trains; 16 matches the CI-scale built-ins.
+    fn tiny_scenario() -> Scenario {
+        Scenario::new("tiny", 16, 48)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Hvs))
+    }
+
+    fn quick_config() -> ScenarioConfig {
+        ScenarioConfig::default()
+    }
+
+    #[test]
+    fn steady_run_produces_complete_metrics() {
+        let report = run_scenario(tiny_scenario(), quick_config()).unwrap();
+        assert_eq!(report.total_slots, 48);
+        assert_eq!(report.slice_slots, 96);
+        assert_eq!(report.peak_concurrent_slices, 2);
+        // 48 slots / 16-slot horizon = 3 episodes per slice.
+        assert_eq!(report.slice_episodes, 6);
+        assert!(!report.has_nan());
+        assert!(report.avg_coordination_rounds >= 1.0);
+        assert_eq!(report.slices.len(), 2);
+        for s in &report.slices {
+            assert_eq!(s.episodes, 3);
+            assert!(s.policy_updates > 0, "every slice must train online");
+            assert!(s.avg_usage_percent > 0.0);
+        }
+    }
+
+    #[test]
+    fn fixed_seed_runs_are_deterministic() {
+        let scenario = tiny_scenario()
+            .at(
+                4,
+                ScenarioEvent::TrafficBurst {
+                    slice: 0,
+                    scale: 1.6,
+                    duration_slots: 4,
+                },
+            )
+            .at(
+                8,
+                ScenarioEvent::DomainFault {
+                    domain: DomainKind::Transport,
+                    capacity_scale: 0.6,
+                    duration_slots: 4,
+                },
+            );
+        let a = run_scenario(scenario.clone(), quick_config()).unwrap();
+        let b = run_scenario(scenario, quick_config()).unwrap();
+        assert!(a.deterministic_fields_eq(&b));
+        let c = run_scenario(
+            tiny_scenario(),
+            ScenarioConfig {
+                seed: 9,
+                ..quick_config()
+            },
+        )
+        .unwrap();
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn admission_and_teardown_flow_through_the_report() {
+        let scenario = Scenario::new("churn", 16, 64)
+            .with_capacity(2.0)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .at(
+                16,
+                ScenarioEvent::AdmitSlice {
+                    slice: SliceSpec::new(SliceKind::Rdc),
+                },
+            )
+            .at(48, ScenarioEvent::TeardownSlice { slice: 0 });
+        let report = run_scenario(scenario, quick_config()).unwrap();
+        assert_eq!(report.slices.len(), 2);
+        let initial = &report.slices[0];
+        let admitted = &report.slices[1];
+        assert_eq!(initial.torn_down_at_slot, Some(48));
+        assert_eq!(admitted.admitted_at_slot, 16);
+        assert!(admitted.episodes >= 2);
+        assert!(
+            admitted.policy_updates > 0,
+            "the admitted slice must train online"
+        );
+        assert_eq!(report.peak_concurrent_slices, 2);
+        assert_eq!(report.events_applied, 2);
+    }
+
+    #[test]
+    fn admission_is_denied_when_the_infrastructure_is_full() {
+        // Capacity 1.0, three greedy slices enforced -> a fourth cannot fit.
+        let scenario = Scenario::new("full-house", 6, 12)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Hvs))
+            .slice(SliceSpec::new(SliceKind::Rdc))
+            .at(
+                4,
+                ScenarioEvent::AdmitSlice {
+                    slice: SliceSpec::new(SliceKind::Mar),
+                },
+            );
+        let config = ScenarioConfig {
+            admission: AdmissionConfig {
+                estimated_share: 0.9,
+                headroom: 0.0,
+            },
+            ..quick_config()
+        };
+        let report = run_scenario(scenario, config).unwrap();
+        assert_eq!(report.admissions_denied, 1);
+        assert_eq!(report.slices.len(), 3);
+        assert_eq!(report.peak_concurrent_slices, 3);
+    }
+
+    #[test]
+    fn events_on_inactive_slices_are_skipped_not_fatal() {
+        let scenario = tiny_scenario()
+            .at(2, ScenarioEvent::TeardownSlice { slice: 7 })
+            .at(
+                3,
+                ScenarioEvent::SetTrafficScale {
+                    slice: 9,
+                    scale: 2.0,
+                },
+            )
+            .at(
+                4,
+                ScenarioEvent::RenegotiateSla {
+                    slice: 8,
+                    cost_threshold: 0.2,
+                },
+            );
+        let report = run_scenario(scenario, quick_config()).unwrap();
+        assert_eq!(report.events_skipped, 3);
+        assert_eq!(report.events_applied, 0);
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected_at_construction() {
+        let invalid = Scenario::new("empty", 6, 12); // no initial slices
+        assert!(ScenarioEngine::new(invalid, quick_config()).is_err());
+        // A bad admission config is an Err too, not a panic.
+        let bad_admission = ScenarioConfig {
+            admission: AdmissionConfig {
+                estimated_share: 0.1,
+                headroom: 2.0,
+            },
+            ..quick_config()
+        };
+        assert!(ScenarioEngine::new(tiny_scenario(), bad_admission)
+            .unwrap_err()
+            .contains("headroom"));
+    }
+
+    #[test]
+    fn trace_profile_swap_takes_effect_from_the_next_episode() {
+        let scenario = Scenario::new("profile-swap", 8, 24)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .at(
+                2,
+                ScenarioEvent::SetTraceProfile {
+                    slice: 0,
+                    profile: onslicing_traffic::DiurnalTraceConfig::mar_default()
+                        .with_peak_rate(50.0),
+                },
+            );
+        let mut engine = ScenarioEngine::new(scenario, quick_config()).unwrap();
+        engine.run();
+        // Episodes reset at slots 8 and 16, regenerating from the new
+        // profile; the final trace peaks at the swapped-in rate.
+        let trace = engine.orchestrator().env().envs()[0].trace();
+        assert!((trace.peak_rate() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn denied_admissions_still_consume_their_scripted_slice_id() {
+        // Capacity 1.0, three slices: the admission at slot 4 is denied, so
+        // id 3 must be burned and the next free id is 4 — later scripted
+        // events keep targeting the slices the file author numbered.
+        let scenario = Scenario::new("id-stability", 6, 12)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Hvs))
+            .slice(SliceSpec::new(SliceKind::Rdc))
+            .at(
+                4,
+                ScenarioEvent::AdmitSlice {
+                    slice: SliceSpec::new(SliceKind::Mar),
+                },
+            );
+        let config = ScenarioConfig {
+            admission: AdmissionConfig {
+                estimated_share: 0.9,
+                headroom: 0.0,
+            },
+            ..quick_config()
+        };
+        let mut engine = ScenarioEngine::new(scenario, config).unwrap();
+        let report = engine.run();
+        assert_eq!(report.admissions_denied, 1);
+        assert_eq!(engine.orchestrator_mut().reserve_slice_id(), SliceId(4));
+    }
+
+    #[test]
+    fn burst_restore_yields_to_a_newer_permanent_regime() {
+        // A burst (slots 4..8) is overridden at slot 6 by a permanent
+        // regime shift; the burst's expiry must not roll that shift back.
+        let scenario = Scenario::new("burst-vs-regime", 16, 16)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .at(
+                4,
+                ScenarioEvent::TrafficBurst {
+                    slice: 0,
+                    scale: 2.0,
+                    duration_slots: 4,
+                },
+            )
+            .at(
+                6,
+                ScenarioEvent::SetTrafficScale {
+                    slice: 0,
+                    scale: 1.3,
+                },
+            );
+        let mut engine = ScenarioEngine::new(scenario, quick_config()).unwrap();
+        engine.run();
+        assert_eq!(engine.orchestrator().env().envs()[0].traffic_scale(), 1.3);
+    }
+
+    #[test]
+    fn nested_domain_faults_unwind_to_the_outer_fault() {
+        // A long transport fault (slots 0..24, beyond the scenario end)
+        // contains a short deeper fault (slots 4..8): when the inner fault
+        // heals it must restore the *outer* degradation, not full health.
+        let scenario = Scenario::new("nested-faults", 16, 16)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .at(
+                0,
+                ScenarioEvent::DomainFault {
+                    domain: DomainKind::Transport,
+                    capacity_scale: 0.5,
+                    duration_slots: 24,
+                },
+            )
+            .at(
+                4,
+                ScenarioEvent::DomainFault {
+                    domain: DomainKind::Transport,
+                    capacity_scale: 0.3,
+                    duration_slots: 4,
+                },
+            );
+        let mut engine = ScenarioEngine::new(scenario, quick_config()).unwrap();
+        engine.run();
+        let transport = engine
+            .orchestrator()
+            .domains()
+            .manager(DomainKind::Transport);
+        assert_eq!(transport.capacity_scale(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "consumed the timeline already")]
+    fn running_an_engine_twice_is_rejected() {
+        let mut engine = ScenarioEngine::new(tiny_scenario(), quick_config()).unwrap();
+        engine.run();
+        engine.run();
+    }
+
+    #[test]
+    fn teardown_mid_run_releases_capacity_and_stops_the_slice() {
+        let scenario = Scenario::new("release", 6, 12)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Hvs))
+            .at(6, ScenarioEvent::TeardownSlice { slice: 1 });
+        let mut engine = ScenarioEngine::new(scenario, quick_config()).unwrap();
+        let report = engine.run();
+        let orch = engine.orchestrator();
+        assert_eq!(orch.num_slices(), 1);
+        assert!(!orch.domains().has_slice(SliceId(1)));
+        for m in orch.domains().managers() {
+            assert_eq!(m.num_slices(), 1);
+        }
+        // The survivor keeps running to the end; the torn-down slice's
+        // report stops at slot 6.
+        assert_eq!(report.slices[1].torn_down_at_slot, Some(6));
+        assert_eq!(report.slices[0].torn_down_at_slot, None);
+        assert_eq!(report.slice_slots, 2 * 6 + 6);
+    }
+}

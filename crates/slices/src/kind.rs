@@ -1,6 +1,6 @@
 //! The three slice types evaluated in the paper (§7.1).
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// The application class hosted by a slice.
 ///
@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 ///   bandwidth-hungry (30 FPS average).
 /// * **RDC** — reliable distant control: IoT devices exchange 1-kbit control
 ///   messages; reliability-sensitive (99.999 % radio delivery).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SliceKind {
     /// Mobile augmented reality (delay-sensitive).
     Mar,
@@ -61,11 +61,56 @@ impl SliceKind {
     pub fn higher_is_better(self) -> bool {
         !matches!(self, SliceKind::Mar)
     }
+
+    /// Lowercase name used in scenario files and CLI arguments.
+    pub fn lowercase_name(self) -> &'static str {
+        match self {
+            SliceKind::Mar => "mar",
+            SliceKind::Hvs => "hvs",
+            SliceKind::Rdc => "rdc",
+        }
+    }
 }
 
 impl std::fmt::Display for SliceKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SliceKind {
+    type Err = String;
+
+    /// Parses a slice kind case-insensitively (`mar`, `MAR`, `Mar`, ...), so
+    /// scenario JSON files and CLI arguments can name slice kinds in whatever
+    /// case reads best.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mar" => Ok(SliceKind::Mar),
+            "hvs" => Ok(SliceKind::Hvs),
+            "rdc" => Ok(SliceKind::Rdc),
+            other => Err(format!(
+                "unknown slice kind `{other}` (expected one of: mar, hvs, rdc)"
+            )),
+        }
+    }
+}
+
+// Serialized as the lowercase alias (`"mar"`), accepted back in any case —
+// hand-written instead of derived so that scenario files stay readable and
+// historical `"Mar"`-style payloads still parse.
+impl Serialize for SliceKind {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.lowercase_name().to_string())
+    }
+}
+
+impl Deserialize for SliceKind {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::msg("expected a string for SliceKind"))?;
+        s.parse().map_err(DeError)
     }
 }
 
@@ -101,5 +146,30 @@ mod tests {
         assert!(!SliceKind::Mar.higher_is_better());
         assert!(SliceKind::Hvs.higher_is_better());
         assert!(SliceKind::Rdc.higher_is_better());
+    }
+
+    #[test]
+    fn from_str_round_trips_display_and_lowercase_names() {
+        for kind in SliceKind::ALL {
+            assert_eq!(kind.name().parse::<SliceKind>().unwrap(), kind);
+            assert_eq!(kind.lowercase_name().parse::<SliceKind>().unwrap(), kind);
+            assert_eq!(kind.to_string().parse::<SliceKind>().unwrap(), kind);
+        }
+        assert_eq!("Mar".parse::<SliceKind>().unwrap(), SliceKind::Mar);
+        assert!("edge".parse::<SliceKind>().is_err());
+    }
+
+    #[test]
+    fn serde_uses_the_lowercase_alias_and_accepts_any_case() {
+        for kind in SliceKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(json, format!("\"{}\"", kind.lowercase_name()));
+            let back: SliceKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
+        // Historical payloads used the variant name verbatim.
+        let legacy: SliceKind = serde_json::from_str("\"Mar\"").unwrap();
+        assert_eq!(legacy, SliceKind::Mar);
+        assert!(serde_json::from_str::<SliceKind>("\"urllc\"").is_err());
     }
 }

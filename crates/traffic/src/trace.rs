@@ -183,6 +183,22 @@ impl TrafficTrace {
         &self.rates
     }
 
+    /// Returns a copy with every rate multiplied by `scale` (a traffic
+    /// regime shift: the diurnal shape is preserved, the volume changes).
+    ///
+    /// # Panics
+    /// Panics if the scale is negative or not finite.
+    pub fn scaled(&self, scale: f64) -> Self {
+        assert!(
+            scale >= 0.0 && scale.is_finite(),
+            "traffic scale must be finite and non-negative"
+        );
+        Self {
+            rates: self.rates.iter().map(|r| r * scale).collect(),
+            slot_seconds: self.slot_seconds,
+        }
+    }
+
     /// Returns a copy rescaled so that its peak equals `new_peak`.
     ///
     /// # Panics
@@ -385,6 +401,21 @@ mod tests {
         let trace = TrafficTrace::from_rates(vec![2.0, 4.0], 10.0);
         assert_eq!(trace.expected_arrivals_at(0), 20.0);
         assert_eq!(trace.expected_arrivals_at(1), 40.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_rate_and_keeps_the_slot_duration() {
+        let trace = TrafficTrace::from_rates(vec![1.0, 2.0, 4.0], 900.0);
+        let surged = trace.scaled(1.5);
+        assert_eq!(surged.rates(), &[1.5, 3.0, 6.0]);
+        assert_eq!(surged.slot_seconds(), 900.0);
+        assert_eq!(trace.scaled(0.0).peak_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "traffic scale must be finite")]
+    fn negative_traffic_scale_is_rejected() {
+        let _ = TrafficTrace::from_rates(vec![1.0], 900.0).scaled(-1.0);
     }
 
     #[test]

@@ -12,5 +12,6 @@ pub use onslicing_domains as domains;
 pub use onslicing_netsim as netsim;
 pub use onslicing_nn as nn;
 pub use onslicing_rl as rl;
+pub use onslicing_scenario as scenario;
 pub use onslicing_slices as slices;
 pub use onslicing_traffic as traffic;

@@ -11,6 +11,7 @@ use onslicing::domains::DomainSet;
 use onslicing::netsim::{NetworkConfig, NetworkSimulator};
 use onslicing::nn::{Activation, BatchWorkspace, Matrix, Mlp};
 use onslicing::slices::{Action, Sla, SliceKind, SliceState, ACTION_DIM, STATE_DIM};
+use onslicing::traffic::PoissonArrivals;
 
 /// Naive `O(n³)` reference product, the specification the tiled kernels are
 /// checked against.
@@ -176,6 +177,46 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Poisson arrival timestamps are sorted and strictly inside the slot,
+    /// whatever the rate, duration and seed.
+    #[test]
+    fn poisson_arrivals_are_sorted_and_within_the_slot(
+        rate in 0.0f64..=20.0,
+        duration in 1.0f64..=300.0,
+        seed in 0u64..64,
+    ) {
+        let p = PoissonArrivals::new(rate, duration);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let times = p.sample(&mut rng);
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "timestamps must be sorted");
+        prop_assert!(times.iter().all(|&t| (0.0..duration).contains(&t)),
+            "timestamps must fall within [0, {duration})");
+    }
+
+    /// The empirical mean arrival count matches `rate · duration` (a 5-sigma
+    /// band around the Poisson expectation, so the property is sharp without
+    /// being flaky).
+    #[test]
+    fn poisson_counts_match_rate_times_duration_in_expectation(
+        rate in 0.5f64..=10.0,
+        duration in 5.0f64..=60.0,
+        seed in 0u64..16,
+    ) {
+        let p = PoissonArrivals::new(rate, duration);
+        prop_assert!((p.expected_count() - rate * duration).abs() < 1e-12);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trials = 150usize;
+        let total: usize = (0..trials).map(|_| p.sample(&mut rng).len()).sum();
+        let mean = total as f64 / trials as f64;
+        let lambda = rate * duration;
+        // The mean of `trials` Poisson(λ) draws has std sqrt(λ / trials).
+        let tolerance = 5.0 * (lambda / trials as f64).sqrt() + 0.5;
+        prop_assert!(
+            (mean - lambda).abs() <= tolerance,
+            "empirical mean {mean} should be within {tolerance} of λ = {lambda}"
+        );
     }
 
     /// The batched MLP forward matches the per-sample forward elementwise to
