@@ -209,7 +209,12 @@ pub struct PretrainReport {
 }
 
 /// One individualized OnSlicing agent.
-#[derive(Debug, Clone)]
+///
+/// Serializes its complete learning state — policy/critic/estimator weights
+/// and Adam moments, the Lagrangian multiplier, the rollout buffer, the
+/// per-episode accumulators and the agent's RNG stream — so a deserialized
+/// agent decides, records and updates exactly like the original.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnSlicingAgent {
     kind: SliceKind,
     sla: Sla,

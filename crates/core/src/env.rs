@@ -28,7 +28,12 @@ pub struct StepResult {
 }
 
 /// The per-slice orchestration environment.
-#[derive(Debug, Clone)]
+///
+/// Serializes every piece of dynamic state — the current traffic trace, the
+/// generator, the simulator (channel + RNG), the slot cursor, the cost
+/// accumulator and the environment's own RNG stream — so a deserialized
+/// environment steps bit-for-bit like the original.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SliceEnvironment {
     kind: SliceKind,
     sla: Sla,
@@ -241,7 +246,7 @@ impl SliceEnvironment {
 
 /// A bundle of per-slice environments sharing one infrastructure, in
 /// [`SliceKind::ALL`] order by default.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultiSliceEnvironment {
     envs: Vec<SliceEnvironment>,
 }

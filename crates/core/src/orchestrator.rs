@@ -30,6 +30,8 @@ use serde::{Deserialize, Serialize};
 use onslicing_domains::{DomainSet, SliceId};
 use onslicing_slices::{Action, Sla};
 
+use onslicing_slices::SlotKpi;
+
 use crate::agent::{Decision, OnSlicingAgent};
 use crate::env::{MultiSliceEnvironment, SliceEnvironment};
 use crate::metrics::{EpisodeMetrics, EpochMetrics};
@@ -81,20 +83,28 @@ impl Default for OrchestratorConfig {
     }
 }
 
-/// Outcome of one coordinated slot (exposed for tests and the showcase
-/// figures).
+/// Outcome of one coordinated slot (exposed for tests, the showcase figures
+/// and the telemetry recorder).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlotOutcome {
     /// Each agent's own decision (before coordination).
     pub decisions: Vec<Decision>,
     /// The actions finally enforced.
     pub executed: Vec<Action>,
+    /// The per-slice KPI each slice's simulator reported for the slot,
+    /// parallel to `executed`.
+    pub kpis: Vec<SlotKpi>,
     /// Number of agent↔manager interactions this slot took.
     pub interactions: usize,
 }
 
 /// The end-to-end orchestrator of one infrastructure.
-#[derive(Debug, Clone)]
+///
+/// Serializes the entire deployment — every agent's networks, optimizers and
+/// RNG, every environment's simulator and trace state, the domain managers'
+/// allocations and coordinating parameters, and the slice-id bookkeeping —
+/// so a deserialized orchestrator runs the remaining slots bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Orchestrator {
     env: MultiSliceEnvironment,
     agents: Vec<OnSlicingAgent>,
@@ -327,12 +337,15 @@ impl Orchestrator {
         // own outcome, again one core per slice. The agent only stores a
         // learning transition when the decision carried a stochastic sample
         // (i.e. `learn` was true and π_θ acted); recording always happens so
-        // episode usage/cost summaries stay available.
-        self.agents
+        // episode usage/cost summaries stay available. The per-slice KPIs are
+        // collected in index order (independent of the worker count) for the
+        // telemetry recorder.
+        let kpis: Vec<SlotKpi> = self
+            .agents
             .par_iter_mut()
             .zip(self.env.envs_mut().par_iter_mut())
             .enumerate()
-            .for_each(|(i, (agent, env))| {
+            .map(|(i, (agent, env))| {
                 let result = env.step(&executed[i]);
                 agent.record(
                     &states[i],
@@ -341,10 +354,13 @@ impl Orchestrator {
                     &result.kpi,
                     result.done,
                 );
-            });
+                result.kpi
+            })
+            .collect();
         SlotOutcome {
             decisions,
             executed,
+            kpis,
             interactions,
         }
     }
@@ -571,6 +587,23 @@ mod tests {
         assert!(orch
             .renegotiate_sla(SliceId(9), Sla::for_kind(SliceKind::Mar))
             .is_err());
+    }
+
+    #[test]
+    fn serialized_orchestrator_resumes_bit_for_bit() {
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        orch.offline_pretrain_all(1);
+        orch.env_mut().reset_all();
+        for _ in 0..3 {
+            orch.run_slot(true);
+        }
+        let json = serde_json::to_string(&orch).unwrap();
+        let mut restored: Orchestrator = serde_json::from_str(&json).unwrap();
+        for _ in 0..5 {
+            let original = orch.run_slot(true);
+            let resumed = restored.run_slot(true);
+            assert_eq!(original, resumed);
+        }
     }
 
     #[test]

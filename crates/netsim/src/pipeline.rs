@@ -9,7 +9,9 @@
 //! network-side statistics (channel quality, radio utilization, server
 //! workload) the agent folds into its next observation.
 
-use std::collections::HashMap;
+// Channels are keyed by a BTreeMap so a serialized simulator has one
+// canonical byte representation (checkpoint files diff cleanly).
+use std::collections::BTreeMap;
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -157,10 +159,14 @@ pub struct SlotBreakdown {
 
 /// The end-to-end network simulator standing in for the OAI / ODL /
 /// OpenAir-CN / Docker testbed.
-#[derive(Debug, Clone)]
+///
+/// Serializes its complete dynamic state — channel AR(1) positions and the
+/// RNG stream — so a deserialized simulator continues bit-for-bit where the
+/// original left off (the checkpoint/replay contract).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkSimulator {
     config: NetworkConfig,
-    channels: HashMap<SliceKind, ChannelModel>,
+    channels: BTreeMap<SliceKind, ChannelModel>,
     rng: ChaCha8Rng,
 }
 
@@ -168,7 +174,7 @@ impl NetworkSimulator {
     /// Creates a simulator with per-slice channel models at the testbed
     /// default and the configured seed.
     pub fn new(config: NetworkConfig) -> Self {
-        let mut channels = HashMap::new();
+        let mut channels = BTreeMap::new();
         for kind in SliceKind::ALL {
             channels.insert(kind, ChannelModel::testbed_default());
         }

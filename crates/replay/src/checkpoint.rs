@@ -1,0 +1,129 @@
+//! Full-state scenario checkpoints.
+//!
+//! A [`Checkpoint`] wraps a [`ScenarioEngine`] serialized *between slots*
+//! with enough metadata to sanity-check a restore. Everything dynamic is
+//! inside the engine's own serialization: MLP/Gaussian/Bayesian weights and
+//! Adam moments, PPO/BC/cost-estimator/Lagrangian state, rollout buffers,
+//! per-slice environment + traffic-trace cursors and RNG streams, domain
+//! capacities/overrides, orchestrator slice membership and the run-loop
+//! cursor (pending event index, transient restores, report accumulators).
+//!
+//! The restore contract is exact: a checkpoint taken after slot `t` and
+//! restored into a fresh process produces byte-identical telemetry for
+//! slots `t..total_slots` (verified by `replay_check resume` in CI and the
+//! property tests in `tests/checkpoint_replay.rs`).
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use onslicing_scenario::ScenarioEngine;
+
+/// Version stamp of the checkpoint JSON layout; bump on breaking changes so
+/// stale files fail loudly instead of mis-restoring.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// A versioned, self-describing snapshot of a scenario run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Layout version ([`CHECKPOINT_FORMAT_VERSION`] at capture time).
+    pub format_version: u32,
+    /// Name of the scenario being executed.
+    pub scenario: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Next slot the restored engine will execute.
+    pub slot: usize,
+    /// Scheduled scenario length in slots.
+    pub total_slots: usize,
+    /// The complete serialized deployment.
+    engine: ScenarioEngine,
+}
+
+impl Checkpoint {
+    /// Captures the engine's current state (call between slots — i.e. not
+    /// from inside an observer callback).
+    pub fn capture(engine: &ScenarioEngine) -> Self {
+        Self {
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            scenario: engine.scenario().name.clone(),
+            seed: engine.config().seed,
+            slot: engine.current_slot(),
+            total_slots: engine.scenario().total_slots,
+            engine: engine.clone(),
+        }
+    }
+
+    /// Consumes the checkpoint and returns the engine, ready to execute the
+    /// remaining slots.
+    pub fn restore(self) -> ScenarioEngine {
+        self.engine
+    }
+
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+    }
+
+    /// Parses a checkpoint, rejecting unknown layout versions.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let checkpoint: Checkpoint =
+            serde_json::from_str(text).map_err(|e| format!("malformed checkpoint: {e}"))?;
+        if checkpoint.format_version != CHECKPOINT_FORMAT_VERSION {
+            return Err(format!(
+                "checkpoint format version {} is not supported (expected {})",
+                checkpoint.format_version, CHECKPOINT_FORMAT_VERSION
+            ));
+        }
+        Ok(checkpoint)
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        std::fs::write(path.as_ref(), self.to_json())
+            .map_err(|e| format!("cannot write checkpoint {}: {e}", path.as_ref().display()))
+    }
+
+    /// Reads and validates a checkpoint file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", path.as_ref().display()))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onslicing_scenario::{builtin, ScenarioConfig};
+
+    #[test]
+    fn capture_restore_round_trips_through_json() {
+        let mut engine = ScenarioEngine::new(builtin::steady(), ScenarioConfig::default()).unwrap();
+        engine.run_until(5, &mut ());
+        let checkpoint = Checkpoint::capture(&engine);
+        assert_eq!(checkpoint.scenario, "steady");
+        assert_eq!(checkpoint.slot, 5);
+        let restored = Checkpoint::from_json(&checkpoint.to_json())
+            .unwrap()
+            .restore();
+        assert_eq!(restored.current_slot(), 5);
+        assert!(!restored.is_finished());
+    }
+
+    #[test]
+    fn unknown_format_versions_are_rejected() {
+        let mut engine = ScenarioEngine::new(builtin::steady(), ScenarioConfig::default()).unwrap();
+        engine.run_until(1, &mut ());
+        let mut checkpoint = Checkpoint::capture(&engine);
+        checkpoint.format_version = 999;
+        let err = Checkpoint::from_json(&checkpoint.to_json()).unwrap_err();
+        assert!(err.contains("version 999"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        assert!(Checkpoint::from_json("{not json").is_err());
+        assert!(Checkpoint::load("/no/such/checkpoint.json").is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Golden-trace comparison: diff a freshly recorded [`TelemetryTrace`]
+//! against a committed reference within numeric tolerances.
+//!
+//! The committed goldens live in `goldens/TRACE_<scenario>.json` at the
+//! repository root. `replay_check golden <scenario>` re-runs the scenario
+//! from its pinned seed and fails CI on any drift; `--update` regenerates
+//! the files after an *intentional* behavior change (see the README).
+
+use std::path::{Path, PathBuf};
+
+use crate::telemetry::TelemetryTrace;
+
+/// Numeric tolerance for float comparisons: values `a`, `b` match when
+/// `|a - b| <= abs + rel * max(|a|, |b|)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative component.
+    pub rel: f64,
+    /// Absolute component.
+    pub abs: f64,
+}
+
+impl Default for Tolerance {
+    /// Tight enough to catch any algorithmic drift, loose enough to absorb
+    /// a differently-ordered (but mathematically equivalent) float reduction
+    /// should one ever be introduced.
+    fn default() -> Self {
+        Self {
+            rel: 1e-9,
+            abs: 1e-12,
+        }
+    }
+}
+
+impl Tolerance {
+    /// Bitwise equality — the contract for checkpoint-resume suffixes.
+    pub fn exact() -> Self {
+        Self { rel: 0.0, abs: 0.0 }
+    }
+
+    /// Whether two floats match under this tolerance.
+    pub fn matches(&self, a: f64, b: f64) -> bool {
+        if a == b {
+            return true; // covers ±inf and exact zeros
+        }
+        (a - b).abs() <= self.abs + self.rel * a.abs().max(b.abs())
+    }
+}
+
+fn check_float(drifts: &mut Vec<String>, tol: Tolerance, name: &str, a: f64, b: f64) {
+    if !tol.matches(a, b) {
+        drifts.push(format!("{name}: expected {a:?}, got {b:?}"));
+    }
+}
+
+/// Compares two traces field by field and returns a human-readable list of
+/// drifts (empty = the traces match).
+pub fn diff_traces(
+    expected: &TelemetryTrace,
+    actual: &TelemetryTrace,
+    tol: Tolerance,
+) -> Vec<String> {
+    let mut drifts = Vec::new();
+    let check =
+        |drifts: &mut Vec<String>, name: &str, a: f64, b: f64| check_float(drifts, tol, name, a, b);
+    if expected.scenario != actual.scenario {
+        drifts.push(format!(
+            "scenario: expected `{}`, got `{}`",
+            expected.scenario, actual.scenario
+        ));
+    }
+    if expected.seed != actual.seed {
+        drifts.push(format!(
+            "seed: expected {}, got {}",
+            expected.seed, actual.seed
+        ));
+    }
+    if expected.start_slot != actual.start_slot {
+        drifts.push(format!(
+            "start_slot: expected {}, got {}",
+            expected.start_slot, actual.start_slot
+        ));
+    }
+    if expected.total_slots != actual.total_slots {
+        drifts.push(format!(
+            "total_slots: expected {}, got {}",
+            expected.total_slots, actual.total_slots
+        ));
+    }
+    if expected.slots.len() != actual.slots.len() {
+        drifts.push(format!(
+            "slot records: expected {}, got {}",
+            expected.slots.len(),
+            actual.slots.len()
+        ));
+    }
+    for (e, a) in expected.slots.iter().zip(&actual.slots) {
+        if e.slot != a.slot || e.slices.len() != a.slices.len() {
+            drifts.push(format!(
+                "slot {}: expected {} slices, got slot {} with {}",
+                e.slot,
+                e.slices.len(),
+                a.slot,
+                a.slices.len()
+            ));
+            continue;
+        }
+        for (es, as_) in e.slices.iter().zip(&a.slices) {
+            let tag = format!("slot {} slice {}", e.slot, es.id);
+            if es.id != as_.id || es.kind != as_.kind || es.used_baseline != as_.used_baseline {
+                drifts.push(format!(
+                    "{tag}: identity/switch drift (expected {:?}/{}/{}, got {:?}/{}/{})",
+                    es.kind, es.id, es.used_baseline, as_.kind, as_.id, as_.used_baseline
+                ));
+                continue;
+            }
+            check(&mut drifts, &format!("{tag} cost"), es.cost, as_.cost);
+            check(&mut drifts, &format!("{tag} reward"), es.reward, as_.reward);
+            check(
+                &mut drifts,
+                &format!("{tag} usage_percent"),
+                es.usage_percent,
+                as_.usage_percent,
+            );
+            check(
+                &mut drifts,
+                &format!("{tag} performance_score"),
+                es.performance_score,
+                as_.performance_score,
+            );
+            check(&mut drifts, &format!("{tag} lambda"), es.lambda, as_.lambda);
+        }
+    }
+    if expected.episodes.len() != actual.episodes.len() {
+        drifts.push(format!(
+            "episodes: expected {}, got {}",
+            expected.episodes.len(),
+            actual.episodes.len()
+        ));
+    }
+    for (e, a) in expected.episodes.iter().zip(&actual.episodes) {
+        let tag = format!("episode@{} slice {}", e.slot, e.slice);
+        if e.slot != a.slot
+            || e.slice != a.slice
+            || e.kind != a.kind
+            || e.violated != a.violated
+            || e.switched_to_baseline != a.switched_to_baseline
+        {
+            drifts.push(format!("{tag}: identity/outcome drift"));
+            continue;
+        }
+        check(
+            &mut drifts,
+            &format!("{tag} avg_cost"),
+            e.avg_cost,
+            a.avg_cost,
+        );
+        check(
+            &mut drifts,
+            &format!("{tag} avg_usage_percent"),
+            e.avg_usage_percent,
+            a.avg_usage_percent,
+        );
+    }
+    if expected.summaries.len() != actual.summaries.len() {
+        drifts.push(format!(
+            "summaries: expected {}, got {}",
+            expected.summaries.len(),
+            actual.summaries.len()
+        ));
+    }
+    for (e, a) in expected.summaries.iter().zip(&actual.summaries) {
+        let tag = format!("summary slice {}", e.id);
+        if e.id != a.id
+            || e.kind != a.kind
+            || e.slots != a.slots
+            || e.episodes != a.episodes
+            || e.violations != a.violations
+            || e.switched_episodes != a.switched_episodes
+            || e.baseline_slots != a.baseline_slots
+        {
+            drifts.push(format!("{tag}: count drift"));
+            continue;
+        }
+        check(
+            &mut drifts,
+            &format!("{tag} mean_reward"),
+            e.mean_reward,
+            a.mean_reward,
+        );
+        check(
+            &mut drifts,
+            &format!("{tag} cost_p50"),
+            e.cost_p50,
+            a.cost_p50,
+        );
+        check(
+            &mut drifts,
+            &format!("{tag} cost_p90"),
+            e.cost_p90,
+            a.cost_p90,
+        );
+        check(
+            &mut drifts,
+            &format!("{tag} cost_p99"),
+            e.cost_p99,
+            a.cost_p99,
+        );
+        check(
+            &mut drifts,
+            &format!("{tag} usage_p50"),
+            e.usage_p50,
+            a.usage_p50,
+        );
+        check(
+            &mut drifts,
+            &format!("{tag} usage_p90"),
+            e.usage_p90,
+            a.usage_p90,
+        );
+        check(
+            &mut drifts,
+            &format!("{tag} usage_p99"),
+            e.usage_p99,
+            a.usage_p99,
+        );
+        check(
+            &mut drifts,
+            &format!("{tag} final_lambda"),
+            e.final_lambda,
+            a.final_lambda,
+        );
+    }
+    drifts
+}
+
+/// The golden file path for a scenario: `<dir>/TRACE_<scenario>.json`.
+pub fn golden_path(dir: &Path, scenario: &str) -> PathBuf {
+    dir.join(format!("TRACE_{scenario}.json"))
+}
+
+/// Diffs a freshly recorded trace against the committed golden.
+///
+/// Returns the drift list (empty = pass); a missing or unreadable golden is
+/// reported as a single drift entry so CI fails with a clear message.
+pub fn check_against_golden(
+    trace: &TelemetryTrace,
+    dir: &Path,
+    tol: Tolerance,
+) -> Result<(), Vec<String>> {
+    let path = golden_path(dir, &trace.scenario);
+    let golden = match TelemetryTrace::load(&path) {
+        Ok(golden) => golden,
+        Err(e) => {
+            return Err(vec![format!(
+                "{e} — run `replay_check golden {} --update` to create it",
+                trace.scenario
+            )])
+        }
+    };
+    let drifts = diff_traces(&golden, trace, tol);
+    if drifts.is_empty() {
+        Ok(())
+    } else {
+        Err(drifts)
+    }
+}
+
+/// Writes (or overwrites) the golden for a trace and returns its path.
+pub fn write_golden(trace: &TelemetryTrace, dir: &Path) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create golden dir {}: {e}", dir.display()))?;
+    let path = golden_path(dir, &trace.scenario);
+    trace.save(&path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::record_scenario;
+    use onslicing_scenario::{builtin, ScenarioConfig};
+
+    #[test]
+    fn tolerance_matches_within_and_rejects_beyond() {
+        let tol = Tolerance::default();
+        assert!(tol.matches(1.0, 1.0 + 1e-12));
+        assert!(!tol.matches(1.0, 1.0 + 1e-6));
+        assert!(Tolerance::exact().matches(0.25, 0.25));
+        assert!(!Tolerance::exact().matches(0.25, 0.25 + f64::EPSILON));
+        assert!(tol.matches(f64::INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn identical_traces_have_no_drift() {
+        let (trace, _) = record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        assert!(diff_traces(&trace, &trace, Tolerance::exact()).is_empty());
+    }
+
+    #[test]
+    fn perturbations_are_reported_with_location() {
+        let (trace, _) = record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        let mut bad = trace.clone();
+        bad.slots[3].slices[1].cost += 0.5;
+        bad.summaries[0].violations += 1;
+        let drifts = diff_traces(&trace, &bad, Tolerance::default());
+        assert_eq!(drifts.len(), 2, "{drifts:?}");
+        assert!(drifts[0].contains("slot 3 slice 1 cost"), "{}", drifts[0]);
+        assert!(drifts[1].contains("summary slice 0"), "{}", drifts[1]);
+    }
+
+    #[test]
+    fn golden_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join("onslicing-golden-test");
+        let (trace, _) = record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        let path = write_golden(&trace, &dir).unwrap();
+        assert_eq!(path, golden_path(&dir, "steady"));
+        check_against_golden(&trace, &dir, Tolerance::exact()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_golden_is_a_clear_failure() {
+        let (trace, _) = record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        let err = check_against_golden(&trace, Path::new("/no/such/dir"), Tolerance::default())
+            .unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("--update"), "{}", err[0]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # onslicing-replay
+//!
+//! Deterministic checkpoint/replay and telemetry for the OnSlicing
+//! reproduction — the audit layer the online-learning claims rest on: a
+//! full deployment can be snapshotted mid-scenario, resumed bit-for-bit in
+//! another process, and its per-slot metric traces regression-tested against
+//! committed goldens.
+//!
+//! * [`checkpoint`] — [`Checkpoint`]: a versioned JSON snapshot of a
+//!   [`onslicing_scenario::ScenarioEngine`] between slots (agent networks
+//!   and Adam moments, rollout buffers, Lagrangian state, per-slice
+//!   environment/simulator/RNG streams, domain allocations, run-loop
+//!   cursor). `capture` → `save` → `load` → `restore` resumes the scenario
+//!   exactly where it left off.
+//! * [`telemetry`] — [`TelemetryRecorder`]: a
+//!   [`onslicing_scenario::SlotObserver`] that records per-slot, per-slice
+//!   metrics (cost, shaped reward, utilization, Lagrangian multiplier,
+//!   baseline switches) and per-episode outcomes, finalized into a
+//!   [`TelemetryTrace`] with per-slice percentile summaries — the
+//!   `TRACE_<scenario>.json` artifact.
+//! * [`golden`] — tolerance-based trace diffing and the golden-file
+//!   workflow behind the `replay_check` binary (see the README for how to
+//!   regenerate goldens when behavior intentionally changes).
+
+pub mod checkpoint;
+pub mod golden;
+pub mod telemetry;
+
+pub use checkpoint::{Checkpoint, CHECKPOINT_FORMAT_VERSION};
+pub use golden::{check_against_golden, diff_traces, golden_path, write_golden, Tolerance};
+pub use telemetry::{
+    record_scenario, EpisodeTelemetry, SliceSlotTelemetry, SliceTelemetrySummary, SlotTelemetry,
+    TelemetryRecorder, TelemetryTrace, TRACE_FORMAT_VERSION,
+};

@@ -1,0 +1,454 @@
+//! Per-slot, per-slice telemetry traces.
+//!
+//! A [`TelemetryRecorder`] plugs into the scenario engine as a
+//! [`SlotObserver`] and records, for every executed slot and every active
+//! slice, the metrics the paper's evaluation is stated in: per-slot cost
+//! (Eq. 10), the constraint-shaped reward, resource utilization (Eq. 9, as
+//! a percentage), the Lagrangian multiplier λ and whether the proactive
+//! safety switch handed the slot to the baseline — plus every closed
+//! episode's summary. [`TelemetryRecorder::finalize`] adds per-slice
+//! percentile summaries and produces the `TRACE_<scenario>.json` artifact
+//! the golden harness diffs.
+//!
+//! Traces are fully deterministic for a fixed seed (no wall-clock fields,
+//! no map iteration order), so two runs of the same scenario — whatever the
+//! worker thread count — emit byte-identical JSON.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use onslicing_scenario::{
+    EpisodeEndEvent, ScenarioConfig, ScenarioEngine, SliceReport, SlotObserver, SlotSample,
+};
+use onslicing_slices::SliceKind;
+
+/// Version stamp of the trace JSON layout; bump on breaking changes and
+/// regenerate the goldens.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// One slice's metrics for one executed slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceSlotTelemetry {
+    /// Stable slice id.
+    pub id: u32,
+    /// Application class.
+    pub kind: SliceKind,
+    /// Per-slot cost `c(s_t, a_t)`.
+    pub cost: f64,
+    /// Constraint-shaped learning reward under the current λ.
+    pub reward: f64,
+    /// Resource utilization of the executed action, in percent of the six
+    /// counted dimensions.
+    pub usage_percent: f64,
+    /// Normalized performance score `p_t / P` (larger is better).
+    pub performance_score: f64,
+    /// The agent's Lagrangian multiplier λ at decision time.
+    pub lambda: f64,
+    /// Whether the proactive safety switch handed this slot to the baseline.
+    pub used_baseline: bool,
+}
+
+/// All slices' metrics for one executed slot, in slice position order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotTelemetry {
+    /// Global scenario slot (0-based).
+    pub slot: usize,
+    /// One record per active slice.
+    pub slices: Vec<SliceSlotTelemetry>,
+}
+
+/// One closed slice-episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeTelemetry {
+    /// Global scenario slot at which the episode closed (`total_slots` for
+    /// final partial episodes).
+    pub slot: usize,
+    /// Stable slice id.
+    pub slice: u32,
+    /// Application class.
+    pub kind: SliceKind,
+    /// Episode-average per-slot cost.
+    pub avg_cost: f64,
+    /// Episode-average resource usage in percent.
+    pub avg_usage_percent: f64,
+    /// Whether the episode violated the slice's SLA.
+    pub violated: bool,
+    /// Whether the agent switched to its baseline during the episode.
+    pub switched_to_baseline: bool,
+}
+
+/// Percentile summary of one slice over the recorded window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceTelemetrySummary {
+    /// Stable slice id.
+    pub id: u32,
+    /// Application class.
+    pub kind: SliceKind,
+    /// Recorded slots.
+    pub slots: usize,
+    /// Closed episodes.
+    pub episodes: usize,
+    /// Episodes that violated the SLA.
+    pub violations: usize,
+    /// Episodes in which the agent switched to the baseline.
+    pub switched_episodes: usize,
+    /// Slots the baseline policy served.
+    pub baseline_slots: usize,
+    /// Mean shaped reward over recorded slots.
+    pub mean_reward: f64,
+    /// Median per-slot cost.
+    pub cost_p50: f64,
+    /// 90th-percentile per-slot cost.
+    pub cost_p90: f64,
+    /// 99th-percentile per-slot cost.
+    pub cost_p99: f64,
+    /// Median utilization (percent).
+    pub usage_p50: f64,
+    /// 90th-percentile utilization (percent).
+    pub usage_p90: f64,
+    /// 99th-percentile utilization (percent).
+    pub usage_p99: f64,
+    /// λ after the last recorded slot.
+    pub final_lambda: f64,
+}
+
+/// The complete telemetry artifact of one (possibly resumed) scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryTrace {
+    /// Layout version ([`TRACE_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Scenario name.
+    pub scenario: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// First recorded slot (0 for full runs, the checkpoint slot for
+    /// resumed runs).
+    pub start_slot: usize,
+    /// Scheduled scenario length in slots.
+    pub total_slots: usize,
+    /// Per-slot records, in execution order.
+    pub slots: Vec<SlotTelemetry>,
+    /// Episode closures, in occurrence order.
+    pub episodes: Vec<EpisodeTelemetry>,
+    /// Per-slice percentile summaries over the recorded window, in id order.
+    pub summaries: Vec<SliceTelemetrySummary>,
+}
+
+impl TelemetryTrace {
+    /// Serializes to pretty JSON (the `TRACE_<scenario>.json` format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parses a trace, rejecting unknown layout versions.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let trace: TelemetryTrace =
+            serde_json::from_str(text).map_err(|e| format!("malformed trace: {e}"))?;
+        if trace.format_version != TRACE_FORMAT_VERSION {
+            return Err(format!(
+                "trace format version {} is not supported (expected {})",
+                trace.format_version, TRACE_FORMAT_VERSION
+            ));
+        }
+        Ok(trace)
+    }
+
+    /// Writes the trace to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        std::fs::write(path.as_ref(), self.to_json())
+            .map_err(|e| format!("cannot write trace {}: {e}", path.as_ref().display()))
+    }
+
+    /// Reads and validates a trace file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("cannot read trace {}: {e}", path.as_ref().display()))?;
+        Self::from_json(&text)
+    }
+
+    /// The slot and episode records from `slot` on — what a run resumed at
+    /// `slot` must reproduce exactly.
+    pub fn suffix_from(&self, slot: usize) -> (Vec<SlotTelemetry>, Vec<EpisodeTelemetry>) {
+        (
+            self.slots
+                .iter()
+                .filter(|s| s.slot >= slot)
+                .cloned()
+                .collect(),
+            self.episodes
+                .iter()
+                .filter(|e| e.slot >= slot)
+                .cloned()
+                .collect(),
+        )
+    }
+}
+
+/// Records slot samples and episode ends during a scenario run.
+#[derive(Debug, Clone)]
+pub struct TelemetryRecorder {
+    scenario: String,
+    seed: u64,
+    start_slot: usize,
+    total_slots: usize,
+    slots: Vec<SlotTelemetry>,
+    episodes: Vec<EpisodeTelemetry>,
+}
+
+impl TelemetryRecorder {
+    /// Creates a recorder aligned with the engine's current position — slot
+    /// 0 on a fresh engine, the checkpoint slot on a restored one.
+    pub fn new(engine: &ScenarioEngine) -> Self {
+        Self {
+            scenario: engine.scenario().name.clone(),
+            seed: engine.config().seed,
+            start_slot: engine.current_slot(),
+            total_slots: engine.scenario().total_slots,
+            slots: Vec::new(),
+            episodes: Vec::new(),
+        }
+    }
+
+    /// Finalizes the recording into a trace with per-slice summaries.
+    pub fn finalize(self) -> TelemetryTrace {
+        // Every slice that appears anywhere in the window gets a summary —
+        // including one whose only record is an episode end (e.g. a slice
+        // torn down at the first slot after a checkpoint, before any
+        // orchestration round of the resumed run).
+        let mut ids: Vec<u32> = Vec::new();
+        for slot in &self.slots {
+            for s in &slot.slices {
+                if !ids.contains(&s.id) {
+                    ids.push(s.id);
+                }
+            }
+        }
+        for e in &self.episodes {
+            if !ids.contains(&e.slice) {
+                ids.push(e.slice);
+            }
+        }
+        ids.sort_unstable();
+        let summaries = ids
+            .into_iter()
+            .map(|id| {
+                let mut kind = self
+                    .episodes
+                    .iter()
+                    .find(|e| e.slice == id)
+                    .map_or(SliceKind::Mar, |e| e.kind);
+                let mut costs = Vec::new();
+                let mut usages = Vec::new();
+                let mut reward_sum = 0.0;
+                let mut baseline_slots = 0usize;
+                let mut final_lambda = 0.0;
+                for slot in &self.slots {
+                    for s in slot.slices.iter().filter(|s| s.id == id) {
+                        kind = s.kind;
+                        costs.push(s.cost);
+                        usages.push(s.usage_percent);
+                        reward_sum += s.reward;
+                        if s.used_baseline {
+                            baseline_slots += 1;
+                        }
+                        final_lambda = s.lambda;
+                    }
+                }
+                let episodes: Vec<&EpisodeTelemetry> =
+                    self.episodes.iter().filter(|e| e.slice == id).collect();
+                SliceTelemetrySummary {
+                    id,
+                    kind,
+                    slots: costs.len(),
+                    episodes: episodes.len(),
+                    violations: episodes.iter().filter(|e| e.violated).count(),
+                    switched_episodes: episodes.iter().filter(|e| e.switched_to_baseline).count(),
+                    baseline_slots,
+                    mean_reward: if costs.is_empty() {
+                        0.0
+                    } else {
+                        reward_sum / costs.len() as f64
+                    },
+                    cost_p50: percentile(&costs, 50.0),
+                    cost_p90: percentile(&costs, 90.0),
+                    cost_p99: percentile(&costs, 99.0),
+                    usage_p50: percentile(&usages, 50.0),
+                    usage_p90: percentile(&usages, 90.0),
+                    usage_p99: percentile(&usages, 99.0),
+                    final_lambda,
+                }
+            })
+            .collect();
+        TelemetryTrace {
+            format_version: TRACE_FORMAT_VERSION,
+            scenario: self.scenario,
+            seed: self.seed,
+            start_slot: self.start_slot,
+            total_slots: self.total_slots,
+            slots: self.slots,
+            episodes: self.episodes,
+            summaries,
+        }
+    }
+}
+
+impl SlotObserver for TelemetryRecorder {
+    fn on_slot(&mut self, samples: &[SlotSample]) {
+        let Some(first) = samples.first() else {
+            return;
+        };
+        self.slots.push(SlotTelemetry {
+            slot: first.slot,
+            slices: samples
+                .iter()
+                .map(|s| SliceSlotTelemetry {
+                    id: s.slice,
+                    kind: s.kind,
+                    cost: s.kpi.cost,
+                    reward: s.reward,
+                    usage_percent: s.kpi.resource_usage_percent(),
+                    performance_score: s.kpi.performance_score,
+                    lambda: s.lambda,
+                    used_baseline: s.used_baseline,
+                })
+                .collect(),
+        });
+    }
+
+    fn on_episode_end(&mut self, event: &EpisodeEndEvent) {
+        self.episodes.push(EpisodeTelemetry {
+            slot: event.slot,
+            slice: event.slice,
+            kind: event.summary.kind,
+            avg_cost: event.summary.avg_cost,
+            avg_usage_percent: event.summary.avg_usage_percent,
+            violated: event.summary.violated,
+            switched_to_baseline: event.summary.switched_to_baseline,
+        });
+    }
+}
+
+/// Nearest-rank percentile of an unsorted series (0.0 for an empty one).
+fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("telemetry series contain no NaN"));
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs a scenario from scratch with a telemetry recorder attached and
+/// returns the trace plus the per-slice reports of the final
+/// [`onslicing_scenario::ScenarioReport`].
+pub fn record_scenario(
+    scenario: onslicing_scenario::Scenario,
+    config: ScenarioConfig,
+) -> Result<(TelemetryTrace, Vec<SliceReport>), String> {
+    let mut engine = ScenarioEngine::new(scenario, config)?;
+    let mut recorder = TelemetryRecorder::new(&engine);
+    let report = engine.run_with_observer(&mut recorder);
+    Ok((recorder.finalize(), report.slices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onslicing_scenario::builtin;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 90.0), 90.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn recorded_trace_covers_every_slot_and_episode() {
+        let (trace, slices) =
+            record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        assert_eq!(trace.scenario, "steady");
+        assert_eq!(trace.start_slot, 0);
+        assert_eq!(trace.slots.len(), trace.total_slots);
+        assert_eq!(trace.summaries.len(), 3);
+        for (summary, report) in trace.summaries.iter().zip(&slices) {
+            assert_eq!(summary.id, report.id);
+            assert_eq!(summary.episodes, report.episodes);
+            assert_eq!(summary.violations, report.violations);
+            assert!(summary.cost_p50 <= summary.cost_p90);
+            assert!(summary.cost_p90 <= summary.cost_p99);
+        }
+        let episode_count: usize = slices.iter().map(|s| s.episodes).sum();
+        assert_eq!(trace.episodes.len(), episode_count);
+    }
+
+    #[test]
+    fn trace_json_round_trips_exactly() {
+        let (trace, _) = record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        let json = trace.to_json();
+        let back = TelemetryTrace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_json(), json, "re-serialization must be stable");
+    }
+
+    #[test]
+    fn repeated_runs_emit_byte_identical_traces() {
+        let (a, _) = record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        let (b, _) = record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn summaries_include_slices_seen_only_in_episode_events() {
+        // A slice torn down by the first event after a checkpoint emits an
+        // episode end without ever appearing in a slot record; its summary
+        // must not vanish from the resumed-window trace.
+        let engine = ScenarioEngine::new(builtin::steady(), ScenarioConfig::default()).unwrap();
+        let mut rec = TelemetryRecorder::new(&engine);
+        rec.on_episode_end(&onslicing_scenario::EpisodeEndEvent {
+            slot: 3,
+            slice: 7,
+            summary: onslicing_core::SliceEpisodeSummary {
+                kind: SliceKind::Hvs,
+                avg_cost: 0.12,
+                violated: true,
+                avg_usage_percent: 31.0,
+                switched_to_baseline: false,
+            },
+        });
+        let trace = rec.finalize();
+        assert_eq!(trace.summaries.len(), 1);
+        let summary = &trace.summaries[0];
+        assert_eq!(summary.id, 7);
+        assert_eq!(summary.kind, SliceKind::Hvs);
+        assert_eq!(summary.slots, 0);
+        assert_eq!(summary.episodes, 1);
+        assert_eq!(summary.violations, 1);
+    }
+
+    #[test]
+    fn suffix_partitions_the_trace() {
+        let (trace, _) = record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        let (slots, episodes) = trace.suffix_from(24);
+        assert!(slots.iter().all(|s| s.slot >= 24));
+        assert!(episodes.iter().all(|e| e.slot >= 24));
+        assert_eq!(
+            slots.len() + trace.slots.iter().filter(|s| s.slot < 24).count(),
+            trace.slots.len()
+        );
+    }
+
+    #[test]
+    fn unknown_trace_versions_are_rejected() {
+        let (mut trace, _) = record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        trace.format_version = 42;
+        assert!(TelemetryTrace::from_json(&trace.to_json())
+            .unwrap_err()
+            .contains("version 42"));
+    }
+}

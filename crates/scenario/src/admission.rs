@@ -146,6 +146,44 @@ mod tests {
     }
 
     #[test]
+    fn zero_residual_capacity_denies_even_the_smallest_newcomer() {
+        // One slice enforces the entire infrastructure: residual is exactly
+        // zero, so any positive estimated share must be denied — the
+        // controller must not admit "for free" on the ==0 boundary.
+        let controller = AdmissionController::new(AdmissionConfig {
+            estimated_share: 1e-9,
+            headroom: 0.0,
+        });
+        let mut domains = DomainSet::testbed_default();
+        domains.create_slice(SliceId(0)).unwrap();
+        domains.enforce(SliceId(0), Action::uniform(1.0)).unwrap();
+        let denied = controller.evaluate(&domains).unwrap_err();
+        assert!(denied.residual <= 0.0 + 1e-12);
+        assert!(denied.required > 0.0);
+        // Releasing the hog restores admissibility.
+        domains.delete_slice(SliceId(0)).unwrap();
+        assert!(controller.evaluate(&domains).is_ok());
+    }
+
+    #[test]
+    fn torn_down_slice_ids_can_be_recreated_at_the_domain_layer() {
+        // The orchestrator never reuses ids, but the domain managers must
+        // not be the reason why: delete followed by create of the same
+        // SliceId is a clean slate, with no stale allocation attached.
+        let controller = AdmissionController::new(AdmissionConfig::default());
+        let mut domains = DomainSet::testbed_default();
+        domains.create_slice(SliceId(3)).unwrap();
+        domains.enforce(SliceId(3), Action::uniform(0.9)).unwrap();
+        domains.delete_slice(SliceId(3)).unwrap();
+        domains.create_slice(SliceId(3)).unwrap();
+        // The re-created slice starts with nothing enforced, so the
+        // controller sees the full capacity again.
+        assert!(controller.evaluate(&domains).is_ok());
+        // Double-create of a live id stays an error.
+        assert!(domains.create_slice(SliceId(3)).is_err());
+    }
+
+    #[test]
     fn faults_shrink_the_admittable_capacity() {
         let controller = AdmissionController::new(AdmissionConfig {
             estimated_share: 0.4,

@@ -10,19 +10,37 @@
 //! orchestrator shares no RNG between slices, and events fire at scripted
 //! slots. Two runs of the same scenario with the same seed produce identical
 //! reports (up to the wall-clock fields, which
-//! [`ScenarioReport::deterministic_fields_eq`] ignores).
+//! [`ScenarioReport::deterministic_fields_eq`] ignores), whatever the worker
+//! thread count.
+//!
+//! ## Checkpoint / replay
+//!
+//! The engine executes one slot at a time ([`ScenarioEngine::step_slot`])
+//! and serializes its *complete* state between slots — orchestrator (agent
+//! networks, optimizer moments, RNG streams, simulator channels, traffic
+//! cursors), per-slice statistics and the run-loop cursor itself. A
+//! deserialized engine resumes mid-scenario and reproduces the remaining
+//! slots bit-for-bit; `crates/replay` builds the checkpoint files and the
+//! golden-trace harness on top of this.
+//!
+//! ## Telemetry
+//!
+//! Every executed slot is reported to a [`SlotObserver`] as one
+//! [`SlotSample`] per active slice (KPIs, shaped reward, Lagrangian
+//! multiplier, baseline-switch flag), and every closed episode as an
+//! [`EpisodeEndEvent`]. The no-op observer is `&mut ()`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
 use onslicing_core::{
     AgentConfig, CoordinationMode, MultiSliceEnvironment, OnSlicingAgent, Orchestrator,
-    OrchestratorConfig, RuleBasedBaseline, SliceEnvironment,
+    OrchestratorConfig, RuleBasedBaseline, SliceEnvironment, SliceEpisodeSummary,
 };
 use onslicing_domains::{CapacityOverride, DomainKind, DomainSet, SliceId};
-use onslicing_slices::SliceKind;
+use onslicing_slices::{SliceKind, SlotKpi};
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::spec::{Scenario, ScenarioEvent, SliceSpec, TimedEvent};
@@ -115,13 +133,38 @@ pub struct ScenarioReport {
     pub avg_coordination_rounds: f64,
     /// Executed slice-slots per wall-clock second (scenario throughput).
     pub slice_slots_per_second: f64,
-    /// Wall-clock duration of the run in milliseconds.
+    /// Wall-clock milliseconds accumulated over all executed slots. The
+    /// counter is checkpointed with the rest of the run state, so a resumed
+    /// run reports the *total* across processes (prefix + suffix) — which
+    /// keeps `slice_slots_per_second` consistent with `slice_slots`, at the
+    /// price of mixing timings from different machines if the checkpoint
+    /// moved hosts.
     pub wall_clock_ms: f64,
     /// One report per slice that ever existed, in id order.
     pub slices: Vec<SliceReport>,
 }
 
 impl ScenarioReport {
+    fn initial(scenario: &Scenario, seed: u64) -> Self {
+        Self {
+            scenario: scenario.name.clone(),
+            seed,
+            total_slots: scenario.total_slots,
+            slice_slots: 0,
+            peak_concurrent_slices: 0,
+            events_applied: 0,
+            admissions_denied: 0,
+            events_skipped: 0,
+            slice_episodes: 0,
+            sla_violation_percent: 0.0,
+            avg_cost: 0.0,
+            avg_coordination_rounds: 0.0,
+            slice_slots_per_second: 0.0,
+            wall_clock_ms: 0.0,
+            slices: Vec::new(),
+        }
+    }
+
     /// Whether any reported metric is NaN (the CI smoke check).
     pub fn has_nan(&self) -> bool {
         let aggregate = [
@@ -151,8 +194,58 @@ impl ScenarioReport {
     }
 }
 
+/// One slice's telemetry for one executed slot, handed to the
+/// [`SlotObserver`] right after the orchestration round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotSample {
+    /// Global scenario slot (0-based).
+    pub slot: usize,
+    /// Stable slice id.
+    pub slice: u32,
+    /// Application class.
+    pub kind: SliceKind,
+    /// The full KPI record the slice's simulator reported.
+    pub kpi: SlotKpi,
+    /// The constraint-shaped learning reward under the agent's current
+    /// Lagrangian multiplier.
+    pub reward: f64,
+    /// The agent's current Lagrangian multiplier λ.
+    pub lambda: f64,
+    /// Whether the proactive safety switch handed this slot to the baseline.
+    pub used_baseline: bool,
+}
+
+/// A closed slice-episode, handed to the [`SlotObserver`] at episode
+/// boundaries (and at scenario end for final partial episodes, tagged with
+/// `slot == total_slots`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeEndEvent {
+    /// Global scenario slot at which the episode closed.
+    pub slot: usize,
+    /// Stable slice id.
+    pub slice: u32,
+    /// The episode summary (average cost, violation flag, switch flag).
+    pub summary: SliceEpisodeSummary,
+}
+
+/// Receiver of per-slot and per-episode telemetry during a scenario run.
+///
+/// The unit type `()` is the no-op observer: `engine.run_with_observer(&mut ())`.
+pub trait SlotObserver {
+    /// Called once per executed slot with one sample per active slice, in
+    /// slice position order (stable ids, positions shift on teardown).
+    fn on_slot(&mut self, samples: &[SlotSample]);
+    /// Called every time a slice closes an episode.
+    fn on_episode_end(&mut self, event: &EpisodeEndEvent);
+}
+
+impl SlotObserver for () {
+    fn on_slot(&mut self, _samples: &[SlotSample]) {}
+    fn on_episode_end(&mut self, _event: &EpisodeEndEvent) {}
+}
+
 /// Accumulates one slice's episode history during a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct SliceStats {
     kind: SliceKind,
     admitted_at_slot: usize,
@@ -178,7 +271,7 @@ impl SliceStats {
         }
     }
 
-    fn into_report(self, id: u32) -> SliceReport {
+    fn to_report(&self, id: u32) -> SliceReport {
         let n = self.episode_costs.len();
         let mean = |v: &[f64]| {
             if v.is_empty() {
@@ -214,7 +307,7 @@ impl SliceStats {
 /// that sets *exactly* the value an active transient applied is treated as
 /// that transient and rolled back at its expiry — script a marginally
 /// different value (2.0 vs 2.001) if that corner ever matters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum Restore {
     Domain {
         domain: DomainKind,
@@ -232,11 +325,16 @@ enum Restore {
 /// from the construction order, caching calibrated baselines (calibration is
 /// a grid search, so clones are much cheaper than re-deriving identical
 /// policies for cloned slices).
-#[derive(Debug)]
+///
+/// The cache is *not* part of the serialized state: calibration is a
+/// deterministic function of `(kind, peak rate, cost threshold, seed)`, so a
+/// restored factory rebuilds identical entries on demand.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct SliceFactory {
     seed: u64,
     horizon: usize,
     baseline_buckets: usize,
+    #[serde(skip)]
     baseline_cache: HashMap<(SliceKind, u64, u64), RuleBasedBaseline>,
     slices_built: u64,
 }
@@ -297,16 +395,70 @@ impl SliceFactory {
     }
 }
 
+/// The serializable run-loop cursor: everything `run` used to keep in local
+/// variables, so a checkpoint taken between slots captures it too.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RunState {
+    /// Next slot to execute (0-based global scenario time).
+    slot: usize,
+    /// Whether the final report has been produced.
+    finished: bool,
+    /// The accumulating report (aggregate fields are filled at the end).
+    report: ScenarioReport,
+    /// The event timeline, sorted by firing slot (stable, so same-slot
+    /// events keep their scripted order).
+    timeline: Vec<TimedEvent>,
+    /// Index of the next unfired timeline event.
+    next_event: usize,
+    /// Pending transient-state restorations, as `(due_slot, restore)`.
+    restores: Vec<(usize, Restore)>,
+    /// Total coordination interactions over executed slots.
+    rounds_total: usize,
+    /// Slots in which at least one slice was active.
+    executed_slots: usize,
+}
+
+impl RunState {
+    fn new(scenario: &Scenario, seed: u64) -> Self {
+        let mut timeline = scenario.events.clone();
+        timeline.sort_by_key(|t| t.at_slot);
+        Self {
+            slot: 0,
+            finished: false,
+            report: ScenarioReport::initial(scenario, seed),
+            timeline,
+            next_event: 0,
+            restores: Vec::new(),
+            rounds_total: 0,
+            executed_slots: 0,
+        }
+    }
+}
+
+/// How one applied event changed the report counters.
+enum EventOutcome {
+    Applied(Option<(usize, Restore)>),
+    Denied,
+    Skipped,
+}
+
 /// The engine: a scenario, its configuration and the live deployment.
-#[derive(Debug)]
+///
+/// Serializable between slots: `serde_json::to_string(&engine)` captures the
+/// complete deployment (see the module docs), and the deserialized engine
+/// continues the scenario bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioEngine {
     scenario: Scenario,
     config: ScenarioConfig,
     orch: Orchestrator,
     admission: AdmissionController,
     factory: SliceFactory,
-    stats: HashMap<u32, SliceStats>,
-    has_run: bool,
+    /// Per-slice episode statistics, keyed by stable id. A BTreeMap keeps
+    /// both the aggregation order and the serialized checkpoint bytes
+    /// canonical.
+    stats: BTreeMap<u32, SliceStats>,
+    run: RunState,
 }
 
 impl ScenarioEngine {
@@ -318,7 +470,7 @@ impl ScenarioEngine {
         let mut factory = SliceFactory::new(&config, scenario.horizon);
         let mut envs = Vec::new();
         let mut agents = Vec::new();
-        let mut stats = HashMap::new();
+        let mut stats = BTreeMap::new();
         for (i, spec) in scenario.initial_slices.iter().enumerate() {
             let (agent, env) = factory.build(spec);
             agents.push(agent);
@@ -334,6 +486,7 @@ impl ScenarioEngine {
                 episodes_per_epoch: 1,
             },
         );
+        let run = RunState::new(&scenario, config.seed);
         let mut engine = Self {
             scenario,
             config,
@@ -341,7 +494,7 @@ impl ScenarioEngine {
             admission,
             factory,
             stats,
-            has_run: false,
+            run,
         };
         if engine.config.pretrain_episodes > 0 {
             engine
@@ -357,6 +510,22 @@ impl ScenarioEngine {
         &self.scenario
     }
 
+    /// The run's configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The next slot to execute (equals `total_slots` once the timeline is
+    /// exhausted).
+    pub fn current_slot(&self) -> usize {
+        self.run.slot
+    }
+
+    /// Whether the run has been completed (the final report produced).
+    pub fn is_finished(&self) -> bool {
+        self.run.finished
+    }
+
     /// The live orchestrator (inspection before or after the run).
     pub fn orchestrator(&self) -> &Orchestrator {
         &self.orch
@@ -369,7 +538,7 @@ impl ScenarioEngine {
 
     /// Closes the running episode of the slice at `index`: harvests the
     /// summary, updates the policy, resets the environment.
-    fn close_episode(&mut self, index: usize) {
+    fn close_episode(&mut self, index: usize, slot: usize, obs: &mut dyn SlotObserver) {
         let id = self.orch.slice_ids()[index].0;
         let summary = self.orch.agents_mut()[index].end_episode();
         let update = self.orch.agents_mut()[index].update_policy();
@@ -386,15 +555,20 @@ impl ScenarioEngine {
             stats.policy_updates += 1;
         }
         self.orch.env_mut().envs_mut()[index].reset();
+        obs.on_episode_end(&EpisodeEndEvent {
+            slot,
+            slice: id,
+            summary,
+        });
     }
 
-    /// Applies one scripted event; returns any restoration to schedule.
+    /// Applies one scripted event and reports how it resolved.
     fn apply_event(
         &mut self,
         slot: usize,
         event: &ScenarioEvent,
-        report: &mut ScenarioReport,
-    ) -> Option<(usize, Restore)> {
+        obs: &mut dyn SlotObserver,
+    ) -> EventOutcome {
         match event {
             ScenarioEvent::AdmitSlice { slice } => {
                 if self.admission.evaluate(self.orch.domains()).is_err() {
@@ -403,8 +577,7 @@ impl ScenarioEngine {
                     // events must keep targeting the slices the file author
                     // numbered, whatever this admission's runtime outcome.
                     let _ = self.orch.reserve_slice_id();
-                    report.admissions_denied += 1;
-                    return None;
+                    return EventOutcome::Denied;
                 }
                 let (mut agent, mut env) = self.factory.build(slice);
                 if self.config.pretrain_episodes > 0 {
@@ -418,17 +591,15 @@ impl ScenarioEngine {
                     .admit_slice(agent, env)
                     .expect("fresh slice ids never collide");
                 self.stats.insert(id.0, SliceStats::new(slice.kind, slot));
-                report.events_applied += 1;
-                None
+                EventOutcome::Applied(None)
             }
             ScenarioEvent::TeardownSlice { slice } => {
                 let Some(index) = self.orch.index_of(SliceId(*slice)) else {
-                    report.events_skipped += 1;
-                    return None;
+                    return EventOutcome::Skipped;
                 };
                 // Close the partial episode so its slots still count.
                 if self.orch.env().envs()[index].slot() > 0 {
-                    self.close_episode(index);
+                    self.close_episode(index, slot, obs);
                 }
                 self.orch
                     .teardown_slice(SliceId(*slice))
@@ -437,26 +608,21 @@ impl ScenarioEngine {
                     .get_mut(slice)
                     .expect("every slice has stats")
                     .torn_down_at_slot = Some(slot);
-                report.events_applied += 1;
-                None
+                EventOutcome::Applied(None)
             }
             ScenarioEvent::SetTrafficScale { slice, scale } => {
                 let Some(index) = self.orch.index_of(SliceId(*slice)) else {
-                    report.events_skipped += 1;
-                    return None;
+                    return EventOutcome::Skipped;
                 };
                 self.orch.env_mut().envs_mut()[index].set_traffic_scale(*scale);
-                report.events_applied += 1;
-                None
+                EventOutcome::Applied(None)
             }
             ScenarioEvent::SetTraceProfile { slice, profile } => {
                 let Some(index) = self.orch.index_of(SliceId(*slice)) else {
-                    report.events_skipped += 1;
-                    return None;
+                    return EventOutcome::Skipped;
                 };
                 self.orch.env_mut().envs_mut()[index].set_trace_config(profile.clone());
-                report.events_applied += 1;
-                None
+                EventOutcome::Applied(None)
             }
             ScenarioEvent::TrafficBurst {
                 slice,
@@ -464,20 +630,18 @@ impl ScenarioEngine {
                 duration_slots,
             } => {
                 let Some(index) = self.orch.index_of(SliceId(*slice)) else {
-                    report.events_skipped += 1;
-                    return None;
+                    return EventOutcome::Skipped;
                 };
                 let previous = self.orch.env().envs()[index].traffic_scale();
                 self.orch.env_mut().envs_mut()[index].set_traffic_scale(*scale);
-                report.events_applied += 1;
-                Some((
+                EventOutcome::Applied(Some((
                     slot + duration_slots,
                     Restore::Traffic {
                         slice: *slice,
                         expected: *scale,
                         previous,
                     },
-                ))
+                )))
             }
             ScenarioEvent::DomainFault {
                 domain,
@@ -491,23 +655,21 @@ impl ScenarioEngine {
                         domain: *domain,
                         scale: *capacity_scale,
                     });
-                report.events_applied += 1;
-                Some((
+                EventOutcome::Applied(Some((
                     slot + duration_slots,
                     Restore::Domain {
                         domain: *domain,
                         expected: *capacity_scale,
                         previous,
                     },
-                ))
+                )))
             }
             ScenarioEvent::RenegotiateSla {
                 slice,
                 cost_threshold,
             } => {
                 let Some(index) = self.orch.index_of(SliceId(*slice)) else {
-                    report.events_skipped += 1;
-                    return None;
+                    return EventOutcome::Skipped;
                 };
                 let sla = self.orch.agents()[index]
                     .sla()
@@ -515,128 +677,149 @@ impl ScenarioEngine {
                 self.orch
                     .renegotiate_sla(SliceId(*slice), sla)
                     .expect("index_of verified the slice is active");
-                report.events_applied += 1;
-                None
+                EventOutcome::Applied(None)
             }
         }
     }
 
-    /// Executes the scenario end to end and returns the aggregated report.
+    /// Fires the transient-state restorations due at `slot`: a fault
+    /// scheduled to end here heals before new events and the orchestration
+    /// round. A restore only fires if its own override is still in effect;
+    /// if a later event re-shaped the state meanwhile, the newer regime wins
+    /// and the restore is dropped.
+    fn fire_due_restores(&mut self, slot: usize) {
+        let due: Vec<Restore> = {
+            let (fire, keep): (Vec<_>, Vec<_>) =
+                self.run.restores.drain(..).partition(|(at, _)| *at <= slot);
+            self.run.restores = keep;
+            fire.into_iter().map(|(_, r)| r).collect()
+        };
+        for restore in due {
+            match restore {
+                Restore::Domain {
+                    domain,
+                    expected,
+                    previous,
+                } => {
+                    if self.orch.domains().manager(domain).capacity_scale() == expected {
+                        self.orch
+                            .domains_mut()
+                            .apply_capacity_override(&CapacityOverride {
+                                domain,
+                                scale: previous,
+                            });
+                    }
+                }
+                Restore::Traffic {
+                    slice,
+                    expected,
+                    previous,
+                } => {
+                    if let Some(index) = self.orch.index_of(SliceId(slice)) {
+                        if self.orch.env().envs()[index].traffic_scale() == expected {
+                            self.orch.env_mut().envs_mut()[index].set_traffic_scale(previous);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes exactly one scenario slot — restores, scripted events, one
+    /// coordinated orchestration round, telemetry, episode boundaries —
+    /// and returns whether slots remain.
     ///
     /// # Panics
-    /// Panics when called a second time: the timeline has already been
-    /// consumed and the deployment state mutated, so a replay would produce
-    /// a silently wrong report. Build a new engine for a fresh run.
-    pub fn run(&mut self) -> ScenarioReport {
+    /// Panics if the run has already completed.
+    pub fn step_slot(&mut self, obs: &mut dyn SlotObserver) -> bool {
         assert!(
-            !self.has_run,
+            !self.run.finished && self.run.slot < self.scenario.total_slots,
             "ScenarioEngine::run consumed the timeline already; build a new engine for a fresh run"
         );
-        self.has_run = true;
         let start = Instant::now();
-        let mut report = ScenarioReport {
-            scenario: self.scenario.name.clone(),
-            seed: self.config.seed,
-            total_slots: self.scenario.total_slots,
-            slice_slots: 0,
-            peak_concurrent_slices: 0,
-            events_applied: 0,
-            admissions_denied: 0,
-            events_skipped: 0,
-            slice_episodes: 0,
-            sla_violation_percent: 0.0,
-            avg_cost: 0.0,
-            avg_coordination_rounds: 0.0,
-            slice_slots_per_second: 0.0,
-            wall_clock_ms: 0.0,
-            slices: Vec::new(),
-        };
-        let mut timeline: Vec<TimedEvent> = self.scenario.events.clone();
-        timeline.sort_by_key(|t| t.at_slot);
-        let mut next_event = 0usize;
-        let mut restores: Vec<(usize, Restore)> = Vec::new();
-        let mut rounds_total = 0usize;
-        let mut executed_slots = 0usize;
-
-        for slot in 0..self.scenario.total_slots {
-            // Transient state restores first: a fault scheduled to end at
-            // this slot heals before new events and the orchestration round.
-            let due: Vec<Restore> = {
-                let (fire, keep): (Vec<_>, Vec<_>) =
-                    restores.drain(..).partition(|(at, _)| *at <= slot);
-                restores = keep;
-                fire.into_iter().map(|(_, r)| r).collect()
-            };
-            for restore in due {
-                // A restore only fires if its own override is still in
-                // effect; if a later event re-shaped the state meanwhile,
-                // the newer regime wins and this restore is dropped.
-                match restore {
-                    Restore::Domain {
-                        domain,
-                        expected,
-                        previous,
-                    } => {
-                        if self.orch.domains().manager(domain).capacity_scale() == expected {
-                            self.orch
-                                .domains_mut()
-                                .apply_capacity_override(&CapacityOverride {
-                                    domain,
-                                    scale: previous,
-                                });
-                        }
-                    }
-                    Restore::Traffic {
-                        slice,
-                        expected,
-                        previous,
-                    } => {
-                        if let Some(index) = self.orch.index_of(SliceId(slice)) {
-                            if self.orch.env().envs()[index].traffic_scale() == expected {
-                                self.orch.env_mut().envs_mut()[index].set_traffic_scale(previous);
-                            }
-                        }
+        let slot = self.run.slot;
+        self.fire_due_restores(slot);
+        while self.run.next_event < self.run.timeline.len()
+            && self.run.timeline[self.run.next_event].at_slot <= slot
+        {
+            let event = self.run.timeline[self.run.next_event].event.clone();
+            self.run.next_event += 1;
+            match self.apply_event(slot, &event, obs) {
+                EventOutcome::Applied(restore) => {
+                    self.run.report.events_applied += 1;
+                    if let Some(r) = restore {
+                        self.run.restores.push(r);
                     }
                 }
+                EventOutcome::Denied => self.run.report.admissions_denied += 1,
+                EventOutcome::Skipped => self.run.report.events_skipped += 1,
             }
-            while next_event < timeline.len() && timeline[next_event].at_slot <= slot {
-                let event = timeline[next_event].event.clone();
-                if let Some(restore) = self.apply_event(slot, &event, &mut report) {
-                    restores.push(restore);
-                }
-                next_event += 1;
-            }
-            if self.orch.num_slices() == 0 {
-                continue; // idle infrastructure (everything torn down)
-            }
+        }
+        if self.orch.num_slices() > 0 {
             let outcome = self.orch.run_slot(true);
-            rounds_total += outcome.interactions;
-            executed_slots += 1;
-            report.slice_slots += self.orch.num_slices();
-            report.peak_concurrent_slices =
-                report.peak_concurrent_slices.max(self.orch.num_slices());
+            self.run.rounds_total += outcome.interactions;
+            self.run.executed_slots += 1;
+            self.run.report.slice_slots += self.orch.num_slices();
+            self.run.report.peak_concurrent_slices = self
+                .run
+                .report
+                .peak_concurrent_slices
+                .max(self.orch.num_slices());
+            let samples: Vec<SlotSample> = (0..self.orch.num_slices())
+                .map(|i| {
+                    let agent = &self.orch.agents()[i];
+                    SlotSample {
+                        slot,
+                        slice: self.orch.slice_ids()[i].0,
+                        kind: agent.kind(),
+                        kpi: outcome.kpis[i],
+                        reward: agent.shaped_reward(&outcome.kpis[i]),
+                        lambda: agent.lambda(),
+                        used_baseline: outcome.decisions[i].used_baseline,
+                    }
+                })
+                .collect();
+            obs.on_slot(&samples);
             // Staggered per-slice episode boundaries: a slice admitted at
             // slot s ends its first episode at s + horizon.
             for index in 0..self.orch.num_slices() {
                 let env = &self.orch.env().envs()[index];
                 if env.slot() >= env.horizon() {
-                    self.close_episode(index);
+                    self.close_episode(index, slot, obs);
                 }
             }
         }
-        // Close the final partial episode of every still-active slice.
+        self.run.slot += 1;
+        self.run.report.wall_clock_ms += start.elapsed().as_secs_f64() * 1_000.0;
+        self.run.slot < self.scenario.total_slots
+    }
+
+    /// Executes slots until global time reaches `slot` (clamped to the
+    /// scenario end), e.g. to position the engine for a mid-run checkpoint.
+    pub fn run_until(&mut self, slot: usize, obs: &mut dyn SlotObserver) {
+        while self.run.slot < slot.min(self.scenario.total_slots) {
+            self.step_slot(obs);
+        }
+    }
+
+    /// Closes the final partial episode of every still-active slice and
+    /// produces the aggregated report. Called automatically by
+    /// [`ScenarioEngine::run_with_observer`] once the timeline is exhausted.
+    fn finish(&mut self, obs: &mut dyn SlotObserver) -> ScenarioReport {
+        let start = Instant::now();
+        self.run.finished = true;
         for index in 0..self.orch.num_slices() {
             if self.orch.env().envs()[index].slot() > 0 {
-                self.close_episode(index);
+                self.close_episode(index, self.scenario.total_slots, obs);
             }
         }
-
-        let mut per_slice: Vec<(u32, SliceStats)> =
-            self.stats.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let mut report = self.run.report.clone();
+        let mut per_slice: Vec<(u32, &SliceStats)> =
+            self.stats.iter().map(|(k, v)| (*k, v)).collect();
         per_slice.sort_by_key(|(id, _)| *id);
         let mut episode_costs = 0.0;
         for (id, stats) in per_slice {
-            let slice_report = stats.into_report(id);
+            let slice_report = stats.to_report(id);
             report.slice_episodes += slice_report.episodes;
             report.sla_violation_percent += slice_report.violations as f64;
             episode_costs += slice_report.avg_cost * slice_report.episodes as f64;
@@ -646,17 +829,47 @@ impl ScenarioEngine {
             report.sla_violation_percent *= 100.0 / report.slice_episodes as f64;
             report.avg_cost = episode_costs / report.slice_episodes as f64;
         }
-        if executed_slots > 0 {
-            report.avg_coordination_rounds = rounds_total as f64 / executed_slots as f64;
+        if self.run.executed_slots > 0 {
+            report.avg_coordination_rounds =
+                self.run.rounds_total as f64 / self.run.executed_slots as f64;
         }
-        let elapsed = start.elapsed();
-        report.wall_clock_ms = elapsed.as_secs_f64() * 1_000.0;
-        report.slice_slots_per_second = if elapsed.as_secs_f64() > 0.0 {
-            report.slice_slots as f64 / elapsed.as_secs_f64()
+        report.wall_clock_ms += start.elapsed().as_secs_f64() * 1_000.0;
+        report.slice_slots_per_second = if report.wall_clock_ms > 0.0 {
+            report.slice_slots as f64 / (report.wall_clock_ms / 1_000.0)
         } else {
             0.0
         };
+        self.run.report = report.clone();
         report
+    }
+
+    /// Executes the remaining scenario slots (all of them on a fresh engine,
+    /// the tail on a restored checkpoint) and returns the aggregated report,
+    /// streaming telemetry to `obs` along the way.
+    ///
+    /// # Panics
+    /// Panics when called after the run completed: the timeline has already
+    /// been consumed and the deployment state mutated, so a replay would
+    /// produce a silently wrong report. Build a new engine for a fresh run.
+    pub fn run_with_observer(&mut self, obs: &mut dyn SlotObserver) -> ScenarioReport {
+        assert!(
+            !self.run.finished,
+            "ScenarioEngine::run consumed the timeline already; build a new engine for a fresh run"
+        );
+        while self.run.slot < self.scenario.total_slots {
+            self.step_slot(obs);
+        }
+        self.finish(obs)
+    }
+
+    /// Executes the scenario end to end without telemetry and returns the
+    /// aggregated report.
+    ///
+    /// # Panics
+    /// Panics when called a second time (see
+    /// [`ScenarioEngine::run_with_observer`]).
+    pub fn run(&mut self) -> ScenarioReport {
+        self.run_with_observer(&mut ())
     }
 }
 
@@ -876,6 +1089,51 @@ mod tests {
     }
 
     #[test]
+    fn teardown_frees_capacity_for_a_later_admission_and_ids_never_recycle() {
+        // Full house at slot 0 -> the slot-2 admission is denied (three
+        // coordinated slices leave well under a 0.4 residual), burning
+        // id 3. Tearing slices 0 and 1 down at slot 4 frees their shares,
+        // so the slot-8 admission is granted and receives the next fresh
+        // id (4) — torn-down and denied ids are never handed out again.
+        let scenario = Scenario::new("readmission", 6, 18)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Hvs))
+            .slice(SliceSpec::new(SliceKind::Rdc))
+            .at(
+                2,
+                ScenarioEvent::AdmitSlice {
+                    slice: SliceSpec::new(SliceKind::Mar),
+                },
+            )
+            .at(4, ScenarioEvent::TeardownSlice { slice: 0 })
+            .at(4, ScenarioEvent::TeardownSlice { slice: 1 })
+            .at(
+                8,
+                ScenarioEvent::AdmitSlice {
+                    slice: SliceSpec::new(SliceKind::Hvs),
+                },
+            );
+        let config = ScenarioConfig {
+            admission: AdmissionConfig {
+                estimated_share: 0.4,
+                headroom: 0.0,
+            },
+            ..quick_config()
+        };
+        let mut engine = ScenarioEngine::new(scenario, config).unwrap();
+        let report = engine.run();
+        assert_eq!(report.admissions_denied, 1);
+        assert_eq!(report.events_applied, 3); // two teardowns + granted admission
+        let ids: Vec<u32> = report.slices.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 4], "id 3 stays burned by the denial");
+        let readmitted = &report.slices[3];
+        assert_eq!(readmitted.admitted_at_slot, 8);
+        assert!(readmitted.episodes > 0);
+        assert!(engine.orchestrator().domains().has_slice(SliceId(4)));
+        assert!(!engine.orchestrator().domains().has_slice(SliceId(0)));
+    }
+
+    #[test]
     fn burst_restore_yields_to_a_newer_permanent_regime() {
         // A burst (slots 4..8) is overridden at slot 6 by a permanent
         // regime shift; the burst's expiry must not roll that shift back.
@@ -960,5 +1218,97 @@ mod tests {
         assert_eq!(report.slices[1].torn_down_at_slot, Some(6));
         assert_eq!(report.slices[0].torn_down_at_slot, None);
         assert_eq!(report.slice_slots, 2 * 6 + 6);
+    }
+
+    /// Observer that records every sample and episode end.
+    #[derive(Default)]
+    struct Recorder {
+        samples: Vec<SlotSample>,
+        episodes: Vec<EpisodeEndEvent>,
+    }
+
+    impl SlotObserver for Recorder {
+        fn on_slot(&mut self, samples: &[SlotSample]) {
+            self.samples.extend_from_slice(samples);
+        }
+        fn on_episode_end(&mut self, event: &EpisodeEndEvent) {
+            self.episodes.push(*event);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_slice_slot_and_episode() {
+        let mut engine = ScenarioEngine::new(tiny_scenario(), quick_config()).unwrap();
+        let mut rec = Recorder::default();
+        let report = engine.run_with_observer(&mut rec);
+        assert_eq!(rec.samples.len(), report.slice_slots);
+        assert_eq!(rec.episodes.len(), report.slice_episodes);
+        assert!(rec.samples.iter().all(|s| s.kpi.cost >= 0.0));
+        assert!(rec.samples.iter().all(|s| s.lambda >= 0.0));
+        // Slots arrive in order; samples of one slot share the slot index.
+        assert!(rec.samples.windows(2).all(|w| w[0].slot <= w[1].slot));
+    }
+
+    #[test]
+    fn stepwise_execution_equals_one_shot_execution() {
+        let scenario = tiny_scenario().at(
+            4,
+            ScenarioEvent::TrafficBurst {
+                slice: 0,
+                scale: 1.5,
+                duration_slots: 4,
+            },
+        );
+        let one_shot = run_scenario(scenario.clone(), quick_config()).unwrap();
+        let mut engine = ScenarioEngine::new(scenario, quick_config()).unwrap();
+        engine.run_until(10, &mut ());
+        assert_eq!(engine.current_slot(), 10);
+        assert!(!engine.is_finished());
+        let stepwise = engine.run_with_observer(&mut ());
+        assert!(one_shot.deterministic_fields_eq(&stepwise));
+    }
+
+    #[test]
+    fn serialized_engine_resumes_mid_scenario_bit_for_bit() {
+        let scenario = tiny_scenario().at(
+            20,
+            ScenarioEvent::DomainFault {
+                domain: DomainKind::Transport,
+                capacity_scale: 0.6,
+                duration_slots: 8,
+            },
+        );
+        // Reference: uninterrupted run with full telemetry.
+        let mut reference = ScenarioEngine::new(scenario.clone(), quick_config()).unwrap();
+        let mut ref_rec = Recorder::default();
+        let ref_report = reference.run_with_observer(&mut ref_rec);
+
+        // Checkpointed run: execute 17 slots (mid-episode, mid-fault window),
+        // serialize, restore into a fresh engine, run the tail.
+        let mut engine = ScenarioEngine::new(scenario, quick_config()).unwrap();
+        let mut prefix = Recorder::default();
+        engine.run_until(17, &mut prefix);
+        let json = serde_json::to_string(&engine).unwrap();
+        drop(engine);
+        let mut restored: ScenarioEngine = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.current_slot(), 17);
+        let mut suffix = Recorder::default();
+        let resumed_report = restored.run_with_observer(&mut suffix);
+
+        assert!(ref_report.deterministic_fields_eq(&resumed_report));
+        let replayed: Vec<SlotSample> = prefix
+            .samples
+            .iter()
+            .chain(suffix.samples.iter())
+            .copied()
+            .collect();
+        assert_eq!(replayed, ref_rec.samples);
+        let episodes: Vec<EpisodeEndEvent> = prefix
+            .episodes
+            .iter()
+            .chain(suffix.episodes.iter())
+            .copied()
+            .collect();
+        assert_eq!(episodes, ref_rec.episodes);
     }
 }

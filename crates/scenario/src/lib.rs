@@ -40,5 +40,8 @@ pub mod engine;
 pub mod spec;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDenied};
-pub use engine::{run_scenario, ScenarioConfig, ScenarioEngine, ScenarioReport, SliceReport};
+pub use engine::{
+    run_scenario, EpisodeEndEvent, ScenarioConfig, ScenarioEngine, ScenarioReport, SliceReport,
+    SlotObserver, SlotSample,
+};
 pub use spec::{Scenario, ScenarioEvent, SliceSpec, TimedEvent};

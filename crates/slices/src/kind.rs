@@ -14,7 +14,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 ///   bandwidth-hungry (30 FPS average).
 /// * **RDC** — reliable distant control: IoT devices exchange 1-kbit control
 ///   messages; reliability-sensitive (99.999 % radio delivery).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SliceKind {
     /// Mobile augmented reality (delay-sensitive).
     Mar,

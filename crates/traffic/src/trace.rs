@@ -215,7 +215,7 @@ impl TrafficTrace {
 }
 
 /// Generates [`TrafficTrace`]s from a [`DiurnalTraceConfig`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceGenerator {
     config: DiurnalTraceConfig,
     slot_seconds: f64,

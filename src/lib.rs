@@ -11,6 +11,7 @@ pub use onslicing_core as core;
 pub use onslicing_domains as domains;
 pub use onslicing_netsim as netsim;
 pub use onslicing_nn as nn;
+pub use onslicing_replay as replay;
 pub use onslicing_rl as rl;
 pub use onslicing_scenario as scenario;
 pub use onslicing_slices as slices;

@@ -19,7 +19,19 @@
 use std::num::NonZeroUsize;
 
 /// Number of worker threads the shim will use (`rayon::current_num_threads`).
+///
+/// Honors `RAYON_NUM_THREADS` like the real crate (a positive integer caps
+/// the pool; `1` forces fully sequential execution), falling back to the
+/// machine's available parallelism. Read on every call so tests that spawn
+/// subprocesses with different values behave as expected.
 pub fn current_num_threads() -> usize {
+    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
