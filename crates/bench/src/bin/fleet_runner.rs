@@ -1,0 +1,277 @@
+//! Emits `BENCH_fleet.json` — the cells×slices scaling record of the
+//! multi-cell fleet runner, tracked across PRs alongside
+//! `BENCH_hotpath.json` and `BENCH_scenario.json`.
+//!
+//! Default mode runs the `fleet-soak` per-cell workload (12 slices plus
+//! mid-run admission/burst/fault/teardown) at 1, 4 and 8 cells and reports
+//! each point's fleet metrics: executed slice-slots, fleet-wide
+//! SLA-violation %, deterministic cost percentiles, per-slot latency
+//! p50/p90/p99, the machine throughput (slice-slots over the fleet's
+//! wall clock on this host) and the **aggregate** throughput (the sum of
+//! the cells' independent rates — the shared-nothing capacity that scales
+//! with the cell count; see the `onslicing-fleet` crate docs). The headline
+//! `aggregate_speedup_max_vs_min_cells` is the aggregate-rate ratio of the
+//! largest point over the smallest one (1 cell in the default curve).
+//!
+//! **Reproducible schedule.** Curve mode pins `RAYON_NUM_THREADS=1` before
+//! measuring: per-cell rates are then free of cross-cell contention and of
+//! the host's core count, so the scaling curve — in particular the
+//! aggregate-speedup ratio the CI gate holds to −15 % — compares
+//! like-for-like across a 1-core container and a multi-core CI runner.
+//! (Unpinned, the 1-cell point would absorb the whole machine through the
+//! per-slice fan-out while the 8-cell points contend for it, collapsing
+//! the ratio on big hosts.) Be clear about what that buys: under the
+//! pinned schedule the ratio certifies the *shared-nothing capacity
+//! model* — cells stay independent and their rates sum, which any
+//! accidental cross-cell coupling (a global lock, a shared allocation
+//! choke point) would break — while uniform per-cell slowdowns are caught
+//! by the per-point rate floors, not by the ratio. Same-host parallel
+//! *speedup* is deliberately not gated (it is a property of the runner's
+//! core count, not of the code); the parallel execution path itself is
+//! exercised by the fleet tests and by the determinism-gate mode below,
+//! which leaves the pool width alone.
+//!
+//! ```sh
+//! # The committed scaling curve (1/4/8 cells × fleet-soak):
+//! cargo run --release --bin fleet_runner
+//! # Custom shape:
+//! cargo run --release --bin fleet_runner -- --scenario stress-many-slices \
+//!     --cells 1,2,4 --seed 7 --out BENCH_fleet.json
+//! # Determinism-gate mode: write only the byte-deterministic fleet trace
+//! # (compare across RAYON_NUM_THREADS settings with `cmp`):
+//! cargo run --release --bin fleet_runner -- --trace-out fleet-trace.json --trace-cells 2
+//! ```
+//!
+//! Exit codes: 0 = ok, 1 = NaN metrics, 2 = usage/setup error.
+
+use std::process::ExitCode;
+
+use serde::Serialize;
+
+use onslicing_fleet::{FleetConfig, FleetReport, FleetRunner};
+use onslicing_scenario::builtin;
+
+#[derive(Serialize)]
+struct CurvePoint {
+    cells: usize,
+    peak_slices: usize,
+    slice_slots: usize,
+    slice_episodes: usize,
+    sla_violation_percent: f64,
+    avg_cost: f64,
+    avg_slot_cost: f64,
+    cost_p50: f64,
+    cost_p90: f64,
+    cost_p99: f64,
+    wall_clock_ms: f64,
+    slice_slots_per_second: f64,
+    aggregate_cell_slots_per_second: f64,
+    slot_latency_p50_ms: f64,
+    slot_latency_p90_ms: f64,
+    slot_latency_p99_ms: f64,
+}
+
+impl CurvePoint {
+    fn from_report(r: &FleetReport) -> Self {
+        Self {
+            cells: r.cells,
+            peak_slices: r.peak_slices,
+            slice_slots: r.slice_slots,
+            slice_episodes: r.slice_episodes,
+            sla_violation_percent: r.sla_violation_percent,
+            avg_cost: r.avg_cost,
+            avg_slot_cost: r.avg_slot_cost,
+            cost_p50: r.cost_p50,
+            cost_p90: r.cost_p90,
+            cost_p99: r.cost_p99,
+            wall_clock_ms: r.wall_clock_ms,
+            slice_slots_per_second: r.slice_slots_per_second,
+            aggregate_cell_slots_per_second: r.aggregate_cell_slots_per_second,
+            slot_latency_p50_ms: r.slot_latency_p50_ms,
+            slot_latency_p90_ms: r.slot_latency_p90_ms,
+            slot_latency_p99_ms: r.slot_latency_p99_ms,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct BenchFile {
+    schema: String,
+    threads: usize,
+    schedule: String,
+    scenario: String,
+    seed: u64,
+    slices_per_cell_initial: usize,
+    curve: Vec<CurvePoint>,
+    aggregate_speedup_max_vs_min_cells: f64,
+}
+
+struct Options {
+    scenario: String,
+    cells: Vec<usize>,
+    seed: u64,
+    out: String,
+    trace_out: Option<String>,
+    trace_cells: usize,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        scenario: "fleet-soak".to_string(),
+        cells: vec![1, 4, 8],
+        seed: 0,
+        out: "BENCH_fleet.json".to_string(),
+        trace_out: None,
+        trace_cells: 2,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => opts.scenario = value("--scenario")?,
+            "--cells" => {
+                let v = value("--cells")?;
+                opts.cells = v
+                    .split(',')
+                    .map(|c| c.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("invalid --cells `{v}` (expect e.g. 1,4,8)"))?;
+                if opts.cells.is_empty() || opts.cells.contains(&0) {
+                    return Err("--cells entries must be positive".to_string());
+                }
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                opts.seed = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
+            }
+            "--out" => opts.out = value("--out")?,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--trace-cells" => {
+                let v = value("--trace-cells")?;
+                opts.trace_cells = v
+                    .parse()
+                    .map_err(|_| format!("invalid --trace-cells `{v}`"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown option `{other}`\nusage: fleet_runner [--scenario NAME|PATH] \
+                     [--cells 1,4,8] [--seed N] [--out PATH] \
+                     [--trace-out PATH [--trace-cells N]]"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_options()?;
+    let scenario = builtin::by_name_or_file(&opts.scenario)?;
+
+    if let Some(trace_out) = &opts.trace_out {
+        // Determinism-gate mode: one fleet, trace only, no timing fields.
+        let runner = FleetRunner::new(
+            scenario,
+            FleetConfig::new(opts.trace_cells).with_seed(opts.seed),
+        )?;
+        let outcome = runner.run()?;
+        if outcome.report.has_nan() {
+            eprintln!("fleet_runner: NaN metrics in the trace run");
+            return Ok(false);
+        }
+        outcome.trace.save(trace_out)?;
+        println!(
+            "fleet trace: `{}` × {} cells (seed {}) -> {trace_out}",
+            opts.scenario, opts.trace_cells, opts.seed
+        );
+        return Ok(true);
+    }
+
+    // Pin the measurement schedule (see the module docs): per-cell rates
+    // must depend on neither the host's core count nor on cross-cell
+    // contention, or the gated scaling ratio would be machine-shaped.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    println!(
+        "fleet_runner: scaling `{}` over {:?} cells (single-thread pinned) ...",
+        opts.scenario, opts.cells
+    );
+    let mut curve = Vec::with_capacity(opts.cells.len());
+    for &cells in &opts.cells {
+        let runner = FleetRunner::new(
+            scenario.clone(),
+            FleetConfig::new(cells).with_seed(opts.seed),
+        )?;
+        let outcome = runner.run()?;
+        let report = &outcome.report;
+        if report.has_nan() {
+            eprintln!("fleet_runner: NaN metrics at {cells} cell(s)");
+            return Ok(false);
+        }
+        println!(
+            "  {cells} cell(s): {} peak slices, {} slice-slots, \
+             {:.1} slots/s machine, {:.1} slots/s aggregate, \
+             {:.2}% SLA violations, slot p50/p99 {:.1}/{:.1} ms",
+            report.peak_slices,
+            report.slice_slots,
+            report.slice_slots_per_second,
+            report.aggregate_cell_slots_per_second,
+            report.sla_violation_percent,
+            report.slot_latency_p50_ms,
+            report.slot_latency_p99_ms
+        );
+        curve.push(CurvePoint::from_report(report));
+    }
+
+    // Largest-cells point over smallest-cells point: a scaling collapse at
+    // the widest point must show in the headline, not be masked by a
+    // faster intermediate point.
+    let base_rate = curve
+        .iter()
+        .min_by_key(|p| p.cells)
+        .map(|p| p.aggregate_cell_slots_per_second)
+        .expect("curve is non-empty");
+    let wide_rate = curve
+        .iter()
+        .max_by_key(|p| p.cells)
+        .map(|p| p.aggregate_cell_slots_per_second)
+        .expect("curve is non-empty");
+    let speedup = wide_rate / base_rate.max(1e-9);
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let payload = serde_json::to_string_pretty(&BenchFile {
+        schema: "onslicing-fleet-bench/1".to_string(),
+        threads,
+        schedule: "single-thread-pinned (RAYON_NUM_THREADS=1 for reproducible gating)".to_string(),
+        scenario: opts.scenario.clone(),
+        seed: opts.seed,
+        slices_per_cell_initial: scenario.initial_slices.len(),
+        curve,
+        aggregate_speedup_max_vs_min_cells: speedup,
+    })
+    .expect("bench serialization cannot fail");
+    std::fs::write(&opts.out, &payload).expect("failed to write the benchmark JSON");
+    println!(
+        "\naggregate throughput scaling (max vs smallest point): {speedup:.2}x \
+         ({threads} thread(s) on this host, measurement pinned to 1)"
+    );
+    println!("wrote {}", opts.out);
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("fleet_runner: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! method presets, and plain-text table/series printing.
 
 pub mod hotpath;
+pub mod regress;
 
 use onslicing_core::{
     evaluate_policy, AgentConfig, CoordinationMode, DeploymentBuilder, EpochMetrics,

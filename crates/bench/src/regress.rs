@@ -1,0 +1,554 @@
+//! Perf-regression gating of `BENCH_*.json` artifacts against committed
+//! baselines.
+//!
+//! The benches (`bench_hotpath`, `bench_scenario`, `fleet_runner`) emit
+//! machine-readable JSON; this module diffs a freshly produced file against
+//! the committed copy under `baselines/` and decides whether the change is
+//! a regression. Metrics are classified by key name:
+//!
+//! * **lower-is-better** (`*_ns`, `*_ms`, `ns_per_*`, `*latency*`,
+//!   `*wall*`, `*sublinearity*`, `*_vs_*`) — latency-like; fails when the
+//!   fresh value exceeds the baseline by more than the `slower` tolerance
+//!   (default +35 %, generous because wall-clock metrics are noisy).
+//! * **higher-is-better ratio** (`*speedup*`) — machine-normalized; fails
+//!   when the fresh value drops below the baseline by more than the
+//!   `speedup_loss` tolerance (default −15 %).
+//! * **higher-is-better rate** (`*per_second*`) — an absolute throughput
+//!   is the reciprocal of a latency, so it gets the reciprocal of the
+//!   latency band: fresh ≥ baseline / (1 + `slower`), i.e. the same
+//!   machine-speed headroom the `*_ns` metrics enjoy.
+//! * **exact** (`*violation*`, `*cost*`, strings, booleans, and any number
+//!   that is integer-valued on either side: counts, seeds, schema
+//!   versions) — metrics the determinism contract pins for a fixed seed;
+//!   fails on any drift beyond `1e-9`. A float metric matching no name
+//!   rule is skipped (visibly, in the summary) rather than guessed at.
+//! * **informational** (`threads`, `samples`, and wall-clock latency
+//!   p90/p99 tails — one scheduler hiccup of a shared host moves a
+//!   small-sample tail ±50 %) — tracked in the artifact, never compared.
+//!
+//! Structural drift (a metric appearing, disappearing, or an array
+//! changing length) always fails: it means the bench schema changed and
+//! the baseline must be regenerated intentionally via `--update`.
+
+use serde::Value;
+
+/// Relative/absolute tolerances of one comparison run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Allowed relative slowdown of lower-is-better metrics (0.35 = +35 %).
+    pub slower: f64,
+    /// Allowed relative loss of higher-is-better metrics (0.15 = −15 %).
+    pub speedup_loss: f64,
+    /// Absolute slack of exact metrics.
+    pub exact_abs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self {
+            slower: 0.35,
+            speedup_loss: 0.15,
+            exact_abs: 1e-9,
+        }
+    }
+}
+
+/// How one metric is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Latency-like: fresh may not exceed baseline by more than `slower`
+    /// of its magnitude.
+    LowerIsBetter,
+    /// Machine-normalized ratio (speedups): fresh may not drop below
+    /// baseline by more than `speedup_loss` of its magnitude.
+    HigherIsBetter,
+    /// Absolute throughput rate: the reciprocal of a latency, so it gets
+    /// the reciprocal of the latency band — fresh ≥ baseline / (1 +
+    /// slower). Tighter than that would couple the gate to the baseline
+    /// machine's per-core speed more strictly than the latency metrics it
+    /// mirrors.
+    HigherIsBetterRate,
+    /// Deterministic for a fixed seed: any drift fails.
+    Exact,
+    /// Machine property: never compared.
+    Informational,
+}
+
+/// Classifies a metric by the last segment of its dotted path (array
+/// indices stripped). Numbers that fall through every name rule are judged
+/// `Exact` when integer-valued (counts) and `Informational` otherwise.
+pub fn classify(path: &str) -> MetricClass {
+    let key = path
+        .rsplit('.')
+        .next()
+        .unwrap_or(path)
+        .split('[')
+        .next()
+        .unwrap_or(path)
+        .to_ascii_lowercase();
+    if key == "threads" || key == "samples" {
+        return MetricClass::Informational;
+    }
+    if key.contains("violation") || key.contains("cost") {
+        return MetricClass::Exact;
+    }
+    // Wall-clock latency *tails* are tracked but not gated: a p90/p99 over
+    // a few hundred slot samples moves ±50% on one scheduler hiccup of a
+    // shared host, which no honest tolerance band absorbs. Medians are
+    // stable and stay gated; the cost percentiles are seed-deterministic
+    // and match the `cost` rule above, so they stay exact.
+    if key.contains("latency") && (key.contains("p90") || key.contains("p99")) {
+        return MetricClass::Informational;
+    }
+    if key.contains("speedup") {
+        return MetricClass::HigherIsBetter;
+    }
+    if key.contains("per_second") || key.contains("per_sec") {
+        return MetricClass::HigherIsBetterRate;
+    }
+    let latency_like = key.ends_with("_ns")
+        || key.ends_with("_ms")
+        || key.starts_with("ns_")
+        || key.starts_with("ms_")
+        || key.contains("_ns_")
+        || key.contains("_ms_")
+        || key.contains("latency")
+        || key.contains("wall")
+        || key.contains("sublinearity")
+        || key.contains("_vs_");
+    if latency_like {
+        return MetricClass::LowerIsBetter;
+    }
+    MetricClass::Exact
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonReport {
+    /// Human-readable description of every regression found.
+    pub regressions: Vec<String>,
+    /// Metrics actually compared.
+    pub checked: usize,
+    /// Paths skipped as informational.
+    pub skipped: Vec<String>,
+}
+
+impl ComparisonReport {
+    /// Whether the fresh artifact passes the gate.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn as_number(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn is_integer_valued(v: &Value) -> bool {
+    match v {
+        Value::Int(_) | Value::UInt(_) => true,
+        Value::Float(f) => f.fract() == 0.0,
+        _ => false,
+    }
+}
+
+fn compare_leaf(
+    path: &str,
+    baseline: &Value,
+    fresh: &Value,
+    tol: &Tolerances,
+    report: &mut ComparisonReport,
+) {
+    let class = classify(path);
+    if class == MetricClass::Informational {
+        report.skipped.push(path.to_string());
+        return;
+    }
+    match (as_number(baseline), as_number(fresh)) {
+        (Some(b), Some(f)) => {
+            // A numeric metric with no latency/throughput name rule is
+            // held exact when it is count-like — integer-valued on either
+            // side (so a pinned count drifting to a fraction still fails).
+            // Only a metric that is fractional in BOTH files and matches
+            // no name rule is reported as skipped instead of risking a
+            // spurious gate failure; the skip is visible in the summary.
+            let class = if class == MetricClass::Exact
+                && !path_names_deterministic_metric(path)
+                && !is_integer_valued(baseline)
+                && !is_integer_valued(fresh)
+            {
+                report.skipped.push(path.to_string());
+                return;
+            } else {
+                class
+            };
+            report.checked += 1;
+            // Tolerances scale with |baseline| so a signed metric (a
+            // `*_vs_*` delta, say) is not judged against a band on the
+            // wrong side of zero.
+            match class {
+                MetricClass::LowerIsBetter => {
+                    let limit = b + b.abs() * tol.slower + 1e-6;
+                    if f > limit {
+                        report.regressions.push(format!(
+                            "{path}: {f:.1} exceeds baseline {b:.1} by more than +{:.0}% \
+                             (limit {limit:.1})",
+                            tol.slower * 100.0
+                        ));
+                    }
+                }
+                MetricClass::HigherIsBetter => {
+                    let limit = b - b.abs() * tol.speedup_loss - 1e-9;
+                    if f < limit {
+                        report.regressions.push(format!(
+                            "{path}: {f:.3} falls below baseline {b:.3} by more than -{:.0}% \
+                             (limit {limit:.3})",
+                            tol.speedup_loss * 100.0
+                        ));
+                    }
+                }
+                MetricClass::HigherIsBetterRate => {
+                    // For a positive baseline this is b / (1 + slower);
+                    // written magnitude-based so a negative baseline keeps
+                    // the band on its own side of zero.
+                    let limit = b - b.abs() * (tol.slower / (1.0 + tol.slower)) - 1e-9;
+                    if f < limit {
+                        report.regressions.push(format!(
+                            "{path}: {f:.1} falls below baseline {b:.1} past the rate floor \
+                             (limit {limit:.1} = baseline / {:.2})",
+                            1.0 + tol.slower
+                        ));
+                    }
+                }
+                MetricClass::Exact | MetricClass::Informational => {
+                    if (f - b).abs() > tol.exact_abs {
+                        report.regressions.push(format!(
+                            "{path}: {f} drifted from the pinned baseline {b} \
+                             (deterministic metric; any drift fails)"
+                        ));
+                    }
+                }
+            }
+        }
+        _ => {
+            // Non-numeric leaves (schema strings, flags) must match exactly.
+            report.checked += 1;
+            if baseline != fresh {
+                report.regressions.push(format!(
+                    "{path}: value changed from {baseline:?} to {fresh:?} \
+                     (schema drift; rebaseline with --update if intentional)"
+                ));
+            }
+        }
+    }
+}
+
+/// Whether the key names a metric that is deterministic for a fixed seed
+/// even though it is float-valued (SLA violation rates, cost statistics).
+fn path_names_deterministic_metric(path: &str) -> bool {
+    let key = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
+    key.contains("violation") || key.contains("cost")
+}
+
+fn walk(
+    path: &str,
+    baseline: &Value,
+    fresh: &Value,
+    tol: &Tolerances,
+    report: &mut ComparisonReport,
+) {
+    match (baseline, fresh) {
+        (Value::Obj(b), Value::Obj(f)) => {
+            for (key, bv) in b {
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match f.iter().find(|(k, _)| k == key) {
+                    Some((_, fv)) => walk(&child, bv, fv, tol, report),
+                    None => report.regressions.push(format!(
+                        "{child}: metric disappeared from the fresh artifact \
+                         (schema drift; rebaseline with --update if intentional)"
+                    )),
+                }
+            }
+            for (key, _) in f {
+                if !b.iter().any(|(k, _)| k == key) {
+                    let child = if path.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    report.regressions.push(format!(
+                        "{child}: new metric absent from the baseline \
+                         (rebaseline with --update to start tracking it)"
+                    ));
+                }
+            }
+        }
+        (Value::Arr(b), Value::Arr(f)) => {
+            if b.len() != f.len() {
+                report.regressions.push(format!(
+                    "{path}: series length changed from {} to {} entries",
+                    b.len(),
+                    f.len()
+                ));
+                return;
+            }
+            for (i, (bv, fv)) in b.iter().zip(f.iter()).enumerate() {
+                walk(&format!("{path}[{i}]"), bv, fv, tol, report);
+            }
+        }
+        _ => compare_leaf(path, baseline, fresh, tol, report),
+    }
+}
+
+/// Compares a fresh bench artifact against its baseline.
+pub fn compare_values(baseline: &Value, fresh: &Value, tol: &Tolerances) -> ComparisonReport {
+    let mut report = ComparisonReport::default();
+    walk("", baseline, fresh, tol, &mut report);
+    report
+}
+
+/// Parses two JSON texts and compares them.
+pub fn compare_json(
+    baseline: &str,
+    fresh: &str,
+    tol: &Tolerances,
+) -> Result<ComparisonReport, String> {
+    let baseline: Value =
+        serde_json::from_str(baseline).map_err(|e| format!("malformed baseline JSON: {e}"))?;
+    let fresh: Value =
+        serde_json::from_str(fresh).map_err(|e| format!("malformed fresh JSON: {e}"))?;
+    Ok(compare_values(&baseline, &fresh, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+        "schema": "onslicing-hotpath-bench/1",
+        "threads": 4,
+        "batch": 64,
+        "mlp_forward": { "per_sample_ns": 500000.0, "batched_ns": 120000.0, "speedup": 4.2 },
+        "orchestrator_slot": [
+            { "slices": 3, "ns_per_slot": 30000000.0 },
+            { "slices": 9, "ns_per_slot": 90000000.0 }
+        ],
+        "orchestrator_sublinearity": 0.99,
+        "sla_violation_percent": 2.7777777777
+    }"#;
+
+    fn fresh_with(f: impl Fn(&mut String)) -> String {
+        let mut text = BASELINE.to_string();
+        f(&mut text);
+        text
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let report = compare_json(BASELINE, BASELINE, &Tolerances::default()).unwrap();
+        assert!(report.passed(), "regressions: {:?}", report.regressions);
+        assert!(report.checked > 5);
+        // `threads` is a machine property, never compared.
+        assert!(report.skipped.iter().any(|p| p == "threads"));
+    }
+
+    #[test]
+    fn faster_and_moderately_slower_runs_pass() {
+        // 10% slower ns metric: within the +35% band.
+        let fresh = fresh_with(|t| *t = t.replace("120000.0", "132000.0"));
+        assert!(compare_json(BASELINE, &fresh, &Tolerances::default())
+            .unwrap()
+            .passed());
+        // 50% faster: improvements always pass.
+        let fresh = fresh_with(|t| *t = t.replace("120000.0", "60000.0"));
+        assert!(compare_json(BASELINE, &fresh, &Tolerances::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn a_big_slowdown_fails_the_gate() {
+        let fresh = fresh_with(|t| *t = t.replace("120000.0", "170000.0"));
+        let report = compare_json(BASELINE, &fresh, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("mlp_forward.batched_ns"));
+    }
+
+    #[test]
+    fn a_speedup_loss_fails_the_gate() {
+        // 4.2 -> 3.3 is a 21% loss, past the -15% band.
+        let fresh = fresh_with(|t| *t = t.replace("\"speedup\": 4.2", "\"speedup\": 3.3"));
+        let report = compare_json(BASELINE, &fresh, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("speedup"));
+        // A 5% loss stays inside the band.
+        let fresh = fresh_with(|t| *t = t.replace("\"speedup\": 4.2", "\"speedup\": 4.0"));
+        assert!(compare_json(BASELINE, &fresh, &Tolerances::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn sla_metrics_are_exact() {
+        let fresh = fresh_with(|t| *t = t.replace("2.7777777777", "2.9"));
+        let report = compare_json(BASELINE, &fresh, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("sla_violation_percent"));
+    }
+
+    #[test]
+    fn an_integer_count_drifting_to_a_fraction_fails() {
+        // 9 -> 8.5: the fresh side is no longer integer-valued, but the
+        // baseline pin makes the metric count-like, so the drift fails.
+        let fresh = fresh_with(|t| *t = t.replace("\"slices\": 9", "\"slices\": 8.5"));
+        let report = compare_json(BASELINE, &fresh, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("orchestrator_slot[1].slices"));
+    }
+
+    #[test]
+    fn counts_are_exact_and_arrays_are_walked() {
+        let fresh = fresh_with(|t| *t = t.replace("\"slices\": 9", "\"slices\": 10"));
+        let report = compare_json(BASELINE, &fresh, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("orchestrator_slot[1].slices"));
+        // A slot-latency regression inside the array is caught too.
+        let fresh = fresh_with(|t| *t = t.replace("90000000.0", "140000000.0"));
+        let report = compare_json(BASELINE, &fresh, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("orchestrator_slot[1].ns_per_slot"));
+    }
+
+    #[test]
+    fn sublinearity_growth_fails() {
+        let fresh = fresh_with(|t| {
+            *t = t.replace(
+                "\"orchestrator_sublinearity\": 0.99",
+                "\"orchestrator_sublinearity\": 1.5",
+            )
+        });
+        let report = compare_json(BASELINE, &fresh, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn schema_drift_fails_in_both_directions() {
+        let fresh =
+            fresh_with(|t| *t = t.replace("\"batch\": 64,", "\"batch\": 64, \"new_metric\": 1.0,"));
+        let report = compare_json(BASELINE, &fresh, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("new_metric"));
+        let fresh = fresh_with(|t| *t = t.replace("\"batch\": 64,", ""));
+        let report = compare_json(BASELINE, &fresh, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("batch"));
+        let fresh = fresh_with(|t| {
+            *t = t.replace(
+                "\"schema\": \"onslicing-hotpath-bench/1\"",
+                "\"schema\": \"onslicing-hotpath-bench/2\"",
+            )
+        });
+        assert!(!compare_json(BASELINE, &fresh, &Tolerances::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn classification_covers_the_emitted_key_families() {
+        assert_eq!(
+            classify("mlp_forward.per_sample_ns"),
+            MetricClass::LowerIsBetter
+        );
+        assert_eq!(
+            classify("timings[0].median_run_ms"),
+            MetricClass::LowerIsBetter
+        );
+        assert_eq!(
+            classify("timings[0].ns_per_slice_slot"),
+            MetricClass::LowerIsBetter
+        );
+        assert_eq!(
+            classify("curve[2].slot_latency_p50_ms"),
+            MetricClass::LowerIsBetter
+        );
+        // Latency tails flake on shared hosts; tracked, not gated.
+        assert_eq!(
+            classify("curve[2].slot_latency_p99_ms"),
+            MetricClass::Informational
+        );
+        assert_eq!(
+            classify("cells_detail[0].slot_latency_p90_ms"),
+            MetricClass::Informational
+        );
+        // Deterministic cost tails stay exact.
+        assert_eq!(classify("curve[0].cost_p99"), MetricClass::Exact);
+        assert_eq!(
+            classify("curve[2].wall_clock_ms"),
+            MetricClass::LowerIsBetter
+        );
+        assert_eq!(
+            classify("stress_vs_steady_per_slot"),
+            MetricClass::LowerIsBetter
+        );
+        assert_eq!(
+            classify("orchestrator_sublinearity"),
+            MetricClass::LowerIsBetter
+        );
+        assert_eq!(
+            classify("ppo_minibatch_update.speedup"),
+            MetricClass::HigherIsBetter
+        );
+        assert_eq!(
+            classify("curve[0].aggregate_cell_slots_per_second"),
+            MetricClass::HigherIsBetterRate
+        );
+        assert_eq!(
+            classify("timings[1].slice_slots_per_second"),
+            MetricClass::HigherIsBetterRate
+        );
+        assert_eq!(classify("sla_violation_percent"), MetricClass::Exact);
+        assert_eq!(classify("curve[0].cost_p90"), MetricClass::Exact);
+        assert_eq!(classify("threads"), MetricClass::Informational);
+        assert_eq!(classify("samples"), MetricClass::Informational);
+    }
+
+    #[test]
+    fn rates_get_the_reciprocal_of_the_latency_band() {
+        // A rate metric mirrors a latency: -26% (= 1/1.35) passes where
+        // the -15% speedup band would have failed, -30% fails.
+        let baseline = r#"{ "rate_slots_per_second": 1000.0 }"#;
+        let ok = r#"{ "rate_slots_per_second": 745.0 }"#;
+        assert!(compare_json(baseline, ok, &Tolerances::default())
+            .unwrap()
+            .passed());
+        let bad = r#"{ "rate_slots_per_second": 700.0 }"#;
+        let report = compare_json(baseline, bad, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("rate_slots_per_second"));
+    }
+
+    #[test]
+    fn unchanged_negative_metrics_pass_every_band() {
+        // Signed metrics (a future `*_vs_*` delta) must not fail a
+        // no-change run because the tolerance band flipped sides of zero.
+        let baseline =
+            r#"{ "drift_vs_reference": -10.0, "gain_speedup": -2.0, "neg_per_second": -5.0 }"#;
+        let report = compare_json(baseline, baseline, &Tolerances::default()).unwrap();
+        assert!(report.passed(), "regressions: {:?}", report.regressions);
+        // And a genuine worsening of the negative latency-like delta fails.
+        let worse =
+            r#"{ "drift_vs_reference": -3.0, "gain_speedup": -2.0, "neg_per_second": -5.0 }"#;
+        assert!(!compare_json(baseline, worse, &Tolerances::default())
+            .unwrap()
+            .passed());
+    }
+}

@@ -46,4 +46,7 @@ pub use env::{MultiSliceEnvironment, SliceEnvironment, StepResult};
 pub use experiment::{evaluate_policy, DeploymentBuilder};
 pub use metrics::{EpisodeMetrics, EpochMetrics, PolicyEvaluation, SliceEpisodeSummary};
 pub use modifier::{ActionModifier, ModifierConfig};
-pub use orchestrator::{CoordinationMode, Orchestrator, OrchestratorConfig, SlotOutcome};
+pub use orchestrator::{
+    CoordinationMode, Orchestrator, OrchestratorConfig, OrchestratorError, SlotAggregate,
+    SlotOutcome,
+};

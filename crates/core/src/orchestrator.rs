@@ -83,6 +83,47 @@ impl Default for OrchestratorConfig {
     }
 }
 
+/// Why an orchestrator-level slice operation failed.
+///
+/// Callers that coordinate many orchestrators (the fleet runner, the
+/// scenario engine's admission path) match on the variants instead of
+/// string-comparing error text; `From<OrchestratorError> for String` keeps
+/// the old `Result<_, String>` call sites compiling with a `?` or
+/// `map_err(String::from)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OrchestratorError {
+    /// A domain manager rejected the slice lifecycle command (duplicate
+    /// registration, unknown id at the domain layer, ...).
+    Domain {
+        /// The slice the command addressed.
+        id: SliceId,
+        /// The manager's own description of the rejection.
+        reason: String,
+    },
+    /// The referenced slice is not (or no longer) active in this
+    /// orchestrator.
+    InactiveSlice(SliceId),
+}
+
+impl std::fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrchestratorError::Domain { id, reason } => {
+                write!(f, "domain managers rejected {id}: {reason}")
+            }
+            OrchestratorError::InactiveSlice(id) => write!(f, "{id} is not an active slice"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {}
+
+impl From<OrchestratorError> for String {
+    fn from(e: OrchestratorError) -> Self {
+        e.to_string()
+    }
+}
+
 /// Outcome of one coordinated slot (exposed for tests, the showcase figures
 /// and the telemetry recorder).
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +137,41 @@ pub struct SlotOutcome {
     pub kpis: Vec<SlotKpi>,
     /// Number of agent↔manager interactions this slot took.
     pub interactions: usize,
+}
+
+/// Cheap scalar summary of one [`SlotOutcome`] — what a cell- or
+/// fleet-level aggregator keeps per slot instead of the full
+/// decision/action/KPI vectors (the scenario engine folds these into its
+/// running `avg_slot_cost` / `avg_slot_usage_percent` report fields).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotAggregate {
+    /// Slices that executed the slot.
+    pub slices: usize,
+    /// Agent↔manager interactions the slot took.
+    pub interactions: usize,
+    /// Sum of the slices' per-slot costs.
+    pub total_cost: f64,
+    /// Mean resource utilization across the slices, in percent.
+    pub mean_usage_percent: f64,
+}
+
+impl SlotOutcome {
+    /// Folds the per-slice vectors into a [`SlotAggregate`] in one pass.
+    pub fn aggregate(&self) -> SlotAggregate {
+        let n = self.kpis.len();
+        let mut total_cost = 0.0;
+        let mut usage = 0.0;
+        for kpi in &self.kpis {
+            total_cost += kpi.cost;
+            usage += kpi.resource_usage_percent();
+        }
+        SlotAggregate {
+            slices: n,
+            interactions: self.interactions,
+            total_cost,
+            mean_usage_percent: usage / n.max(1) as f64,
+        }
+    }
 }
 
 /// The end-to-end orchestrator of one infrastructure.
@@ -190,9 +266,11 @@ impl Orchestrator {
         &mut self,
         agent: OnSlicingAgent,
         env: SliceEnvironment,
-    ) -> Result<SliceId, String> {
+    ) -> Result<SliceId, OrchestratorError> {
         let id = SliceId(self.next_slice_id);
-        self.domains.create_slice(id)?;
+        self.domains
+            .create_slice(id)
+            .map_err(|reason| OrchestratorError::Domain { id, reason })?;
         self.next_slice_id += 1;
         self.slice_ids.push(id);
         self.agents.push(agent);
@@ -206,11 +284,13 @@ impl Orchestrator {
     pub fn teardown_slice(
         &mut self,
         id: SliceId,
-    ) -> Result<(OnSlicingAgent, SliceEnvironment), String> {
+    ) -> Result<(OnSlicingAgent, SliceEnvironment), OrchestratorError> {
         let index = self
             .index_of(id)
-            .ok_or_else(|| format!("{id} is not an active slice"))?;
-        self.domains.delete_slice(id)?;
+            .ok_or(OrchestratorError::InactiveSlice(id))?;
+        self.domains
+            .delete_slice(id)
+            .map_err(|reason| OrchestratorError::Domain { id, reason })?;
         self.slice_ids.remove(index);
         let agent = self.agents.remove(index);
         let env = self.env.remove_env(index);
@@ -220,10 +300,10 @@ impl Orchestrator {
     /// Renegotiates one slice's SLA: both the environment (cost/violation
     /// accounting) and the agent (switching budget, Lagrangian constraint)
     /// move to the new terms.
-    pub fn renegotiate_sla(&mut self, id: SliceId, sla: Sla) -> Result<(), String> {
+    pub fn renegotiate_sla(&mut self, id: SliceId, sla: Sla) -> Result<(), OrchestratorError> {
         let index = self
             .index_of(id)
-            .ok_or_else(|| format!("{id} is not an active slice"))?;
+            .ok_or(OrchestratorError::InactiveSlice(id))?;
         self.agents[index].set_sla(sla);
         self.env.envs_mut()[index].set_sla(sla);
         Ok(())
@@ -604,6 +684,69 @@ mod tests {
             let resumed = restored.run_slot(true);
             assert_eq!(original, resumed);
         }
+    }
+
+    #[test]
+    fn orchestrator_errors_are_typed_and_matchable() {
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        match orch.teardown_slice(SliceId(9)) {
+            Err(OrchestratorError::InactiveSlice(id)) => assert_eq!(id, SliceId(9)),
+            other => panic!("expected InactiveSlice, got {other:?}"),
+        }
+        assert_eq!(
+            orch.renegotiate_sla(SliceId(9), Sla::for_kind(SliceKind::Mar))
+                .unwrap_err(),
+            OrchestratorError::InactiveSlice(SliceId(9))
+        );
+        // Pre-registering the next id at the domain layer makes the domain
+        // managers reject the admission — the Domain variant carries both
+        // the id and the manager's reason.
+        orch.domains_mut().create_slice(SliceId(3)).unwrap();
+        let (agent, env) = extra_slice(SliceKind::Rdc, 600);
+        match orch.admit_slice(agent, env) {
+            Err(OrchestratorError::Domain { id, reason }) => {
+                assert_eq!(id, SliceId(3));
+                assert!(reason.contains("already exists"), "reason: {reason}");
+            }
+            other => panic!("expected Domain rejection, got {other:?}"),
+        }
+        // Legacy call sites keep working through the String conversion.
+        let text: String = OrchestratorError::InactiveSlice(SliceId(9)).into();
+        assert!(text.contains("not an active slice"));
+    }
+
+    #[test]
+    fn slot_aggregate_folds_the_full_outcome() {
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        orch.env_mut().reset_all();
+        let outcome = orch.run_slot(true);
+        let agg = outcome.aggregate();
+        assert_eq!(agg.slices, outcome.kpis.len());
+        assert_eq!(agg.interactions, outcome.interactions);
+        let total: f64 = outcome.kpis.iter().map(|k| k.cost).sum();
+        assert!((agg.total_cost - total).abs() < 1e-12);
+        let usage: f64 = outcome
+            .kpis
+            .iter()
+            .map(|k| k.resource_usage_percent())
+            .sum::<f64>()
+            / outcome.kpis.len() as f64;
+        assert!((agg.mean_usage_percent - usage).abs() < 1e-12);
+        assert_eq!(
+            SlotOutcome {
+                decisions: Vec::new(),
+                executed: Vec::new(),
+                kpis: Vec::new(),
+                interactions: 2,
+            }
+            .aggregate(),
+            SlotAggregate {
+                slices: 0,
+                interactions: 2,
+                total_cost: 0.0,
+                mean_usage_percent: 0.0,
+            }
+        );
     }
 
     #[test]

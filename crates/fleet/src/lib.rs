@@ -1,0 +1,536 @@
+//! # onslicing-fleet
+//!
+//! Fleet-scale multi-cell orchestration: partitions a large slice
+//! population across `N` independent **cells** — each cell a complete
+//! deployment (its own [`onslicing_core::Orchestrator`], multi-slice
+//! environment and scenario timeline) — executes the cells in parallel
+//! with `rayon` (nested above the per-slice fan-out inside every
+//! orchestrator), and aggregates the per-cell telemetry into one
+//! fleet-level report.
+//!
+//! This is the scale axis of conf_conext_LiuCH21's per-slice-parallel
+//! design taken one level up: slice-local work dominates and cross-slice
+//! coordination is confined to a cell, so cells share *nothing* — no RNG,
+//! no capacity, no coordination state — and a fleet of `N` cells is `N`
+//! shards of one keyed seed family rather than one giant coordination
+//! domain.
+//!
+//! ## Determinism
+//!
+//! Every cell's master seed is [`onslicing_scenario::derive_cell_seed`] of
+//! the fleet seed, so the fleet is as reproducible as a single scenario
+//! run: the [`FleetTrace`] (the concatenation of the per-cell telemetry
+//! traces, in cell order) is **byte-identical** whatever the rayon worker
+//! count, extending the repository's thread-count determinism gate to
+//! fleets. Wall-clock metrics (latency percentiles, throughput) live only
+//! in the [`FleetReport`], never in the trace.
+//!
+//! ## Throughput accounting
+//!
+//! Two throughput numbers are reported, because they answer different
+//! questions:
+//!
+//! * [`FleetReport::slice_slots_per_second`] — executed slice-slots divided
+//!   by the fleet's wall-clock time **on this machine**: what this host
+//!   actually sustained (bounded by its core count).
+//! * [`FleetReport::aggregate_cell_slots_per_second`] — the sum of the
+//!   cells' individual rates: the shared-nothing **capacity** of the fleet,
+//!   i.e. what the same cells deliver when placed on independent hardware.
+//!   Because cells share no state, this is the number that scales with the
+//!   cell count; the `fleet_runner` bench tracks its scaling curve.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use onslicing_replay::{percentile, TelemetryRecorder, TelemetryTrace};
+use onslicing_scenario::{Scenario, ScenarioConfig, ScenarioEngine, ScenarioReport};
+
+/// Version stamp of the fleet-trace JSON layout; bump on breaking changes.
+pub const FLEET_TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Tuning of a fleet run: the cell count plus the per-cell scenario
+/// configuration whose `seed` acts as the fleet-wide master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of independent cells.
+    pub cells: usize,
+    /// Base per-cell configuration; `base.seed` is the fleet master seed
+    /// from which every cell's own seed is derived.
+    pub base: ScenarioConfig,
+}
+
+impl FleetConfig {
+    /// A fleet of `cells` cells with the default scenario tuning.
+    pub fn new(cells: usize) -> Self {
+        Self {
+            cells,
+            base: ScenarioConfig::default(),
+        }
+    }
+
+    /// Replaces the fleet master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base.seed = seed;
+        self
+    }
+}
+
+/// One cell's complete outcome: the scenario report, the deterministic
+/// telemetry trace and the measured per-slot wall-clock latencies.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Cell index (0-based).
+    pub cell: u32,
+    /// The cell's derived master seed.
+    pub seed: u64,
+    /// The cell's scenario report.
+    pub report: ScenarioReport,
+    /// The cell's telemetry trace (deterministic).
+    pub trace: TelemetryTrace,
+    /// Wall-clock latency of every executed scenario slot, in milliseconds.
+    pub slot_latencies_ms: Vec<f64>,
+}
+
+/// Per-cell row of the fleet report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Cell index.
+    pub cell: u32,
+    /// The cell's derived master seed.
+    pub seed: u64,
+    /// Largest number of concurrently active slices in the cell.
+    pub peak_slices: usize,
+    /// Executed slice-slots.
+    pub slice_slots: usize,
+    /// Closed slice-episodes.
+    pub episodes: usize,
+    /// Episodes that violated their SLA.
+    pub violations: usize,
+    /// Percentage of episodes that violated their SLA.
+    pub sla_violation_percent: f64,
+    /// Mean episode-average cost.
+    pub avg_cost: f64,
+    /// Mean per-slice-slot cost (the engine's cheap slot-level fold).
+    pub avg_slot_cost: f64,
+    /// The cell's own wall-clock, in milliseconds.
+    pub wall_clock_ms: f64,
+    /// The cell's own throughput in slice-slots per second.
+    pub slice_slots_per_second: f64,
+    /// Median per-slot wall-clock latency, in milliseconds.
+    pub slot_latency_p50_ms: f64,
+    /// 99th-percentile per-slot wall-clock latency, in milliseconds.
+    pub slot_latency_p99_ms: f64,
+}
+
+/// The aggregated outcome of one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Scenario executed by every cell.
+    pub scenario: String,
+    /// Fleet master seed.
+    pub master_seed: u64,
+    /// Number of cells.
+    pub cells: usize,
+    /// Sum over cells of the peak concurrent slice count — the fleet's
+    /// slice population at its widest point.
+    pub peak_slices: usize,
+    /// Total executed slice-slots.
+    pub slice_slots: usize,
+    /// Total closed slice-episodes.
+    pub slice_episodes: usize,
+    /// Total episodes that violated their SLA.
+    pub violations: usize,
+    /// Fleet-wide SLA-violation percentage (violations / episodes).
+    pub sla_violation_percent: f64,
+    /// Mean episode-average cost, weighted by each cell's episode count.
+    pub avg_cost: f64,
+    /// Mean per-slice-slot cost across every cell, weighted by each cell's
+    /// slice-slots — equals the mean of the concatenated per-cell slot
+    /// samples, but computed from the cells' cheap slot-level folds.
+    pub avg_slot_cost: f64,
+    /// Median per-slice-slot cost across every cell (deterministic).
+    pub cost_p50: f64,
+    /// 90th-percentile per-slice-slot cost (deterministic).
+    pub cost_p90: f64,
+    /// 99th-percentile per-slice-slot cost (deterministic).
+    pub cost_p99: f64,
+    /// Fleet wall-clock of the parallel run, in milliseconds.
+    pub wall_clock_ms: f64,
+    /// Executed slice-slots per wall-clock second on this machine.
+    pub slice_slots_per_second: f64,
+    /// Sum of the cells' individual slice-slots-per-second rates: the
+    /// shared-nothing capacity of the fleet (see the module docs).
+    pub aggregate_cell_slots_per_second: f64,
+    /// Median per-slot wall-clock latency across all cells' slots, in ms.
+    pub slot_latency_p50_ms: f64,
+    /// 90th-percentile per-slot latency, in ms.
+    pub slot_latency_p90_ms: f64,
+    /// 99th-percentile per-slot latency, in ms.
+    pub slot_latency_p99_ms: f64,
+    /// Per-cell breakdown, in cell order.
+    pub cells_detail: Vec<CellSummary>,
+}
+
+impl FleetReport {
+    /// Whether any aggregate metric is NaN (the CI smoke check).
+    pub fn has_nan(&self) -> bool {
+        [
+            self.sla_violation_percent,
+            self.avg_cost,
+            self.avg_slot_cost,
+            self.cost_p50,
+            self.cost_p90,
+            self.cost_p99,
+            self.wall_clock_ms,
+            self.slice_slots_per_second,
+            self.aggregate_cell_slots_per_second,
+            self.slot_latency_p50_ms,
+            self.slot_latency_p90_ms,
+            self.slot_latency_p99_ms,
+        ]
+        .iter()
+        .any(|v| v.is_nan())
+    }
+}
+
+/// One cell's entry in the fleet trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTraceEntry {
+    /// Cell index.
+    pub cell: u32,
+    /// The cell's derived master seed.
+    pub seed: u64,
+    /// The cell's full telemetry trace.
+    pub trace: TelemetryTrace,
+}
+
+/// The deterministic telemetry artifact of one fleet run: the per-cell
+/// traces in cell order, with no wall-clock fields — two runs of the same
+/// fleet (same scenario, master seed and cell count) emit byte-identical
+/// JSON whatever the rayon worker count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTrace {
+    /// Layout version ([`FLEET_TRACE_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Scenario executed by every cell.
+    pub scenario: String,
+    /// Fleet master seed.
+    pub master_seed: u64,
+    /// Per-cell traces, in cell order.
+    pub cells: Vec<CellTraceEntry>,
+}
+
+impl FleetTrace {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet trace serialization cannot fail")
+    }
+
+    /// Parses a fleet trace, rejecting unknown layout versions.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let trace: FleetTrace =
+            serde_json::from_str(text).map_err(|e| format!("malformed fleet trace: {e}"))?;
+        if trace.format_version != FLEET_TRACE_FORMAT_VERSION {
+            return Err(format!(
+                "fleet trace format version {} is not supported (expected {})",
+                trace.format_version, FLEET_TRACE_FORMAT_VERSION
+            ));
+        }
+        Ok(trace)
+    }
+
+    /// Writes the trace to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        std::fs::write(path.as_ref(), self.to_json())
+            .map_err(|e| format!("cannot write fleet trace {}: {e}", path.as_ref().display()))
+    }
+}
+
+/// The complete outcome of [`FleetRunner::run`].
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The aggregated fleet report.
+    pub report: FleetReport,
+    /// The deterministic fleet trace.
+    pub trace: FleetTrace,
+    /// The raw per-cell outcomes, in cell order.
+    pub cells: Vec<CellOutcome>,
+}
+
+/// The fleet runner: one scenario instantiated `N` times with derived
+/// seeds, executed cell-parallel, aggregated into a [`FleetReport`].
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    scenario: Scenario,
+    config: FleetConfig,
+}
+
+impl FleetRunner {
+    /// Validates the scenario and fleet tuning.
+    pub fn new(scenario: Scenario, config: FleetConfig) -> Result<Self, String> {
+        scenario.validate()?;
+        if config.cells == 0 {
+            return Err("a fleet needs at least one cell".to_string());
+        }
+        if config.cells > u32::MAX as usize {
+            return Err("cell count exceeds the u32 cell-index space".to_string());
+        }
+        Ok(Self { scenario, config })
+    }
+
+    /// The per-cell scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The derived master seed of every cell, in cell order.
+    pub fn cell_seeds(&self) -> Vec<u64> {
+        (0..self.config.cells)
+            .map(|i| self.config.base.for_cell(i as u32).seed)
+            .collect()
+    }
+
+    /// Builds and executes every cell — in parallel across the rayon pool,
+    /// each cell nesting the per-slice fan-out of its own orchestrator —
+    /// and aggregates the outcomes. Cell construction (baseline
+    /// calibration, offline pre-training) happens inside the parallel
+    /// region too: it is per-cell work like everything else.
+    pub fn run(&self) -> Result<FleetOutcome, String> {
+        let start = Instant::now();
+        let cells: Result<Vec<CellOutcome>, String> = (0..self.config.cells)
+            .into_par_iter()
+            .map(|i| run_cell(self.scenario.clone(), self.config.base, i as u32))
+            .collect();
+        let cells = cells?;
+        let wall_clock_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        let report = aggregate_fleet(
+            &self.scenario.name,
+            self.config.base.seed,
+            &cells,
+            wall_clock_ms,
+        );
+        let trace = FleetTrace {
+            format_version: FLEET_TRACE_FORMAT_VERSION,
+            scenario: self.scenario.name.clone(),
+            master_seed: self.config.base.seed,
+            cells: cells
+                .iter()
+                .map(|c| CellTraceEntry {
+                    cell: c.cell,
+                    seed: c.seed,
+                    trace: c.trace.clone(),
+                })
+                .collect(),
+        };
+        Ok(FleetOutcome {
+            report,
+            trace,
+            cells,
+        })
+    }
+}
+
+/// Builds and runs one cell: scenario instantiation with the derived seed,
+/// slot-stepwise execution with per-slot latency measurement, telemetry
+/// recording.
+fn run_cell(scenario: Scenario, base: ScenarioConfig, cell: u32) -> Result<CellOutcome, String> {
+    let config = base.for_cell(cell);
+    let seed = config.seed;
+    let mut engine = ScenarioEngine::new(scenario, config)?;
+    let mut recorder = TelemetryRecorder::new(&engine);
+    let total_slots = engine.scenario().total_slots;
+    let mut slot_latencies_ms = Vec::with_capacity(total_slots);
+    while engine.current_slot() < total_slots {
+        let slot_start = Instant::now();
+        engine.step_slot(&mut recorder);
+        slot_latencies_ms.push(slot_start.elapsed().as_secs_f64() * 1_000.0);
+    }
+    // The timeline is exhausted; this call only closes the final partial
+    // episodes and produces the aggregated report.
+    let report = engine.run_with_observer(&mut recorder);
+    if report.has_nan() {
+        return Err(format!("cell {cell} (seed {seed}) produced NaN metrics"));
+    }
+    Ok(CellOutcome {
+        cell,
+        seed,
+        report,
+        trace: recorder.finalize(),
+        slot_latencies_ms,
+    })
+}
+
+/// Folds per-cell outcomes into the fleet-level report.
+///
+/// Public so the aggregation math is property-testable: the fleet
+/// SLA-violation percentage and every percentile must equal the values
+/// recomputed from the concatenated per-cell samples.
+pub fn aggregate_fleet(
+    scenario: &str,
+    master_seed: u64,
+    cells: &[CellOutcome],
+    wall_clock_ms: f64,
+) -> FleetReport {
+    let mut peak_slices = 0usize;
+    let mut slice_slots = 0usize;
+    let mut slice_episodes = 0usize;
+    let mut violations = 0usize;
+    let mut cost_weighted = 0.0;
+    let mut slot_cost_weighted = 0.0;
+    let mut aggregate_rate = 0.0;
+    let mut slot_costs: Vec<f64> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut cells_detail = Vec::with_capacity(cells.len());
+    for c in cells {
+        let cell_violations: usize = c.report.slices.iter().map(|s| s.violations).sum();
+        peak_slices += c.report.peak_concurrent_slices;
+        slice_slots += c.report.slice_slots;
+        slice_episodes += c.report.slice_episodes;
+        violations += cell_violations;
+        cost_weighted += c.report.avg_cost * c.report.slice_episodes as f64;
+        slot_cost_weighted += c.report.avg_slot_cost * c.report.slice_slots as f64;
+        aggregate_rate += c.report.slice_slots_per_second;
+        for slot in &c.trace.slots {
+            slot_costs.extend(slot.slices.iter().map(|s| s.cost));
+        }
+        latencies.extend_from_slice(&c.slot_latencies_ms);
+        cells_detail.push(CellSummary {
+            cell: c.cell,
+            seed: c.seed,
+            peak_slices: c.report.peak_concurrent_slices,
+            slice_slots: c.report.slice_slots,
+            episodes: c.report.slice_episodes,
+            violations: cell_violations,
+            sla_violation_percent: c.report.sla_violation_percent,
+            avg_cost: c.report.avg_cost,
+            avg_slot_cost: c.report.avg_slot_cost,
+            wall_clock_ms: c.report.wall_clock_ms,
+            slice_slots_per_second: c.report.slice_slots_per_second,
+            slot_latency_p50_ms: percentile(&c.slot_latencies_ms, 50.0),
+            slot_latency_p99_ms: percentile(&c.slot_latencies_ms, 99.0),
+        });
+    }
+    FleetReport {
+        scenario: scenario.to_string(),
+        master_seed,
+        cells: cells.len(),
+        peak_slices,
+        slice_slots,
+        slice_episodes,
+        violations,
+        sla_violation_percent: if slice_episodes > 0 {
+            100.0 * violations as f64 / slice_episodes as f64
+        } else {
+            0.0
+        },
+        avg_cost: if slice_episodes > 0 {
+            cost_weighted / slice_episodes as f64
+        } else {
+            0.0
+        },
+        avg_slot_cost: if slice_slots > 0 {
+            slot_cost_weighted / slice_slots as f64
+        } else {
+            0.0
+        },
+        cost_p50: percentile(&slot_costs, 50.0),
+        cost_p90: percentile(&slot_costs, 90.0),
+        cost_p99: percentile(&slot_costs, 99.0),
+        wall_clock_ms,
+        slice_slots_per_second: if wall_clock_ms > 0.0 {
+            slice_slots as f64 / (wall_clock_ms / 1_000.0)
+        } else {
+            0.0
+        },
+        aggregate_cell_slots_per_second: aggregate_rate,
+        slot_latency_p50_ms: percentile(&latencies, 50.0),
+        slot_latency_p90_ms: percentile(&latencies, 90.0),
+        slot_latency_p99_ms: percentile(&latencies, 99.0),
+        cells_detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onslicing_scenario::{derive_cell_seed, SliceSpec};
+    use onslicing_slices::SliceKind;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario::new("tiny-fleet", 8, 16)
+            .with_capacity(1.5)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Rdc))
+    }
+
+    #[test]
+    fn fleet_run_aggregates_every_cell() {
+        let runner = FleetRunner::new(tiny_scenario(), FleetConfig::new(3).with_seed(7)).unwrap();
+        let outcome = runner.run().unwrap();
+        let report = &outcome.report;
+        assert_eq!(report.cells, 3);
+        assert_eq!(report.scenario, "tiny-fleet");
+        assert_eq!(report.master_seed, 7);
+        // Two slices × 16 slots × 3 cells.
+        assert_eq!(report.slice_slots, 2 * 16 * 3);
+        assert_eq!(report.peak_slices, 6);
+        assert!(report.slice_episodes > 0);
+        assert!(!report.has_nan());
+        assert!(report.slice_slots_per_second > 0.0);
+        assert!(report.aggregate_cell_slots_per_second > 0.0);
+        assert!(report.slot_latency_p50_ms <= report.slot_latency_p99_ms);
+        assert!(report.cost_p50 <= report.cost_p99);
+        assert!(report.avg_slot_cost >= 0.0);
+        assert_eq!(report.cells_detail.len(), 3);
+        for (i, cell) in report.cells_detail.iter().enumerate() {
+            assert_eq!(cell.cell, i as u32);
+            assert_eq!(cell.seed, derive_cell_seed(7, i as u32));
+            assert_eq!(cell.slice_slots, 32);
+        }
+        // Cells are distinct deployments: their seeds differ, and so do
+        // their telemetry streams.
+        assert_ne!(
+            outcome.trace.cells[0].trace.to_json(),
+            outcome.trace.cells[1].trace.to_json()
+        );
+    }
+
+    #[test]
+    fn fleet_traces_are_reproducible_and_version_gated() {
+        let runner = FleetRunner::new(tiny_scenario(), FleetConfig::new(2).with_seed(3)).unwrap();
+        let a = runner.run().unwrap().trace;
+        let b = runner.run().unwrap().trace;
+        assert_eq!(a.to_json(), b.to_json());
+        let back = FleetTrace::from_json(&a.to_json()).unwrap();
+        assert_eq!(back, a);
+        let mut bad = a.clone();
+        bad.format_version = 99;
+        assert!(FleetTrace::from_json(&bad.to_json())
+            .unwrap_err()
+            .contains("version 99"));
+    }
+
+    #[test]
+    fn invalid_fleets_are_rejected() {
+        assert!(FleetRunner::new(tiny_scenario(), FleetConfig::new(0)).is_err());
+        let empty = Scenario::new("empty", 8, 16);
+        assert!(FleetRunner::new(empty, FleetConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn cell_seeds_match_the_scenario_derivation() {
+        let runner = FleetRunner::new(tiny_scenario(), FleetConfig::new(5).with_seed(11)).unwrap();
+        let seeds = runner.cell_seeds();
+        assert_eq!(seeds.len(), 5);
+        for (i, s) in seeds.iter().enumerate() {
+            assert_eq!(*s, derive_cell_seed(11, i as u32));
+        }
+    }
+}

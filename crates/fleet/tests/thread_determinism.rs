@@ -1,0 +1,39 @@
+//! The fleet twin of the repository's thread-count determinism gate: a
+//! multi-cell fleet run must emit a byte-identical [`FleetTrace`] with the
+//! rayon pool forced to one thread and at the machine default — cells share
+//! nothing, and every cell's RNG chain is keyed by its derived seed, not by
+//! the worker that happened to execute it. CI additionally runs the same
+//! comparison across separate `fleet_runner` processes.
+//!
+//! This is deliberately the **only** test in this binary: the vendored
+//! rayon reads `RAYON_NUM_THREADS` on every call, and mutating the process
+//! environment is only safe while no other thread reads it concurrently.
+
+use onslicing_fleet::{FleetConfig, FleetRunner};
+use onslicing_scenario::{Scenario, SliceSpec};
+use onslicing_slices::SliceKind;
+
+#[test]
+fn fleet_trace_is_byte_identical_across_thread_counts() {
+    let scenario = Scenario::new("fleet-determinism", 8, 16)
+        .with_capacity(2.0)
+        .slice(SliceSpec::new(SliceKind::Mar))
+        .slice(SliceSpec::new(SliceKind::Hvs))
+        .slice(SliceSpec::new(SliceKind::Rdc));
+    let record = || {
+        let runner = FleetRunner::new(scenario.clone(), FleetConfig::new(3).with_seed(5)).unwrap();
+        runner.run().unwrap().trace.to_json()
+    };
+    let previous = std::env::var("RAYON_NUM_THREADS").ok();
+    let default_threads = record();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single_thread = record();
+    match previous {
+        Some(value) => std::env::set_var("RAYON_NUM_THREADS", value),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    assert_eq!(
+        default_threads, single_thread,
+        "fleet traces must not depend on the rayon worker count"
+    );
+}

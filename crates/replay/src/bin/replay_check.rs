@@ -20,7 +20,7 @@
 //! or paths to scenario JSON files. Exit codes: 0 = pass, 1 = drift or
 //! resume mismatch, 2 = usage/setup error.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use onslicing_replay::{
@@ -46,17 +46,7 @@ fn usage() -> String {
 }
 
 fn load_scenario(name: &str) -> Result<Scenario, String> {
-    if let Some(scenario) = builtin::by_name(name) {
-        return Ok(scenario);
-    }
-    if Path::new(name).exists() {
-        let text = std::fs::read_to_string(name)
-            .map_err(|e| format!("cannot read scenario file `{name}`: {e}"))?;
-        return Scenario::from_json(&text);
-    }
-    Err(format!(
-        "`{name}` is neither a built-in scenario nor an existing file (try `replay_check list`)"
-    ))
+    builtin::by_name_or_file(name)
 }
 
 fn record(name: &str, seed: u64) -> Result<TelemetryTrace, String> {

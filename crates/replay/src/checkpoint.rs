@@ -21,7 +21,12 @@ use onslicing_scenario::ScenarioEngine;
 
 /// Version stamp of the checkpoint JSON layout; bump on breaking changes so
 /// stale files fail loudly instead of mis-restoring.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+///
+/// v2: the engine's `RunState` gained the `slot_cost_total` /
+/// `slot_usage_weighted` accumulators and `ScenarioReport` the
+/// `avg_slot_cost` / `avg_slot_usage_percent` fields, so v1 snapshots no
+/// longer parse.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
 
 /// A versioned, self-describing snapshot of a scenario run.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -29,6 +29,6 @@ pub mod telemetry;
 pub use checkpoint::{Checkpoint, CHECKPOINT_FORMAT_VERSION};
 pub use golden::{check_against_golden, diff_traces, golden_path, write_golden, Tolerance};
 pub use telemetry::{
-    record_scenario, EpisodeTelemetry, SliceSlotTelemetry, SliceTelemetrySummary, SlotTelemetry,
-    TelemetryRecorder, TelemetryTrace, TRACE_FORMAT_VERSION,
+    percentile, record_scenario, EpisodeTelemetry, SliceSlotTelemetry, SliceTelemetrySummary,
+    SlotTelemetry, TelemetryRecorder, TelemetryTrace, TRACE_FORMAT_VERSION,
 };

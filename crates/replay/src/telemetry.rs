@@ -330,7 +330,11 @@ impl SlotObserver for TelemetryRecorder {
 }
 
 /// Nearest-rank percentile of an unsorted series (0.0 for an empty one).
-fn percentile(values: &[f64], q: f64) -> f64 {
+///
+/// Public because the fleet aggregator computes its fleet-wide cost and
+/// latency summaries with exactly these semantics — a fleet percentile must
+/// equal the percentile of the concatenated per-cell samples.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }

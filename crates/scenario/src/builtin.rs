@@ -1,9 +1,10 @@
 //! The built-in scenario catalogue.
 //!
-//! Six named scenarios covering the workload axes the ROADMAP asks for:
+//! Seven named scenarios covering the workload axes the ROADMAP asks for:
 //! steady state, flash crowds, slice churn, infrastructure faults, a
-//! week-long diurnal rhythm with an SLA renegotiation, and a many-slice
-//! stress deployment that exercises the rayon fan-out. All are CI-scale
+//! week-long diurnal rhythm with an SLA renegotiation, a many-slice
+//! stress deployment that exercises the rayon fan-out, and the fleet-soak
+//! per-cell workload of the multi-cell fleet runner. All are CI-scale
 //! (seconds in release mode); they are *shapes*, so scaling them up is a
 //! matter of raising `horizon`/`total_slots`.
 
@@ -14,13 +15,14 @@ use onslicing_traffic::DiurnalTraceConfig;
 use crate::spec::{Scenario, ScenarioEvent, SliceSpec};
 
 /// Names of the built-in scenarios, in catalogue order.
-pub const BUILTIN_NAMES: [&str; 6] = [
+pub const BUILTIN_NAMES: [&str; 7] = [
     "steady",
     "flash-crowd",
     "slice-churn",
     "tn-degradation",
     "diurnal-week",
     "stress-many-slices",
+    "fleet-soak",
 ];
 
 fn paper_trio(scenario: Scenario) -> Scenario {
@@ -161,6 +163,43 @@ pub fn stress_many_slices() -> Scenario {
     scenario
 }
 
+/// The per-cell workload of the fleet runner: a 12-slice deployment that
+/// additionally exercises every event class mid-run — an admission (the
+/// 13th slice), a flash burst, a transport fault and a teardown — so a
+/// fleet of `N` cells soaks lifecycle churn at `N × 12+` slice scale.
+pub fn fleet_soak() -> Scenario {
+    let mut scenario = Scenario::new("fleet-soak", 8, 24)
+        .describe("12 slices per cell plus mid-run admission, burst, transport fault and teardown")
+        .with_capacity(4.5);
+    for i in 0..12 {
+        scenario = scenario.slice(SliceSpec::new(SliceKind::ALL[i % 3]));
+    }
+    scenario
+        .at(
+            8,
+            ScenarioEvent::AdmitSlice {
+                slice: SliceSpec::new(SliceKind::Mar).with_peak_rate(2.0),
+            },
+        )
+        .at(
+            10,
+            ScenarioEvent::TrafficBurst {
+                slice: 0,
+                scale: 1.8,
+                duration_slots: 6,
+            },
+        )
+        .at(
+            12,
+            ScenarioEvent::DomainFault {
+                domain: DomainKind::Transport,
+                capacity_scale: 0.7,
+                duration_slots: 6,
+            },
+        )
+        .at(20, ScenarioEvent::TeardownSlice { slice: 5 })
+}
+
 /// Every built-in scenario, in [`BUILTIN_NAMES`] order.
 pub fn all() -> Vec<Scenario> {
     vec![
@@ -170,12 +209,32 @@ pub fn all() -> Vec<Scenario> {
         tn_degradation(),
         diurnal_week(),
         stress_many_slices(),
+        fleet_soak(),
     ]
 }
 
 /// Looks a built-in scenario up by name.
 pub fn by_name(name: &str) -> Option<Scenario> {
     all().into_iter().find(|s| s.name == name)
+}
+
+/// Resolves a CLI scenario argument: a built-in name, or a path to a
+/// scenario JSON file (validated on load). Shared by the `replay_check`
+/// and `fleet_runner` binaries so the resolution rules cannot drift apart.
+pub fn by_name_or_file(arg: &str) -> Result<Scenario, String> {
+    if let Some(scenario) = by_name(arg) {
+        return Ok(scenario);
+    }
+    if std::path::Path::new(arg).exists() {
+        let text = std::fs::read_to_string(arg)
+            .map_err(|e| format!("cannot read scenario file `{arg}`: {e}"))?;
+        return Scenario::from_json(&text);
+    }
+    Err(format!(
+        "`{arg}` is neither a built-in scenario nor an existing file \
+         (built-ins: {})",
+        BUILTIN_NAMES.join(", ")
+    ))
 }
 
 #[cfg(test)]
@@ -214,5 +273,29 @@ mod tests {
         let s = stress_many_slices();
         assert!(s.initial_slices.len() >= 12);
         assert!(s.capacity >= 4.0);
+    }
+
+    #[test]
+    fn fleet_soak_mixes_scale_with_lifecycle_churn() {
+        let s = fleet_soak();
+        assert_eq!(s.initial_slices.len(), 12);
+        // One admission mid-run, capacity-gated per cell by the admission
+        // controller: cells peak at 12-13 slices depending on their seed,
+        // and the committed 8-cell fleet curve peaks at 101 concurrent
+        // slices — past the 100-slice fleet target.
+        let admissions = s
+            .events
+            .iter()
+            .filter(|t| matches!(t.event, ScenarioEvent::AdmitSlice { .. }))
+            .count();
+        assert_eq!(admissions, 1);
+        assert!(s
+            .events
+            .iter()
+            .any(|t| matches!(t.event, ScenarioEvent::DomainFault { .. })));
+        assert!(s
+            .events
+            .iter()
+            .any(|t| matches!(t.event, ScenarioEvent::TeardownSlice { .. })));
     }
 }

@@ -45,6 +45,24 @@ use onslicing_slices::{SliceKind, SlotKpi};
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::spec::{Scenario, ScenarioEvent, SliceSpec, TimedEvent};
 
+/// Derives the master seed of one fleet cell from the fleet-wide seed.
+///
+/// SplitMix64-style counter keying: the cell index is folded into the
+/// master seed through the golden-ratio increment and the SplitMix64
+/// finalizer. The finalizer is a bijection and the increment is odd, so for
+/// a fixed master seed every cell index maps to a **distinct** seed; the
+/// function is pure, so the mapping is stable across runs, processes and
+/// thread counts. Each cell then derives its slice RNG chains from its own
+/// seed exactly like a standalone scenario run does, which keeps cells
+/// statistically independent streams of one keyed family — the same
+/// counter-keyed construction the per-slice RNGs use.
+pub fn derive_cell_seed(master_seed: u64, cell_index: u32) -> u64 {
+    let mut z = master_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(cell_index) + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Tuning of a scenario run (everything that is not part of the scenario
 /// file itself).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -60,6 +78,17 @@ pub struct ScenarioConfig {
     pub pretrain_episodes: usize,
     /// Admission-control tuning.
     pub admission: AdmissionConfig,
+}
+
+impl ScenarioConfig {
+    /// The configuration of fleet cell `cell_index`: identical tuning, seed
+    /// replaced by [`derive_cell_seed`] of this configuration's seed.
+    pub fn for_cell(&self, cell_index: u32) -> Self {
+        Self {
+            seed: derive_cell_seed(self.seed, cell_index),
+            ..*self
+        }
+    }
 }
 
 impl Default for ScenarioConfig {
@@ -129,6 +158,14 @@ pub struct ScenarioReport {
     pub sla_violation_percent: f64,
     /// Mean episode-average cost across slice-episodes.
     pub avg_cost: f64,
+    /// Mean per-slice-slot cost over the whole run (total slot cost over
+    /// `slice_slots`), folded slot-by-slot from the orchestrator's cheap
+    /// [`onslicing_core::SlotAggregate`] — no per-slot telemetry retention
+    /// needed.
+    pub avg_slot_cost: f64,
+    /// Mean per-slice-slot resource utilization in percent, folded the
+    /// same way.
+    pub avg_slot_usage_percent: f64,
     /// Mean agent↔manager coordination rounds per executed slot.
     pub avg_coordination_rounds: f64,
     /// Executed slice-slots per wall-clock second (scenario throughput).
@@ -158,6 +195,8 @@ impl ScenarioReport {
             slice_episodes: 0,
             sla_violation_percent: 0.0,
             avg_cost: 0.0,
+            avg_slot_cost: 0.0,
+            avg_slot_usage_percent: 0.0,
             avg_coordination_rounds: 0.0,
             slice_slots_per_second: 0.0,
             wall_clock_ms: 0.0,
@@ -170,6 +209,8 @@ impl ScenarioReport {
         let aggregate = [
             self.sla_violation_percent,
             self.avg_cost,
+            self.avg_slot_cost,
+            self.avg_slot_usage_percent,
             self.avg_coordination_rounds,
             self.slice_slots_per_second,
             self.wall_clock_ms,
@@ -416,6 +457,10 @@ struct RunState {
     rounds_total: usize,
     /// Slots in which at least one slice was active.
     executed_slots: usize,
+    /// Sum of per-slice-slot costs over executed slots.
+    slot_cost_total: f64,
+    /// Sum over executed slots of (mean usage × active slices).
+    slot_usage_weighted: f64,
 }
 
 impl RunState {
@@ -431,6 +476,8 @@ impl RunState {
             restores: Vec::new(),
             rounds_total: 0,
             executed_slots: 0,
+            slot_cost_total: 0.0,
+            slot_usage_weighted: 0.0,
         }
     }
 }
@@ -757,14 +804,14 @@ impl ScenarioEngine {
         }
         if self.orch.num_slices() > 0 {
             let outcome = self.orch.run_slot(true);
-            self.run.rounds_total += outcome.interactions;
+            let aggregate = outcome.aggregate();
+            self.run.rounds_total += aggregate.interactions;
             self.run.executed_slots += 1;
-            self.run.report.slice_slots += self.orch.num_slices();
-            self.run.report.peak_concurrent_slices = self
-                .run
-                .report
-                .peak_concurrent_slices
-                .max(self.orch.num_slices());
+            self.run.slot_cost_total += aggregate.total_cost;
+            self.run.slot_usage_weighted += aggregate.mean_usage_percent * aggregate.slices as f64;
+            self.run.report.slice_slots += aggregate.slices;
+            self.run.report.peak_concurrent_slices =
+                self.run.report.peak_concurrent_slices.max(aggregate.slices);
             let samples: Vec<SlotSample> = (0..self.orch.num_slices())
                 .map(|i| {
                     let agent = &self.orch.agents()[i];
@@ -833,6 +880,11 @@ impl ScenarioEngine {
             report.avg_coordination_rounds =
                 self.run.rounds_total as f64 / self.run.executed_slots as f64;
         }
+        if report.slice_slots > 0 {
+            report.avg_slot_cost = self.run.slot_cost_total / report.slice_slots as f64;
+            report.avg_slot_usage_percent =
+                self.run.slot_usage_weighted / report.slice_slots as f64;
+        }
         report.wall_clock_ms += start.elapsed().as_secs_f64() * 1_000.0;
         report.slice_slots_per_second = if report.wall_clock_ms > 0.0 {
             report.slice_slots as f64 / (report.wall_clock_ms / 1_000.0)
@@ -894,6 +946,29 @@ mod tests {
 
     fn quick_config() -> ScenarioConfig {
         ScenarioConfig::default()
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_stable_and_keyed_to_the_master() {
+        let seeds: Vec<u64> = (0..64).map(|i| derive_cell_seed(0, i)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b, "cell seeds must be pairwise distinct");
+            }
+        }
+        // Stability pins: the derivation is part of the fleet determinism
+        // contract — changing it invalidates every committed fleet trace.
+        assert_eq!(derive_cell_seed(0, 0), 16294208416658607535);
+        assert_eq!(derive_cell_seed(7, 3), 7862637804313477842);
+        assert_ne!(derive_cell_seed(0, 0), derive_cell_seed(1, 0));
+        let config = ScenarioConfig {
+            seed: 42,
+            ..ScenarioConfig::default()
+        };
+        let cell = config.for_cell(5);
+        assert_eq!(cell.seed, derive_cell_seed(42, 5));
+        assert_eq!(cell.pretrain_episodes, config.pretrain_episodes);
+        assert_eq!(cell.coordination, config.coordination);
     }
 
     #[test]
@@ -1245,6 +1320,18 @@ mod tests {
         assert_eq!(rec.episodes.len(), report.slice_episodes);
         assert!(rec.samples.iter().all(|s| s.kpi.cost >= 0.0));
         assert!(rec.samples.iter().all(|s| s.lambda >= 0.0));
+        // The report's cheap slot-level folds agree with the full
+        // per-sample telemetry stream.
+        let mean_cost =
+            rec.samples.iter().map(|s| s.kpi.cost).sum::<f64>() / rec.samples.len() as f64;
+        assert!((report.avg_slot_cost - mean_cost).abs() < 1e-9);
+        let mean_usage = rec
+            .samples
+            .iter()
+            .map(|s| s.kpi.resource_usage_percent())
+            .sum::<f64>()
+            / rec.samples.len() as f64;
+        assert!((report.avg_slot_usage_percent - mean_usage).abs() < 1e-9);
         // Slots arrive in order; samples of one slot share the slot index.
         assert!(rec.samples.windows(2).all(|w| w[0].slot <= w[1].slot));
     }

@@ -17,9 +17,9 @@
 //!   before any mid-run slice instantiation;
 //! * [`engine`] — the slot-by-slot executor ([`ScenarioEngine`]) and the
 //!   [`ScenarioReport`] metrics;
-//! * [`builtin`] — the six named built-in scenarios (`steady`,
+//! * [`builtin`] — the seven named built-in scenarios (`steady`,
 //!   `flash-crowd`, `slice-churn`, `tn-degradation`, `diurnal-week`,
-//!   `stress-many-slices`).
+//!   `stress-many-slices`, `fleet-soak`).
 //!
 //! ```no_run
 //! use onslicing_scenario::{builtin, run_scenario, ScenarioConfig};
@@ -41,7 +41,7 @@ pub mod spec;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDenied};
 pub use engine::{
-    run_scenario, EpisodeEndEvent, ScenarioConfig, ScenarioEngine, ScenarioReport, SliceReport,
-    SlotObserver, SlotSample,
+    derive_cell_seed, run_scenario, EpisodeEndEvent, ScenarioConfig, ScenarioEngine,
+    ScenarioReport, SliceReport, SlotObserver, SlotSample,
 };
 pub use spec::{Scenario, ScenarioEvent, SliceSpec, TimedEvent};

@@ -9,6 +9,7 @@
 
 pub use onslicing_core as core;
 pub use onslicing_domains as domains;
+pub use onslicing_fleet as fleet;
 pub use onslicing_netsim as netsim;
 pub use onslicing_nn as nn;
 pub use onslicing_replay as replay;

@@ -155,6 +155,21 @@ macro_rules! impl_float {
 
 impl_float!(f32, f64);
 
+// The data model is its own (identity) serialization: this is what lets
+// callers parse arbitrary JSON into a `Value` via `serde_json::from_str`
+// and walk it generically (the bench-regression differ does).
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize_value(&self) -> Value {
         Value::Bool(*self)
