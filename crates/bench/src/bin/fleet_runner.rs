@@ -31,6 +31,13 @@
 //! exercised by the fleet tests and by the determinism-gate mode below,
 //! which leaves the pool width alone.
 //!
+//! **Rebalance comparison.** The bench file also pins the elastic-fleet
+//! story: `hotspot-shift` at two cells with the balancer off (frozen
+//! sharding) versus on. Every compared field is deterministic for the
+//! fixed seed — SLA-violation percentages, episode/violation counts,
+//! migrations — so the gate holds them exactly; the headline
+//! `violation_reduction_points` is the balancer's fleet-wide SLA win.
+//!
 //! ```sh
 //! # The committed scaling curve (1/4/8 cells × fleet-soak):
 //! cargo run --release --bin fleet_runner
@@ -40,16 +47,22 @@
 //! # Determinism-gate mode: write only the byte-deterministic fleet trace
 //! # (compare across RAYON_NUM_THREADS settings with `cmp`):
 //! cargo run --release --bin fleet_runner -- --trace-out fleet-trace.json --trace-cells 2
+//! # Elastic determinism-gate mode: a migrating hotspot-shift fleet's
+//! # trace (migrations included) must also be byte-stable:
+//! cargo run --release --bin fleet_runner -- --fleet-scenario hotspot-shift \
+//!     --trace-out elastic-trace.json --trace-cells 2 --balancer on
 //! ```
 //!
-//! Exit codes: 0 = ok, 1 = NaN metrics, 2 = usage/setup error.
+//! Exit codes: 0 = ok, 1 = non-finite metrics, 2 = usage/setup error.
 
 use std::process::ExitCode;
 
 use serde::Serialize;
 
-use onslicing_fleet::{FleetConfig, FleetReport, FleetRunner};
-use onslicing_scenario::builtin;
+use onslicing_fleet::{
+    BalancerConfig, ElasticFleetConfig, ElasticFleetRunner, FleetConfig, FleetReport, FleetRunner,
+};
+use onslicing_scenario::{builtin, fleet_by_name, FleetScenario, FLEET_BUILTIN_NAMES};
 
 #[derive(Serialize)]
 struct CurvePoint {
@@ -94,6 +107,44 @@ impl CurvePoint {
     }
 }
 
+/// One arm of the rebalance comparison — deterministic fields only, so the
+/// regression gate holds every one of them exactly.
+#[derive(Serialize)]
+struct RebalanceArm {
+    sla_violation_percent: f64,
+    violations: usize,
+    slice_episodes: usize,
+    migrations: usize,
+    fleet_admissions_granted: usize,
+    fleet_admissions_denied: usize,
+}
+
+impl RebalanceArm {
+    fn from_report(r: &FleetReport) -> Self {
+        Self {
+            sla_violation_percent: r.sla_violation_percent,
+            violations: r.violations,
+            slice_episodes: r.slice_episodes,
+            migrations: r.migrations.len(),
+            fleet_admissions_granted: r.fleet_admissions_granted,
+            fleet_admissions_denied: r.fleet_admissions_denied,
+        }
+    }
+}
+
+/// The elastic-fleet pin: frozen sharding vs live rebalancing on the
+/// hotspot-shift fleet scenario.
+#[derive(Serialize)]
+struct RebalanceComparison {
+    scenario: String,
+    cells: usize,
+    balancer_off: RebalanceArm,
+    balancer_on: RebalanceArm,
+    /// Off-minus-on fleet SLA-violation percentage points (> 0 = the
+    /// balancer helps; pinned exactly by the gate).
+    violation_reduction_points: f64,
+}
+
 #[derive(Serialize)]
 struct BenchFile {
     schema: String,
@@ -104,6 +155,7 @@ struct BenchFile {
     slices_per_cell_initial: usize,
     curve: Vec<CurvePoint>,
     aggregate_speedup_max_vs_min_cells: f64,
+    rebalance_comparison: RebalanceComparison,
 }
 
 struct Options {
@@ -113,6 +165,8 @@ struct Options {
     out: String,
     trace_out: Option<String>,
     trace_cells: usize,
+    fleet_scenario: Option<String>,
+    balancer_on: bool,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -123,6 +177,8 @@ fn parse_options() -> Result<Options, String> {
         out: "BENCH_fleet.json".to_string(),
         trace_out: None,
         trace_cells: 2,
+        fleet_scenario: None,
+        balancer_on: true,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -157,11 +213,21 @@ fn parse_options() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("invalid --trace-cells `{v}`"))?;
             }
+            "--fleet-scenario" => opts.fleet_scenario = Some(value("--fleet-scenario")?),
+            "--balancer" => {
+                let v = value("--balancer")?;
+                opts.balancer_on = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => return Err(format!("invalid --balancer `{v}` (expect on|off)")),
+                };
+            }
             other => {
                 return Err(format!(
                     "unknown option `{other}`\nusage: fleet_runner [--scenario NAME|PATH] \
                      [--cells 1,4,8] [--seed N] [--out PATH] \
-                     [--trace-out PATH [--trace-cells N]]"
+                     [--trace-out PATH [--trace-cells N]] \
+                     [--fleet-scenario NAME [--balancer on|off]]"
                 ))
             }
         }
@@ -169,8 +235,59 @@ fn parse_options() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Runs a fleet scenario through the elastic runner.
+fn run_elastic(
+    fleet: &FleetScenario,
+    cells: usize,
+    seed: u64,
+    balancer: BalancerConfig,
+) -> Result<onslicing_fleet::FleetOutcome, String> {
+    ElasticFleetRunner::new(
+        fleet.clone(),
+        ElasticFleetConfig::new(cells)
+            .with_seed(seed)
+            .with_balancer(balancer),
+    )?
+    .run()
+}
+
 fn run() -> Result<bool, String> {
     let opts = parse_options()?;
+
+    if let Some(name) = &opts.fleet_scenario {
+        // Elastic determinism-gate mode: run a fleet scenario through the
+        // elastic runner and write only the byte-deterministic trace.
+        let Some(fleet) = fleet_by_name(name) else {
+            return Err(format!(
+                "`{name}` is not a built-in fleet scenario (built-ins: {})",
+                FLEET_BUILTIN_NAMES.join(", ")
+            ));
+        };
+        let Some(trace_out) = &opts.trace_out else {
+            return Err("--fleet-scenario needs --trace-out (elastic trace mode)".to_string());
+        };
+        let balancer = if opts.balancer_on {
+            BalancerConfig::default()
+        } else {
+            BalancerConfig::disabled()
+        };
+        let outcome = run_elastic(&fleet, opts.trace_cells, opts.seed, balancer)?;
+        if outcome.report.has_non_finite() {
+            eprintln!("fleet_runner: non-finite metrics in the elastic trace run");
+            return Ok(false);
+        }
+        outcome.trace.save(trace_out)?;
+        println!(
+            "elastic fleet trace: `{name}` × {} cells (seed {}, balancer {}, {} migrations) \
+             -> {trace_out}",
+            opts.trace_cells,
+            opts.seed,
+            if opts.balancer_on { "on" } else { "off" },
+            outcome.report.migrations.len(),
+        );
+        return Ok(true);
+    }
+
     let scenario = builtin::by_name_or_file(&opts.scenario)?;
 
     if let Some(trace_out) = &opts.trace_out {
@@ -180,8 +297,8 @@ fn run() -> Result<bool, String> {
             FleetConfig::new(opts.trace_cells).with_seed(opts.seed),
         )?;
         let outcome = runner.run()?;
-        if outcome.report.has_nan() {
-            eprintln!("fleet_runner: NaN metrics in the trace run");
+        if outcome.report.has_non_finite() {
+            eprintln!("fleet_runner: non-finite metrics in the trace run");
             return Ok(false);
         }
         outcome.trace.save(trace_out)?;
@@ -208,8 +325,8 @@ fn run() -> Result<bool, String> {
         )?;
         let outcome = runner.run()?;
         let report = &outcome.report;
-        if report.has_nan() {
-            eprintln!("fleet_runner: NaN metrics at {cells} cell(s)");
+        if report.has_non_finite() {
+            eprintln!("fleet_runner: non-finite metrics at {cells} cell(s)");
             return Ok(false);
         }
         println!(
@@ -242,11 +359,37 @@ fn run() -> Result<bool, String> {
         .expect("curve is non-empty");
     let speedup = wide_rate / base_rate.max(1e-9);
 
+    // The elastic-fleet pin: hotspot-shift at two cells, frozen vs live
+    // rebalancing. All compared fields are deterministic for the seed.
+    let hotspot = fleet_by_name("hotspot-shift").expect("hotspot-shift is a built-in");
+    let off = run_elastic(&hotspot, 2, opts.seed, BalancerConfig::disabled())?;
+    let on = run_elastic(&hotspot, 2, opts.seed, BalancerConfig::default())?;
+    if off.report.has_non_finite() || on.report.has_non_finite() {
+        eprintln!("fleet_runner: non-finite metrics in the rebalance comparison");
+        return Ok(false);
+    }
+    let reduction = off.report.sla_violation_percent - on.report.sla_violation_percent;
+    println!(
+        "rebalance comparison (hotspot-shift, 2 cells): {:.2}% violations frozen vs {:.2}% \
+         balanced ({} migrations, -{:.2} points)",
+        off.report.sla_violation_percent,
+        on.report.sla_violation_percent,
+        on.report.migrations.len(),
+        reduction
+    );
+    let rebalance_comparison = RebalanceComparison {
+        scenario: hotspot.name.clone(),
+        cells: 2,
+        balancer_off: RebalanceArm::from_report(&off.report),
+        balancer_on: RebalanceArm::from_report(&on.report),
+        violation_reduction_points: reduction,
+    };
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let payload = serde_json::to_string_pretty(&BenchFile {
-        schema: "onslicing-fleet-bench/1".to_string(),
+        schema: "onslicing-fleet-bench/2".to_string(),
         threads,
         schedule: "single-thread-pinned (RAYON_NUM_THREADS=1 for reproducible gating)".to_string(),
         scenario: opts.scenario.clone(),
@@ -254,6 +397,7 @@ fn run() -> Result<bool, String> {
         slices_per_cell_initial: scenario.initial_slices.len(),
         curve,
         aggregate_speedup_max_vs_min_cells: speedup,
+        rebalance_comparison,
     })
     .expect("bench serialization cannot fail");
     std::fs::write(&opts.out, &payload).expect("failed to write the benchmark JSON");

@@ -1,7 +1,11 @@
 //! Executes scenarios end to end and emits per-scenario JSON metrics.
 //!
+//! Fleet built-ins (`hotspot-shift`, `cell-outage`) are accepted alongside
+//! the single-cell names: they run on a 2-cell elastic fleet with the
+//! default balancer and report migrations and fleet-admission outcomes.
+//!
 //! ```sh
-//! # Run the whole built-in catalogue:
+//! # Run the whole built-in catalogue (single-cell and fleet):
 //! cargo run --release --bin scenario_runner
 //! # Run selected built-ins:
 //! cargo run --release --bin scenario_runner -- steady tn-degradation
@@ -15,14 +19,30 @@
 //! `--out PATH` (metrics file, default `SCENARIO_metrics.json`),
 //! `--dump NAME` (print a built-in scenario's JSON and exit).
 //!
-//! The process exits non-zero if any scenario panics or reports a NaN
-//! metric, which is what the CI smoke step keys on.
+//! The process exits non-zero if any scenario panics or reports a
+//! non-finite metric, which is what the CI smoke step keys on.
 
 use std::process::ExitCode;
 
 use serde::Serialize;
 
-use onslicing_scenario::{builtin, Scenario, ScenarioConfig, ScenarioEngine, ScenarioReport};
+use onslicing_fleet::{ElasticFleetConfig, ElasticFleetRunner};
+use onslicing_scenario::{
+    builtin, fleet, Scenario, ScenarioConfig, ScenarioEngine, ScenarioReport,
+};
+
+/// Per-fleet-scenario smoke metrics (deterministic fields only).
+#[derive(Serialize)]
+struct FleetSmoke {
+    scenario: String,
+    cells: usize,
+    peak_slices: usize,
+    slice_slots: usize,
+    sla_violation_percent: f64,
+    migrations: usize,
+    fleet_admissions_granted: usize,
+    fleet_admissions_denied: usize,
+}
 
 /// The schema of the emitted metrics file.
 #[derive(Serialize)]
@@ -30,6 +50,7 @@ struct MetricsFile {
     schema: String,
     seed: u64,
     scenarios: Vec<ScenarioReport>,
+    fleet_scenarios: Vec<FleetSmoke>,
 }
 
 struct Args {
@@ -120,6 +141,10 @@ fn main() -> ExitCode {
         for scenario in builtin::all() {
             println!("  {:<20} {}", scenario.name, scenario.description);
         }
+        println!("built-in fleet scenarios (run on a 2-cell elastic fleet):");
+        for scenario in fleet::all_fleet_builtins() {
+            println!("  {:<20} {}", scenario.name, scenario.description);
+        }
         return ExitCode::SUCCESS;
     }
     if let Some(name) = &args.dump {
@@ -136,6 +161,7 @@ fn main() -> ExitCode {
     }
 
     let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut fleet_scenarios: Vec<fleet::FleetScenario> = Vec::new();
     if let Some(path) = &args.file {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -154,14 +180,16 @@ fn main() -> ExitCode {
     }
     if args.file.is_none() && args.names.is_empty() {
         scenarios = builtin::all();
+        fleet_scenarios = fleet::all_fleet_builtins();
     }
     for name in &args.names {
-        match builtin::by_name(name) {
-            Some(s) => scenarios.push(s),
-            None => {
-                eprintln!("scenario_runner: no built-in scenario named `{name}` (try --list)");
-                return ExitCode::FAILURE;
-            }
+        if let Some(s) = builtin::by_name(name) {
+            scenarios.push(s);
+        } else if let Some(f) = fleet::fleet_by_name(name) {
+            fleet_scenarios.push(f);
+        } else {
+            eprintln!("scenario_runner: no built-in scenario named `{name}` (try --list)");
+            return ExitCode::FAILURE;
         }
     }
 
@@ -186,9 +214,9 @@ fn main() -> ExitCode {
         };
         let report = engine.run();
         print_report(&report);
-        if report.has_nan() {
+        if report.has_non_finite() {
             eprintln!(
-                "scenario_runner: scenario `{}` reported NaN metrics",
+                "scenario_runner: scenario `{}` reported non-finite metrics",
                 report.scenario
             );
             nan_failures += 1;
@@ -196,10 +224,65 @@ fn main() -> ExitCode {
         reports.push(report);
     }
 
+    // Fleet scenarios run on a 2-cell elastic fleet with the default
+    // balancer — the smoke check that migration and fleet admission stay
+    // healthy end to end.
+    let mut fleet_reports = Vec::new();
+    for fleet_scenario in fleet_scenarios {
+        let cells = fleet_scenario.min_cells.max(2);
+        let runner = match ElasticFleetRunner::new(
+            fleet_scenario,
+            ElasticFleetConfig::new(cells).with_seed(args.seed),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("scenario_runner: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let outcome = match runner.run() {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("scenario_runner: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = &outcome.report;
+        println!(
+            "  {:<20} {:>2} cells  {:>4} slice-slots  {:>6.1}% violations  {} migrations  \
+             {}+{} fleet admissions",
+            report.scenario,
+            report.cells,
+            report.slice_slots,
+            report.sla_violation_percent,
+            report.migrations.len(),
+            report.fleet_admissions_granted,
+            report.fleet_admissions_denied,
+        );
+        if report.has_non_finite() {
+            eprintln!(
+                "scenario_runner: fleet scenario `{}` reported non-finite metrics",
+                report.scenario
+            );
+            nan_failures += 1;
+        }
+        fleet_reports.push(FleetSmoke {
+            scenario: report.scenario.clone(),
+            cells: report.cells,
+            peak_slices: report.peak_slices,
+            slice_slots: report.slice_slots,
+            sla_violation_percent: report.sla_violation_percent,
+            migrations: report.migrations.len(),
+            fleet_admissions_granted: report.fleet_admissions_granted,
+            fleet_admissions_denied: report.fleet_admissions_denied,
+        });
+    }
+
     let payload = serde_json::to_string_pretty(&MetricsFile {
-        schema: "onslicing-scenario-metrics/1".to_string(),
+        schema: "onslicing-scenario-metrics/2".to_string(),
         seed: args.seed,
         scenarios: reports,
+        fleet_scenarios: fleet_reports,
     })
     .expect("report serialization cannot fail");
     if let Err(e) = std::fs::write(&args.out, &payload) {
@@ -208,7 +291,7 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", args.out);
     if nan_failures > 0 {
-        eprintln!("scenario_runner: {nan_failures} scenario(s) reported NaN metrics");
+        eprintln!("scenario_runner: {nan_failures} scenario(s) reported non-finite metrics");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -47,6 +47,6 @@ pub use experiment::{evaluate_policy, DeploymentBuilder};
 pub use metrics::{EpisodeMetrics, EpochMetrics, PolicyEvaluation, SliceEpisodeSummary};
 pub use modifier::{ActionModifier, ModifierConfig};
 pub use orchestrator::{
-    CoordinationMode, Orchestrator, OrchestratorConfig, OrchestratorError, SlotAggregate,
-    SlotOutcome,
+    CoordinationMode, Orchestrator, OrchestratorConfig, OrchestratorError, SliceCheckpoint,
+    SlotAggregate, SlotOutcome,
 };

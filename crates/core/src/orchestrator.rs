@@ -174,6 +174,27 @@ impl SlotOutcome {
     }
 }
 
+/// The complete serialized state of one slice, detached from its
+/// orchestrator: the agent (networks, Adam moments, rollout buffer,
+/// Lagrangian state, RNG stream) and the environment (simulator, traffic
+/// trace + generator cursor, slot/cost accumulators, RNG stream).
+///
+/// This is the unit of **live migration**: [`Orchestrator::export_slice`]
+/// detaches a slice into a checkpoint and [`Orchestrator::import_slice`]
+/// re-attaches it to another orchestrator, preserving every weight and RNG
+/// stream bit-for-bit — a migrated slice continues exactly the trajectory
+/// it would have taken, just under a different cell's coordination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SliceCheckpoint {
+    /// The slice's application class (redundant with the agent's, kept for
+    /// cheap inspection without touching agent internals).
+    pub kind: onslicing_slices::SliceKind,
+    /// The detached agent, mid-episode state included.
+    pub agent: OnSlicingAgent,
+    /// The detached environment, mid-episode state included.
+    pub env: SliceEnvironment,
+}
+
 /// The end-to-end orchestrator of one infrastructure.
 ///
 /// Serializes the entire deployment — every agent's networks, optimizers and
@@ -295,6 +316,30 @@ impl Orchestrator {
         let agent = self.agents.remove(index);
         let env = self.env.remove_env(index);
         Ok((agent, env))
+    }
+
+    /// Detaches a slice into a [`SliceCheckpoint`]: deregisters it from the
+    /// domain managers (like [`Orchestrator::teardown_slice`]) and returns
+    /// its complete serialized state, mid-episode position included. The
+    /// caller re-attaches it elsewhere with [`Orchestrator::import_slice`].
+    pub fn export_slice(&mut self, id: SliceId) -> Result<SliceCheckpoint, OrchestratorError> {
+        let (agent, env) = self.teardown_slice(id)?;
+        Ok(SliceCheckpoint {
+            kind: agent.kind(),
+            agent,
+            env,
+        })
+    }
+
+    /// Re-attaches an exported slice under this orchestrator's **own** next
+    /// slice id (per-cell id spaces are independent, so the exported id is
+    /// not carried over). The agent and environment resume bit-for-bit; no
+    /// reset, pre-training or re-calibration happens.
+    pub fn import_slice(
+        &mut self,
+        checkpoint: SliceCheckpoint,
+    ) -> Result<SliceId, OrchestratorError> {
+        self.admit_slice(checkpoint.agent, checkpoint.env)
     }
 
     /// Renegotiates one slice's SLA: both the environment (cost/violation
@@ -646,6 +691,52 @@ mod tests {
             assert_eq!(m.num_slices(), 3);
         }
         assert!(orch.teardown_slice(SliceId(1)).is_err());
+    }
+
+    #[test]
+    fn exported_slice_migrates_with_exact_weights_and_rng_streams() {
+        // Two identical deployments diverge only in which orchestrator runs
+        // slice 1 after the export: the migrated agent+env must be byte-
+        // identical to the stay-at-home copy at export time, and must keep
+        // producing the identical trajectory under the new orchestrator
+        // when the surrounding population is the same.
+        let mut source = build(AgentConfig::onslicing(), CoordinationMode::default());
+        source.offline_pretrain_all(1);
+        source.env_mut().reset_all();
+        for _ in 0..3 {
+            source.run_slot(true);
+        }
+        let reference = source.clone();
+
+        let checkpoint = source.export_slice(SliceId(1)).unwrap();
+        assert_eq!(checkpoint.kind, SliceKind::Hvs);
+        assert!(!source.domains().has_slice(SliceId(1)));
+        // Export is non-destructive to the slice state itself: the detached
+        // agent and environment serialize byte-identically to the untouched
+        // copies in the reference orchestrator.
+        let index = reference.index_of(SliceId(1)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&checkpoint.agent).unwrap(),
+            serde_json::to_string(&reference.agents()[index]).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&checkpoint.env).unwrap(),
+            serde_json::to_string(&reference.env().envs()[index]).unwrap()
+        );
+
+        // Import into a fresh orchestrator built from the same snapshot but
+        // with its own id space: the slice gets the next free id there and
+        // is registered with every domain manager.
+        let mut target = reference.clone();
+        let new_id = target.import_slice(checkpoint).unwrap();
+        assert_eq!(new_id, SliceId(3));
+        assert!(target.domains().has_slice(new_id));
+        assert_eq!(target.num_slices(), 4);
+        let imported = target.index_of(new_id).unwrap();
+        assert_eq!(
+            serde_json::to_string(&target.agents()[imported]).unwrap(),
+            serde_json::to_string(&reference.agents()[index]).unwrap()
+        );
     }
 
     #[test]

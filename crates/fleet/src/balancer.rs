@@ -1,0 +1,375 @@
+//! The fleet balancer: deterministic live-migration planning over a set of
+//! running cells.
+//!
+//! On a configurable cadence the balancer measures every cell's load and
+//! migrates whole slices — agent weights, optimizer moments, RNG streams,
+//! environment simulator and traffic cursors, the mid-episode position
+//! included — from the most loaded cell to the least loaded one that still
+//! passes the per-cell admission check. Migration is the checkpoint
+//! machinery at work between cells: [`ScenarioEngine::extract_slice`]
+//! detaches the slice, [`ScenarioEngine::inject_slice`] re-attaches it, and
+//! nothing is reset or retrained on the way.
+//!
+//! ## Determinism contract
+//!
+//! Migration **plans are a pure function of deterministic state**: enforced
+//! capacity shares (utilization) and closed-episode SLA violations. The
+//! measured per-slot wall-clock latencies are deliberately *not* a policy
+//! input — they differ run to run and machine to machine, and a plan based
+//! on them would break the fleet's byte-identical-trace guarantee. Ties are
+//! broken by cell index, the migrant is the source cell's highest slice id
+//! (its most recently admitted slice), and the balancer runs between the
+//! parallel stepping windows, so the same fleet produces the same migration
+//! schedule whatever the rayon worker count.
+
+use serde::{Deserialize, Serialize};
+
+use onslicing_replay::{MigrationEvent, TelemetryRecorder};
+use onslicing_scenario::ScenarioEngine;
+use onslicing_slices::{ResourceKind, SliceKind};
+
+/// Tuning of the fleet balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BalancerConfig {
+    /// Whether rebalancing runs at all (off = PR 4's frozen sharding).
+    pub enabled: bool,
+    /// Slots between rebalancing rounds.
+    pub cadence_slots: usize,
+    /// Most migrations one round may apply.
+    pub max_migrations_per_round: usize,
+    /// Smallest source-minus-target load gap that justifies a migration;
+    /// `f64::INFINITY` forces a no-op plan (the balancer measures but never
+    /// moves — the control arm of the equivalence tests).
+    pub min_load_gap: f64,
+    /// Weight of the per-window SLA-violation rate in the load score (the
+    /// utilization term has weight 1).
+    pub violation_weight: f64,
+    /// A source cell never drops to fewer active slices than this.
+    pub min_slices_per_cell: usize,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            // One episode of the CI-scale scenarios: migrating on episode
+            // boundaries moves slices between days, not mid-day, so the
+            // arriving slice starts a clean episode in its new home.
+            cadence_slots: 12,
+            max_migrations_per_round: 2,
+            min_load_gap: 0.25,
+            // Mild SLA feedback: utilization leads (it reacts within a
+            // slot), violations confirm. A heavy violation weight makes
+            // the balancer chase last window's pain back and forth.
+            violation_weight: 0.5,
+            min_slices_per_cell: 1,
+        }
+    }
+}
+
+impl BalancerConfig {
+    /// A disabled balancer (frozen sharding).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// An enabled balancer whose plan is always empty: it measures on the
+    /// normal cadence (so the run is window-stepped exactly like a
+    /// balancing run) but the infinite load-gap threshold suppresses every
+    /// migration.
+    pub fn forced_noop() -> Self {
+        Self {
+            min_load_gap: f64::INFINITY,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the tuning, returning the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled && self.cadence_slots == 0 {
+            return Err("balancer cadence must be at least one slot".to_string());
+        }
+        if self.enabled && self.max_migrations_per_round == 0 {
+            return Err("max_migrations_per_round must be at least 1".to_string());
+        }
+        if self.min_load_gap.is_nan() || self.min_load_gap < 0.0 {
+            return Err(format!(
+                "min_load_gap must be non-negative, got {}",
+                self.min_load_gap
+            ));
+        }
+        if !(self.violation_weight >= 0.0 && self.violation_weight.is_finite()) {
+            return Err(format!(
+                "violation_weight must be non-negative and finite, got {}",
+                self.violation_weight
+            ));
+        }
+        if self.min_slices_per_cell == 0 {
+            return Err("min_slices_per_cell must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One applied migration, in fleet-level terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// Global slot the migration happened before.
+    pub slot: usize,
+    /// Source cell.
+    pub from_cell: u32,
+    /// The slice's id in the source cell.
+    pub from_slice: u32,
+    /// Target cell.
+    pub to_cell: u32,
+    /// The slice's id in the target cell.
+    pub to_slice: u32,
+    /// Application class of the migrated slice.
+    pub kind: SliceKind,
+}
+
+/// One live cell of an elastic fleet run: its engine, telemetry recorder
+/// and measured per-slot wall-clock latencies.
+#[derive(Debug)]
+pub struct CellRuntime {
+    /// Cell index (0-based).
+    pub cell: u32,
+    /// The cell's derived master seed.
+    pub seed: u64,
+    /// The cell's live deployment.
+    pub engine: ScenarioEngine,
+    /// The cell's telemetry recorder (migrations included).
+    pub recorder: TelemetryRecorder,
+    /// Wall-clock latency of every executed slot, in milliseconds
+    /// (report-only; never a balancer input).
+    pub slot_latencies_ms: Vec<f64>,
+}
+
+/// Deterministic utilization of one cell: the worst resource's enforced
+/// fraction of effective capacity. Above 1.0 means the enforced shares
+/// exceed the (possibly fault-degraded) capacity — an overload the
+/// coordination loop is squeezing.
+pub fn cell_utilization(engine: &ScenarioEngine) -> f64 {
+    let domains = engine.orchestrator().domains();
+    ResourceKind::ALL
+        .iter()
+        .map(|r| {
+            let capacity = domains.capacity_of(*r);
+            if capacity > 0.0 {
+                1.0 - domains.residual_capacity(*r) / capacity
+            } else {
+                1.0
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The balancer: plans and applies migrations between rebalancing windows.
+#[derive(Debug, Clone)]
+pub struct FleetBalancer {
+    config: BalancerConfig,
+    /// Violation/episode totals at the previous window boundary, per cell —
+    /// the baseline the per-window SLA pressure is measured against.
+    last_violations: Vec<usize>,
+    last_episodes: Vec<usize>,
+}
+
+impl FleetBalancer {
+    /// Creates a balancer for `cells` cells.
+    pub fn new(config: BalancerConfig, cells: usize) -> Self {
+        Self {
+            config,
+            last_violations: vec![0; cells],
+            last_episodes: vec![0; cells],
+        }
+    }
+
+    /// The balancer's configuration.
+    pub fn config(&self) -> &BalancerConfig {
+        &self.config
+    }
+
+    /// The weighted per-window SLA pressure of every cell: the violation
+    /// rate of the episodes closed since the previous window, scaled by
+    /// `violation_weight`. One of the two terms of the load score (the
+    /// other, utilization, is re-measured after every migration).
+    fn violation_terms(&self, cells: &[CellRuntime]) -> Vec<f64> {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let violations = c.engine.total_violations() - self.last_violations[i];
+                let episodes = c.engine.total_episodes() - self.last_episodes[i];
+                self.config.violation_weight * violations as f64 / episodes.max(1) as f64
+            })
+            .collect()
+    }
+
+    /// Runs one rebalancing round at global slot `slot`: repeatedly moves
+    /// the most loaded cell's highest-id slice to the least loaded cell
+    /// that passes its admission check (earlier same-round arrivals'
+    /// estimated shares reserved), until the load gap falls under the
+    /// threshold or the per-round migration budget is spent. Records the
+    /// departure/arrival pair in the cells' telemetry and returns the
+    /// applied migrations.
+    pub fn rebalance(
+        &mut self,
+        slot: usize,
+        cells: &mut [CellRuntime],
+    ) -> Result<Vec<MigrationRecord>, String> {
+        let mut records = Vec::new();
+        if !self.config.enabled || cells.len() < 2 {
+            return Ok(records);
+        }
+        // Per-window SLA pressure is fixed for the round; utilization is
+        // re-measured after every migration (the move frees enforced shares
+        // at the source immediately).
+        let violation_terms = self.violation_terms(cells);
+        for (i, c) in cells.iter().enumerate() {
+            self.last_violations[i] = c.engine.total_violations();
+            self.last_episodes[i] = c.engine.total_episodes();
+        }
+        for _ in 0..self.config.max_migrations_per_round {
+            // A slice that was admitted or arrived at this boundary — by a
+            // fleet-routed admission or an earlier migration of this round
+            // — enforces nothing until the next slot, so its estimated
+            // share is added as a virtual load; otherwise every migrant of
+            // a round would pile onto the same still-cold-looking target.
+            let loads: Vec<f64> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    cell_utilization(&c.engine)
+                        + violation_terms[i]
+                        + c.engine.pending_admissions() as f64
+                            * c.engine.admission().reserved_share_per_admission()
+                })
+                .collect();
+            // Source: highest load among cells that can spare a slice;
+            // ties break toward the lower cell index.
+            let mut source: Option<usize> = None;
+            for (i, c) in cells.iter().enumerate() {
+                if c.engine.orchestrator().num_slices() <= self.config.min_slices_per_cell {
+                    continue;
+                }
+                if source.is_none_or(|s| loads[i] > loads[s]) {
+                    source = Some(i);
+                }
+            }
+            let Some(src) = source else { break };
+            // Target: lowest load among the other cells that pass their own
+            // admission check — `check_admission` reserves the estimated
+            // share of every slice pending at this boundary, whether it
+            // came from a fleet-routed admission or an earlier migration
+            // of this same round.
+            let mut target: Option<usize> = None;
+            for (i, c) in cells.iter().enumerate() {
+                if i == src {
+                    continue;
+                }
+                if c.engine.check_admission().is_err() {
+                    continue;
+                }
+                if target.is_none_or(|t| loads[i] < loads[t]) {
+                    target = Some(i);
+                }
+            }
+            let Some(dst) = target else { break };
+            // `<` (not a negated `>=`) so an infinite threshold — the
+            // forced-noop mode — compares cleanly and always breaks.
+            if loads[src] - loads[dst] < self.config.min_load_gap {
+                break;
+            }
+            let from_slice = cells[src]
+                .engine
+                .orchestrator()
+                .slice_ids()
+                .iter()
+                .map(|id| id.0)
+                .max()
+                .expect("source cell has more slices than the configured minimum");
+            let migration = cells[src].engine.extract_slice(from_slice, slot)?;
+            let kind = migration.checkpoint.kind;
+            let to_slice = cells[dst].engine.inject_slice(migration, slot)?.0;
+            let (from_cell, to_cell) = (cells[src].cell, cells[dst].cell);
+            cells[src].recorder.record_migration(MigrationEvent {
+                slot,
+                slice: from_slice,
+                kind,
+                arrived: false,
+                peer_cell: to_cell,
+                peer_slice: to_slice,
+            });
+            cells[dst].recorder.record_migration(MigrationEvent {
+                slot,
+                slice: to_slice,
+                kind,
+                arrived: true,
+                peer_cell: from_cell,
+                peer_slice: from_slice,
+            });
+            records.push(MigrationRecord {
+                slot,
+                from_cell,
+                from_slice,
+                to_cell,
+                to_slice,
+                kind,
+            });
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balancer_config_validation_catches_bad_tuning() {
+        BalancerConfig::default().validate().unwrap();
+        BalancerConfig::disabled().validate().unwrap();
+        BalancerConfig::forced_noop().validate().unwrap();
+        assert!(BalancerConfig {
+            cadence_slots: 0,
+            ..BalancerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BalancerConfig {
+            max_migrations_per_round: 0,
+            ..BalancerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BalancerConfig {
+            min_load_gap: -0.1,
+            ..BalancerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BalancerConfig {
+            violation_weight: f64::NAN,
+            ..BalancerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BalancerConfig {
+            min_slices_per_cell: 0,
+            ..BalancerConfig::default()
+        }
+        .validate()
+        .is_err());
+        // A disabled balancer tolerates a zero cadence (it never fires).
+        BalancerConfig {
+            enabled: false,
+            cadence_slots: 0,
+            ..BalancerConfig::default()
+        }
+        .validate()
+        .unwrap();
+    }
+}

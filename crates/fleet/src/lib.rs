@@ -47,6 +47,12 @@ use serde::{Deserialize, Serialize};
 use onslicing_replay::{percentile, TelemetryRecorder, TelemetryTrace};
 use onslicing_scenario::{Scenario, ScenarioConfig, ScenarioEngine, ScenarioReport};
 
+pub mod balancer;
+pub mod elastic;
+
+pub use balancer::{cell_utilization, BalancerConfig, CellRuntime, FleetBalancer, MigrationRecord};
+pub use elastic::{ElasticFleetConfig, ElasticFleetRunner};
+
 /// Version stamp of the fleet-trace JSON layout; bump on breaking changes.
 pub const FLEET_TRACE_FORMAT_VERSION: u32 = 1;
 
@@ -169,14 +175,24 @@ pub struct FleetReport {
     pub slot_latency_p90_ms: f64,
     /// 99th-percentile per-slot latency, in ms.
     pub slot_latency_p99_ms: f64,
+    /// Live migrations the balancer applied, in application order (empty
+    /// for frozen-sharding runs).
+    pub migrations: Vec<MigrationRecord>,
+    /// Fleet-routed admissions granted (placed on some cell).
+    pub fleet_admissions_granted: usize,
+    /// Fleet-routed admissions denied fleet-wide (no cell could host).
+    pub fleet_admissions_denied: usize,
     /// Per-cell breakdown, in cell order.
     pub cells_detail: Vec<CellSummary>,
 }
 
 impl FleetReport {
-    /// Whether any aggregate metric is NaN (the CI smoke check).
-    pub fn has_nan(&self) -> bool {
-        [
+    /// Whether any aggregate **or per-cell** metric is NaN or infinite (the
+    /// CI smoke check). The gate is on `is_finite`, not `is_nan`: a cell
+    /// whose SLA or cost metric overflowed to `±inf` is as broken as a NaN
+    /// one and must not sail through.
+    pub fn has_non_finite(&self) -> bool {
+        let aggregate_broken = [
             self.sla_violation_percent,
             self.avg_cost,
             self.avg_slot_cost,
@@ -191,7 +207,21 @@ impl FleetReport {
             self.slot_latency_p99_ms,
         ]
         .iter()
-        .any(|v| v.is_nan())
+        .any(|v| !v.is_finite());
+        aggregate_broken
+            || self.cells_detail.iter().any(|c| {
+                [
+                    c.sla_violation_percent,
+                    c.avg_cost,
+                    c.avg_slot_cost,
+                    c.wall_clock_ms,
+                    c.slice_slots_per_second,
+                    c.slot_latency_p50_ms,
+                    c.slot_latency_p99_ms,
+                ]
+                .iter()
+                .any(|v| !v.is_finite())
+            })
     }
 }
 
@@ -355,8 +385,10 @@ fn run_cell(scenario: Scenario, base: ScenarioConfig, cell: u32) -> Result<CellO
     // The timeline is exhausted; this call only closes the final partial
     // episodes and produces the aggregated report.
     let report = engine.run_with_observer(&mut recorder);
-    if report.has_nan() {
-        return Err(format!("cell {cell} (seed {seed}) produced NaN metrics"));
+    if report.has_non_finite() {
+        return Err(format!(
+            "cell {cell} (seed {seed}) produced non-finite metrics"
+        ));
     }
     Ok(CellOutcome {
         cell,
@@ -453,6 +485,11 @@ pub fn aggregate_fleet(
         slot_latency_p50_ms: percentile(&latencies, 50.0),
         slot_latency_p90_ms: percentile(&latencies, 90.0),
         slot_latency_p99_ms: percentile(&latencies, 99.0),
+        // Elastic-fleet fields; the frozen runner never migrates and the
+        // elastic runner overwrites these after aggregation.
+        migrations: Vec::new(),
+        fleet_admissions_granted: 0,
+        fleet_admissions_denied: 0,
         cells_detail,
     }
 }
@@ -482,7 +519,11 @@ mod tests {
         assert_eq!(report.slice_slots, 2 * 16 * 3);
         assert_eq!(report.peak_slices, 6);
         assert!(report.slice_episodes > 0);
-        assert!(!report.has_nan());
+        assert!(!report.has_non_finite());
+        assert!(
+            report.migrations.is_empty(),
+            "the frozen runner never migrates"
+        );
         assert!(report.slice_slots_per_second > 0.0);
         assert!(report.aggregate_cell_slots_per_second > 0.0);
         assert!(report.slot_latency_p50_ms <= report.slot_latency_p99_ms);
@@ -515,6 +556,28 @@ mod tests {
         assert!(FleetTrace::from_json(&bad.to_json())
             .unwrap_err()
             .contains("version 99"));
+    }
+
+    #[test]
+    fn non_finite_metrics_fail_the_smoke_gate() {
+        let runner = FleetRunner::new(tiny_scenario(), FleetConfig::new(2).with_seed(1)).unwrap();
+        let report = runner.run().unwrap().report;
+        assert!(!report.has_non_finite());
+        // An infinite aggregate metric must trip the gate — this is the
+        // regression the old `is_nan()` check waved through.
+        let mut infinite = report.clone();
+        infinite.cost_p99 = f64::INFINITY;
+        assert!(infinite.has_non_finite());
+        let mut negative_infinite = report.clone();
+        negative_infinite.avg_cost = f64::NEG_INFINITY;
+        assert!(negative_infinite.has_non_finite());
+        // NaN still fails, and per-cell breakdowns are gated too.
+        let mut nan = report.clone();
+        nan.sla_violation_percent = f64::NAN;
+        assert!(nan.has_non_finite());
+        let mut cell_broken = report;
+        cell_broken.cells_detail[1].avg_slot_cost = f64::INFINITY;
+        assert!(cell_broken.has_non_finite());
     }
 
     #[test]

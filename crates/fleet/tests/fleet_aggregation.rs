@@ -122,6 +122,7 @@ fn synthetic_cell(cell: u32, rng: &mut ChaCha8Rng) -> CellOutcome {
         total_slots,
         slots,
         episodes: episodes_list,
+        migrations: Vec::new(),
         summaries: Vec::new(),
     };
     let slot_latencies_ms = (0..total_slots)

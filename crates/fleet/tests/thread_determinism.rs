@@ -9,8 +9,8 @@
 //! rayon reads `RAYON_NUM_THREADS` on every call, and mutating the process
 //! environment is only safe while no other thread reads it concurrently.
 
-use onslicing_fleet::{FleetConfig, FleetRunner};
-use onslicing_scenario::{Scenario, SliceSpec};
+use onslicing_fleet::{ElasticFleetConfig, ElasticFleetRunner, FleetConfig, FleetRunner};
+use onslicing_scenario::{hotspot_shift, Scenario, SliceSpec};
 use onslicing_slices::SliceKind;
 
 #[test]
@@ -24,10 +24,26 @@ fn fleet_trace_is_byte_identical_across_thread_counts() {
         let runner = FleetRunner::new(scenario.clone(), FleetConfig::new(3).with_seed(5)).unwrap();
         runner.run().unwrap().trace.to_json()
     };
+    // The elastic twin: a migrating hotspot-shift fleet — the balancer's
+    // plan (and therefore the migration schedule embedded in the trace)
+    // must be a pure function of deterministic state, never of scheduling.
+    let record_elastic = || {
+        let runner =
+            ElasticFleetRunner::new(hotspot_shift(), ElasticFleetConfig::new(2).with_seed(5))
+                .unwrap();
+        let outcome = runner.run().unwrap();
+        assert!(
+            !outcome.report.migrations.is_empty(),
+            "the hotspot run must actually migrate for this gate to bite"
+        );
+        outcome.trace.to_json()
+    };
     let previous = std::env::var("RAYON_NUM_THREADS").ok();
     let default_threads = record();
+    let default_elastic = record_elastic();
     std::env::set_var("RAYON_NUM_THREADS", "1");
     let single_thread = record();
+    let single_elastic = record_elastic();
     match previous {
         Some(value) => std::env::set_var("RAYON_NUM_THREADS", value),
         None => std::env::remove_var("RAYON_NUM_THREADS"),
@@ -35,5 +51,9 @@ fn fleet_trace_is_byte_identical_across_thread_counts() {
     assert_eq!(
         default_threads, single_thread,
         "fleet traces must not depend on the rayon worker count"
+    );
+    assert_eq!(
+        default_elastic, single_elastic,
+        "elastic fleet traces (migrations included) must not depend on the rayon worker count"
     );
 }

@@ -60,8 +60,8 @@ fn record(name: &str, seed: u64) -> Result<TelemetryTrace, String> {
     )?;
     let mut recorder = TelemetryRecorder::new(&engine);
     let report = engine.run_with_observer(&mut recorder);
-    if report.has_nan() {
-        return Err(format!("scenario `{name}` produced NaN metrics"));
+    if report.has_non_finite() {
+        return Err(format!("scenario `{name}` produced non-finite metrics"));
     }
     Ok(recorder.finalize())
 }
@@ -219,8 +219,8 @@ fn cmd_checkpoint(opts: &Options) -> Result<(), String> {
     // Keep running the same engine so the emitted trace is the full
     // uninterrupted reference the resumed process is compared against.
     let report = engine.run_with_observer(&mut recorder);
-    if report.has_nan() {
-        return Err(format!("scenario `{name}` produced NaN metrics"));
+    if report.has_non_finite() {
+        return Err(format!("scenario `{name}` produced non-finite metrics"));
     }
     let trace = recorder.finalize();
     let trace_out = opts
@@ -242,8 +242,8 @@ fn cmd_resume(opts: &Options) -> Result<bool, String> {
     let mut engine = checkpoint.restore();
     let mut recorder = TelemetryRecorder::new(&engine);
     let report = engine.run_with_observer(&mut recorder);
-    if report.has_nan() {
-        return Err("resumed run produced NaN metrics".to_string());
+    if report.has_non_finite() {
+        return Err("resumed run produced non-finite metrics".to_string());
     }
     let resumed = recorder.finalize();
     if let Some(out) = &opts.out {

@@ -17,6 +17,8 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
+use onslicing_core::SliceCheckpoint;
+use onslicing_domains::SliceId;
 use onslicing_scenario::ScenarioEngine;
 
 /// Version stamp of the checkpoint JSON layout; bump on breaking changes so
@@ -26,7 +28,12 @@ use onslicing_scenario::ScenarioEngine;
 /// `slot_usage_weighted` accumulators and `ScenarioReport` the
 /// `avg_slot_cost` / `avg_slot_usage_percent` fields, so v1 snapshots no
 /// longer parse.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+///
+/// v3: the engine serializes its pending-admission reservation counter
+/// (`unenforced_admissions`) — the elastic fleet admits and migrates
+/// between slots, and a checkpoint taken at such a boundary must not drop
+/// the capacity pledges — so v2 snapshots no longer parse.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 3;
 
 /// A versioned, self-describing snapshot of a scenario run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -97,6 +104,105 @@ impl Checkpoint {
     }
 }
 
+/// Version stamp of the per-slice snapshot JSON layout; bump on breaking
+/// changes to the agent/environment serialization.
+pub const SLICE_SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// A versioned snapshot of **one** slice's complete state, extracted from a
+/// live engine without disturbing it — the file-format twin of the
+/// in-memory [`SliceCheckpoint`] the fleet balancer migrates.
+///
+/// Where [`Checkpoint`] snapshots a whole deployment, a `SliceSnapshot`
+/// carries a single slice (agent weights/optimizer/RNG, environment
+/// simulator/trace cursors, mid-episode position included), small enough to
+/// ship between processes or archive per migration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SliceSnapshot {
+    /// Layout version ([`SLICE_SNAPSHOT_FORMAT_VERSION`] at capture time).
+    pub format_version: u32,
+    /// Name of the scenario the slice was running in.
+    pub scenario: String,
+    /// Master seed of the source run.
+    pub seed: u64,
+    /// Next slot the source engine would execute at capture time.
+    pub slot: usize,
+    /// The slice's id in the source engine.
+    pub slice: u32,
+    /// The detached slice state.
+    state: SliceCheckpoint,
+}
+
+impl SliceSnapshot {
+    /// Extracts slice `slice`'s state from a live engine, non-destructively
+    /// (the engine keeps running the slice; the snapshot is a deep copy).
+    pub fn extract(engine: &ScenarioEngine, slice: u32) -> Result<Self, String> {
+        let orch = engine.orchestrator();
+        let index = orch
+            .index_of(SliceId(slice))
+            .ok_or_else(|| format!("slice {slice} is not active in this engine"))?;
+        let agent = orch.agents()[index].clone();
+        let env = orch.env().envs()[index].clone();
+        Ok(Self {
+            format_version: SLICE_SNAPSHOT_FORMAT_VERSION,
+            scenario: engine.scenario().name.clone(),
+            seed: engine.config().seed,
+            slot: engine.current_slot(),
+            slice,
+            state: SliceCheckpoint {
+                kind: agent.kind(),
+                agent,
+                env,
+            },
+        })
+    }
+
+    /// Consumes the snapshot and returns the slice state, ready for
+    /// [`onslicing_core::Orchestrator::import_slice`] or
+    /// [`ScenarioEngine::inject_slice`].
+    pub fn into_state(self) -> SliceCheckpoint {
+        self.state
+    }
+
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("slice snapshot serialization cannot fail")
+    }
+
+    /// Parses a snapshot, rejecting unknown layout versions.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let snapshot: SliceSnapshot =
+            serde_json::from_str(text).map_err(|e| format!("malformed slice snapshot: {e}"))?;
+        if snapshot.format_version != SLICE_SNAPSHOT_FORMAT_VERSION {
+            return Err(format!(
+                "slice snapshot format version {} is not supported (expected {})",
+                snapshot.format_version, SLICE_SNAPSHOT_FORMAT_VERSION
+            ));
+        }
+        Ok(snapshot)
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        std::fs::write(path.as_ref(), self.to_json()).map_err(|e| {
+            format!(
+                "cannot write slice snapshot {}: {e}",
+                path.as_ref().display()
+            )
+        })
+    }
+
+    /// Reads and validates a snapshot file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+            format!(
+                "cannot read slice snapshot {}: {e}",
+                path.as_ref().display()
+            )
+        })?;
+        Self::from_json(&text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +236,46 @@ mod tests {
     fn malformed_json_is_an_error_not_a_panic() {
         assert!(Checkpoint::from_json("{not json").is_err());
         assert!(Checkpoint::load("/no/such/checkpoint.json").is_err());
+    }
+
+    #[test]
+    fn slice_snapshots_extract_exact_state_without_disturbing_the_engine() {
+        let mut engine = ScenarioEngine::new(builtin::steady(), ScenarioConfig::default()).unwrap();
+        engine.run_until(7, &mut ());
+        let before = serde_json::to_string(&engine).unwrap();
+        let snapshot = SliceSnapshot::extract(&engine, 1).unwrap();
+        assert_eq!(snapshot.scenario, "steady");
+        assert_eq!(snapshot.slot, 7);
+        assert_eq!(snapshot.slice, 1);
+        // Extraction is a pure read.
+        assert_eq!(serde_json::to_string(&engine).unwrap(), before);
+        // The snapshot equals a destructive export from an engine clone.
+        let mut clone: ScenarioEngine = serde_json::from_str(&before).unwrap();
+        let exported = clone.extract_slice(1, 7).unwrap().checkpoint;
+        let round = SliceSnapshot::from_json(&snapshot.to_json()).unwrap();
+        let state = round.into_state();
+        assert_eq!(state.kind, exported.kind);
+        assert_eq!(
+            serde_json::to_string(&state.agent).unwrap(),
+            serde_json::to_string(&exported.agent).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&state.env).unwrap(),
+            serde_json::to_string(&exported.env).unwrap()
+        );
+    }
+
+    #[test]
+    fn slice_snapshot_errors_are_graceful() {
+        let engine = ScenarioEngine::new(builtin::steady(), ScenarioConfig::default()).unwrap();
+        assert!(SliceSnapshot::extract(&engine, 99)
+            .unwrap_err()
+            .contains("not active"));
+        let mut snapshot = SliceSnapshot::extract(&engine, 0).unwrap();
+        snapshot.format_version = 999;
+        assert!(SliceSnapshot::from_json(&snapshot.to_json())
+            .unwrap_err()
+            .contains("version 999"));
+        assert!(SliceSnapshot::from_json("{not json").is_err());
     }
 }

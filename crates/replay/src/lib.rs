@@ -26,9 +26,11 @@ pub mod checkpoint;
 pub mod golden;
 pub mod telemetry;
 
-pub use checkpoint::{Checkpoint, CHECKPOINT_FORMAT_VERSION};
+pub use checkpoint::{
+    Checkpoint, SliceSnapshot, CHECKPOINT_FORMAT_VERSION, SLICE_SNAPSHOT_FORMAT_VERSION,
+};
 pub use golden::{check_against_golden, diff_traces, golden_path, write_golden, Tolerance};
 pub use telemetry::{
-    percentile, record_scenario, EpisodeTelemetry, SliceSlotTelemetry, SliceTelemetrySummary,
-    SlotTelemetry, TelemetryRecorder, TelemetryTrace, TRACE_FORMAT_VERSION,
+    percentile, record_scenario, EpisodeTelemetry, MigrationEvent, SliceSlotTelemetry,
+    SliceTelemetrySummary, SlotTelemetry, TelemetryRecorder, TelemetryTrace, TRACE_FORMAT_VERSION,
 };

@@ -78,6 +78,29 @@ pub struct EpisodeTelemetry {
     pub switched_to_baseline: bool,
 }
 
+/// One live-migration endpoint recorded in a cell's telemetry stream: a
+/// slice departing this cell for another, or arriving from one. The fleet
+/// balancer records a departure in the source cell's trace and the matching
+/// arrival in the target cell's, so the pair reconstructs the migration
+/// from either side. Slice ids are per-cell: `slice` is this cell's id for
+/// the slice, `peer_slice` its id in the peer cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationEvent {
+    /// Global scenario slot the migration happened before (the slice's
+    /// state moved between slot `slot - 1` and slot `slot`).
+    pub slot: usize,
+    /// This cell's id for the migrated slice.
+    pub slice: u32,
+    /// Application class.
+    pub kind: SliceKind,
+    /// `true` for an arrival into this cell, `false` for a departure.
+    pub arrived: bool,
+    /// The cell at the other end of the migration.
+    pub peer_cell: u32,
+    /// The slice's id in the peer cell.
+    pub peer_slice: u32,
+}
+
 /// Percentile summary of one slice over the recorded window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SliceTelemetrySummary {
@@ -114,7 +137,13 @@ pub struct SliceTelemetrySummary {
 }
 
 /// The complete telemetry artifact of one (possibly resumed) scenario run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (the vendored derive shim has
+/// no `skip_serializing_if`): the `migrations` field is **omitted when
+/// empty** — so single-cell traces, the committed goldens included, keep
+/// their exact byte layout — and defaults to empty when absent, so traces
+/// written before live migration existed still parse.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TelemetryTrace {
     /// Layout version ([`TRACE_FORMAT_VERSION`]).
     pub format_version: u32,
@@ -131,8 +160,60 @@ pub struct TelemetryTrace {
     pub slots: Vec<SlotTelemetry>,
     /// Episode closures, in occurrence order.
     pub episodes: Vec<EpisodeTelemetry>,
+    /// Live migrations touching this cell, in occurrence order (empty for
+    /// single-cell runs).
+    pub migrations: Vec<MigrationEvent>,
     /// Per-slice percentile summaries over the recorded window, in id order.
     pub summaries: Vec<SliceTelemetrySummary>,
+}
+
+impl serde::Serialize for TelemetryTrace {
+    fn serialize_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            (
+                "format_version".to_string(),
+                self.format_version.serialize_value(),
+            ),
+            ("scenario".to_string(), self.scenario.serialize_value()),
+            ("seed".to_string(), self.seed.serialize_value()),
+            ("start_slot".to_string(), self.start_slot.serialize_value()),
+            (
+                "total_slots".to_string(),
+                self.total_slots.serialize_value(),
+            ),
+            ("slots".to_string(), self.slots.serialize_value()),
+            ("episodes".to_string(), self.episodes.serialize_value()),
+        ];
+        if !self.migrations.is_empty() {
+            pairs.push(("migrations".to_string(), self.migrations.serialize_value()));
+        }
+        pairs.push(("summaries".to_string(), self.summaries.serialize_value()));
+        serde::Value::Obj(pairs)
+    }
+}
+
+impl serde::Deserialize for TelemetryTrace {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| {
+                serde::DeError::msg(format!("missing field `{name}` in TelemetryTrace"))
+            })
+        };
+        Ok(Self {
+            format_version: serde::Deserialize::from_value(field("format_version")?)?,
+            scenario: serde::Deserialize::from_value(field("scenario")?)?,
+            seed: serde::Deserialize::from_value(field("seed")?)?,
+            start_slot: serde::Deserialize::from_value(field("start_slot")?)?,
+            total_slots: serde::Deserialize::from_value(field("total_slots")?)?,
+            slots: serde::Deserialize::from_value(field("slots")?)?,
+            episodes: serde::Deserialize::from_value(field("episodes")?)?,
+            migrations: match v.get("migrations") {
+                Some(value) => serde::Deserialize::from_value(value)?,
+                None => Vec::new(),
+            },
+            summaries: serde::Deserialize::from_value(field("summaries")?)?,
+        })
+    }
 }
 
 impl TelemetryTrace {
@@ -194,6 +275,7 @@ pub struct TelemetryRecorder {
     total_slots: usize,
     slots: Vec<SlotTelemetry>,
     episodes: Vec<EpisodeTelemetry>,
+    migrations: Vec<MigrationEvent>,
 }
 
 impl TelemetryRecorder {
@@ -207,7 +289,15 @@ impl TelemetryRecorder {
             total_slots: engine.scenario().total_slots,
             slots: Vec::new(),
             episodes: Vec::new(),
+            migrations: Vec::new(),
         }
+    }
+
+    /// Records one live-migration endpoint (the fleet balancer calls this
+    /// on the source cell's recorder for the departure and on the target
+    /// cell's for the arrival).
+    pub fn record_migration(&mut self, event: MigrationEvent) {
+        self.migrations.push(event);
     }
 
     /// Finalizes the recording into a trace with per-slice summaries.
@@ -288,6 +378,7 @@ impl TelemetryRecorder {
             total_slots: self.total_slots,
             slots: self.slots,
             episodes: self.episodes,
+            migrations: self.migrations,
             summaries,
         }
     }
@@ -331,10 +422,22 @@ impl SlotObserver for TelemetryRecorder {
 
 /// Nearest-rank percentile of an unsorted series (0.0 for an empty one).
 ///
+/// `q` is a percentile rank and must lie in `[0, 100]`; anything else is a
+/// caller bug (debug-asserted, clamped into range in release builds so a
+/// production telemetry path degrades instead of aborting). By the
+/// nearest-rank convention `q = 0` maps to rank `⌈0⌉ = 0`, which this
+/// implementation pins to the first order statistic — i.e. `q = 0` returns
+/// the minimum, `q = 100` the maximum.
+///
 /// Public because the fleet aggregator computes its fleet-wide cost and
 /// latency summaries with exactly these semantics — a fleet percentile must
 /// equal the percentile of the concatenated per-cell samples.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
+    debug_assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile rank must be in [0, 100], got {q}"
+    );
+    let q = q.clamp(0.0, 100.0);
     if values.is_empty() {
         return 0.0;
     }
@@ -370,6 +473,62 @@ mod tests {
         assert_eq!(percentile(&v, 99.0), 99.0);
         assert_eq!(percentile(&[7.0], 50.0), 7.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_edge_ranks_are_the_order_statistics() {
+        let v = vec![3.0, 1.0, 2.0];
+        // q = 0 pins the first order statistic (the minimum) by the
+        // documented nearest-rank convention; q = 100 is the maximum.
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 3.0);
+        // A single sample is every percentile at once.
+        assert_eq!(percentile(&[42.0], 0.0), 42.0);
+        assert_eq!(percentile(&[42.0], 100.0), 42.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile rank must be in [0, 100]")]
+    #[cfg(debug_assertions)]
+    fn out_of_range_percentile_ranks_are_a_caller_bug() {
+        let _ = percentile(&[1.0, 2.0], 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile rank must be in [0, 100]")]
+    #[cfg(debug_assertions)]
+    fn negative_percentile_ranks_are_a_caller_bug() {
+        let _ = percentile(&[1.0, 2.0], -1.0);
+    }
+
+    #[test]
+    fn migration_events_round_trip_and_stay_out_of_migration_free_traces() {
+        // Without migrations the field is absent — committed goldens keep
+        // their byte layout.
+        let (trace, _) = record_scenario(builtin::steady(), ScenarioConfig::default()).unwrap();
+        assert!(trace.migrations.is_empty());
+        assert!(!trace.to_json().contains("\"migrations\""));
+
+        let engine = ScenarioEngine::new(builtin::steady(), ScenarioConfig::default()).unwrap();
+        let mut rec = TelemetryRecorder::new(&engine);
+        rec.record_migration(MigrationEvent {
+            slot: 16,
+            slice: 2,
+            kind: SliceKind::Rdc,
+            arrived: false,
+            peer_cell: 1,
+            peer_slice: 4,
+        });
+        let trace = rec.finalize();
+        assert_eq!(trace.migrations.len(), 1);
+        let json = trace.to_json();
+        assert!(json.contains("\"migrations\""));
+        let back = TelemetryTrace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+        assert!(!back.migrations[0].arrived);
+        assert_eq!(back.migrations[0].peer_cell, 1);
     }
 
     #[test]

@@ -102,11 +102,32 @@ impl AdmissionController {
     }
 
     /// Checks whether one more slice fits the current infrastructure.
+    ///
+    /// Equivalent to [`AdmissionController::evaluate_with_reserved`] with a
+    /// zero reservation — correct only when nothing else was admitted since
+    /// the domain managers last enforced allocations. Callers granting
+    /// several admissions in one slot must carry the earlier grants'
+    /// estimated shares as a reservation, or the same residual capacity is
+    /// pledged multiple times.
     pub fn evaluate(&self, domains: &DomainSet) -> Result<(), AdmissionDenied> {
+        self.evaluate_with_reserved(domains, 0.0)
+    }
+
+    /// Checks whether one more slice fits on top of `reserved` capacity
+    /// already pledged but not yet visible in the enforced allocations —
+    /// typically `k × estimated_share` for `k` slices granted earlier in
+    /// the same slot, whose agents only enforce from the next orchestration
+    /// round on.
+    pub fn evaluate_with_reserved(
+        &self,
+        domains: &DomainSet,
+        reserved: f64,
+    ) -> Result<(), AdmissionDenied> {
         for resource in ResourceKind::ALL {
             let residual = domains.residual_capacity(resource);
-            let required =
-                self.config.estimated_share + self.config.headroom * domains.capacity_of(resource);
+            let required = self.config.estimated_share
+                + self.config.headroom * domains.capacity_of(resource)
+                + reserved;
             if residual < required {
                 return Err(AdmissionDenied {
                     resource,
@@ -116,6 +137,12 @@ impl AdmissionController {
             }
         }
         Ok(())
+    }
+
+    /// The capacity one admitted-but-not-yet-enforced slice is assumed to
+    /// pledge — what same-slot callers reserve per earlier grant.
+    pub fn reserved_share_per_admission(&self) -> f64 {
+        self.config.estimated_share
     }
 }
 
@@ -220,6 +247,28 @@ mod tests {
             estimated_share: 0.1,
             headroom: 1.0,
         });
+    }
+
+    #[test]
+    fn same_slot_reservations_tighten_the_check() {
+        // Residual 1.0, estimated share 0.4: two newcomers fit, a third —
+        // with the first two's shares reserved — must not. Without the
+        // reservation every one of them would see the full residual.
+        let controller = AdmissionController::new(AdmissionConfig {
+            estimated_share: 0.4,
+            headroom: 0.0,
+        });
+        let domains = DomainSet::testbed_default();
+        assert!(controller.evaluate_with_reserved(&domains, 0.0).is_ok());
+        assert!(controller.evaluate_with_reserved(&domains, 0.4).is_ok());
+        let denied = controller
+            .evaluate_with_reserved(&domains, 0.8)
+            .unwrap_err();
+        assert!((denied.required - 1.2).abs() < 1e-12);
+        assert_eq!(
+            controller.reserved_share_per_admission(),
+            controller.config().estimated_share
+        );
     }
 
     #[test]

@@ -37,11 +37,16 @@
 pub mod admission;
 pub mod builtin;
 pub mod engine;
+pub mod fleet;
 pub mod spec;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDenied};
 pub use engine::{
     derive_cell_seed, run_scenario, EpisodeEndEvent, ScenarioConfig, ScenarioEngine,
-    ScenarioReport, SliceReport, SlotObserver, SlotSample,
+    ScenarioReport, SliceMigration, SliceReport, SlotObserver, SlotSample, TrafficRestore,
+};
+pub use fleet::{
+    all_fleet_builtins, cell_outage, fleet_by_name, hotspot_shift, FleetEvent, FleetScenario,
+    TimedFleetEvent, FLEET_BUILTIN_NAMES,
 };
 pub use spec::{Scenario, ScenarioEvent, SliceSpec, TimedEvent};

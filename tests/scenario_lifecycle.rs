@@ -57,7 +57,7 @@ fn admitted_slice_trains_online_and_torn_down_slice_releases_capacity() {
     }
     let torn = report.slices.iter().find(|s| s.id == 0).unwrap();
     assert_eq!(torn.torn_down_at_slot, Some(48));
-    assert!(!report.has_nan());
+    assert!(!report.has_non_finite());
 }
 
 /// Every built-in scenario is valid, JSON round-trips, and the cheap ones
@@ -76,7 +76,10 @@ fn builtin_catalogue_is_valid_and_runs() {
         let report =
             run_scenario(builtin::by_name(name).unwrap(), ScenarioConfig::default()).unwrap();
         assert!(report.slice_episodes > 0, "{name} must close episodes");
-        assert!(!report.has_nan(), "{name} must not produce NaN metrics");
+        assert!(
+            !report.has_non_finite(),
+            "{name} must not produce non-finite metrics"
+        );
         assert!(
             report.slices.iter().all(|s| s.episodes > 0),
             "{name}: every slice must live at least one episode"
