@@ -16,7 +16,7 @@ use onslicing_domains::DomainSet;
 use onslicing_netsim::NetworkConfig;
 use onslicing_nn::{Activation, Adam, GaussianPolicy, Matrix, Mlp};
 use onslicing_rl::{PpoAgent, PpoConfig, RolloutBuffer, Transition};
-use onslicing_slices::{Sla, SliceKind, ACTION_DIM, STATE_DIM};
+use onslicing_slices::{Action, ActionDim, ResourceKind, Sla, SliceKind, ACTION_DIM, STATE_DIM};
 
 /// The paper-sized actor/critic pair used by every hot-path comparison
 /// (`onslicing_default` 128×64×32 trunks on the real state/action dims).
@@ -345,6 +345,173 @@ pub fn hotpath_ppo_config() -> PpoConfig {
 /// The batched learner sharing the baseline's initial weights.
 pub fn batched_ppo(policy: &GaussianPolicy, critic: &Mlp) -> PpoAgent {
     PpoAgent::from_parts(policy.clone(), critic.clone(), hotpath_ppo_config())
+}
+
+/// The per-slot inference workload of an `num_slices`-slice cell: one
+/// paper-sized policy mean net (`STATE_DIM -> ACTION_DIM`) and one critic
+/// (`STATE_DIM -> 1`) per slice, each with its own weights, plus one
+/// observation row per slice. Shared by both sides of the
+/// `fused_cell_slot` comparison so they evaluate the exact same networks
+/// on the exact same states.
+pub struct CellInferenceFixture {
+    /// Per-slice policy mean networks (distinct weights, shared trunk).
+    pub policies: Vec<Mlp>,
+    /// Per-slice critics (distinct weights, shared trunk).
+    pub critics: Vec<Mlp>,
+    /// One observation row per slice.
+    pub states: Vec<Vec<f64>>,
+}
+
+impl CellInferenceFixture {
+    /// Builds the fixture with `num_slices` independently-seeded networks.
+    pub fn new(num_slices: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let policies = (0..num_slices)
+            .map(|_| {
+                Mlp::new(
+                    &[STATE_DIM, 32, 16, ACTION_DIM],
+                    Activation::Tanh,
+                    Activation::Sigmoid,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let critics = (0..num_slices)
+            .map(|_| {
+                Mlp::new(
+                    &[STATE_DIM, 32, 16, 1],
+                    Activation::Tanh,
+                    Activation::Identity,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let states = (0..num_slices)
+            .map(|_| (0..STATE_DIM).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        Self {
+            policies,
+            critics,
+            states,
+        }
+    }
+
+    /// Snapshots the networks into the seed repository's per-sample kernels
+    /// (the dispatched baseline the fused path is measured against).
+    pub fn naive(&self) -> (Vec<NaiveMlp>, Vec<NaiveMlp>) {
+        (
+            self.policies.iter().map(NaiveMlp::from_mlp).collect(),
+            self.critics.iter().map(NaiveMlp::from_mlp).collect(),
+        )
+    }
+}
+
+/// Pre-rework [`Action`] dimension read: every access round-tripped through
+/// a freshly allocated 10-element `Vec` (`to_vec` + index), which is what
+/// made the coordination machinery allocate hundreds of times per slot.
+/// Reconstructed here (like [`NaiveMlp`] reconstructs the seed kernels) so
+/// the tracked JSON measures the in-place rework against what the code
+/// actually did before it.
+pub fn naive_action_get(a: &Action, dim: ActionDim) -> f64 {
+    a.to_vec()[dim.index()]
+}
+
+/// Pre-rework [`Action`] dimension write (`to_vec`, mutate, `from_vec`).
+pub fn naive_action_set(a: &mut Action, dim: ActionDim, value: f64) {
+    let mut v = a.to_vec();
+    v[dim.index()] = value.clamp(0.0, 1.0);
+    *a = Action::from_vec(&v);
+}
+
+/// One slot of the pre-rework per-slice coordination machinery, faithfully
+/// reconstructed: β-discounted modification of every proposal through
+/// [`naive_action_get`]/[`naive_action_set`], per-resource share vectors
+/// collected into fresh `Vec`s for the dual update and the feasibility
+/// check, and an allocating proportional projection written back action by
+/// action. The β arithmetic is the same Eq. 14 sub-gradient step the real
+/// coordinators run, so both sides of the comparison do identical math —
+/// only the data movement differs.
+pub fn naive_coordination_slot(
+    proposals: &[Action],
+    betas: &mut [f64; 6],
+    capacity: f64,
+    step: f64,
+) -> Vec<Action> {
+    let mut actions: Vec<Action> = proposals.to_vec();
+    for a in actions.iter_mut() {
+        for (resource, beta) in ResourceKind::ALL.into_iter().zip(betas.iter()) {
+            let dim = resource.action_dim();
+            let v = naive_action_get(a, dim);
+            naive_action_set(a, dim, (v - beta / 2.0).max(0.0));
+        }
+    }
+    let refs: Vec<&Action> = actions.iter().collect();
+    let mut feasible = true;
+    for (resource, beta) in ResourceKind::ALL.into_iter().zip(betas.iter_mut()) {
+        let shares: Vec<f64> = refs
+            .iter()
+            .map(|a| naive_action_get(a, resource.action_dim()))
+            .collect();
+        let total: f64 = shares.iter().sum();
+        *beta = (*beta + step * (total - capacity)).max(0.0);
+        feasible &= total - capacity <= 1e-3;
+    }
+    if !feasible {
+        for resource in ResourceKind::ALL {
+            let shares: Vec<f64> = actions
+                .iter()
+                .map(|a| naive_action_get(a, resource.action_dim()))
+                .collect();
+            let total: f64 = shares.iter().sum();
+            if total > capacity && total > 0.0 {
+                let scale = capacity / total;
+                let projected: Vec<f64> = shares.iter().map(|s| s * scale).collect();
+                for (a, p) in actions.iter_mut().zip(projected.iter()) {
+                    naive_action_set(a, resource.action_dim(), *p);
+                }
+            }
+        }
+    }
+    actions
+}
+
+/// The same slot through the reworked in-place path: the caller-owned
+/// workspace is refilled (no per-slot `Vec`), modification runs through the
+/// direct-field [`Action::get`]/[`Action::set`], and the [`DomainSet`] slice
+/// APIs sum, update and project without materializing anything.
+pub fn in_place_coordination_slot(
+    proposals: &[Action],
+    domains: &mut DomainSet,
+    workspace: &mut Vec<Action>,
+) {
+    workspace.clear();
+    workspace.extend_from_slice(proposals);
+    let betas = domains.betas();
+    for a in workspace.iter_mut() {
+        for (resource, beta) in ResourceKind::ALL.into_iter().zip(betas.iter()) {
+            let dim = resource.action_dim();
+            let v = a.get(dim);
+            a.set(dim, (v - beta / 2.0).max(0.0));
+        }
+    }
+    domains.update_coordination_slice(workspace);
+    if !domains.is_feasible_slice(workspace) {
+        domains.project_in_place(workspace);
+    }
+}
+
+/// Over-subscribed proposals for an `n`-slice cell (the projection branch of
+/// the coordination machinery runs every slot, as it does while learning).
+pub fn coordination_proposals(n: usize) -> Vec<Action> {
+    (0..n)
+        .map(|i| {
+            let mut a = Action::zeros();
+            for (d, dim) in ActionDim::ALL.into_iter().enumerate() {
+                a.set(dim, 0.2 + 0.05 * ((i + d) % 7) as f64);
+            }
+            a
+        })
+        .collect()
 }
 
 /// Builds an `num_slices`-slice deployment (paper agents, paper networks

@@ -12,7 +12,10 @@
 //!   (default +35 %, generous because wall-clock metrics are noisy).
 //! * **higher-is-better ratio** (`*speedup*`) — machine-normalized; fails
 //!   when the fresh value drops below the baseline by more than the
-//!   `speedup_loss` tolerance (default −15 %).
+//!   `speedup_loss` tolerance (default −15 %). Keys that also contain
+//!   `fused` additionally carry the absolute [`FUSED_SPEEDUP_FLOOR`]: any
+//!   value below 5.0 fails outright, so the fused-path advantage cannot be
+//!   re-baselined away one tolerant PR at a time.
 //! * **higher-is-better rate** (`*per_second*`) — an absolute throughput
 //!   is the reciprocal of a latency, so it gets the reciprocal of the
 //!   latency band: fresh ≥ baseline / (1 + `slower`), i.e. the same
@@ -53,6 +56,11 @@ impl Default for Tolerances {
     }
 }
 
+/// Absolute floor for `fused*speedup*` metrics: the in-place fused rework
+/// must stay at least this many times faster than the reconstructed
+/// per-slice path regardless of the committed baseline value.
+pub const FUSED_SPEEDUP_FLOOR: f64 = 5.0;
+
 /// How one metric is judged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricClass {
@@ -62,6 +70,14 @@ pub enum MetricClass {
     /// Machine-normalized ratio (speedups): fresh may not drop below
     /// baseline by more than `speedup_loss` of its magnitude.
     HigherIsBetter,
+    /// A speedup with an additional absolute floor
+    /// ([`FUSED_SPEEDUP_FLOOR`]): the fused-path rework must stay at least
+    /// that many times faster than the reconstructed per-slice path, no
+    /// matter what the committed baseline says. Catches the failure mode a
+    /// relative band cannot: a sequence of small regressions each inside
+    /// the band, re-baselined one PR at a time, walking the fused path back
+    /// to parity.
+    HigherIsBetterWithFloor,
     /// Absolute throughput rate: the reciprocal of a latency, so it gets
     /// the reciprocal of the latency band — fresh ≥ baseline / (1 +
     /// slower). Tighter than that would couple the gate to the baseline
@@ -101,7 +117,11 @@ pub fn classify(path: &str) -> MetricClass {
         return MetricClass::Informational;
     }
     if key.contains("speedup") {
-        return MetricClass::HigherIsBetter;
+        return if key.contains("fused") {
+            MetricClass::HigherIsBetterWithFloor
+        } else {
+            MetricClass::HigherIsBetter
+        };
     }
     if key.contains("per_second") || key.contains("per_sec") {
         return MetricClass::HigherIsBetterRate;
@@ -209,6 +229,22 @@ fn compare_leaf(
                             "{path}: {f:.3} falls below baseline {b:.3} by more than -{:.0}% \
                              (limit {limit:.3})",
                             tol.speedup_loss * 100.0
+                        ));
+                    }
+                }
+                MetricClass::HigherIsBetterWithFloor => {
+                    let limit = b - b.abs() * tol.speedup_loss - 1e-9;
+                    if f < limit {
+                        report.regressions.push(format!(
+                            "{path}: {f:.3} falls below baseline {b:.3} by more than -{:.0}% \
+                             (limit {limit:.3})",
+                            tol.speedup_loss * 100.0
+                        ));
+                    } else if f < FUSED_SPEEDUP_FLOOR {
+                        report.regressions.push(format!(
+                            "{path}: {f:.3} is below the absolute fused-speedup floor \
+                             {FUSED_SPEEDUP_FLOOR:.1} (the fused path must stay ≥{FUSED_SPEEDUP_FLOOR:.0}x \
+                             the per-slice path regardless of the baseline)"
                         ));
                     }
                 }
@@ -519,6 +555,35 @@ mod tests {
         assert_eq!(classify("curve[0].cost_p90"), MetricClass::Exact);
         assert_eq!(classify("threads"), MetricClass::Informational);
         assert_eq!(classify("samples"), MetricClass::Informational);
+    }
+
+    #[test]
+    fn fused_speedups_carry_an_absolute_floor() {
+        assert_eq!(
+            classify("coordination_machinery.fused_speedup"),
+            MetricClass::HigherIsBetterWithFloor
+        );
+        // Plain speedups are unaffected by the floor rule.
+        assert_eq!(classify("mlp_forward.speedup"), MetricClass::HigherIsBetter);
+
+        let baseline = r#"{ "coordination_machinery": { "fused_speedup": 13.0 } }"#;
+        // A within-band dip stays comfortably above the floor: passes.
+        let fresh = r#"{ "coordination_machinery": { "fused_speedup": 12.0 } }"#;
+        assert!(compare_json(baseline, fresh, &Tolerances::default())
+            .unwrap()
+            .passed());
+        // A big relative loss fails on the band.
+        let fresh = r#"{ "coordination_machinery": { "fused_speedup": 9.0 } }"#;
+        assert!(!compare_json(baseline, fresh, &Tolerances::default())
+            .unwrap()
+            .passed());
+        // The floor binds even when the relative band would forgive: a 5.4
+        // baseline re-baselined downward cannot sink below 5.0.
+        let low_baseline = r#"{ "coordination_machinery": { "fused_speedup": 5.4 } }"#;
+        let fresh = r#"{ "coordination_machinery": { "fused_speedup": 4.9 } }"#;
+        let report = compare_json(low_baseline, fresh, &Tolerances::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("absolute fused-speedup floor"));
     }
 
     #[test]

@@ -23,7 +23,8 @@ use serde::{Deserialize, Serialize};
 use onslicing_nn::PolicySample;
 use onslicing_rl::{
     behavior_clone, BcConfig, CostEstimatorConfig, CostValueEstimator, Demonstration,
-    LagrangianMultiplier, PpoAgent, PpoConfig, PpoUpdateStats, RolloutBuffer, Transition,
+    LagrangianMultiplier, PpoAgent, PpoConfig, PpoUpdateScratch, PpoUpdateStats, RolloutBuffer,
+    Transition,
 };
 use onslicing_slices::{Action, Sla, SliceKind, SliceState, SlotKpi, ACTION_DIM, STATE_DIM};
 
@@ -378,10 +379,18 @@ impl OnSlicingAgent {
     /// plus (when the estimator is enabled) the predicted mean and η-scaled
     /// standard deviation of the baseline's remaining episode cost.
     pub fn switching_statistic(&mut self, state: &SliceState, cumulative_cost: f64) -> f64 {
+        self.switching_statistic_row(&state.to_vec(), cumulative_cost)
+    }
+
+    /// [`OnSlicingAgent::switching_statistic`] over an already-flattened
+    /// observation row ([`SliceState::write_row`] layout). The fused slot path
+    /// feeds rows straight from the gathered cell batch so the statistic costs
+    /// no allocation.
+    pub fn switching_statistic_row(&mut self, state_row: &[f64], cumulative_cost: f64) -> f64 {
         if !self.config.enable_estimator {
             return cumulative_cost;
         }
-        let mut prediction = self.estimator.predict(&state.to_vec(), &mut self.rng);
+        let mut prediction = self.estimator.predict(state_row, &mut self.rng);
         if self.config.estimator_noise_std > 0.0 {
             prediction.mean += self.config.estimator_noise_std * standard_normal(&mut self.rng);
             prediction.mean = prediction.mean.max(0.0);
@@ -440,6 +449,76 @@ impl OnSlicingAgent {
             sample: Some(sample),
             switching_statistic: statistic,
         }
+    }
+
+    /// First phase of the fused (cell-batched) slot decide: draws the
+    /// switching statistic — consuming exactly the RNG draws
+    /// [`OnSlicingAgent::decide`] would — and performs the proactive switch
+    /// classification. Returns the statistic; whether the baseline acts is
+    /// visible via [`OnSlicingAgent::has_switched`].
+    ///
+    /// The orchestrator runs this for every agent, then computes all policy
+    /// means in one fused cell batch (no RNG involved), then calls
+    /// [`OnSlicingAgent::decide_finish`] per agent. Because every agent owns
+    /// an independent RNG stream, the phase split cannot change any draw.
+    pub fn decide_phase_switch(&mut self, state_row: &[f64], cumulative_cost: f64) -> f64 {
+        let statistic = if self.config.enable_switching {
+            self.switching_statistic_row(state_row, cumulative_cost)
+        } else {
+            cumulative_cost
+        };
+        if self.config.enable_switching && !self.switched {
+            let budget = self.sla.episode_cost_budget(self.config.horizon);
+            if statistic >= budget {
+                self.switched = true;
+            }
+        }
+        statistic
+    }
+
+    /// Last phase of the fused slot decide: builds the decision from the
+    /// fused policy-mean row. `statistic` must come from the matching
+    /// [`OnSlicingAgent::decide_phase_switch`] call, and `mean` must carry
+    /// the bits `ppo().policy().mean_action(&state.to_vec())` would produce
+    /// (the fused cell batch guarantees this). The composition
+    /// `decide_phase_switch` → `decide_finish` is bit-identical to
+    /// [`OnSlicingAgent::decide`] on a shared RNG stream.
+    pub fn decide_finish(
+        &mut self,
+        state: &SliceState,
+        statistic: f64,
+        mean: &[f64],
+        deterministic: bool,
+    ) -> Decision {
+        if self.switched {
+            return Decision {
+                action: self.baseline.act(state),
+                used_baseline: true,
+                sample: None,
+                switching_statistic: statistic,
+            };
+        }
+        if deterministic {
+            return Decision {
+                action: Action::from_vec(mean),
+                used_baseline: false,
+                sample: None,
+                switching_statistic: statistic,
+            };
+        }
+        let sample = self.ppo.act_with_mean(mean, &mut self.rng);
+        Decision {
+            action: Action::from_vec(&sample.action),
+            used_baseline: false,
+            sample: Some(sample),
+            switching_statistic: statistic,
+        }
+    }
+
+    /// Read access to the PPO learner (the fused cell batch reads the policy
+    /// mean network and the critic through this).
+    pub fn ppo(&self) -> &PpoAgent {
+        &self.ppo
     }
 
     /// Applies the action modifier `π_a` to an action under the current
@@ -502,6 +581,45 @@ impl OnSlicingAgent {
         }
     }
 
+    /// [`OnSlicingAgent::record`] with the critic value of `state` already
+    /// computed (the fused cell batch evaluates every agent's critic in one
+    /// layer-major sweep). `value` must carry the bits
+    /// `ppo().value(&state.to_vec())` would produce; the critic forward is
+    /// pure, so the fused value is bit-identical and this method records
+    /// exactly what `record` would.
+    pub fn record_with_value(
+        &mut self,
+        state: &SliceState,
+        decision: &Decision,
+        executed: &Action,
+        kpi: &SlotKpi,
+        done: bool,
+        value: f64,
+    ) {
+        self.episode_costs.push(kpi.cost);
+        self.episode_usages.push(kpi.resource_usage_percent());
+        match &decision.sample {
+            Some(sample) => {
+                self.learned_this_episode = true;
+                self.buffer.push(Transition {
+                    state: state.to_vec(),
+                    raw_action: sample.raw_action.clone(),
+                    action: executed.to_vec(),
+                    log_prob: sample.log_prob,
+                    reward: self.shaped_reward(kpi),
+                    cost: kpi.cost,
+                    value,
+                    done,
+                });
+            }
+            None => {
+                if decision.used_baseline && self.pending_bootstrap.is_none() {
+                    self.pending_bootstrap = Some(value);
+                }
+            }
+        }
+    }
+
     /// Closes the episode: computes the GAE targets of the effective (π_θ)
     /// transitions, performs the Lagrangian dual update (Eq. 5) and returns
     /// the episode summary.
@@ -545,6 +663,19 @@ impl OnSlicingAgent {
     /// update and clears the rollout buffer.
     pub fn update_policy(&mut self) -> PpoUpdateStats {
         let stats = self.ppo.update(&self.buffer, &mut self.rng);
+        self.buffer.clear();
+        stats
+    }
+
+    /// [`OnSlicingAgent::update_policy`] with a caller-owned scratch: all
+    /// same-shaped agents of a cell can share one set of update buffers
+    /// (the minibatch matrices keep their dimensions from agent to agent,
+    /// so the fused epoch reallocates nothing). Bit-identical to
+    /// `update_policy`.
+    pub fn update_policy_with_scratch(&mut self, scratch: &mut PpoUpdateScratch) -> PpoUpdateStats {
+        let stats = self
+            .ppo
+            .update_with_scratch(&self.buffer, &mut self.rng, scratch);
         self.buffer.clear();
         stats
     }

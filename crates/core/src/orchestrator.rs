@@ -13,22 +13,49 @@
 //! 4. the agents record the outcome and, at epoch boundaries, update their
 //!    policies.
 //!
+//! ## Fused cell inference
+//!
+//! Every slice agent in a cell shares one trunk architecture, so the slot
+//! hot path no longer dispatches one small forward pass per slice. Instead
+//! [`Orchestrator::run_slot`] *gathers* one observation row per active slice
+//! into a [`CellBatch`], runs one fused layer-major sweep per network family
+//! (policy means, critic values) across the whole cell, and *scatters* the
+//! output rows back into per-agent decisions. The split is RNG-exact:
+//!
+//! 1. **phase A** — each agent draws its switching statistic and classifies
+//!    the proactive switch ([`OnSlicingAgent::decide_phase_switch`]); these
+//!    are the only pre-action RNG draws, and agents own independent streams;
+//! 2. **phase B** — the fused forwards (no RNG at all);
+//! 3. **phase C** — each agent finishes its decision from its fused mean row
+//!    ([`OnSlicingAgent::decide_finish`]), drawing exactly the action-sample
+//!    variates the dispatched path would.
+//!
+//! The composition is bit-identical to the per-slice reference path, which is
+//! kept as [`Orchestrator::run_slot_reference`] for equivalence tests and as
+//! the fallback when the cell holds heterogeneous trunk shapes.
+//!
 //! ## Parallelism
 //!
 //! Per-slice agents are fully independent between coordination rounds: each
 //! owns its policy networks, RNG and rollout buffer, and each slice
-//! environment owns its simulator. The decision phase, the environment
-//! stepping phase, per-agent PPO updates and offline pre-training therefore
-//! fan out across cores with `rayon`; only the β-pricing coordination loop —
-//! which is a sequential fixed-point iteration by construction (paper §4,
-//! Eq. 13–14) — stays single-threaded. Determinism is unaffected: no RNG is
-//! shared between agents, so results are identical to a sequential run.
+//! environment owns its simulator. Since the fused refactor, thread-level
+//! parallelism lives *inside* the batched GEMM kernels (`onslicing_nn`
+//! row-tiles large matrix products across cores); the slot loop itself runs
+//! the gather → fused sweep → scatter sequence single-threaded, which costs
+//! nothing at cell sizes and keeps the per-slot allocation count at zero in
+//! steady state. Offline pre-training still fans out across cores with
+//! `rayon` (episode-grained, embarrassingly parallel). Determinism is
+//! unaffected everywhere: no RNG is shared between agents, and the kernels'
+//! per-row reduction order is tiling-invariant, so results are identical at
+//! every thread count.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use onslicing_domains::{DomainSet, SliceId};
-use onslicing_slices::{Action, Sla};
+use onslicing_nn::{CellBatch, Mlp};
+use onslicing_rl::PpoUpdateScratch;
+use onslicing_slices::{Action, Sla, SliceState, STATE_DIM};
 
 use onslicing_slices::SlotKpi;
 
@@ -126,7 +153,7 @@ impl From<OrchestratorError> for String {
 
 /// Outcome of one coordinated slot (exposed for tests, the showcase figures
 /// and the telemetry recorder).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SlotOutcome {
     /// Each agent's own decision (before coordination).
     pub decisions: Vec<Decision>,
@@ -195,6 +222,36 @@ pub struct SliceCheckpoint {
     pub env: SliceEnvironment,
 }
 
+/// Reusable buffers of the fused slot path: the gather vectors, the two
+/// fused-forward workspaces (policy means and critic values), the
+/// coordination scratch and the cell-shared PPO update scratch. Pure
+/// caches — cleared and refilled every slot, so a freshly-`Default`ed
+/// workspace (e.g. after deserialization) warms up on the first slot and
+/// allocates nothing from then on.
+#[derive(Debug, Clone, Default)]
+struct SlotWorkspace {
+    /// One observation per active slice, gathered at the top of the slot.
+    states: Vec<SliceState>,
+    /// Each slice's cumulative episode cost, parallel to `states`.
+    costs: Vec<f64>,
+    /// Each agent's switching statistic from phase A.
+    statistics: Vec<f64>,
+    /// Each agent's fused critic value from phase B.
+    values: Vec<f64>,
+    /// The agents' proposed actions (pre-coordination).
+    proposals: Vec<Action>,
+    /// Fused forward workspace for the policy mean networks.
+    policy_cell: CellBatch,
+    /// Fused forward workspace for the critic networks.
+    critic_cell: CellBatch,
+    /// One PPO update scratch shared by every agent in the cell: the trunk
+    /// shapes match, so the minibatch buffers keep their dimensions from
+    /// agent to agent across the epoch's update sweep.
+    ppo_scratch: PpoUpdateScratch,
+    /// The slot outcome reused across an episode's slots.
+    episode_outcome: SlotOutcome,
+}
+
 /// The end-to-end orchestrator of one infrastructure.
 ///
 /// Serializes the entire deployment — every agent's networks, optimizers and
@@ -212,6 +269,9 @@ pub struct Orchestrator {
     slice_ids: Vec<SliceId>,
     /// Next id handed out by [`Orchestrator::admit_slice`].
     next_slice_id: u32,
+    /// Fused slot-path scratch; never serialized, rebuilt lazily.
+    #[serde(skip)]
+    workspace: SlotWorkspace,
 }
 
 impl Orchestrator {
@@ -239,6 +299,7 @@ impl Orchestrator {
             config,
             next_slice_id: slice_ids.len() as u32,
             slice_ids,
+            workspace: SlotWorkspace::default(),
         };
         for id in orchestrator.slice_ids.clone() {
             // Slices may already exist when an orchestrator is rebuilt around
@@ -391,6 +452,51 @@ impl Orchestrator {
             });
     }
 
+    /// Allocation-free [`Orchestrator::coordinate`]: the enforceable actions
+    /// land in `executed` (cleared first), and every β update, feasibility
+    /// check and last-resort projection runs in place through the domain
+    /// set's slice APIs. The round structure — and therefore every modifier
+    /// RNG draw and every β trajectory — matches the allocating variant
+    /// bit-for-bit.
+    fn coordinate_in_place(&mut self, proposals: &[Action], executed: &mut Vec<Action>) -> usize {
+        executed.clear();
+        match self.config.coordination {
+            CoordinationMode::Projection => {
+                executed.extend_from_slice(proposals);
+                self.domains.project_in_place(executed);
+                1
+            }
+            CoordinationMode::Modifier {
+                max_rounds,
+                warm_start,
+            } => {
+                if !warm_start {
+                    self.domains.reset_betas();
+                }
+                let mut betas = self.domains.betas();
+                for (a, agent) in proposals.iter().zip(self.agents.iter_mut()) {
+                    executed.push(agent.modify(a, &betas));
+                }
+                let mut rounds = 1;
+                loop {
+                    betas = self.domains.update_coordination_slice(executed);
+                    if self.domains.is_feasible_slice(executed) || rounds >= max_rounds {
+                        break;
+                    }
+                    executed.clear();
+                    for (a, agent) in proposals.iter().zip(self.agents.iter_mut()) {
+                        executed.push(agent.modify(a, &betas));
+                    }
+                    rounds += 1;
+                }
+                if !self.domains.is_feasible_slice(executed) {
+                    self.domains.project_in_place(executed);
+                }
+                rounds
+            }
+        }
+    }
+
     /// Resolves the slices' proposed actions against the shared capacities
     /// and returns the enforceable actions plus the interaction count.
     fn coordinate(&mut self, proposals: &[Action]) -> (Vec<Action>, usize) {
@@ -430,12 +536,160 @@ impl Orchestrator {
         }
     }
 
+    /// Whether every agent in the cell shares one trunk shape (policy mean
+    /// net and critic), making the fused slot path applicable.
+    fn cell_is_fusable(&self) -> bool {
+        let Some(first) = self.agents.first() else {
+            return true;
+        };
+        let mean0 = first.ppo().policy().mean_net();
+        let critic0 = first.ppo().critic();
+        self.agents.iter().skip(1).all(|agent| {
+            same_trunk(agent.ppo().policy().mean_net(), mean0)
+                && same_trunk(agent.ppo().critic(), critic0)
+        })
+    }
+
     /// Runs one coordinated slot across all slices.
     ///
     /// When `learn` is true the agents sample stochastic actions and record
     /// transitions; when false they act deterministically (test-time
     /// evaluation).
+    ///
+    /// Cells whose agents share one trunk architecture (the normal case) take
+    /// the fused gather → GEMM → scatter path; heterogeneous cells fall back
+    /// to the dispatched [`Orchestrator::run_slot_reference`]. Both produce
+    /// bit-identical outcomes.
     pub fn run_slot(&mut self, learn: bool) -> SlotOutcome {
+        let mut out = SlotOutcome::default();
+        self.run_slot_into(learn, &mut out);
+        out
+    }
+
+    /// [`Orchestrator::run_slot`] into a caller-owned outcome: the outcome's
+    /// vectors are cleared and refilled, so a reused `SlotOutcome` makes the
+    /// whole slot allocation-free in steady state.
+    pub fn run_slot_into(&mut self, learn: bool, out: &mut SlotOutcome) {
+        let mut ws = std::mem::take(&mut self.workspace);
+        if self.cell_is_fusable() {
+            self.run_slot_fused(learn, &mut ws, out);
+        } else {
+            *out = self.run_slot_reference(learn);
+        }
+        self.workspace = ws;
+    }
+
+    /// The fused slot path: one observation row per slice is gathered into
+    /// the cell batch, the policy means and critic values of the whole cell
+    /// are computed in two fused layer-major sweeps, and the rows are
+    /// scattered back through the agents' phased decide. RNG-draw order per
+    /// agent is exactly that of the dispatched path, so the outcome is
+    /// bit-identical.
+    fn run_slot_fused(&mut self, learn: bool, ws: &mut SlotWorkspace, out: &mut SlotOutcome) {
+        let n = self.agents.len();
+        // Gather: observations, costs and the stacked observation rows.
+        ws.states.clear();
+        ws.costs.clear();
+        for env in self.env.envs() {
+            ws.states.push(env.state());
+            ws.costs.push(env.cumulative_cost());
+        }
+        {
+            let input = ws.policy_cell.input_mut(n, STATE_DIM);
+            for (i, state) in ws.states.iter().enumerate() {
+                state.write_row(input.row_mut(i));
+            }
+        }
+        // Phase A: switching statistics and proactive-switch classification.
+        // These draws are the only pre-action RNG consumption, and each agent
+        // owns an independent stream, so running them batch-first instead of
+        // interleaved with the forwards cannot change any draw.
+        ws.statistics.clear();
+        for i in 0..n {
+            let row = ws.policy_cell.input().row(i);
+            ws.statistics
+                .push(self.agents[i].decide_phase_switch(row, ws.costs[i]));
+        }
+        // Phase B: the fused forwards (no RNG). Policy means feed phase C;
+        // critic values feed the recording phase (bootstrap values for
+        // baseline-switched agents and transition values for π_θ actions).
+        {
+            let SlotWorkspace {
+                policy_cell,
+                critic_cell,
+                values,
+                ..
+            } = ws;
+            {
+                let src = policy_cell.input();
+                let dst = critic_cell.input_mut(n, STATE_DIM);
+                dst.data_mut().copy_from_slice(src.data());
+            }
+            let agents = &self.agents;
+            policy_cell.forward_grouped(|i| agents[i].ppo().policy().mean_net());
+            let vals = critic_cell.forward_grouped(|i| agents[i].ppo().critic());
+            values.clear();
+            for i in 0..n {
+                values.push(vals.row(i)[0]);
+            }
+        }
+        // Phase C: each agent finishes its decision from its fused mean row.
+        out.decisions.clear();
+        for i in 0..n {
+            let mean = ws.policy_cell.output().row(i);
+            out.decisions.push(self.agents[i].decide_finish(
+                &ws.states[i],
+                ws.statistics[i],
+                mean,
+                !learn,
+            ));
+        }
+        ws.proposals.clear();
+        for d in out.decisions.iter() {
+            ws.proposals.push(d.action);
+        }
+        out.interactions = self.coordinate_in_place(&ws.proposals, &mut out.executed);
+        for (i, action) in out.executed.iter().enumerate() {
+            self.domains
+                .enforce(self.slice_ids[i], *action)
+                .expect("active slices are registered with every domain");
+        }
+        // Execution phase: each slice steps its own simulator and records its
+        // own outcome with the fused critic value. The agent only stores a
+        // learning transition when the decision carried a stochastic sample
+        // (i.e. `learn` was true and π_θ acted); recording always happens so
+        // episode usage/cost summaries stay available.
+        let SlotOutcome {
+            decisions,
+            executed,
+            kpis,
+            ..
+        } = out;
+        kpis.clear();
+        for (i, (agent, env)) in self
+            .agents
+            .iter_mut()
+            .zip(self.env.envs_mut().iter_mut())
+            .enumerate()
+        {
+            let result = env.step(&executed[i]);
+            agent.record_with_value(
+                &ws.states[i],
+                &decisions[i],
+                &executed[i],
+                &result.kpi,
+                result.done,
+                ws.values[i],
+            );
+            kpis.push(result.kpi);
+        }
+    }
+
+    /// The dispatched per-slice reference path: one forward pass per network
+    /// per slice, exactly as the pre-fusion orchestrator ran it. Kept as the
+    /// fallback for heterogeneous-trunk cells and as the ground truth the
+    /// fused path is tested (and benchmarked) against.
+    pub fn run_slot_reference(&mut self, learn: bool) -> SlotOutcome {
         let states: Vec<_> = self.env.envs().iter().map(|e| e.state()).collect();
         let costs: Vec<f64> = self
             .env
@@ -444,10 +698,10 @@ impl Orchestrator {
             .map(|e| e.cumulative_cost())
             .collect();
         // Decision phase: every agent proposes independently (own networks,
-        // own RNG), so the sweep fans out across cores.
+        // own RNG).
         let decisions: Vec<Decision> = self
             .agents
-            .par_iter_mut()
+            .iter_mut()
             .enumerate()
             .map(|(i, agent)| agent.decide(&states[i], costs[i], !learn))
             .collect();
@@ -459,16 +713,14 @@ impl Orchestrator {
                 .expect("active slices are registered with every domain");
         }
         // Execution phase: each slice steps its own simulator and records its
-        // own outcome, again one core per slice. The agent only stores a
-        // learning transition when the decision carried a stochastic sample
-        // (i.e. `learn` was true and π_θ acted); recording always happens so
-        // episode usage/cost summaries stay available. The per-slice KPIs are
-        // collected in index order (independent of the worker count) for the
-        // telemetry recorder.
+        // own outcome. The agent only stores a learning transition when the
+        // decision carried a stochastic sample (i.e. `learn` was true and π_θ
+        // acted); recording always happens so episode usage/cost summaries
+        // stay available.
         let kpis: Vec<SlotKpi> = self
             .agents
-            .par_iter_mut()
-            .zip(self.env.envs_mut().par_iter_mut())
+            .iter_mut()
+            .zip(self.env.envs_mut().iter_mut())
             .enumerate()
             .map(|(i, (agent, env))| {
                 let result = env.step(&executed[i]);
@@ -502,9 +754,14 @@ impl Orchestrator {
         self.env.reset_all();
         let horizon = self.env.envs()[0].horizon();
         let mut interactions = 0usize;
+        // One outcome buffer serves every slot of the episode, so the slot
+        // loop recycles its vectors instead of reallocating them per slot.
+        let mut outcome = std::mem::take(&mut self.workspace.episode_outcome);
         for _ in 0..horizon {
-            interactions += self.run_slot(learn).interactions;
+            self.run_slot_into(learn, &mut outcome);
+            interactions += outcome.interactions;
         }
+        self.workspace.episode_outcome = outcome;
         let slices = self.agents.iter_mut().map(|a| a.end_episode()).collect();
         EpisodeMetrics {
             slices,
@@ -519,10 +776,18 @@ impl Orchestrator {
         for _ in 0..self.config.episodes_per_epoch {
             episodes.push(self.run_episode(true));
         }
-        // PPO updates are per-slice and independent — run them concurrently.
-        self.agents.par_iter_mut().for_each(|agent| {
-            agent.update_policy();
-        });
+        // PPO updates run back to back through one shared scratch: every
+        // agent in the cell shares the trunk architecture, so the minibatch
+        // buffers keep their dimensions from agent to agent and the whole
+        // sweep reallocates nothing. Each update's arithmetic and RNG use are
+        // exactly those of `OnSlicingAgent::update_policy`, and agents own
+        // independent streams, so the sequential sweep is bit-identical to
+        // the old per-core fan-out.
+        let mut scratch = std::mem::take(&mut self.workspace.ppo_scratch);
+        for agent in &mut self.agents {
+            agent.update_policy_with_scratch(&mut scratch);
+        }
+        self.workspace.ppo_scratch = scratch;
         EpochMetrics::from_episodes(&episodes)
     }
 
@@ -538,6 +803,16 @@ impl Orchestrator {
         let runs: Vec<EpisodeMetrics> = (0..episodes).map(|_| self.run_episode(false)).collect();
         EpochMetrics::from_episodes(&runs)
     }
+}
+
+/// Whether two networks share layer count and per-layer dimensions (the
+/// trunk *shape* — weights are free to differ).
+fn same_trunk(a: &Mlp, b: &Mlp) -> bool {
+    a.num_layers() == b.num_layers()
+        && a.layers_ref()
+            .iter()
+            .zip(b.layers_ref())
+            .all(|(x, y)| x.in_dim() == y.in_dim() && x.out_dim() == y.out_dim())
 }
 
 #[cfg(test)]
@@ -838,6 +1113,145 @@ mod tests {
                 mean_usage_percent: 0.0,
             }
         );
+    }
+
+    #[test]
+    fn fused_slot_is_bit_identical_to_the_reference_path() {
+        // Two clones of the same deployment: one runs the fused path, the
+        // other the dispatched reference. Outcomes — decisions, samples,
+        // executed actions, KPIs, interaction counts — must match
+        // bit-for-bit in both learning and evaluation mode, and the agents
+        // themselves (weights, RNG streams, buffers) must stay serialization-
+        // equal throughout.
+        let mut fused = build(AgentConfig::onslicing(), CoordinationMode::default());
+        fused.offline_pretrain_all(1);
+        let mut reference = fused.clone();
+        fused.env_mut().reset_all();
+        reference.env_mut().reset_all();
+        assert!(fused.cell_is_fusable());
+        for slot in 0..6 {
+            let learn = slot % 2 == 0;
+            let a = fused.run_slot(learn);
+            let b = reference.run_slot_reference(learn);
+            assert_eq!(a, b, "slot {slot} (learn={learn}) diverged");
+        }
+        for (a, b) in fused.agents().iter().zip(reference.agents()) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+        assert_eq!(
+            serde_json::to_string(fused.env()).unwrap(),
+            serde_json::to_string(reference.env()).unwrap()
+        );
+    }
+
+    #[test]
+    fn fused_slot_matches_reference_through_admission_and_teardown() {
+        // Ragged cell sizes mid-run: admit a fourth slice, then tear down a
+        // middle one, running fused and reference side by side throughout —
+        // including down to a single slice and an empty cell.
+        let mut fused = build(AgentConfig::onslicing(), CoordinationMode::default());
+        let mut reference = fused.clone();
+        fused.env_mut().reset_all();
+        reference.env_mut().reset_all();
+        assert_eq!(fused.run_slot(true), reference.run_slot_reference(true));
+
+        for orch in [&mut fused, &mut reference] {
+            let (agent, env) = extra_slice(SliceKind::Mar, 400);
+            orch.admit_slice(agent, env).unwrap();
+        }
+        assert_eq!(fused.run_slot(true), reference.run_slot_reference(true));
+
+        for orch in [&mut fused, &mut reference] {
+            orch.teardown_slice(SliceId(1)).unwrap();
+        }
+        assert_eq!(fused.run_slot(false), reference.run_slot_reference(false));
+
+        // Down to one slice, then none.
+        for id in [SliceId(0), SliceId(2)] {
+            for orch in [&mut fused, &mut reference] {
+                orch.teardown_slice(id).unwrap();
+            }
+            assert_eq!(fused.run_slot(true), reference.run_slot_reference(true));
+        }
+        assert_eq!(fused.num_slices(), 1);
+        for orch in [&mut fused, &mut reference] {
+            orch.teardown_slice(SliceId(3)).unwrap();
+        }
+        assert_eq!(fused.num_slices(), 0);
+        assert_eq!(fused.run_slot(true), reference.run_slot_reference(true));
+        for (a, b) in fused.agents().iter().zip(reference.agents()) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_epoch_matches_reference_updates() {
+        // A full learning epoch through the fused path (shared PPO scratch)
+        // against one whose updates run through each agent's own scratch:
+        // the resulting weights, optimizer moments and RNG streams must be
+        // serialization-equal.
+        let mut fused = build(AgentConfig::onslicing(), CoordinationMode::default());
+        fused.offline_pretrain_all(1);
+        let mut reference = fused.clone();
+
+        let m1 = fused.run_epoch();
+
+        reference.env_mut().reset_all();
+        let horizon = reference.env().envs()[0].horizon();
+        for _ in 0..horizon {
+            reference.run_slot_reference(true);
+        }
+        for agent in reference.agents_mut() {
+            agent.end_episode();
+        }
+        for agent in reference.agents_mut() {
+            agent.update_policy();
+        }
+        assert_eq!(m1.num_slice_episodes, 3);
+        for (a, b) in fused.agents().iter().zip(reference.agents()) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_trunks_fall_back_to_the_reference_path() {
+        // An orchestrator whose extra agent uses the small networks is not
+        // fusable; run_slot must still work (via the dispatched fallback)
+        // and keep producing feasible actions.
+        let mut orch = build(AgentConfig::onslicing(), CoordinationMode::default());
+        let network = NetworkConfig::testbed_default();
+        let kind = SliceKind::Mar;
+        let sla = Sla::for_kind(kind);
+        let baseline = RuleBasedBaseline::calibrate(
+            kind,
+            &sla,
+            &network,
+            kind.default_peak_users_per_second(),
+            4,
+            700,
+        );
+        let env = crate::env::SliceEnvironment::new(kind, network, 700);
+        let horizon = env.horizon();
+        // `scaled_down` switches every agent to the small trunks, so a
+        // full-size newcomer is what makes the cell heterogeneous.
+        let mut config = AgentConfig::onslicing().scaled_down(horizon);
+        config.use_small_networks = false;
+        let agent = OnSlicingAgent::new(kind, sla, baseline, config, 700);
+        orch.admit_slice(agent, env).unwrap();
+        assert!(!orch.cell_is_fusable());
+        orch.env_mut().reset_all();
+        let outcome = orch.run_slot(true);
+        assert_eq!(outcome.executed.len(), 4);
+        assert!(orch.domains().is_feasible(outcome.executed.iter()));
     }
 
     #[test]

@@ -70,7 +70,14 @@ impl ParameterCoordinator {
     /// Excess demand `Σ_i â_i,k − L_max` for a set of requested shares
     /// (positive when the resource is over-requested).
     pub fn excess(&self, requested_shares: &[f64]) -> f64 {
-        requested_shares.iter().sum::<f64>() - self.capacity
+        self.excess_of_total(requested_shares.iter().sum::<f64>())
+    }
+
+    /// [`ParameterCoordinator::excess`] for an already-summed demand total.
+    /// The allocation-free coordination path sums shares straight off the
+    /// action slice and feeds the total here.
+    pub fn excess_of_total(&self, total: f64) -> f64 {
+        total - self.capacity
     }
 
     /// Whether the requests fit within the capacity.
@@ -79,13 +86,23 @@ impl ParameterCoordinator {
     /// coordination converges geometrically, so insisting on exact
     /// feasibility would waste interactions on a vanishing sliver.
     pub fn is_feasible(&self, requested_shares: &[f64]) -> bool {
-        self.excess(requested_shares) <= 1e-3
+        self.is_feasible_total(requested_shares.iter().sum::<f64>())
+    }
+
+    /// [`ParameterCoordinator::is_feasible`] for an already-summed total.
+    pub fn is_feasible_total(&self, total: f64) -> bool {
+        self.excess_of_total(total) <= 1e-3
     }
 
     /// One sub-gradient update of Eq. 14:
     /// `β_k ← [β_k + ε (Σ_i â_i,k − L_max)]⁺`. Returns the new value.
     pub fn update(&mut self, requested_shares: &[f64]) -> f64 {
-        let excess = self.excess(requested_shares);
+        self.update_total(requested_shares.iter().sum::<f64>())
+    }
+
+    /// [`ParameterCoordinator::update`] for an already-summed total.
+    pub fn update_total(&mut self, total: f64) -> f64 {
+        let excess = self.excess_of_total(total);
         self.beta = (self.beta + self.step_size * excess).max(0.0);
         self.beta
     }
@@ -96,11 +113,23 @@ impl ParameterCoordinator {
     /// fit are returned unchanged.
     pub fn project(&self, requested_shares: &[f64]) -> Vec<f64> {
         let total: f64 = requested_shares.iter().sum();
-        if total <= self.capacity || total <= 0.0 {
+        let scale = self.project_scale(total);
+        if scale >= 1.0 {
             return requested_shares.to_vec();
         }
-        let scale = self.capacity / total;
         requested_shares.iter().map(|s| s * scale).collect()
+    }
+
+    /// The proportional scale-down factor projection would apply to requests
+    /// summing to `total` (`1.0` when they already fit). Lets callers project
+    /// an action slice in place without materializing per-resource share
+    /// vectors.
+    pub fn project_scale(&self, total: f64) -> f64 {
+        if total <= self.capacity || total <= 0.0 {
+            1.0
+        } else {
+            self.capacity / total
+        }
     }
 }
 

@@ -231,6 +231,33 @@ impl DomainManager {
         })
     }
 
+    /// Allocation-free [`DomainManager::is_feasible`] over a slice of
+    /// actions: shares are summed straight off the slice, so the hot
+    /// coordination loop materializes nothing.
+    pub fn is_feasible_slice(&self, actions: &[Action]) -> bool {
+        self.coordinators.iter().all(|c| {
+            let total: f64 = actions.iter().map(|a| a.resource_share(c.resource)).sum();
+            c.is_feasible_total(total)
+        })
+    }
+
+    /// Allocation-free coordination round: performs exactly the `β_k`
+    /// updates of [`DomainManager::update_coordination`] without building
+    /// the per-resource share vectors or the report.
+    pub fn update_coordination_in_place(&mut self, actions: &[Action]) {
+        for c in &mut self.coordinators {
+            let total: f64 = actions.iter().map(|a| a.resource_share(c.resource)).sum();
+            c.update_total(total);
+        }
+    }
+
+    /// Visits every owned resource's current `β_k` without allocating.
+    pub fn for_each_beta(&self, mut f: impl FnMut(ResourceKind, f64)) {
+        for c in &self.coordinators {
+            f(c.resource, c.beta());
+        }
+    }
+
     /// One coordination round: updates every owned resource's `β_k` from the
     /// requested actions (Eq. 14) and reports the refreshed values.
     pub fn update_coordination<'a, I>(&mut self, slot: usize, requests: I) -> CoordinationUpdate
@@ -298,6 +325,23 @@ impl DomainManager {
             }
         }
         actions
+    }
+
+    /// Allocation-free [`DomainManager::project`]: scales the actions in
+    /// place, resource by resource. Bit-identical to the allocating variant —
+    /// actions that already fit a resource are left untouched rather than
+    /// multiplied by `1.0`.
+    pub fn project_in_place(&self, actions: &mut [Action]) {
+        for c in &self.coordinators {
+            let total: f64 = actions.iter().map(|a| a.resource_share(c.resource)).sum();
+            let scale = c.project_scale(total);
+            if scale < 1.0 {
+                for a in actions.iter_mut() {
+                    let share = a.resource_share(c.resource);
+                    a.set(c.resource.action_dim(), share * scale);
+                }
+            }
+        }
     }
 }
 

@@ -162,11 +162,33 @@ impl DomainSet {
     pub fn betas(&self) -> [f64; 6] {
         let mut out = [0.0; 6];
         for m in &self.managers {
-            for (resource, beta) in m.betas() {
-                out[resource.index()] = beta;
-            }
+            m.for_each_beta(|resource, beta| out[resource.index()] = beta);
         }
         out
+    }
+
+    /// Allocation-free [`DomainSet::is_feasible`] over a slice of actions.
+    pub fn is_feasible_slice(&self, actions: &[Action]) -> bool {
+        self.managers.iter().all(|m| m.is_feasible_slice(actions))
+    }
+
+    /// Allocation-free [`DomainSet::update_coordination`] over a slice of
+    /// actions: the same dual-ascent round, with the refreshed `β` vector
+    /// returned on the stack and nothing materialized along the way.
+    pub fn update_coordination_slice(&mut self, actions: &[Action]) -> [f64; 6] {
+        for m in &mut self.managers {
+            m.update_coordination_in_place(actions);
+        }
+        self.betas()
+    }
+
+    /// Allocation-free [`DomainSet::project`]: scales the actions in place,
+    /// resource by resource, in the same manager order (bit-identical to the
+    /// allocating variant).
+    pub fn project_in_place(&self, actions: &mut [Action]) {
+        for m in &self.managers {
+            m.project_in_place(actions);
+        }
     }
 
     /// Overwrites the `β` of one resource in whichever manager owns it.

@@ -462,6 +462,46 @@ impl BayesWorkspace {
     }
 }
 
+/// Reusable scratch for the fast predict path ([`BayesianMlp::predict_with`]).
+///
+/// Holds the materialized posterior scales `σ = softplus(ρ)` (so the hot
+/// sampling loop pays one multiply-add per weight instead of a `softplus`
+/// evaluation per draw) plus ping-pong activation buffers, making repeated
+/// predictions allocation-free at steady state.
+///
+/// The σ cache is **stale after any parameter update**: the owner must call
+/// [`PredictScratch::invalidate`] after `fit`/optimizer steps so the next
+/// prediction recomputes it. A freshly created (or deserialized-into-default)
+/// scratch starts invalid, so forgetting to persist it can never change
+/// results.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    /// Per-layer `softplus(weight_rho)`.
+    sigma_w: Vec<Matrix>,
+    /// Per-layer `softplus(bias_rho)`.
+    sigma_b: Vec<Vec<f64>>,
+    /// Ping-pong activation buffers.
+    x: Vec<f64>,
+    y: Vec<f64>,
+    /// Scalar outputs of the stochastic passes of one predict call.
+    values: Vec<f64>,
+    /// Whether the σ cache matches the network's current parameters.
+    fresh: bool,
+}
+
+impl PredictScratch {
+    /// Creates an empty (invalid) scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the σ cache stale; the next [`BayesianMlp::predict_with`] call
+    /// recomputes it. Call after any update to the network's parameters.
+    pub fn invalidate(&mut self) {
+        self.fresh = false;
+    }
+}
+
 /// A small Bayesian MLP producing a scalar prediction with uncertainty.
 ///
 /// Used as the cost value estimator: input is the slice state, output is the
@@ -688,6 +728,105 @@ impl BayesianMlp {
             std: var.max(0.0).sqrt(),
         }
     }
+
+    /// Fast form of [`BayesianMlp::predict`]: same stochastic passes, same
+    /// RNG draw sequence, same accumulation order — **bit-identical** output
+    /// — but through caller-owned scratch buffers, with the posterior scales
+    /// `softplus(ρ)` cached in `scratch` instead of recomputed per draw, and
+    /// zero allocations at steady state.
+    ///
+    /// Unlike `predict` this takes `&self`: it does not populate the
+    /// backward caches (`predict` results are never backpropagated). The
+    /// caller must [`PredictScratch::invalidate`] the scratch after any
+    /// parameter update.
+    ///
+    /// # Panics
+    /// Panics if the network output is not scalar or `num_samples == 0`.
+    pub fn predict_with<R: Rng + ?Sized>(
+        &self,
+        input: &[f64],
+        num_samples: usize,
+        rng: &mut R,
+        scratch: &mut PredictScratch,
+    ) -> BayesianPrediction {
+        assert_eq!(
+            self.output_dim(),
+            1,
+            "predict requires a scalar output head"
+        );
+        assert!(num_samples > 0, "at least one posterior sample is required");
+        assert_eq!(input.len(), self.input_dim(), "predict input dim mismatch");
+        if !scratch.fresh {
+            self.refresh_sigma_cache(scratch);
+        }
+        let PredictScratch {
+            sigma_w,
+            sigma_b,
+            x,
+            y,
+            values,
+            ..
+        } = scratch;
+        values.clear();
+        for _ in 0..num_samples {
+            x.clear();
+            x.extend_from_slice(input);
+            for (layer, (sw, sb)) in self.layers.iter().zip(sigma_w.iter().zip(sigma_b.iter())) {
+                debug_assert_eq!(x.len(), layer.in_dim);
+                y.resize(layer.out_dim, 0.0);
+                for r in 0..layer.out_dim {
+                    let mu_row = layer.weight_mu.row(r);
+                    let sig_row = sw.row(r);
+                    // Single sequential accumulator and the exact draw order
+                    // of `forward_sample` (per row: in_dim weight draws, then
+                    // one bias draw) — this is what keeps the fast path
+                    // bit-identical on a shared RNG stream.
+                    let mut acc = 0.0;
+                    for (c, &xc) in x.iter().enumerate() {
+                        let eps = standard_normal(rng);
+                        let w = mu_row[c] + sig_row[c] * eps;
+                        acc += w * xc;
+                    }
+                    let eb = standard_normal(rng);
+                    let b = layer.bias_mu[r] + sb[r] * eb;
+                    y[r] = layer.activation.apply(acc + b);
+                }
+                std::mem::swap(x, y);
+            }
+            values.push(x[0]);
+        }
+        let mean = values.iter().sum::<f64>() / num_samples as f64;
+        let var = if num_samples > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (num_samples - 1) as f64
+        } else {
+            0.0
+        };
+        BayesianPrediction {
+            mean,
+            std: var.max(0.0).sqrt(),
+        }
+    }
+
+    /// Rematerializes `softplus(ρ)` for every weight and bias into `scratch`.
+    fn refresh_sigma_cache(&self, scratch: &mut PredictScratch) {
+        scratch
+            .sigma_w
+            .resize_with(self.layers.len(), Matrix::default);
+        scratch.sigma_b.resize_with(self.layers.len(), Vec::new);
+        for (layer, (sw, sb)) in self
+            .layers
+            .iter()
+            .zip(scratch.sigma_w.iter_mut().zip(scratch.sigma_b.iter_mut()))
+        {
+            sw.resize(layer.out_dim, layer.in_dim);
+            for (s, &r) in sw.data_mut().iter_mut().zip(layer.weight_rho.data()) {
+                *s = softplus(r);
+            }
+            sb.clear();
+            sb.extend(layer.bias_rho.iter().map(|&r| softplus(r)));
+        }
+        scratch.fresh = true;
+    }
 }
 
 impl crate::optimizer::ParameterSet for BayesianMlp {
@@ -812,6 +951,47 @@ mod tests {
             "uncertainty {} should be modest",
             pred.std
         );
+    }
+
+    #[test]
+    fn fast_predict_is_bit_identical_to_reference_predict() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut net = BayesianMlp::new(&[3, 17, 9, 1], &mut rng);
+        let mut scratch = PredictScratch::new();
+        let input = [0.25, -0.4, 0.9];
+        for samples in [1usize, 2, 16] {
+            let mut rng_ref = ChaCha8Rng::seed_from_u64(777 + samples as u64);
+            let mut rng_fast = rng_ref.clone();
+            let reference = net.predict(&input, samples, &mut rng_ref);
+            let fast = net.predict_with(&input, samples, &mut rng_fast, &mut scratch);
+            assert_eq!(fast.mean.to_bits(), reference.mean.to_bits());
+            assert_eq!(fast.std.to_bits(), reference.std.to_bits());
+            // Both paths must consume the identical number of draws.
+            assert_eq!(rng_ref.gen::<u64>(), rng_fast.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn fast_predict_tracks_parameter_updates_after_invalidate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let mut net = BayesianMlp::new(&[2, 8, 1], &mut rng);
+        let mut scratch = PredictScratch::new();
+        let input = [0.3, 0.6];
+        let _ = net.predict_with(&input, 4, &mut ChaCha8Rng::seed_from_u64(1), &mut scratch);
+        // Perturb the posterior scales; a stale σ cache would now diverge.
+        for layer in &mut net.layers {
+            layer.weight_rho.fill(-1.0);
+            for rho in &mut layer.bias_rho {
+                *rho = -1.0;
+            }
+        }
+        scratch.invalidate();
+        let mut rng_ref = ChaCha8Rng::seed_from_u64(2);
+        let mut rng_fast = rng_ref.clone();
+        let reference = net.predict(&input, 8, &mut rng_ref);
+        let fast = net.predict_with(&input, 8, &mut rng_fast, &mut scratch);
+        assert_eq!(fast.mean.to_bits(), reference.mean.to_bits());
+        assert_eq!(fast.std.to_bits(), reference.std.to_bits());
     }
 
     #[test]

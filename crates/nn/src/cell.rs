@@ -1,0 +1,279 @@
+//! Cell-wide fused inference batch (gather → fused per-layer sweep → scatter).
+//!
+//! Every slice agent in a cell shares one trunk architecture, so the per-slot
+//! hot path used to pay one full network dispatch per slice: `n_slices`
+//! separate `Mlp::forward` calls, each walking all layers and allocating its
+//! own activation vectors. [`CellBatch`] restructures that into a single
+//! layer-major sweep over the whole cell: the orchestrator stacks the active
+//! slices' observation rows into one batch matrix, and each layer of the
+//! stack is evaluated for *all* rows back-to-back before moving to the next
+//! layer. The per-row weights may differ (each slice owns its own learned
+//! parameters), so layer `l` is a *grouped* fused pass — one
+//! [`crate::layer::Dense::forward_row_into`] per row, sharing the two
+//! ping-pong activation matrices — rather than a literal single GEMM; when
+//! all rows share one network the loop degenerates to a batched
+//! matrix-matrix product evaluated row-tile by row-tile through the same
+//! [`crate::matrix::dot4`] microkernel.
+//!
+//! # Bit-identity contract
+//!
+//! The fused sweep is **bit-identical** to the dispatched per-slice path: row
+//! `i` of the output carries exactly the bits `net_i.forward(row_i)` would
+//! produce, because each row is computed by the same matvec kernel
+//! ([`crate::matrix::Matrix::matvec_into`], whose per-row reduction order
+//! equals [`crate::matrix::dot`]), the same bias addition and the same
+//! activation application, in the same element order. Only the *scheduling*
+//! changes (layer-major instead of slice-major), never the arithmetic. This
+//! is what lets the orchestrator adopt fusion without regenerating goldens.
+//!
+//! # Allocation discipline
+//!
+//! The workspace is caller-owned and reaches a steady state: after the first
+//! slot at a given cell size, `input_mut` and `forward_grouped` only resize
+//! within already-reserved capacity ([`Matrix::resize`] never shrinks its
+//! backing buffer), so repeated slots allocate nothing.
+
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+
+/// Caller-owned workspace for cell-wide fused forward passes.
+///
+/// Typical use per slot:
+///
+/// 1. gather: `input_mut(n_rows, dim)` and fill one observation row per
+///    active slice;
+/// 2. fuse: `forward_grouped(|i| &nets[i])` runs the layer-major sweep;
+/// 3. scatter: read `output().row(i)` back into slice `i`'s decision.
+#[derive(Debug, Clone, Default)]
+pub struct CellBatch {
+    /// Gathered observation rows, one per active slice.
+    input: Matrix,
+    /// Ping-pong activation buffers; after `forward_grouped`, `x` holds the
+    /// output batch.
+    x: Matrix,
+    y: Matrix,
+}
+
+impl CellBatch {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of gathered rows.
+    pub fn rows(&self) -> usize {
+        self.input.rows()
+    }
+
+    /// Resizes the gather buffer to `rows x dim` and returns it for filling
+    /// (one observation row per active slice). Contents are zeroed.
+    pub fn input_mut(&mut self, rows: usize, dim: usize) -> &mut Matrix {
+        self.input.resize(rows, dim);
+        &mut self.input
+    }
+
+    /// The gathered observation rows as last shaped by
+    /// [`CellBatch::input_mut`]. `forward_grouped` reads but never mutates
+    /// them, so callers can keep feeding per-row consumers (e.g. the
+    /// switching-statistic estimator) off the same gather.
+    pub fn input(&self) -> &Matrix {
+        &self.input
+    }
+
+    /// Runs the fused layer-major sweep: for each layer of the shared trunk
+    /// shape, evaluates that layer for every gathered row (row `i` under
+    /// `net_of(i)`'s weights) before advancing to the next layer. Returns the
+    /// output batch; row `i` is bit-identical to `net_of(i).forward(row_i)`.
+    ///
+    /// All networks must share the trunk *shape* (layer count and per-layer
+    /// dimensions); their weights are free to differ per row. With zero rows
+    /// the sweep is a no-op returning an empty batch.
+    ///
+    /// # Panics
+    /// Panics if any network disagrees with row 0's layer count or any
+    /// per-layer dimension, or if the gathered rows do not match the trunk's
+    /// input dimensionality.
+    pub fn forward_grouped<'n, F>(&mut self, mut net_of: F) -> &Matrix
+    where
+        F: FnMut(usize) -> &'n Mlp,
+    {
+        let rows = self.input.rows();
+        if rows == 0 {
+            self.x.resize(0, 0);
+            return &self.x;
+        }
+        let num_layers = net_of(0).num_layers();
+        assert_eq!(
+            self.input.cols(),
+            net_of(0).input_dim(),
+            "cell batch input dim mismatch"
+        );
+        self.x.resize(rows, self.input.cols());
+        self.x.data_mut().copy_from_slice(self.input.data());
+        for l in 0..num_layers {
+            let out_dim = net_of(0).layers_ref()[l].out_dim();
+            {
+                let Self { x, y, .. } = self;
+                y.resize(rows, out_dim);
+                for i in 0..rows {
+                    let net = net_of(i);
+                    assert_eq!(
+                        net.num_layers(),
+                        num_layers,
+                        "cell batch: row {i} trunk depth mismatch"
+                    );
+                    let layer = &net.layers_ref()[l];
+                    assert_eq!(
+                        (layer.in_dim(), layer.out_dim()),
+                        (x.cols(), out_dim),
+                        "cell batch: row {i} layer {l} shape mismatch"
+                    );
+                    layer.forward_row_into(x.row(i), y.row_mut(i));
+                }
+            }
+            std::mem::swap(&mut self.x, &mut self.y);
+        }
+        &self.x
+    }
+
+    /// The output batch of the last [`CellBatch::forward_grouped`] call.
+    pub fn output(&self) -> &Matrix {
+        &self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_net(sizes: &[usize], seed: u64) -> Mlp {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Mlp::new(sizes, Activation::Relu, Activation::Sigmoid, &mut rng)
+    }
+
+    fn random_state(dim: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..dim)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (s >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_cell_is_a_noop() {
+        let mut cb = CellBatch::new();
+        cb.input_mut(0, 9);
+        let out = cb.forward_grouped(|_| unreachable!("no rows, no nets"));
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn single_row_matches_per_slice_forward_bit_for_bit() {
+        let net = random_net(&[9, 16, 8, 3], 7);
+        let state = random_state(9, 3);
+        let mut cb = CellBatch::new();
+        cb.input_mut(1, 9).row_mut(0).copy_from_slice(&state);
+        let fused = cb.forward_grouped(|_| &net);
+        let reference = net.forward(&state);
+        assert_eq!(fused.row(0), reference.as_slice());
+    }
+
+    #[test]
+    fn grouped_rows_with_distinct_weights_match_their_own_nets() {
+        let nets: Vec<Mlp> = (0..5).map(|i| random_net(&[6, 13, 4], 100 + i)).collect();
+        let states: Vec<Vec<f64>> = (0..5).map(|i| random_state(6, 50 + i)).collect();
+        let mut cb = CellBatch::new();
+        {
+            let input = cb.input_mut(5, 6);
+            for (i, s) in states.iter().enumerate() {
+                input.row_mut(i).copy_from_slice(s);
+            }
+        }
+        let fused = cb.forward_grouped(|i| &nets[i]);
+        for (i, s) in states.iter().enumerate() {
+            let reference = nets[i].forward(s);
+            for (f, r) in fused.row(i).iter().zip(reference.iter()) {
+                assert_eq!(f.to_bits(), r.to_bits(), "row {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_changing_cell_sizes() {
+        let nets: Vec<Mlp> = (0..8).map(|i| random_net(&[4, 10, 2], i)).collect();
+        let mut cb = CellBatch::new();
+        // Grow, shrink (teardown mid-run), then grow again: every pass must
+        // still match the per-slice reference.
+        for &n in &[3usize, 8, 1, 0, 5] {
+            let states: Vec<Vec<f64>> = (0..n).map(|i| random_state(4, 900 + i as u64)).collect();
+            {
+                let input = cb.input_mut(n, 4);
+                for (i, s) in states.iter().enumerate() {
+                    input.row_mut(i).copy_from_slice(s);
+                }
+            }
+            let fused = cb.forward_grouped(|i| &nets[i]);
+            assert_eq!(fused.rows(), n);
+            for (i, s) in states.iter().enumerate() {
+                assert_eq!(fused.row(i), nets[i].forward(s).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_trunk_shapes_panic() {
+        let a = random_net(&[4, 8, 2], 1);
+        let b = random_net(&[4, 6, 2], 2);
+        let nets = [a, b];
+        let mut cb = CellBatch::new();
+        cb.input_mut(2, 4);
+        let _ = cb.forward_grouped(|i| &nets[i]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Satellite: fused cell-batch forward ≡ per-slice forwards
+        /// bit-for-bit for random trunk shapes, slice counts (including 0
+        /// and 1) and seeds.
+        #[test]
+        fn fused_forward_is_bit_identical_to_per_slice(
+            n_rows in 0usize..7,
+            in_dim in 1usize..12,
+            hidden in 1usize..24,
+            out_dim in 1usize..6,
+            seed in 0u64..1000,
+        ) {
+            let sizes = [in_dim, hidden, out_dim];
+            let nets: Vec<Mlp> = (0..n_rows.max(1))
+                .map(|i| random_net(&sizes, seed * 31 + i as u64))
+                .collect();
+            let states: Vec<Vec<f64>> =
+                (0..n_rows).map(|i| random_state(in_dim, seed + i as u64)).collect();
+            let mut cb = CellBatch::new();
+            {
+                let input = cb.input_mut(n_rows, in_dim);
+                for (i, s) in states.iter().enumerate() {
+                    input.row_mut(i).copy_from_slice(s);
+                }
+            }
+            let fused = cb.forward_grouped(|i| &nets[i]);
+            prop_assert_eq!(fused.rows(), n_rows);
+            for (i, s) in states.iter().enumerate() {
+                let reference = nets[i].forward(s);
+                for (f, r) in fused.row(i).iter().zip(reference.iter()) {
+                    prop_assert_eq!(f.to_bits(), r.to_bits());
+                }
+            }
+        }
+    }
+}

@@ -81,6 +81,31 @@ impl Dense {
         pre.iter().map(|&x| self.activation.apply(x)).collect()
     }
 
+    /// Inference forward pass into a caller-owned row buffer — the
+    /// zero-allocation form of [`Dense::forward`] used by the fused cell
+    /// batch ([`crate::cell::CellBatch`]).
+    ///
+    /// Bit-identical to [`Dense::forward`]: the matvec kernel, the bias
+    /// addition and the activation are applied per element in the same
+    /// order, so `out[r]` carries exactly the bits `forward(input)[r]`
+    /// would.
+    pub fn forward_row_into(&self, input: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(
+            input.len(),
+            self.in_dim(),
+            "dense layer input size mismatch"
+        );
+        debug_assert_eq!(
+            out.len(),
+            self.out_dim(),
+            "dense layer output size mismatch"
+        );
+        self.weights.matvec_into(input, out);
+        for (p, b) in out.iter_mut().zip(self.bias.iter()) {
+            *p = self.activation.apply(*p + b);
+        }
+    }
+
     /// Forward pass that caches the input and pre-activation for `backward`.
     pub fn forward_train(&mut self, input: &[f64]) -> Vec<f64> {
         debug_assert_eq!(

@@ -44,6 +44,7 @@
 
 pub mod activation;
 pub mod bayesian;
+pub mod cell;
 pub mod init;
 pub mod layer;
 pub mod loss;
@@ -53,7 +54,10 @@ pub mod optimizer;
 pub mod policy;
 
 pub use activation::Activation;
-pub use bayesian::{BayesWorkspace, BayesianLinear, BayesianMlp, BayesianPrediction};
+pub use bayesian::{
+    BayesWorkspace, BayesianLinear, BayesianMlp, BayesianPrediction, PredictScratch,
+};
+pub use cell::CellBatch;
 pub use layer::Dense;
 pub use loss::{gaussian_nll, gaussian_nll_grad, huber_grad, huber_loss, mse_grad, mse_loss};
 pub use matrix::Matrix;

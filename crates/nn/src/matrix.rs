@@ -15,9 +15,43 @@
 //!   gradients;
 //! * **unrolled reductions** — [`dot`] runs over four independent
 //!   accumulators, breaking the floating-point add dependency chain that
-//!   serializes a naive loop.
+//!   serializes a naive loop, and [`Matrix::matvec_into`] interleaves four
+//!   output rows through the same reduction ([`dot4`]) so single-sample
+//!   inference pipelines too.
+//!
+//! ## Determinism
+//!
+//! Every kernel computes each output element with a fixed, tiling-invariant
+//! reduction order: `matmul_into` sums the inner dimension sequentially per
+//! element (whatever the tile width), and the matvec kernels reproduce
+//! [`dot`]'s four-accumulator order per row. Cell-fused callers
+//! (`onslicing_nn::cell`) therefore produce bit-identical results to the
+//! per-slice paths they replace, and the optional rayon row-tile parallelism
+//! in [`Matrix::matmul_into`] cannot change a single bit: threads only
+//! partition *which* 4-row block a worker computes, never the reduction
+//! order within an element.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Widest register tile, in output columns, tried by the tiled GEMM kernels
+/// ([`Matrix::matmul_into`], [`Matrix::matmul_tn_acc_into`]).
+///
+/// This is the **single tuning knob** of the row-tile cascade: the kernels
+/// sweep tile widths `TILE_W, TILE_W/2, TILE_W/4, TILE_W/8, 1` until the
+/// remaining columns fit, so the scalar tail (`W = 1`) only runs for the
+/// final `n mod 2` column. 16 columns × 4 rows keeps the accumulator tile
+/// inside the 32 architectural vector registers of AVX-512/NEON-class cores
+/// while remaining profitable on AVX2 (register spills stay L1-resident).
+/// Must be a power of two ≥ 8. Changing it is safe for determinism — the
+/// per-element reduction order is tile-width-invariant (see module docs).
+pub const TILE_W: usize = 16;
+
+/// 4-row output blocks beyond which [`Matrix::matmul_into`] fans the blocks
+/// out across the rayon pool (only when more than one worker is configured).
+/// 16 blocks = 64 output rows ≈ the smallest GEMM where spawn overhead is
+/// clearly amortized on the minibatch shapes this workspace uses.
+const PAR_ROW_BLOCKS_MIN: usize = 16;
 
 /// Row-major dense matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,6 +118,81 @@ fn gemm_tile_tn<const W: usize>(
         }
     }
     acc
+}
+
+/// One 4-row block of `out = A · B`: runs the register-tile cascade
+/// (`TILE_W` down to the scalar tail) over all `n` output columns of rows
+/// `i..i + 4`, writing into the block's slice of the output buffer.
+///
+/// Shared by the sequential and the rayon row-tiled drivers of
+/// [`Matrix::matmul_into`], so the two orderings are the same code path per
+/// element — bit-identity across thread counts by construction.
+#[inline(always)]
+fn gemm_block_rows(a_data: &[f64], kd: usize, b_data: &[f64], n: usize, i: usize, out: &mut [f64]) {
+    let a = [
+        &a_data[i * kd..(i + 1) * kd],
+        &a_data[(i + 1) * kd..(i + 2) * kd],
+        &a_data[(i + 2) * kd..(i + 3) * kd],
+        &a_data[(i + 3) * kd..(i + 4) * kd],
+    ];
+    let mut j = 0;
+    macro_rules! row_tile_pass {
+        ($w:expr) => {
+            // `j + $w <= n` keeps every width on the same literal guard —
+            // clippy's `j < n` suggestion only holds for the `$w == 1` pass.
+            #[allow(clippy::int_plus_one)]
+            while j + $w <= n {
+                let acc = gemm_tile_rows::<{ $w }>(a, b_data, n, j);
+                for (r, acc_row) in acc.iter().enumerate() {
+                    out[r * n + j..r * n + j + $w].copy_from_slice(acc_row);
+                }
+                j += $w;
+            }
+        };
+    }
+    row_tile_pass!(TILE_W);
+    row_tile_pass!(TILE_W / 2);
+    row_tile_pass!(TILE_W / 4);
+    row_tile_pass!(TILE_W / 8);
+    row_tile_pass!(1);
+}
+
+/// Four-row interleaved [`dot`] micro-kernel: `out[r] = rows[r] · v` for four
+/// matrix rows in a single pass over `v`.
+///
+/// Each row keeps its own four accumulators and combines them exactly as
+/// [`dot`] does — `(s0 + s1) + (s2 + s3) + tail` over sequential 4-chunks —
+/// so every output is **bit-identical** to `dot(rows[r], v)`; interleaving
+/// only widens the instruction-level parallelism from 4 to 16 independent
+/// FMA chains and lets the four rows share each load of `v`.
+#[inline(always)]
+pub fn dot4(rows: [&[f64]; 4], v: &[f64]) -> [f64; 4] {
+    let len = v.len();
+    for row in &rows {
+        assert_eq!(row.len(), len, "dot4 length mismatch");
+    }
+    let main = len - len % 4;
+    let mut acc = [[0.0f64; 4]; 4];
+    let mut k = 0;
+    while k < main {
+        let vb = [v[k], v[k + 1], v[k + 2], v[k + 3]];
+        for (acc_row, row) in acc.iter_mut().zip(rows.iter()) {
+            acc_row[0] += row[k] * vb[0];
+            acc_row[1] += row[k + 1] * vb[1];
+            acc_row[2] += row[k + 2] * vb[2];
+            acc_row[3] += row[k + 3] * vb[3];
+        }
+        k += 4;
+    }
+    let mut out = [0.0f64; 4];
+    for (o, (acc_row, row)) in out.iter_mut().zip(acc.iter().zip(rows.iter())) {
+        let mut tail = 0.0;
+        for (x, y) in row[main..].iter().zip(v[main..].iter()) {
+            tail += x * y;
+        }
+        *o = (acc_row[0] + acc_row[1]) + (acc_row[2] + acc_row[3]) + tail;
+    }
+    out
 }
 
 impl Default for Matrix {
@@ -232,12 +341,19 @@ impl Matrix {
     /// Matrix product `out = self * other`, writing into a caller-owned
     /// buffer (resized as needed, no allocation once warm).
     ///
-    /// The main body runs a register-tiled micro-kernel: a `4 × 16` output
-    /// tile (four rows of `A` against sixteen columns of `B`) is accumulated
-    /// entirely in registers while the `B` panel for the tile stays
-    /// L1-resident, giving eight independent FMA streams per `k` step
+    /// The main body runs a register-tiled micro-kernel: a `4 × TILE_W`
+    /// output tile (four rows of `A` against [`TILE_W`] columns of `B`) is
+    /// accumulated entirely in registers while the `B` panel for the tile
+    /// stays L1-resident, giving independent FMA streams per `k` step
     /// instead of a store-bandwidth-bound row update. Ragged edges fall back
     /// to an unrolled row-axpy loop.
+    ///
+    /// When the rayon pool has more than one worker and the output is at
+    /// least `4 × PAR_ROW_BLOCKS_MIN` rows tall, the independent 4-row
+    /// blocks fan out across the pool. Each block runs the identical
+    /// [`gemm_block_rows`] cascade, so results are bit-identical at any
+    /// thread count (the parallel driver does allocate a transient block
+    /// list; the steady-state single-thread path allocates nothing).
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
@@ -246,47 +362,26 @@ impl Matrix {
         out.resize(self.rows, other.cols);
         let (m, kd, n) = (self.rows, self.cols, other.cols);
         let m_main = m - m % 4;
-        for i in (0..m_main).step_by(4) {
-            let a = [
-                &self.data[i * kd..(i + 1) * kd],
-                &self.data[(i + 1) * kd..(i + 2) * kd],
-                &self.data[(i + 2) * kd..(i + 3) * kd],
-                &self.data[(i + 3) * kd..(i + 4) * kd],
-            ];
-            let mut j = 0;
-            while j + 16 <= n {
-                let acc = gemm_tile_rows::<16>(a, &other.data, n, j);
-                for (r, acc_row) in acc.iter().enumerate() {
-                    out.data[(i + r) * n + j..(i + r) * n + j + 16].copy_from_slice(acc_row);
-                }
-                j += 16;
-            }
-            while j + 8 <= n {
-                let acc = gemm_tile_rows::<8>(a, &other.data, n, j);
-                for (r, acc_row) in acc.iter().enumerate() {
-                    out.data[(i + r) * n + j..(i + r) * n + j + 8].copy_from_slice(acc_row);
-                }
-                j += 8;
-            }
-            while j + 4 <= n {
-                let acc = gemm_tile_rows::<4>(a, &other.data, n, j);
-                for (r, acc_row) in acc.iter().enumerate() {
-                    out.data[(i + r) * n + j..(i + r) * n + j + 4].copy_from_slice(acc_row);
-                }
-                j += 4;
-            }
-            while j + 2 <= n {
-                let acc = gemm_tile_rows::<2>(a, &other.data, n, j);
-                for (r, acc_row) in acc.iter().enumerate() {
-                    out.data[(i + r) * n + j..(i + r) * n + j + 2].copy_from_slice(acc_row);
-                }
-                j += 2;
-            }
-            if j < n {
-                let acc = gemm_tile_rows::<1>(a, &other.data, n, j);
-                for (r, acc_row) in acc.iter().enumerate() {
-                    out.data[(i + r) * n + j] = acc_row[0];
-                }
+        let blocks = m_main / 4;
+        if blocks >= PAR_ROW_BLOCKS_MIN && n > 0 && rayon::current_num_threads() > 1 {
+            let block_views: Vec<(usize, &mut [f64])> = out.data[..m_main * n]
+                .chunks_mut(4 * n)
+                .enumerate()
+                .collect();
+            block_views.into_par_iter().for_each(|(blk, out_block)| {
+                gemm_block_rows(&self.data, kd, &other.data, n, blk * 4, out_block);
+            });
+        } else {
+            for blk in 0..blocks {
+                let i = blk * 4;
+                gemm_block_rows(
+                    &self.data,
+                    kd,
+                    &other.data,
+                    n,
+                    i,
+                    &mut out.data[i * n..(i + 4) * n],
+                );
             }
         }
         // Ragged row edge: plain unrolled axpy over the full width.
@@ -328,10 +423,17 @@ impl Matrix {
         for k in (0..k_main).step_by(4) {
             let mut j = 0;
             macro_rules! tn_tile_pass {
-                ($w:literal) => {
+                ($w:expr) => {
                     while j + $w <= n {
-                        let acc =
-                            gemm_tile_tn::<$w>(&self.data, self.cols, &other.data, n, batch, k, j);
+                        let acc = gemm_tile_tn::<{ $w }>(
+                            &self.data,
+                            self.cols,
+                            &other.data,
+                            n,
+                            batch,
+                            k,
+                            j,
+                        );
                         for (r, acc_row) in acc.iter().enumerate() {
                             let out_row = &mut out.data[(k + r) * n + j..(k + r) * n + j + $w];
                             for (o, a) in out_row.iter_mut().zip(acc_row) {
@@ -342,10 +444,10 @@ impl Matrix {
                     }
                 };
             }
-            tn_tile_pass!(16);
-            tn_tile_pass!(8);
-            tn_tile_pass!(4);
-            tn_tile_pass!(2);
+            tn_tile_pass!(TILE_W);
+            tn_tile_pass!(TILE_W / 2);
+            tn_tile_pass!(TILE_W / 4);
+            tn_tile_pass!(TILE_W / 8);
             tn_tile_pass!(1);
             n_main = j;
         }
@@ -376,13 +478,32 @@ impl Matrix {
 
     /// Matrix-vector product into a caller-owned buffer.
     ///
+    /// Processes four output rows at a time through [`dot4`] (the rows share
+    /// each load of `v` and the FMA chains interleave), falling back to
+    /// [`dot`] for the ragged `rows mod 4` tail. Both kernels reduce in the
+    /// identical order, so each output element is bit-for-bit what a plain
+    /// `dot(row, v)` loop produces.
+    ///
     /// # Panics
     /// Panics if the dimensions disagree.
     pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
         assert_eq!(self.rows, out.len(), "matvec output length mismatch");
-        for (o, i) in out.iter_mut().zip(0..self.rows) {
-            *o = dot(self.row(i), v);
+        let main = self.rows - self.rows % 4;
+        for i in (0..main).step_by(4) {
+            let vals = dot4(
+                [
+                    self.row(i),
+                    self.row(i + 1),
+                    self.row(i + 2),
+                    self.row(i + 3),
+                ],
+                v,
+            );
+            out[i..i + 4].copy_from_slice(&vals);
+        }
+        for (i, slot) in out.iter_mut().enumerate().skip(main) {
+            *slot = dot(self.row(i), v);
         }
     }
 
@@ -655,6 +776,146 @@ mod tests {
         // A second call accumulates on top.
         delta.matmul_tn_acc_into(&x, &mut out);
         assert!((out.get(0, 0) - 2.0 * expected.get(0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_tn batch dimension mismatch")]
+    fn matmul_tn_acc_rejects_mismatched_batches() {
+        let delta = Matrix::zeros(2, 3);
+        let x = Matrix::zeros(4, 5);
+        let mut out = Matrix::zeros(3, 5);
+        delta.matmul_tn_acc_into(&x, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_tn output shape mismatch")]
+    fn matmul_tn_acc_rejects_bad_output_shape() {
+        let delta = Matrix::zeros(2, 3);
+        let x = Matrix::zeros(2, 5);
+        let mut out = Matrix::zeros(5, 3); // transposed by mistake
+        delta.matmul_tn_acc_into(&x, &mut out);
+    }
+
+    /// Deterministic pseudo-random fill so the kernel-equivalence tests
+    /// exercise non-trivial mantissas without an RNG dependency.
+    fn lcg_fill(data: &mut [f64], seed: &mut u64) {
+        for x in data {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *x = ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+        }
+    }
+
+    /// Scalar reference for `matmul_into`: one sequential-`k` accumulator
+    /// per output element — the reduction order the tiled cascade must
+    /// reproduce exactly.
+    fn scalar_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tiled_matmul_is_bit_identical_to_scalar_at_awkward_widths() {
+        // Shapes straddling every tile width (TILE_W .. scalar tail) and the
+        // 4-row blocking, including non-multiples of 8 in every dimension.
+        let mut seed = 0x5EED;
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 9, 17),
+            (5, 13, 19),
+            (7, 8, 33),
+            (8, 31, 15),
+            (12, 6, 23),
+            (65, 9, 21),
+        ] {
+            let mut a = Matrix::zeros(m, k);
+            let mut b = Matrix::zeros(k, n);
+            lcg_fill(a.data_mut(), &mut seed);
+            lcg_fill(b.data_mut(), &mut seed);
+            let tiled = a.matmul(&b);
+            let reference = scalar_matmul(&a, &b);
+            assert_eq!(
+                tiled.data(),
+                reference.data(),
+                "tiled matmul diverged bitwise at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_tn_is_bit_identical_to_scalar_accumulation() {
+        let mut seed = 0xACC;
+        for &(batch, out_dim, in_dim) in &[(1, 3, 5), (5, 7, 17), (9, 8, 31), (32, 13, 19)] {
+            let mut delta = Matrix::zeros(batch, out_dim);
+            let mut x = Matrix::zeros(batch, in_dim);
+            lcg_fill(delta.data_mut(), &mut seed);
+            lcg_fill(x.data_mut(), &mut seed);
+            let mut tiled = Matrix::zeros(out_dim, in_dim);
+            delta.matmul_tn_acc_into(&x, &mut tiled);
+            // Scalar reference: per output element, accumulate over the
+            // batch sequentially (the order the tile kernel uses).
+            let mut reference = Matrix::zeros(out_dim, in_dim);
+            for kk in 0..out_dim {
+                for j in 0..in_dim {
+                    let mut acc = 0.0;
+                    for b in 0..batch {
+                        acc += delta.get(b, kk) * x.get(b, j);
+                    }
+                    reference.set(kk, j, acc);
+                }
+            }
+            assert_eq!(
+                tiled.data(),
+                reference.data(),
+                "tn kernel diverged bitwise at batch={batch} {out_dim}x{in_dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot4_matches_dot_bit_for_bit_including_tails() {
+        let mut seed = 0xD04;
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 31, 64, 129] {
+            let mut m = Matrix::zeros(4, len);
+            let mut v = vec![0.0; len];
+            lcg_fill(m.data_mut(), &mut seed);
+            lcg_fill(&mut v, &mut seed);
+            let grouped = dot4([m.row(0), m.row(1), m.row(2), m.row(3)], &v);
+            for (r, &g) in grouped.iter().enumerate() {
+                let single = dot(m.row(r), &v);
+                assert!(
+                    g.to_bits() == single.to_bits(),
+                    "dot4 row {r} diverged from dot at len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_into_is_bit_identical_to_per_row_dot() {
+        let mut seed = 0x11;
+        for &(rows, cols) in &[(1, 9), (3, 5), (4, 4), (5, 13), (64, 9), (33, 21)] {
+            let mut m = Matrix::zeros(rows, cols);
+            let mut v = vec![0.0; cols];
+            lcg_fill(m.data_mut(), &mut seed);
+            lcg_fill(&mut v, &mut seed);
+            let mut out = vec![0.0; rows];
+            m.matvec_into(&v, &mut out);
+            for (r, &o) in out.iter().enumerate() {
+                assert_eq!(o.to_bits(), dot(m.row(r), &v).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -149,6 +149,31 @@ impl GaussianPolicy {
         }
     }
 
+    /// Like [`GaussianPolicy::sample`], but with the policy mean already
+    /// computed — the scatter half of the fused cell batch hands each agent
+    /// its mean row ([`crate::cell::CellBatch`]). Bit-identical to `sample`
+    /// on a shared RNG stream whenever `mean` carries exactly the bits
+    /// `mean_action(state)` would produce: the draw order, the raw-sample
+    /// arithmetic and the log-density are the same code path.
+    pub fn sample_with_mean<R: Rng + ?Sized>(&self, mean: &[f64], rng: &mut R) -> PolicySample {
+        debug_assert_eq!(mean.len(), self.action_dim(), "mean length mismatch");
+        let std = self.std();
+        let mut raw = Vec::with_capacity(mean.len());
+        for (m, s) in mean.iter().zip(std.iter()) {
+            let z = standard_normal(rng);
+            raw.push(m + s * z);
+        }
+        let log_prob = self.log_prob_given(mean, &std, &raw);
+        let action = raw.iter().map(|&a| a.clamp(0.0, 1.0)).collect();
+        PolicySample {
+            raw_action: raw,
+            action,
+            mean: mean.to_vec(),
+            std,
+            log_prob,
+        }
+    }
+
     /// Log-density of `raw_action` under the policy evaluated at `state`.
     pub fn log_prob(&self, state: &[f64], raw_action: &[f64]) -> f64 {
         let mean = self.mean_net.forward(state);
@@ -477,6 +502,20 @@ mod tests {
             assert!(s.action.iter().all(|&v| (0.0..=1.0).contains(&v)));
             assert_eq!(s.raw_action.len(), 3);
             assert!(s.log_prob.is_finite());
+        }
+    }
+
+    #[test]
+    fn sample_with_mean_is_bit_identical_to_sample() {
+        let p = small_policy(14);
+        let state = [0.4, -0.1, 0.7, 0.0];
+        let mean = p.mean_action(&state);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(41);
+        let mut rng_b = rng_a.clone();
+        for _ in 0..50 {
+            let a = p.sample(&state, &mut rng_a);
+            let b = p.sample_with_mean(&mean, &mut rng_b);
+            assert_eq!(a, b, "sample paths diverged");
         }
     }
 

@@ -15,7 +15,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use onslicing_nn::{Adam, BayesWorkspace, BayesianMlp, BayesianPrediction, Matrix};
+use onslicing_nn::{Adam, BayesWorkspace, BayesianMlp, BayesianPrediction, Matrix, PredictScratch};
 
 /// A `(state, remaining-episode cost)` training pair for the estimator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,6 +58,11 @@ pub struct CostValueEstimator {
     network: BayesianMlp,
     optimizer: Adam,
     config: CostEstimatorConfig,
+    /// Scratch memory for the fast predict path — never serialized; a
+    /// deserialized estimator starts with an invalid (empty) cache and
+    /// rebuilds it on first use.
+    #[serde(skip)]
+    predict_scratch: PredictScratch,
 }
 
 impl CostValueEstimator {
@@ -75,6 +80,7 @@ impl CostValueEstimator {
             network,
             optimizer,
             config,
+            predict_scratch: PredictScratch::new(),
         }
     }
 
@@ -149,15 +155,25 @@ impl CostValueEstimator {
             self.optimizer.step_set(&mut self.network);
             epoch_errors.push(err_sum / n);
         }
+        // Parameters moved: the fast-predict σ cache is stale.
+        self.predict_scratch.invalidate();
         epoch_errors
     }
 
     /// Predictive mean and standard deviation of the baseline's remaining
     /// episode cost at the given state.
+    ///
+    /// Runs the allocation-free fast path ([`BayesianMlp::predict_with`]),
+    /// which is bit-identical to the reference `BayesianMlp::predict` on a
+    /// shared RNG stream — the switch rule and all goldens see the exact
+    /// same numbers.
     pub fn predict<R: Rng + ?Sized>(&mut self, state: &[f64], rng: &mut R) -> BayesianPrediction {
-        let mut p = self
-            .network
-            .predict(state, self.config.prediction_samples, rng);
+        let mut p = self.network.predict_with(
+            state,
+            self.config.prediction_samples,
+            rng,
+            &mut self.predict_scratch,
+        );
         // Remaining cost is non-negative by construction.
         p.mean = p.mean.max(0.0);
         p
@@ -280,6 +296,29 @@ mod tests {
             out_dist > in_dist,
             "uncertainty far from data ({out_dist}) should exceed in-distribution ({in_dist})"
         );
+    }
+
+    #[test]
+    fn fit_invalidates_the_fast_predict_cache() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut est = CostValueEstimator::new(2, CostEstimatorConfig::default(), &mut rng);
+        // Warm the σ cache, then move the parameters with a fit.
+        let _ = est.predict(&[0.1, 0.2], &mut ChaCha8Rng::seed_from_u64(5));
+        let dataset: Vec<CostToGoSample> = (0..16)
+            .map(|i| CostToGoSample {
+                state: vec![i as f64 / 16.0, 0.5],
+                cost_to_go: i as f64 / 8.0,
+            })
+            .collect();
+        est.fit(&dataset, &mut ChaCha8Rng::seed_from_u64(6));
+        // A cold estimator (as after deserialization: empty scratch) must
+        // predict the exact same bits — i.e. the warm cache was invalidated.
+        let mut cold = est.clone();
+        cold.predict_scratch = PredictScratch::new();
+        let warm = est.predict(&[0.1, 0.2], &mut ChaCha8Rng::seed_from_u64(7));
+        let fresh = cold.predict(&[0.1, 0.2], &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(warm.mean.to_bits(), fresh.mean.to_bits());
+        assert_eq!(warm.std.to_bits(), fresh.std.to_bits());
     }
 
     #[test]

@@ -77,11 +77,15 @@ pub struct PpoUpdateStats {
 }
 
 /// Reusable buffers for [`PpoAgent::update`]: network workspaces, gathered
-/// minibatch matrices and per-sample scalars. Living inside the agent, they
-/// persist across updates, so steady-state training re-touches warm memory
-/// instead of faulting in fresh allocations every epoch.
+/// minibatch matrices and per-sample scalars. By default they live inside
+/// the agent and persist across updates, so steady-state training
+/// re-touches warm memory instead of faulting in fresh allocations every
+/// epoch. Because all slice agents in a cell share one trunk shape, a
+/// single scratch can also serve every agent of a cell in turn
+/// ([`PpoAgent::update_with_scratch`]): the buffer dimensions never change
+/// between agents, so the fused slot-update loop reallocates nothing.
 #[derive(Debug, Clone, Default)]
-struct UpdateScratch {
+pub struct PpoUpdateScratch {
     actor_ws: BatchWorkspace,
     critic_ws: BatchWorkspace,
     all_states: Matrix,
@@ -94,6 +98,13 @@ struct UpdateScratch {
     indices: Vec<usize>,
 }
 
+impl PpoUpdateScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A PPO actor-critic agent.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PpoAgent {
@@ -104,7 +115,7 @@ pub struct PpoAgent {
     critic_opt: Adam,
     /// Scratch memory only — never part of the agent's serialized state.
     #[serde(skip)]
-    scratch: UpdateScratch,
+    scratch: PpoUpdateScratch,
 }
 
 impl PpoAgent {
@@ -155,7 +166,7 @@ impl PpoAgent {
             critic,
             actor_opt,
             critic_opt,
-            scratch: UpdateScratch::default(),
+            scratch: PpoUpdateScratch::default(),
         }
     }
 
@@ -190,6 +201,14 @@ impl PpoAgent {
         self.policy.sample(state, rng)
     }
 
+    /// Samples a stochastic action around an already-computed policy mean
+    /// (the fused cell batch hands each agent its mean row). Bit-identical
+    /// to [`PpoAgent::act`] when `mean` carries the bits
+    /// `policy().mean_action(state)` would produce.
+    pub fn act_with_mean<R: Rng + ?Sized>(&self, mean: &[f64], rng: &mut R) -> PolicySample {
+        self.policy.sample_with_mean(mean, rng)
+    }
+
     /// The deterministic (mean) action.
     pub fn act_deterministic(&self, state: &[f64]) -> Vec<f64> {
         self.policy.mean_action(state)
@@ -217,6 +236,24 @@ impl PpoAgent {
         buffer: &RolloutBuffer,
         rng: &mut R,
     ) -> PpoUpdateStats {
+        // Route through the shared-scratch form using the agent-owned
+        // scratch (moved out and back; no allocation, no clone).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let stats = self.update_with_scratch(buffer, rng, &mut scratch);
+        self.scratch = scratch;
+        stats
+    }
+
+    /// [`PpoAgent::update`] with a caller-owned scratch, so one scratch can
+    /// serve every same-shaped agent of a cell in turn (the fused slot
+    /// update). The arithmetic is identical to `update` — results are
+    /// bit-for-bit the same regardless of which scratch is passed.
+    pub fn update_with_scratch<R: Rng + ?Sized>(
+        &mut self,
+        buffer: &RolloutBuffer,
+        rng: &mut R,
+        scratch: &mut PpoUpdateScratch,
+    ) -> PpoUpdateStats {
         let (transitions, _advantages, returns) = buffer.ready_batch();
         let advantages = buffer.normalized_advantages();
         let n = transitions.len();
@@ -235,7 +272,8 @@ impl PpoAgent {
             critic,
             actor_opt,
             critic_opt,
-            scratch,
+            // The agent-owned scratch is bypassed: the caller's is used.
+            scratch: _,
         } = self;
         let state_dim = policy.state_dim();
         let action_dim = policy.action_dim();

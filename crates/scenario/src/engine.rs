@@ -38,6 +38,7 @@ use serde::{Deserialize, Serialize};
 use onslicing_core::{
     AgentConfig, CoordinationMode, MultiSliceEnvironment, OnSlicingAgent, Orchestrator,
     OrchestratorConfig, RuleBasedBaseline, SliceCheckpoint, SliceEnvironment, SliceEpisodeSummary,
+    SlotOutcome,
 };
 use onslicing_domains::{CapacityOverride, DomainKind, DomainSet, SliceId};
 use onslicing_slices::{SliceKind, SlotKpi};
@@ -541,6 +542,14 @@ pub struct ScenarioEngine {
     /// fleet admits between slots (at sync boundaries), so a checkpoint
     /// taken there must not silently drop the pending reservations.
     unenforced_admissions: usize,
+    /// Reused slot-round scratch: the orchestrator writes each round into
+    /// this outcome in place, and the per-slice telemetry samples are
+    /// rebuilt in the same buffer every slot. Pure scratch — skipped by
+    /// the checkpoint serializer, carries no cross-slot state.
+    #[serde(skip)]
+    slot_outcome: SlotOutcome,
+    #[serde(skip)]
+    slot_samples: Vec<SlotSample>,
 }
 
 impl ScenarioEngine {
@@ -583,6 +592,8 @@ impl ScenarioEngine {
             stats,
             run,
             unenforced_admissions,
+            slot_outcome: SlotOutcome::default(),
+            slot_samples: Vec::new(),
         };
         if engine.config.pretrain_episodes > 0 {
             engine
@@ -981,7 +992,12 @@ impl ScenarioEngine {
             }
         }
         if self.orch.num_slices() > 0 {
-            let outcome = self.orch.run_slot(true);
+            // Reused-workspace round: the orchestrator overwrites the
+            // engine's scratch outcome in place (no per-slot allocations
+            // once the buffers are warm), and the telemetry samples are
+            // rebuilt in the engine's own reusable buffer.
+            self.orch.run_slot_into(true, &mut self.slot_outcome);
+            let outcome = &self.slot_outcome;
             let aggregate = outcome.aggregate();
             self.run.rounds_total += aggregate.interactions;
             self.run.executed_slots += 1;
@@ -990,8 +1006,9 @@ impl ScenarioEngine {
             self.run.report.slice_slots += aggregate.slices;
             self.run.report.peak_concurrent_slices =
                 self.run.report.peak_concurrent_slices.max(aggregate.slices);
-            let samples: Vec<SlotSample> = (0..self.orch.num_slices())
-                .map(|i| {
+            self.slot_samples.clear();
+            self.slot_samples
+                .extend((0..self.orch.num_slices()).map(|i| {
                     let agent = &self.orch.agents()[i];
                     SlotSample {
                         slot,
@@ -1002,9 +1019,8 @@ impl ScenarioEngine {
                         lambda: agent.lambda(),
                         used_baseline: outcome.decisions[i].used_baseline,
                     }
-                })
-                .collect();
-            obs.on_slot(&samples);
+                }));
+            obs.on_slot(&self.slot_samples);
             // Staggered per-slice episode boundaries: a slice admitted at
             // slot s ends its first episode at s + horizon.
             for index in 0..self.orch.num_slices() {

@@ -302,14 +302,35 @@ impl Action {
 
     /// Reads one dimension.
     pub fn get(&self, dim: ActionDim) -> f64 {
-        self.to_vec()[dim.index()]
+        match dim {
+            ActionDim::UlBandwidth => self.ul_bandwidth,
+            ActionDim::UlMcsOffset => self.ul_mcs_offset,
+            ActionDim::UlScheduler => self.ul_scheduler,
+            ActionDim::DlBandwidth => self.dl_bandwidth,
+            ActionDim::DlMcsOffset => self.dl_mcs_offset,
+            ActionDim::DlScheduler => self.dl_scheduler,
+            ActionDim::TnBandwidth => self.tn_bandwidth,
+            ActionDim::TnPath => self.tn_path,
+            ActionDim::Cpu => self.cpu,
+            ActionDim::Ram => self.ram,
+        }
     }
 
     /// Writes one dimension (clamped to `[0, 1]`).
     pub fn set(&mut self, dim: ActionDim, value: f64) {
-        let mut v = self.to_vec();
-        v[dim.index()] = value.clamp(0.0, 1.0);
-        *self = Action::from_vec(&v);
+        let value = value.clamp(0.0, 1.0);
+        match dim {
+            ActionDim::UlBandwidth => self.ul_bandwidth = value,
+            ActionDim::UlMcsOffset => self.ul_mcs_offset = value,
+            ActionDim::UlScheduler => self.ul_scheduler = value,
+            ActionDim::DlBandwidth => self.dl_bandwidth = value,
+            ActionDim::DlMcsOffset => self.dl_mcs_offset = value,
+            ActionDim::DlScheduler => self.dl_scheduler = value,
+            ActionDim::TnBandwidth => self.tn_bandwidth = value,
+            ActionDim::TnPath => self.tn_path = value,
+            ActionDim::Cpu => self.cpu = value,
+            ActionDim::Ram => self.ram = value,
+        }
     }
 
     /// Clamps every dimension to `[0, 1]` (useful after arithmetic).

@@ -91,17 +91,32 @@ impl SliceState {
 
     /// Flattens the state into the vector consumed by the policy networks.
     pub fn to_vec(&self) -> Vec<f64> {
-        vec![
-            self.slot_fraction,
-            self.traffic,
-            self.channel_quality,
-            self.radio_usage,
-            self.workload,
-            self.prev_usage,
-            self.prev_cost,
-            self.cost_threshold,
-            self.budget_used,
-        ]
+        let mut v = vec![0.0; STATE_DIM];
+        self.write_row(&mut v);
+        v
+    }
+
+    /// Writes the observation vector ([`SliceState::to_vec`] layout) into a
+    /// caller-provided row without allocating. The fused cell batch uses this
+    /// to stack one observation row per slice.
+    ///
+    /// # Panics
+    /// Panics if `out` does not have [`STATE_DIM`] elements.
+    pub fn write_row(&self, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            STATE_DIM,
+            "state row must have {STATE_DIM} elements"
+        );
+        out[0] = self.slot_fraction;
+        out[1] = self.traffic;
+        out[2] = self.channel_quality;
+        out[3] = self.radio_usage;
+        out[4] = self.workload;
+        out[5] = self.prev_usage;
+        out[6] = self.prev_cost;
+        out[7] = self.cost_threshold;
+        out[8] = self.budget_used;
     }
 
     /// Rebuilds a state from a flattened vector.

@@ -17,24 +17,40 @@
 //! this repository parallelizes are statistically balanced.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// The machine's available parallelism, resolved once per process.
+///
+/// `std::thread::available_parallelism` walks the cgroup filesystem on
+/// containerized Linux hosts (tens of microseconds per call) — far too slow
+/// for hot-path callers that consult the thread count per kernel invocation.
+/// The value is a process-lifetime constant, so it is cached.
+fn machine_parallelism() -> usize {
+    static MACHINE: OnceLock<usize> = OnceLock::new();
+    *MACHINE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
 
 /// Number of worker threads the shim will use (`rayon::current_num_threads`).
 ///
 /// Honors `RAYON_NUM_THREADS` like the real crate (a positive integer caps
 /// the pool; `1` forces fully sequential execution), falling back to the
-/// machine's available parallelism. Read on every call so tests that spawn
-/// subprocesses with different values behave as expected.
+/// machine's available parallelism. The environment variable is re-read on
+/// every call — the determinism tests and `fleet_runner` set it mid-process
+/// and expect subsequent parallel calls to honor it — but the machine
+/// fallback is cached for the life of the process.
 pub fn current_num_threads() -> usize {
-    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
+    if let Some(raw) = std::env::var_os("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.to_string_lossy().trim().parse::<usize>() {
             if n > 0 {
                 return n;
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    machine_parallelism()
 }
 
 /// Inputs shorter than this are processed inline — thread spawn overhead
