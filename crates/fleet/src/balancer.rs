@@ -133,7 +133,11 @@ pub struct MigrationRecord {
 
 /// One live cell of an elastic fleet run: its engine, telemetry recorder
 /// and measured per-slot wall-clock latencies.
-#[derive(Debug)]
+///
+/// Serializable so a fleet checkpoint can freeze every cell whole —
+/// deployment, telemetry-so-far and (report-only) latency samples — and a
+/// restored cell continues exactly where the snapshot stopped.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct CellRuntime {
     /// Cell index (0-based).
     pub cell: u32,
@@ -168,7 +172,10 @@ pub fn cell_utilization(engine: &ScenarioEngine) -> f64 {
 }
 
 /// The balancer: plans and applies migrations between rebalancing windows.
-#[derive(Debug, Clone)]
+///
+/// Serializable (window baselines included) so a checkpointed fleet resumes
+/// with the same per-window SLA pressure the uninterrupted run would see.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetBalancer {
     config: BalancerConfig,
     /// Violation/episode totals at the previous window boundary, per cell —

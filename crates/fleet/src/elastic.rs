@@ -12,22 +12,24 @@
 //! migrations included — stays byte-identical across rayon worker counts,
 //! and a run whose balancer plans nothing is byte-identical to the frozen
 //! runner's.
+//!
+//! The step loop itself lives in [`crate::ElasticFleet`] (`live.rs`), the
+//! externally drivable state machine the `fleetd` service daemon runs;
+//! this runner is the one-shot convenience wrapper over it, and its traces
+//! are byte-identical to what the loop produced when it was inlined here.
 
 use std::time::Instant;
 
-use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
-use onslicing_replay::TelemetryRecorder;
-use onslicing_scenario::{FleetScenario, ScenarioConfig, ScenarioEngine, SliceSpec};
+use onslicing_scenario::{FleetScenario, ScenarioConfig};
 
-use crate::balancer::{cell_utilization, BalancerConfig, CellRuntime, FleetBalancer};
-use crate::{
-    aggregate_fleet, CellOutcome, CellTraceEntry, FleetOutcome, FleetTrace,
-    FLEET_TRACE_FORMAT_VERSION,
-};
+use crate::balancer::BalancerConfig;
+use crate::live::ElasticFleet;
+use crate::FleetOutcome;
 
 /// Tuning of an elastic fleet run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ElasticFleetConfig {
     /// Number of cells.
     pub cells: usize,
@@ -61,7 +63,9 @@ impl ElasticFleetConfig {
 }
 
 /// The elastic fleet runner: a [`FleetScenario`] over `N` cells with live
-/// rebalancing and fleet-level admission.
+/// rebalancing and fleet-level admission, executed start-to-finish in one
+/// call. For a fleet driven in windows (the service daemon), use
+/// [`ElasticFleet`] directly.
 #[derive(Debug, Clone)]
 pub struct ElasticFleetRunner {
     scenario: FleetScenario,
@@ -71,20 +75,10 @@ pub struct ElasticFleetRunner {
 impl ElasticFleetRunner {
     /// Validates the fleet scenario and tuning.
     pub fn new(scenario: FleetScenario, config: ElasticFleetConfig) -> Result<Self, String> {
-        scenario.validate()?;
-        config.balancer.validate()?;
-        if config.cells == 0 {
-            return Err("an elastic fleet needs at least one cell".to_string());
-        }
-        if config.cells < scenario.min_cells {
-            return Err(format!(
-                "fleet scenario `{}` needs at least {} cells, configured {}",
-                scenario.name, scenario.min_cells, config.cells
-            ));
-        }
-        if config.cells > u32::MAX as usize {
-            return Err("cell count exceeds the u32 cell-index space".to_string());
-        }
+        // Build (and drop) the live machine once so invalid fleets fail at
+        // construction, matching the historical contract of this type —
+        // minus the slot-0 fleet work, which `run` must perform itself.
+        ElasticFleet::validate(&scenario, &config)?;
         Ok(Self { scenario, config })
     }
 
@@ -98,162 +92,13 @@ impl ElasticFleetRunner {
         &self.config
     }
 
-    /// The slots at which the parallel stepping pauses for sequential
-    /// fleet-level work: balancer cadence boundaries and fleet-admission
-    /// slots, plus the scenario end.
-    fn sync_points(&self) -> Vec<usize> {
-        let total = self.scenario.base.total_slots;
-        let mut points: Vec<usize> = self
-            .scenario
-            .fleet_admissions()
-            .iter()
-            .map(|(slot, _)| *slot)
-            .collect();
-        if self.config.balancer.enabled {
-            let cadence = self.config.balancer.cadence_slots;
-            points.extend((1..).map(|k| k * cadence).take_while(|s| *s < total));
-        }
-        points.push(total);
-        points.sort_unstable();
-        points.dedup();
-        points
-    }
-
     /// Builds and executes the fleet: windows of parallel per-cell
     /// stepping, separated by sequential admission routing and rebalancing.
     pub fn run(&self) -> Result<FleetOutcome, String> {
         let start = Instant::now();
-        let total_slots = self.scenario.base.total_slots;
-        let cells: Result<Vec<CellRuntime>, String> = (0..self.config.cells)
-            .into_par_iter()
-            .map(|i| {
-                let cell = i as u32;
-                let config = self.config.base.for_cell(cell);
-                let engine = ScenarioEngine::new(self.scenario.scenario_for_cell(cell), config)?;
-                let recorder = TelemetryRecorder::new(&engine);
-                Ok(CellRuntime {
-                    cell,
-                    seed: config.seed,
-                    engine,
-                    recorder,
-                    slot_latencies_ms: Vec::with_capacity(total_slots),
-                })
-            })
-            .collect();
-        let mut cells = cells?;
-
-        let admissions = self.scenario.fleet_admissions();
-        let mut next_admission = 0usize;
-        let mut balancer = FleetBalancer::new(self.config.balancer, cells.len());
-        let mut migrations = Vec::new();
-        let mut fleet_admissions_granted = 0usize;
-        let mut fleet_admissions_denied = 0usize;
-
-        for sync in self.sync_points() {
-            // Parallel window: every cell steps independently to the sync
-            // point — the same shared-nothing fan-out as the frozen runner.
-            cells.par_iter_mut().for_each(|c| {
-                while c.engine.current_slot() < sync {
-                    let slot_start = Instant::now();
-                    c.engine.step_slot(&mut c.recorder);
-                    c.slot_latencies_ms
-                        .push(slot_start.elapsed().as_secs_f64() * 1_000.0);
-                }
-            });
-            if sync >= total_slots {
-                break;
-            }
-            // Sequential fleet layer. Fleet-routed admissions first (they
-            // fire at their scripted slot, which is a sync point by
-            // construction); each cell's `check_admission` reserves the
-            // shares of everything already granted at this boundary, so
-            // the balancer round below sees the same pledges.
-            while next_admission < admissions.len() && admissions[next_admission].0 <= sync {
-                let (_, spec) = admissions[next_admission];
-                next_admission += 1;
-                match route_fleet_admission(&mut cells, &spec, sync) {
-                    Some(_) => fleet_admissions_granted += 1,
-                    None => fleet_admissions_denied += 1,
-                }
-            }
-            if self.config.balancer.enabled && sync % self.config.balancer.cadence_slots == 0 {
-                migrations.extend(balancer.rebalance(sync, &mut cells)?);
-            }
-        }
-
-        // Finish: close final partial episodes and aggregate, cell-parallel
-        // like the frozen runner.
-        let outcomes: Result<Vec<CellOutcome>, String> = cells
-            .into_par_iter()
-            .map(|mut c| {
-                let report = c.engine.run_with_observer(&mut c.recorder);
-                if report.has_non_finite() {
-                    return Err(format!(
-                        "cell {} (seed {}) produced non-finite metrics",
-                        c.cell, c.seed
-                    ));
-                }
-                Ok(CellOutcome {
-                    cell: c.cell,
-                    seed: c.seed,
-                    report,
-                    trace: c.recorder.finalize(),
-                    slot_latencies_ms: c.slot_latencies_ms,
-                })
-            })
-            .collect();
-        let outcomes = outcomes?;
+        let mut fleet = ElasticFleet::new(self.scenario.clone(), self.config)?;
+        fleet.advance_to(fleet.total_slots())?;
         let wall_clock_ms = start.elapsed().as_secs_f64() * 1_000.0;
-        let mut report = aggregate_fleet(
-            &self.scenario.name,
-            self.config.base.seed,
-            &outcomes,
-            wall_clock_ms,
-        );
-        report.migrations = migrations;
-        report.fleet_admissions_granted = fleet_admissions_granted;
-        report.fleet_admissions_denied = fleet_admissions_denied;
-        let trace = FleetTrace {
-            format_version: FLEET_TRACE_FORMAT_VERSION,
-            scenario: self.scenario.name.clone(),
-            master_seed: self.config.base.seed,
-            cells: outcomes
-                .iter()
-                .map(|c| CellTraceEntry {
-                    cell: c.cell,
-                    seed: c.seed,
-                    trace: c.trace.clone(),
-                })
-                .collect(),
-        };
-        Ok(FleetOutcome {
-            report,
-            trace,
-            cells: outcomes,
-        })
+        fleet.finish(wall_clock_ms)
     }
-}
-
-/// Routes one fleet-level admission: cells are tried least-utilized first
-/// (ties toward the lower index), and the slice lands on the first cell
-/// whose own [`ScenarioEngine::check_admission`] accepts it — that check
-/// reserves the estimated share of every slice already granted at this
-/// boundary (fleet admissions and migrations alike). Returns the hosting
-/// cell, or `None` for a fleet-wide denial.
-fn route_fleet_admission(cells: &mut [CellRuntime], spec: &SliceSpec, slot: usize) -> Option<u32> {
-    let utilizations: Vec<f64> = cells.iter().map(|c| cell_utilization(&c.engine)).collect();
-    let mut order: Vec<usize> = (0..cells.len()).collect();
-    order.sort_by(|&a, &b| {
-        utilizations[a]
-            .partial_cmp(&utilizations[b])
-            .expect("utilization is never NaN")
-            .then(a.cmp(&b))
-    });
-    for i in order {
-        if cells[i].engine.check_admission().is_ok() {
-            cells[i].engine.force_admit(spec, slot);
-            return Some(cells[i].cell);
-        }
-    }
-    None
 }

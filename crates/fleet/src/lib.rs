@@ -49,9 +49,11 @@ use onslicing_scenario::{Scenario, ScenarioConfig, ScenarioEngine, ScenarioRepor
 
 pub mod balancer;
 pub mod elastic;
+pub mod live;
 
 pub use balancer::{cell_utilization, BalancerConfig, CellRuntime, FleetBalancer, MigrationRecord};
 pub use elastic::{ElasticFleetConfig, ElasticFleetRunner};
+pub use live::{ElasticFleet, FleetCheckpoint, FLEET_CHECKPOINT_FORMAT_VERSION};
 
 /// Version stamp of the fleet-trace JSON layout; bump on breaking changes.
 pub const FLEET_TRACE_FORMAT_VERSION: u32 = 1;

@@ -1,0 +1,694 @@
+//! The live elastic fleet: the scripted runner's step loop extracted into
+//! an externally drivable, checkpointable state machine.
+//!
+//! [`crate::ElasticFleetRunner`] executes a whole [`FleetScenario`] in one
+//! call; a long-running service cannot — it must advance the fleet in
+//! bounded windows, apply control requests (admissions, teardowns, SLA
+//! renegotiations) between them, snapshot itself on a cadence and survive
+//! a stop → restart cycle bit-for-bit. [`ElasticFleet`] is that machine:
+//!
+//! * [`ElasticFleet::advance_to`] steps every cell rayon-parallel to the
+//!   next **sync point** (a balancer cadence boundary, a scripted
+//!   fleet-admission slot, or the caller's target), running the sequential
+//!   fleet layer — scripted admissions routed least-utilized-first, then
+//!   the balancer round — exactly where the scripted runner would. The
+//!   runner is now a thin wrapper: build, `advance_to(total_slots)`,
+//!   [`ElasticFleet::finish`]; its traces are byte-identical to before the
+//!   extraction.
+//! * [`ElasticFleet::admit`] / [`ElasticFleet::inject_cell_event`] apply
+//!   live control between windows through the same admission-reservation
+//!   rule ([`ScenarioEngine::check_admission`]) the scripted paths use, so
+//!   a fleet driven by a logged request stream is bit-for-bit a fleet with
+//!   those events spliced into the timeline.
+//! * [`ElasticFleet::checkpoint`] freezes everything — every cell's
+//!   deployment and telemetry recorder, the balancer's window baselines,
+//!   the scripted-timeline cursor and the admission counters — into a
+//!   versioned [`FleetCheckpoint`] whose restore continues the run
+//!   byte-exactly.
+//!
+//! ## Sync-point invariant
+//!
+//! At every public API boundary (after `new`, `advance_to` or `restore`),
+//! all internal sync points at slots `<=` the current slot have been
+//! processed. That makes the processed-sync cursor a pure function of the
+//! current slot, so checkpoints don't store it and a restored fleet cannot
+//! re-run (or skip) a balancer round.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use onslicing_replay::{atomic_write, peek_format_version, TelemetryRecorder};
+use onslicing_scenario::{
+    FleetScenario, LiveEventOutcome, ScenarioEngine, ScenarioEvent, SliceSpec,
+};
+
+use crate::balancer::{cell_utilization, CellRuntime, FleetBalancer, MigrationRecord};
+use crate::elastic::ElasticFleetConfig;
+use crate::{
+    aggregate_fleet, CellOutcome, CellTraceEntry, FleetOutcome, FleetTrace,
+    FLEET_TRACE_FORMAT_VERSION,
+};
+
+/// Version stamp of the fleet-checkpoint JSON layout; bump on breaking
+/// changes so stale files fail loudly instead of mis-restoring.
+pub const FLEET_CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// A running elastic fleet that can be driven from outside: stepped in
+/// windows, fed live control requests at window boundaries, checkpointed
+/// and resumed. See the module docs for the contract.
+#[derive(Debug)]
+pub struct ElasticFleet {
+    scenario: FleetScenario,
+    config: ElasticFleetConfig,
+    cells: Vec<CellRuntime>,
+    balancer: FleetBalancer,
+    migrations: Vec<MigrationRecord>,
+    /// Cursor into the scripted fleet admissions (sorted by slot).
+    next_admission: usize,
+    fleet_admissions_granted: usize,
+    fleet_admissions_denied: usize,
+    /// Internal sync points (balancer cadence boundaries and scripted
+    /// fleet-admission slots, plus the scenario end), ascending. Recomputed
+    /// from the scenario and config — never serialized.
+    sync_points: Vec<usize>,
+    /// First entry of `sync_points` strictly above the current slot.
+    next_sync: usize,
+}
+
+impl ElasticFleet {
+    /// Checks that `scenario` and `config` form a buildable fleet, without
+    /// building one — the runner's constructor-time validation.
+    pub fn validate(scenario: &FleetScenario, config: &ElasticFleetConfig) -> Result<(), String> {
+        scenario.validate()?;
+        config.balancer.validate()?;
+        if config.cells == 0 {
+            return Err("an elastic fleet needs at least one cell".to_string());
+        }
+        if config.cells < scenario.min_cells {
+            return Err(format!(
+                "fleet scenario `{}` needs at least {} cells, configured {}",
+                scenario.name, scenario.min_cells, config.cells
+            ));
+        }
+        if config.cells > u32::MAX as usize {
+            return Err("cell count exceeds the u32 cell-index space".to_string());
+        }
+        Ok(())
+    }
+
+    /// Validates the scenario and tuning, builds every cell (in parallel —
+    /// construction is per-cell work like everything else) and processes
+    /// any fleet-layer work scheduled at slot 0.
+    pub fn new(scenario: FleetScenario, config: ElasticFleetConfig) -> Result<Self, String> {
+        Self::validate(&scenario, &config)?;
+        let total_slots = scenario.base.total_slots;
+        let cells: Result<Vec<CellRuntime>, String> = (0..config.cells)
+            .into_par_iter()
+            .map(|i| {
+                let cell = i as u32;
+                let cell_config = config.base.for_cell(cell);
+                let engine = ScenarioEngine::new(scenario.scenario_for_cell(cell), cell_config)?;
+                let recorder = TelemetryRecorder::new(&engine);
+                Ok(CellRuntime {
+                    cell,
+                    seed: cell_config.seed,
+                    engine,
+                    recorder,
+                    slot_latencies_ms: Vec::with_capacity(total_slots),
+                })
+            })
+            .collect();
+        let cells = cells?;
+        let balancer = FleetBalancer::new(config.balancer, cells.len());
+        let mut fleet = Self::assemble(scenario, config, cells, balancer, Vec::new(), 0, 0, 0);
+        // Establish the sync-point invariant: fleet-layer work scheduled at
+        // slot 0 (a scripted admission, typically) runs before the caller
+        // sees the fleet — exactly where the scripted runner would run it.
+        fleet.process_due_syncs()?;
+        Ok(fleet)
+    }
+
+    /// Builds the struct and positions the sync cursor per the invariant.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        scenario: FleetScenario,
+        config: ElasticFleetConfig,
+        cells: Vec<CellRuntime>,
+        balancer: FleetBalancer,
+        migrations: Vec<MigrationRecord>,
+        next_admission: usize,
+        fleet_admissions_granted: usize,
+        fleet_admissions_denied: usize,
+    ) -> Self {
+        let sync_points = compute_sync_points(&scenario, &config);
+        let slot = cells.first().map(|c| c.engine.current_slot()).unwrap_or(0);
+        let next_sync = sync_points.partition_point(|s| *s <= slot);
+        Self {
+            scenario,
+            config,
+            cells,
+            balancer,
+            migrations,
+            next_admission,
+            fleet_admissions_granted,
+            fleet_admissions_denied,
+            sync_points,
+            next_sync,
+        }
+    }
+
+    /// The fleet scenario.
+    pub fn scenario(&self) -> &FleetScenario {
+        &self.scenario
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &ElasticFleetConfig {
+        &self.config
+    }
+
+    /// The current global slot. All cells are aligned at every public API
+    /// boundary, so the first cell speaks for the fleet.
+    pub fn slot(&self) -> usize {
+        self.cells[0].engine.current_slot()
+    }
+
+    /// Scheduled end of the scenario, in slots.
+    pub fn total_slots(&self) -> usize {
+        self.scenario.base.total_slots
+    }
+
+    /// Whether every scheduled slot has executed.
+    pub fn is_complete(&self) -> bool {
+        self.slot() >= self.total_slots()
+    }
+
+    /// The live cells, in cell order.
+    pub fn cells(&self) -> &[CellRuntime] {
+        &self.cells
+    }
+
+    /// Migrations applied so far, in application order.
+    pub fn migrations(&self) -> &[MigrationRecord] {
+        &self.migrations
+    }
+
+    /// Fleet-routed admissions granted so far (scripted and live alike).
+    pub fn fleet_admissions_granted(&self) -> usize {
+        self.fleet_admissions_granted
+    }
+
+    /// Fleet-routed admissions denied fleet-wide so far.
+    pub fn fleet_admissions_denied(&self) -> usize {
+        self.fleet_admissions_denied
+    }
+
+    /// Total active slices across the fleet.
+    pub fn active_slices(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| c.engine.orchestrator().num_slices())
+            .sum()
+    }
+
+    /// Deterministic per-cell utilization (worst-resource enforced share),
+    /// in cell order.
+    pub fn cell_utilizations(&self) -> Vec<f64> {
+        self.cells
+            .iter()
+            .map(|c| cell_utilization(&c.engine))
+            .collect()
+    }
+
+    /// Runs the sequential fleet layer of every sync point due at or before
+    /// the current slot: scripted fleet admissions first, then the balancer
+    /// round when the sync sits on the cadence. The scenario-end pseudo-sync
+    /// does no fleet work.
+    fn process_due_syncs(&mut self) -> Result<(), String> {
+        let slot = self.slot();
+        let total = self.total_slots();
+        while self.next_sync < self.sync_points.len() && self.sync_points[self.next_sync] <= slot {
+            let sync = self.sync_points[self.next_sync];
+            self.next_sync += 1;
+            if sync >= total {
+                continue;
+            }
+            let admissions = self.scenario.fleet_admissions();
+            while self.next_admission < admissions.len()
+                && admissions[self.next_admission].0 <= sync
+            {
+                let (_, spec) = admissions[self.next_admission];
+                self.next_admission += 1;
+                match route_fleet_admission(&mut self.cells, &spec, sync) {
+                    Some(_) => self.fleet_admissions_granted += 1,
+                    None => self.fleet_admissions_denied += 1,
+                }
+            }
+            if self.config.balancer.enabled
+                && sync.is_multiple_of(self.config.balancer.cadence_slots)
+            {
+                let migrated = self.balancer.rebalance(sync, &mut self.cells)?;
+                self.migrations.extend(migrated);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the fleet to global slot `target` (clamped to the scenario
+    /// end): windows of rayon-parallel per-cell stepping separated by the
+    /// sequential fleet layer at every internal sync point on the way.
+    /// Returns the slot actually reached. A `target` at or below the
+    /// current slot is a no-op.
+    pub fn advance_to(&mut self, target: usize) -> Result<usize, String> {
+        let target = target.min(self.total_slots());
+        loop {
+            self.process_due_syncs()?;
+            let slot = self.slot();
+            if slot >= target {
+                return Ok(slot);
+            }
+            let stop = self
+                .sync_points
+                .get(self.next_sync)
+                .copied()
+                .unwrap_or(self.total_slots())
+                .min(target);
+            self.cells.par_iter_mut().for_each(|c| {
+                while c.engine.current_slot() < stop {
+                    let slot_start = std::time::Instant::now();
+                    c.engine.step_slot(&mut c.recorder);
+                    c.slot_latencies_ms
+                        .push(slot_start.elapsed().as_secs_f64() * 1_000.0);
+                }
+            });
+        }
+    }
+
+    /// Admits a slice at the current window boundary through the fleet
+    /// admission controller: cells are tried least-utilized first and the
+    /// slice lands on the first whose own reservation-aware admission check
+    /// accepts it. Returns the hosting `(cell, slice_id)` pair, or `None`
+    /// for a fleet-wide denial. Counted alongside the scripted fleet
+    /// admissions.
+    pub fn admit(&mut self, spec: &SliceSpec) -> Option<(u32, u32)> {
+        let slot = self.slot();
+        match route_fleet_admission(&mut self.cells, spec, slot) {
+            Some(placement) => {
+                self.fleet_admissions_granted += 1;
+                Some(placement)
+            }
+            None => {
+                self.fleet_admissions_denied += 1;
+                None
+            }
+        }
+    }
+
+    /// Applies one scenario event to a specific cell at the current window
+    /// boundary, exactly as if the cell's timeline had scheduled it here
+    /// (slice ids are the target cell's own). Denials and skips are
+    /// outcomes; an unknown cell or invalid event is an error.
+    pub fn inject_cell_event(
+        &mut self,
+        cell: u32,
+        event: &ScenarioEvent,
+    ) -> Result<LiveEventOutcome, String> {
+        let index = self
+            .cells
+            .iter()
+            .position(|c| c.cell == cell)
+            .ok_or_else(|| format!("no such cell {cell} (fleet has {})", self.cells.len()))?;
+        let c = &mut self.cells[index];
+        c.engine.inject_event(event, &mut c.recorder)
+    }
+
+    /// Freezes the complete fleet state into a versioned checkpoint.
+    /// Call between windows (the cells must be aligned), never from inside
+    /// an observer callback.
+    pub fn checkpoint(&self) -> FleetCheckpoint {
+        FleetCheckpoint {
+            format_version: FLEET_CHECKPOINT_FORMAT_VERSION,
+            scenario_name: self.scenario.name.clone(),
+            master_seed: self.config.base.seed,
+            slot: self.slot(),
+            total_slots: self.total_slots(),
+            scenario: self.scenario.clone(),
+            config: self.config,
+            cells: self
+                .cells
+                .iter()
+                .map(|c| CellRuntime {
+                    cell: c.cell,
+                    seed: c.seed,
+                    engine: c.engine.clone(),
+                    recorder: c.recorder.clone(),
+                    slot_latencies_ms: c.slot_latencies_ms.clone(),
+                })
+                .collect(),
+            balancer: self.balancer.clone(),
+            migrations: self.migrations.clone(),
+            next_admission: self.next_admission,
+            fleet_admissions_granted: self.fleet_admissions_granted,
+            fleet_admissions_denied: self.fleet_admissions_denied,
+        }
+    }
+
+    /// Closes every cell's final partial episodes and aggregates the fleet
+    /// outcome — trace, report, per-cell breakdown. Only a complete fleet
+    /// can finish; a service that stops early checkpoints instead.
+    /// `wall_clock_ms` is the caller-measured wall time of the run (report
+    /// only; zero is fine for resumed service runs where it is meaningless).
+    pub fn finish(self, wall_clock_ms: f64) -> Result<FleetOutcome, String> {
+        if !self.is_complete() {
+            return Err(format!(
+                "cannot finish an incomplete fleet run (slot {} of {})",
+                self.slot(),
+                self.total_slots()
+            ));
+        }
+        let outcomes: Result<Vec<CellOutcome>, String> = self
+            .cells
+            .into_par_iter()
+            .map(|mut c| {
+                let report = c.engine.run_with_observer(&mut c.recorder);
+                if report.has_non_finite() {
+                    return Err(format!(
+                        "cell {} (seed {}) produced non-finite metrics",
+                        c.cell, c.seed
+                    ));
+                }
+                Ok(CellOutcome {
+                    cell: c.cell,
+                    seed: c.seed,
+                    report,
+                    trace: c.recorder.finalize(),
+                    slot_latencies_ms: c.slot_latencies_ms,
+                })
+            })
+            .collect();
+        let outcomes = outcomes?;
+        let mut report = aggregate_fleet(
+            &self.scenario.name,
+            self.config.base.seed,
+            &outcomes,
+            wall_clock_ms,
+        );
+        report.migrations = self.migrations;
+        report.fleet_admissions_granted = self.fleet_admissions_granted;
+        report.fleet_admissions_denied = self.fleet_admissions_denied;
+        let trace = FleetTrace {
+            format_version: FLEET_TRACE_FORMAT_VERSION,
+            scenario: self.scenario.name.clone(),
+            master_seed: self.config.base.seed,
+            cells: outcomes
+                .iter()
+                .map(|c| CellTraceEntry {
+                    cell: c.cell,
+                    seed: c.seed,
+                    trace: c.trace.clone(),
+                })
+                .collect(),
+        };
+        Ok(FleetOutcome {
+            report,
+            trace,
+            cells: outcomes,
+        })
+    }
+}
+
+/// The internal sync points of a fleet run: scripted fleet-admission slots
+/// and balancer cadence boundaries, plus the scenario end, ascending and
+/// deduplicated — the exact schedule the scripted runner has always used.
+fn compute_sync_points(scenario: &FleetScenario, config: &ElasticFleetConfig) -> Vec<usize> {
+    let total = scenario.base.total_slots;
+    let mut points: Vec<usize> = scenario
+        .fleet_admissions()
+        .iter()
+        .map(|(slot, _)| *slot)
+        .collect();
+    if config.balancer.enabled {
+        let cadence = config.balancer.cadence_slots;
+        points.extend((1..).map(|k| k * cadence).take_while(|s| *s < total));
+    }
+    points.push(total);
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// Routes one fleet-level admission: cells are tried least-utilized first
+/// (ties toward the lower index), and the slice lands on the first cell
+/// whose own [`ScenarioEngine::check_admission`] accepts it — that check
+/// reserves the estimated share of every slice already granted at this
+/// boundary (fleet admissions and migrations alike). Returns the hosting
+/// `(cell, slice_id)` pair, or `None` for a fleet-wide denial.
+fn route_fleet_admission(
+    cells: &mut [CellRuntime],
+    spec: &SliceSpec,
+    slot: usize,
+) -> Option<(u32, u32)> {
+    let utilizations: Vec<f64> = cells.iter().map(|c| cell_utilization(&c.engine)).collect();
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    order.sort_by(|&a, &b| {
+        utilizations[a]
+            .partial_cmp(&utilizations[b])
+            .expect("utilization is never NaN")
+            .then(a.cmp(&b))
+    });
+    for i in order {
+        if cells[i].engine.check_admission().is_ok() {
+            let slice = cells[i].engine.force_admit(spec, slot);
+            return Some((cells[i].cell, slice.0));
+        }
+    }
+    None
+}
+
+/// A versioned, self-describing snapshot of a whole elastic fleet run:
+/// every cell's deployment and telemetry recorder, the balancer's window
+/// baselines, the scripted-timeline cursor and the admission counters.
+/// Restoring continues the run byte-exactly — the final trace of a resumed
+/// fleet is byte-identical to the uninterrupted run's.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct FleetCheckpoint {
+    /// Layout version ([`FLEET_CHECKPOINT_FORMAT_VERSION`] at capture).
+    pub format_version: u32,
+    /// Fleet scenario name.
+    pub scenario_name: String,
+    /// Fleet master seed.
+    pub master_seed: u64,
+    /// Next global slot the restored fleet will execute.
+    pub slot: usize,
+    /// Scheduled scenario length in slots.
+    pub total_slots: usize,
+    scenario: FleetScenario,
+    config: ElasticFleetConfig,
+    cells: Vec<CellRuntime>,
+    balancer: FleetBalancer,
+    migrations: Vec<MigrationRecord>,
+    next_admission: usize,
+    fleet_admissions_granted: usize,
+    fleet_admissions_denied: usize,
+}
+
+impl FleetCheckpoint {
+    /// Consumes the checkpoint and rebuilds the live fleet. The processed
+    /// sync-point cursor is recomputed from the restored slot (see the
+    /// module docs' invariant), so nothing replays and nothing is skipped.
+    pub fn restore(self) -> Result<ElasticFleet, String> {
+        if self.cells.is_empty() {
+            return Err("fleet checkpoint holds no cells".to_string());
+        }
+        Ok(ElasticFleet::assemble(
+            self.scenario,
+            self.config,
+            self.cells,
+            self.balancer,
+            self.migrations,
+            self.next_admission,
+            self.fleet_admissions_granted,
+            self.fleet_admissions_denied,
+        ))
+    }
+
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("fleet checkpoint serialization cannot fail")
+    }
+
+    /// Parses a fleet checkpoint, rejecting unknown layout versions with a
+    /// clear version error (the stamp is peeked before the structural
+    /// parse, like the single-cell [`onslicing_replay::Checkpoint`]).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        peek_format_version(text, "fleet checkpoint", FLEET_CHECKPOINT_FORMAT_VERSION)?;
+        let checkpoint: FleetCheckpoint =
+            serde_json::from_str(text).map_err(|e| format!("malformed fleet checkpoint: {e}"))?;
+        Ok(checkpoint)
+    }
+
+    /// Writes the checkpoint crash-safely (temp file + fsync + atomic
+    /// rename): a crash mid-save never leaves a torn file where the
+    /// previous checkpoint was.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        atomic_write(path.as_ref(), &self.to_json())
+            .map_err(|e| format!("cannot write fleet checkpoint: {e}"))
+    }
+
+    /// Reads and validates a fleet checkpoint file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+            format!(
+                "cannot read fleet checkpoint {}: {e}",
+                path.as_ref().display()
+            )
+        })?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::BalancerConfig;
+    use onslicing_scenario::{fleet_by_name, Scenario};
+    use onslicing_slices::SliceKind;
+
+    fn tiny_fleet_scenario() -> FleetScenario {
+        let base = Scenario::new("tiny-live", 8, 32)
+            .with_capacity(1.5)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Rdc));
+        FleetScenario::new(base, 1).fleet_admit(4, SliceSpec::new(SliceKind::Hvs))
+    }
+
+    fn quick_config(cells: usize) -> ElasticFleetConfig {
+        ElasticFleetConfig::new(cells)
+            .with_seed(11)
+            .with_balancer(BalancerConfig {
+                cadence_slots: 8,
+                ..BalancerConfig::default()
+            })
+    }
+
+    #[test]
+    fn stepwise_advance_matches_one_shot_runner_bit_for_bit() {
+        // The extracted machine, driven in awkward uneven windows, must
+        // produce the exact trace of the scripted runner's single run().
+        let runner =
+            crate::ElasticFleetRunner::new(tiny_fleet_scenario(), quick_config(2)).unwrap();
+        let reference = runner.run().unwrap();
+
+        let mut fleet = ElasticFleet::new(tiny_fleet_scenario(), quick_config(2)).unwrap();
+        for target in [1usize, 4, 5, 9, 16, 17, 31, 32, 32] {
+            fleet.advance_to(target).unwrap();
+        }
+        assert!(fleet.is_complete());
+        let outcome = fleet.finish(0.0).unwrap();
+        assert_eq!(outcome.trace.to_json(), reference.trace.to_json());
+        assert_eq!(
+            outcome.report.fleet_admissions_granted + outcome.report.fleet_admissions_denied,
+            1
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bit_for_bit() {
+        // Snapshot mid-run (JSON round-trip included), continue both
+        // copies, and require byte-identical final traces.
+        let mut fleet = ElasticFleet::new(tiny_fleet_scenario(), quick_config(2)).unwrap();
+        fleet.advance_to(13).unwrap();
+        let snapshot = FleetCheckpoint::from_json(&fleet.checkpoint().to_json()).unwrap();
+        assert_eq!(snapshot.slot, 13);
+
+        fleet.advance_to(32).unwrap();
+        let reference = fleet.finish(0.0).unwrap();
+
+        let mut resumed = snapshot.restore().unwrap();
+        assert_eq!(resumed.slot(), 13);
+        resumed.advance_to(32).unwrap();
+        let outcome = resumed.finish(0.0).unwrap();
+        assert_eq!(outcome.trace.to_json(), reference.trace.to_json());
+    }
+
+    #[test]
+    fn live_admissions_and_events_apply_at_boundaries() {
+        let mut fleet = ElasticFleet::new(tiny_fleet_scenario(), quick_config(2)).unwrap();
+        fleet.advance_to(8).unwrap();
+        // Admit until denial: the reservation rule must eventually say no,
+        // and both outcomes update the fleet counters.
+        let mut granted = 0;
+        for _ in 0..64 {
+            match fleet.admit(&SliceSpec::new(SliceKind::Hvs)) {
+                Some((cell, _)) => {
+                    assert!((cell as usize) < 2);
+                    granted += 1;
+                }
+                None => break,
+            }
+        }
+        assert!(granted > 0, "at least one live admission must fit");
+        assert!(fleet.fleet_admissions_denied() > 0 || granted == 64);
+        // A teardown of a real slice applies; an unknown cell errors.
+        let victim = fleet.cells()[0]
+            .engine
+            .orchestrator()
+            .slice_ids()
+            .iter()
+            .map(|id| id.0)
+            .max()
+            .unwrap();
+        assert_eq!(
+            fleet
+                .inject_cell_event(0, &ScenarioEvent::TeardownSlice { slice: victim })
+                .unwrap(),
+            LiveEventOutcome::Applied
+        );
+        assert!(fleet
+            .inject_cell_event(7, &ScenarioEvent::TeardownSlice { slice: 0 })
+            .is_err());
+        fleet.advance_to(32).unwrap();
+        assert!(fleet.finish(0.0).is_ok());
+    }
+
+    #[test]
+    fn incomplete_fleets_refuse_to_finish_and_stale_versions_fail_clearly() {
+        let mut fleet = ElasticFleet::new(tiny_fleet_scenario(), quick_config(1)).unwrap();
+        fleet.advance_to(4).unwrap();
+        let checkpoint = fleet.checkpoint();
+        assert!(fleet.finish(0.0).unwrap_err().contains("incomplete"));
+        // Version gate: a stale stamp reports the version, not a missing
+        // field; a missing stamp is malformed.
+        let mut doctored = checkpoint.to_json();
+        doctored = doctored.replacen("\"format_version\":1", "\"format_version\":9", 1);
+        let err = FleetCheckpoint::from_json(&doctored).unwrap_err();
+        assert_eq!(
+            err,
+            "fleet checkpoint format version 9 is not supported (expected 1)"
+        );
+        let err = FleetCheckpoint::from_json("{\"slot\":4}").unwrap_err();
+        assert!(err.contains("missing format_version"), "{err}");
+    }
+
+    #[test]
+    fn builtin_fleet_scenarios_run_through_the_live_machine() {
+        // hotspot-shift exercises migrations + fleet admissions end to end
+        // through advance_to; the result must match the scripted runner.
+        let scenario = fleet_by_name("hotspot-shift").unwrap();
+        let config = ElasticFleetConfig::new(2).with_seed(5);
+        let reference = crate::ElasticFleetRunner::new(scenario.clone(), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut fleet = ElasticFleet::new(scenario, config).unwrap();
+        let total = fleet.total_slots();
+        let mut target = 7;
+        while !fleet.is_complete() {
+            fleet.advance_to(target.min(total)).unwrap();
+            target += 7;
+        }
+        let outcome = fleet.finish(0.0).unwrap();
+        assert_eq!(outcome.trace.to_json(), reference.trace.to_json());
+        assert_eq!(outcome.report.migrations, reference.report.migrations);
+    }
+}

@@ -1,0 +1,531 @@
+//! The daemon: an [`ElasticFleet`] run continuously as a service with a
+//! live control plane.
+//!
+//! One OS process per state directory (enforced by [`StateLock`]). The
+//! main loop alternates between draining the control channel and advancing
+//! the fleet one window of slots; control requests therefore apply only at
+//! window boundaries — which are fleet sync boundaries — through the same
+//! admission machinery the scripted paths use. Because every request is
+//! logged with the slot it applied at (`requests.log`), a daemon run is a
+//! pure function of (config, checkpoint, request log): replaying the log
+//! with `step`/`pause` pins produces the same bytes.
+//!
+//! Durability: a [`FleetCheckpoint`] is written crash-safely every time
+//! the global slot crosses a `[checkpoint] cadence_slots` boundary, on
+//! demand (`checkpoint`), at graceful shutdown and at completion; older
+//! files beyond `[checkpoint] retain` are garbage-collected. On startup
+//! the daemon resumes from the **newest complete** checkpoint — torn
+//! `*.tmp` partials are never even considered (the atomic-rename protocol
+//! keeps them out of the namespace), and an unreadable or stale-format
+//! file falls back to the next older one with a warning. When the
+//! scenario completes, the daemon writes the final fleet trace
+//! (`TRACE_FLEET_<scenario>.json`) and exits; re-starting a completed
+//! state dir re-derives the identical trace and exits again — restart is
+//! idempotent at every point of the lifecycle.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use serde::Value;
+
+use onslicing_fleet::{ElasticFleet, FleetCheckpoint};
+use onslicing_replay::{
+    atomic_write, checkpoint_file_name, gc_checkpoint_dir, list_checkpoint_slots,
+};
+use onslicing_scenario::{fleet_by_name, LiveEventOutcome, ScenarioEvent, FLEET_BUILTIN_NAMES};
+
+use crate::config::FleetdConfig;
+use crate::lock::StateLock;
+use crate::protocol::{error_response, ok_response, Request};
+
+/// Name of the request audit log inside the state directory.
+pub const REQUEST_LOG_NAME: &str = "requests.log";
+
+/// One queued control-plane message: the raw request line and the channel
+/// the connection thread is blocked on for the response.
+struct ControlMsg {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+/// Why the daemon's serve loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// A `shutdown` request was honored; state is checkpointed.
+    Shutdown,
+    /// The scenario ran to completion; the final trace is on disk.
+    Completed,
+}
+
+/// Runs the daemon to completion or shutdown. This is `fleetd run`.
+pub fn run(config: FleetdConfig) -> Result<ExitReason, String> {
+    std::fs::create_dir_all(&config.state_dir).map_err(|e| {
+        format!(
+            "cannot create state dir {}: {e}",
+            config.state_dir.display()
+        )
+    })?;
+    let (lock, reclaimed) = StateLock::acquire(&config.state_dir)?;
+    if reclaimed {
+        eprintln!(
+            "fleetd: reclaimed stale lock in {}",
+            config.state_dir.display()
+        );
+    }
+    let fleet = build_or_resume(&config)?;
+
+    // We hold the lock, so a leftover socket file is ours to sweep.
+    let _ = std::fs::remove_file(&config.control_socket);
+    let listener = UnixListener::bind(&config.control_socket).map_err(|e| {
+        format!(
+            "cannot bind control socket {}: {e}",
+            config.control_socket.display()
+        )
+    })?;
+    let (tx, rx) = mpsc::channel::<ControlMsg>();
+    std::thread::spawn(move || accept_loop(listener, tx));
+    eprintln!(
+        "fleetd: serving {} on {}",
+        config.scenario,
+        config.control_socket.display()
+    );
+
+    let reason = serve(&config, fleet, &rx);
+    let _ = std::fs::remove_file(&config.control_socket);
+    drop(lock);
+    reason
+}
+
+/// Resumes from the newest complete checkpoint in the state dir, or builds
+/// a fresh fleet when there is none. Unreadable or stale-format files fall
+/// back to the next older checkpoint with a warning on stderr.
+fn build_or_resume(config: &FleetdConfig) -> Result<ElasticFleet, String> {
+    let mut slots = list_checkpoint_slots(&config.state_dir)
+        .map_err(|e| format!("cannot scan state dir: {e}"))?;
+    slots.reverse();
+    for slot in slots {
+        let path = config.state_dir.join(checkpoint_file_name(slot));
+        match FleetCheckpoint::load(&path).and_then(check_compatible(config)) {
+            Ok(checkpoint) => {
+                eprintln!("fleetd: resuming from {} (slot {slot})", path.display());
+                return checkpoint.restore();
+            }
+            Err(e) => eprintln!("fleetd: skipping checkpoint {}: {e}", path.display()),
+        }
+    }
+    let scenario = fleet_by_name(&config.scenario).ok_or_else(|| {
+        format!(
+            "unknown fleet scenario `{}` (built-ins: {})",
+            config.scenario,
+            FLEET_BUILTIN_NAMES.join(", ")
+        )
+    })?;
+    eprintln!("fleetd: fresh start of `{}`", config.scenario);
+    ElasticFleet::new(scenario, config.fleet)
+}
+
+/// A checkpoint is only resumable into a daemon whose config names the
+/// same run: same scenario, same master seed.
+fn check_compatible(
+    config: &FleetdConfig,
+) -> impl Fn(FleetCheckpoint) -> Result<FleetCheckpoint, String> + '_ {
+    move |checkpoint| {
+        if checkpoint.scenario_name != config.scenario {
+            return Err(format!(
+                "it belongs to scenario `{}`, config says `{}`",
+                checkpoint.scenario_name, config.scenario
+            ));
+        }
+        if checkpoint.master_seed != config.fleet.base.seed {
+            return Err(format!(
+                "it was seeded {}, config says {}",
+                checkpoint.master_seed, config.fleet.base.seed
+            ));
+        }
+        Ok(checkpoint)
+    }
+}
+
+fn accept_loop(listener: UnixListener, tx: mpsc::Sender<ControlMsg>) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { break };
+        let tx = tx.clone();
+        std::thread::spawn(move || connection_loop(stream, tx));
+    }
+}
+
+fn connection_loop(stream: UnixStream, tx: mpsc::Sender<ControlMsg>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if tx
+            .send(ControlMsg {
+                line,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            // Daemon loop is gone (shutdown raced us); drop the client.
+            break;
+        }
+        let Ok(response) = reply_rx.recv() else { break };
+        if write_half
+            .write_all(format!("{response}\n").as_bytes())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// The daemon state threaded through request handling.
+struct Service<'a> {
+    config: &'a FleetdConfig,
+    fleet: ElasticFleet,
+    paused: bool,
+    /// Slot of the last checkpoint on disk (`None` before the first).
+    /// Cadence checkpoints fire when the global slot crosses into a new
+    /// cadence interval relative to this.
+    last_checkpoint_slot: Option<usize>,
+    stop: bool,
+}
+
+impl Service<'_> {
+    fn checkpoint_now(&mut self) -> Result<PathBuf, String> {
+        let slot = self.fleet.slot();
+        let path = self.config.state_dir.join(checkpoint_file_name(slot));
+        self.fleet.checkpoint().save(&path)?;
+        self.last_checkpoint_slot = Some(slot);
+        gc_checkpoint_dir(&self.config.state_dir, self.config.checkpoint.retain)
+            .map_err(|e| format!("checkpoint GC failed: {e}"))?;
+        Ok(path)
+    }
+
+    /// Writes a cadence checkpoint if the slot has crossed into a new
+    /// `cadence_slots` interval since the last one on disk.
+    fn maybe_cadence_checkpoint(&mut self) -> Result<(), String> {
+        let cadence = self.config.checkpoint.cadence_slots;
+        let slot = self.fleet.slot();
+        let due = match self.last_checkpoint_slot {
+            None => slot >= cadence,
+            Some(last) => slot / cadence > last / cadence,
+        };
+        if due {
+            self.checkpoint_now()?;
+        }
+        Ok(())
+    }
+
+    fn handle(&mut self, line: &str) -> String {
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(e) => return error_response(&e),
+        };
+        let slot = self.fleet.slot();
+        let mutating = matches!(
+            request,
+            Request::Admit { .. }
+                | Request::Teardown { .. }
+                | Request::Renegotiate { .. }
+                | Request::Step { .. }
+        );
+        if mutating && self.fleet.is_complete() {
+            return error_response("scenario is complete; the daemon is finalizing");
+        }
+        match request {
+            Request::Status => self.status_response(),
+            Request::Telemetry { window } => self.telemetry_response(window),
+            Request::Admit { spec } => match self.fleet.admit(&spec) {
+                Some((cell, slice)) => ok_response(vec![
+                    ("outcome", Value::Str("granted".to_string())),
+                    ("cell", Value::UInt(u64::from(cell))),
+                    ("slice", Value::UInt(u64::from(slice))),
+                    ("slot", Value::UInt(slot as u64)),
+                ]),
+                None => ok_response(vec![
+                    ("outcome", Value::Str("denied".to_string())),
+                    ("slot", Value::UInt(slot as u64)),
+                ]),
+            },
+            Request::Teardown { cell, slice } => {
+                self.event_response(cell, &ScenarioEvent::TeardownSlice { slice })
+            }
+            Request::Renegotiate {
+                cell,
+                slice,
+                cost_threshold,
+            } => self.event_response(
+                cell,
+                &ScenarioEvent::RenegotiateSla {
+                    slice,
+                    cost_threshold,
+                },
+            ),
+            Request::Checkpoint => match self.checkpoint_now() {
+                Ok(path) => ok_response(vec![
+                    ("path", Value::Str(path.display().to_string())),
+                    ("slot", Value::UInt(slot as u64)),
+                ]),
+                Err(e) => error_response(&e),
+            },
+            Request::Pause => {
+                self.paused = true;
+                ok_response(vec![("paused", Value::Bool(true))])
+            }
+            Request::Resume => {
+                self.paused = false;
+                ok_response(vec![("paused", Value::Bool(false))])
+            }
+            Request::Step { to_slot } => {
+                let result = self
+                    .fleet
+                    .advance_to(to_slot)
+                    .and_then(|reached| self.maybe_cadence_checkpoint().map(|()| reached));
+                match result {
+                    Ok(reached) => ok_response(vec![("slot", Value::UInt(reached as u64))]),
+                    Err(e) => error_response(&e),
+                }
+            }
+            Request::Shutdown => match self.checkpoint_now() {
+                Ok(path) => {
+                    self.stop = true;
+                    ok_response(vec![
+                        ("slot", Value::UInt(slot as u64)),
+                        ("checkpoint", Value::Str(path.display().to_string())),
+                    ])
+                }
+                Err(e) => error_response(&e),
+            },
+        }
+    }
+
+    fn event_response(&mut self, cell: u32, event: &ScenarioEvent) -> String {
+        let slot = self.fleet.slot();
+        match self.fleet.inject_cell_event(cell, event) {
+            Ok(outcome) => {
+                let outcome = match outcome {
+                    LiveEventOutcome::Applied => "applied",
+                    LiveEventOutcome::Denied => "denied",
+                    LiveEventOutcome::Skipped => "skipped",
+                };
+                ok_response(vec![
+                    ("outcome", Value::Str(outcome.to_string())),
+                    ("slot", Value::UInt(slot as u64)),
+                ])
+            }
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn status_response(&self) -> String {
+        ok_response(vec![
+            ("scenario", Value::Str(self.fleet.scenario().name.clone())),
+            ("seed", Value::UInt(self.fleet.config().base.seed)),
+            ("slot", Value::UInt(self.fleet.slot() as u64)),
+            ("total_slots", Value::UInt(self.fleet.total_slots() as u64)),
+            ("complete", Value::Bool(self.fleet.is_complete())),
+            ("paused", Value::Bool(self.paused)),
+            ("cells", Value::UInt(self.fleet.cells().len() as u64)),
+            (
+                "active_slices",
+                Value::UInt(self.fleet.active_slices() as u64),
+            ),
+            (
+                "fleet_admissions_granted",
+                Value::UInt(self.fleet.fleet_admissions_granted() as u64),
+            ),
+            (
+                "fleet_admissions_denied",
+                Value::UInt(self.fleet.fleet_admissions_denied() as u64),
+            ),
+            (
+                "migrations",
+                Value::UInt(self.fleet.migrations().len() as u64),
+            ),
+            (
+                "utilization",
+                Value::Arr(
+                    self.fleet
+                        .cell_utilizations()
+                        .into_iter()
+                        .map(Value::Float)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The windowed fleet report: per cell, mean cost and utilization over
+    /// the last `window` recorded slots plus lifetime counters.
+    fn telemetry_response(&self, window: usize) -> String {
+        let mut cells = Vec::with_capacity(self.fleet.cells().len());
+        for c in self.fleet.cells() {
+            let slots = c.recorder.slots();
+            let tail = &slots[slots.len().saturating_sub(window)..];
+            let mut samples = 0usize;
+            let mut cost_sum = 0.0;
+            let mut usage_sum = 0.0;
+            for slot in tail {
+                for slice in &slot.slices {
+                    samples += 1;
+                    cost_sum += slice.cost;
+                    usage_sum += slice.usage_percent;
+                }
+            }
+            let mean = |sum: f64| {
+                if samples == 0 {
+                    0.0
+                } else {
+                    sum / samples as f64
+                }
+            };
+            cells.push(Value::Obj(vec![
+                ("cell".to_string(), Value::UInt(u64::from(c.cell))),
+                (
+                    "active_slices".to_string(),
+                    Value::UInt(c.engine.orchestrator().num_slices() as u64),
+                ),
+                ("window_slots".to_string(), Value::UInt(tail.len() as u64)),
+                ("window_avg_cost".to_string(), Value::Float(mean(cost_sum))),
+                (
+                    "window_avg_usage_percent".to_string(),
+                    Value::Float(mean(usage_sum)),
+                ),
+                (
+                    "episodes".to_string(),
+                    Value::UInt(c.recorder.episodes().len() as u64),
+                ),
+                (
+                    "migrations".to_string(),
+                    Value::UInt(c.recorder.migrations().len() as u64),
+                ),
+            ]));
+        }
+        ok_response(vec![
+            ("slot", Value::UInt(self.fleet.slot() as u64)),
+            ("window", Value::UInt(window as u64)),
+            ("cells", Value::Arr(cells)),
+        ])
+    }
+}
+
+fn serve(
+    config: &FleetdConfig,
+    fleet: ElasticFleet,
+    rx: &mpsc::Receiver<ControlMsg>,
+) -> Result<ExitReason, String> {
+    let log_path = config.state_dir.join(REQUEST_LOG_NAME);
+    let mut request_log = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&log_path)
+        .map_err(|e| format!("cannot open request log {}: {e}", log_path.display()))?;
+    let resumed_at = fleet.slot();
+    let mut service = Service {
+        config,
+        fleet,
+        paused: config.start_paused,
+        // Resuming from a checkpoint means one exists at the current slot;
+        // anchoring the cadence there avoids an immediate duplicate write.
+        last_checkpoint_slot: (resumed_at > 0).then_some(resumed_at),
+        stop: false,
+    };
+
+    loop {
+        // Control phase: when the clock is stopped (paused, or nothing
+        // left to step) block briefly on the channel; otherwise just drain
+        // whatever arrived during the last window.
+        let idle = service.paused || service.fleet.is_complete();
+        let first = if idle {
+            rx.recv_timeout(Duration::from_millis(50)).ok()
+        } else {
+            rx.try_recv().ok()
+        };
+        let mut next = first;
+        while let Some(msg) = next {
+            let response = service.handle(&msg.line);
+            append_request_log(&mut request_log, service.fleet.slot(), &msg.line, &response);
+            let _ = msg.reply.send(response);
+            if service.stop {
+                return Ok(ExitReason::Shutdown);
+            }
+            next = rx.try_recv().ok();
+        }
+        if service.fleet.is_complete() {
+            if !service.paused {
+                return finalize(config, service);
+            }
+            continue;
+        }
+        if service.paused {
+            continue;
+        }
+        // Clock phase: one window of slots, then durability bookkeeping.
+        let target = service.fleet.slot() + config.window_slots;
+        service.fleet.advance_to(target)?;
+        service.maybe_cadence_checkpoint()?;
+    }
+}
+
+fn append_request_log(log: &mut std::fs::File, slot: usize, line: &str, response: &str) {
+    // The audit log is best-effort (plain appends, no fsync): it exists so
+    // a drill can be replayed, not to survive torn tails.
+    let entry = format!(
+        "{{\"slot\":{slot},\"request\":{},\"response\":{response}}}\n",
+        line.trim()
+    );
+    let _ = log.write_all(entry.as_bytes());
+}
+
+/// Completion path: final checkpoint at the terminal slot, then the final
+/// fleet trace, then exit. Every step is idempotent, so a crash anywhere
+/// in here is healed by simply starting the daemon again.
+fn finalize(config: &FleetdConfig, mut service: Service<'_>) -> Result<ExitReason, String> {
+    service.checkpoint_now()?;
+    let scenario = service.fleet.scenario().name.clone();
+    let outcome = service.fleet.finish(0.0)?;
+    let trace_path = final_trace_path(&config.state_dir, &scenario);
+    atomic_write(&trace_path, &outcome.trace.to_json())
+        .map_err(|e| format!("cannot write final trace: {e}"))?;
+    eprintln!(
+        "fleetd: scenario complete, trace at {}",
+        trace_path.display()
+    );
+    Ok(ExitReason::Completed)
+}
+
+/// Where the daemon writes the final fleet trace for `scenario`.
+pub fn final_trace_path(state_dir: &Path, scenario: &str) -> PathBuf {
+    state_dir.join(format!("TRACE_FLEET_{scenario}.json"))
+}
+
+/// One-shot control client: connects, sends one request line, returns the
+/// response line. This is `fleetd ctl` and the integration tests' driver.
+pub fn send_request(socket: &Path, line: &str) -> Result<String, String> {
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
+    let mut write_half = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone socket: {e}"))?;
+    write_half
+        .write_all(format!("{}\n", line.trim()).as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    if response.is_empty() {
+        return Err("daemon closed the connection without responding".to_string());
+    }
+    Ok(response.trim_end().to_string())
+}

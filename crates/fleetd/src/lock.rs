@@ -1,0 +1,150 @@
+//! The state-directory lock: one daemon per state dir, enforced by a PID
+//! lock file with stale-lock reclamation.
+//!
+//! Two daemons sharing a state directory would interleave checkpoints and
+//! race on the control socket, so acquisition is exclusive: the lock file
+//! is created with `O_CREAT | O_EXCL` (atomic on every filesystem the
+//! daemon targets) and holds the owner's PID. A daemon that died without
+//! cleanup leaves the file behind; the next acquisition reads the PID,
+//! checks liveness via `/proc/<pid>` and reclaims the lock if the owner is
+//! gone — crash recovery must not require a human to delete lock files.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Name of the lock file inside the state directory.
+pub const LOCK_FILE_NAME: &str = "fleetd.lock";
+
+/// An acquired state-directory lock; released (file removed) on drop.
+#[derive(Debug)]
+pub struct StateLock {
+    path: PathBuf,
+    pid: u32,
+}
+
+/// Whether a process with this PID is currently alive, per `/proc`.
+/// A PID that cannot be probed is conservatively considered alive.
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+impl StateLock {
+    /// Acquires the lock for `state_dir`, reclaiming a stale lock whose
+    /// owner PID is dead. Returns a clear "already running" error when a
+    /// live owner holds it. `reclaimed` notes (for the caller's log line)
+    /// whether a stale lock was swept.
+    pub fn acquire(state_dir: &Path) -> Result<(Self, bool), String> {
+        let path = state_dir.join(LOCK_FILE_NAME);
+        let pid = std::process::id();
+        let mut reclaimed = false;
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    file.write_all(pid.to_string().as_bytes())
+                        .and_then(|()| file.sync_all())
+                        .map_err(|e| format!("cannot write lock {}: {e}", path.display()))?;
+                    return Ok((Self { path, pid }, reclaimed));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let owner = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match owner {
+                        Some(owner) if pid_alive(owner) => {
+                            return Err(format!(
+                                "state dir {} is locked by a running fleetd (pid {owner})",
+                                state_dir.display()
+                            ));
+                        }
+                        _ => {
+                            // Stale (dead owner) or unreadable/torn lock:
+                            // sweep it and retry the exclusive create. The
+                            // race window against a concurrent reclaimer is
+                            // closed by `create_new` — exactly one retry
+                            // wins.
+                            std::fs::remove_file(&path).map_err(|e| {
+                                format!("cannot remove stale lock {}: {e}", path.display())
+                            })?;
+                            reclaimed = true;
+                        }
+                    }
+                }
+                Err(e) => return Err(format!("cannot create lock {}: {e}", path.display())),
+            }
+        }
+    }
+
+    /// The lock file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StateLock {
+    fn drop(&mut self) {
+        // Only remove a lock that is still ours — if the file was reclaimed
+        // (we must have died as far as others could tell; clock weirdness,
+        // manual intervention), deleting it would break the new owner.
+        let ours = std::fs::read_to_string(&self.path)
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .is_some_and(|owner| owner == self.pid);
+        if ours {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fleetd-lock-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn second_acquisition_is_refused_while_owner_lives() {
+        let dir = temp_dir("double");
+        let (lock, reclaimed) = StateLock::acquire(&dir).unwrap();
+        assert!(!reclaimed);
+        // Our own PID is alive, so a second acquire must fail…
+        let err = StateLock::acquire(&dir).unwrap_err();
+        assert!(err.contains("locked by a running fleetd"), "{err}");
+        drop(lock);
+        // …and releasing the lock frees the dir.
+        let (_lock, reclaimed) = StateLock::acquire(&dir).unwrap();
+        assert!(!reclaimed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_and_garbage_locks_are_reclaimed() {
+        let dir = temp_dir("stale");
+        // A PID that cannot exist: pid_max on Linux caps at 2^22.
+        std::fs::write(dir.join(LOCK_FILE_NAME), "4194999").unwrap();
+        let (lock, reclaimed) = StateLock::acquire(&dir).unwrap();
+        assert!(reclaimed);
+        drop(lock);
+        std::fs::write(dir.join(LOCK_FILE_NAME), "not-a-pid").unwrap();
+        let (_lock, reclaimed) = StateLock::acquire(&dir).unwrap();
+        assert!(reclaimed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_leaves_a_foreign_lock_alone() {
+        let dir = temp_dir("foreign");
+        let (lock, _) = StateLock::acquire(&dir).unwrap();
+        // Simulate a reclaim by another process while we still hold the
+        // handle: the file now names someone else.
+        std::fs::write(dir.join(LOCK_FILE_NAME), "4194998").unwrap();
+        drop(lock);
+        assert!(dir.join(LOCK_FILE_NAME).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

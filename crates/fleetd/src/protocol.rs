@@ -1,0 +1,276 @@
+//! The control-plane wire protocol: line-delimited JSON over the daemon's
+//! Unix socket.
+//!
+//! Every request is one JSON object on one line with an `"op"` field;
+//! every response is one JSON object on one line with an `"ok"` boolean —
+//! `true` plus op-specific fields, or `false` plus an `"error"` string.
+//! Parsing is hand-rolled over [`serde::Value`] rather than derived:
+//! derived deserialization in the vendored framework requires every field
+//! to be present, and a protocol where clients must spell out `null` for
+//! every optional knob is a protocol nobody gets right over `nc`.
+
+use serde::Value;
+
+use onslicing_scenario::SliceSpec;
+use onslicing_slices::SliceKind;
+
+/// Default `telemetry` window when the request does not name one.
+pub const DEFAULT_TELEMETRY_WINDOW: usize = 16;
+
+/// A parsed control request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Daemon and fleet liveness snapshot.
+    Status,
+    /// Windowed fleet telemetry report over the last `window` slots.
+    Telemetry {
+        /// Slots of history to aggregate.
+        window: usize,
+    },
+    /// Fleet-level admission of a new slice at the current boundary.
+    Admit {
+        /// The requested slice.
+        spec: SliceSpec,
+    },
+    /// Tear down one slice of one cell at the current boundary.
+    Teardown {
+        /// Hosting cell.
+        cell: u32,
+        /// Cell-local slice id.
+        slice: u32,
+    },
+    /// Renegotiate one slice's SLA cost threshold at the current boundary.
+    Renegotiate {
+        /// Hosting cell.
+        cell: u32,
+        /// Cell-local slice id.
+        slice: u32,
+        /// The new `C_max`.
+        cost_threshold: f64,
+    },
+    /// Force a checkpoint now.
+    Checkpoint,
+    /// Stop the clock: the fleet advances only via `step` until `resume`.
+    Pause,
+    /// Restart the clock.
+    Resume,
+    /// Advance the fleet to a specific slot (clamped to the scenario end)
+    /// and reply once it is reached — the deterministic drill primitive.
+    Step {
+        /// Target global slot.
+        to_slot: usize,
+    },
+    /// Graceful shutdown: final checkpoint, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| format!("malformed request: {e}"))?;
+        let op = value
+            .get("op")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| "request needs a string `op` field".to_string())?;
+        match op {
+            "status" => Ok(Request::Status),
+            "telemetry" => Ok(Request::Telemetry {
+                window: match value.get("window") {
+                    None => DEFAULT_TELEMETRY_WINDOW,
+                    Some(v) => {
+                        let w = v
+                            .as_u64()
+                            .ok_or_else(|| "`window` must be a positive integer".to_string())?;
+                        if w == 0 {
+                            return Err("`window` must be a positive integer".to_string());
+                        }
+                        w as usize
+                    }
+                },
+            }),
+            "admit" => {
+                let kind = value
+                    .get("kind")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| "admit needs a string `kind` field".to_string())?;
+                let kind: SliceKind = kind.parse()?;
+                let mut spec = SliceSpec::new(kind);
+                spec.peak_rate = optional_f64(&value, "peak_rate")?;
+                spec.cost_threshold = optional_f64(&value, "cost_threshold")?;
+                Ok(Request::Admit { spec })
+            }
+            "teardown" => Ok(Request::Teardown {
+                cell: required_u32(&value, "cell")?,
+                slice: required_u32(&value, "slice")?,
+            }),
+            "renegotiate" => Ok(Request::Renegotiate {
+                cell: required_u32(&value, "cell")?,
+                slice: required_u32(&value, "slice")?,
+                cost_threshold: optional_f64(&value, "cost_threshold")?
+                    .ok_or_else(|| "renegotiate needs a numeric `cost_threshold`".to_string())?,
+            }),
+            "checkpoint" => Ok(Request::Checkpoint),
+            "pause" => Ok(Request::Pause),
+            "resume" => Ok(Request::Resume),
+            "step" => {
+                let to_slot = value
+                    .get("to_slot")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| "step needs a non-negative integer `to_slot`".to_string())?;
+                Ok(Request::Step {
+                    to_slot: to_slot as usize,
+                })
+            }
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op `{other}` (expected one of: status, telemetry, admit, teardown, \
+                 renegotiate, checkpoint, pause, resume, step, shutdown)"
+            )),
+        }
+    }
+}
+
+fn required_u32(value: &Value, key: &str) -> Result<u32, String> {
+    value
+        .get(key)
+        .and_then(|v| v.as_u64())
+        .filter(|v| *v <= u64::from(u32::MAX))
+        .map(|v| v as u32)
+        .ok_or_else(|| format!("request needs a non-negative integer `{key}` field"))
+}
+
+fn optional_f64(value: &Value, key: &str) -> Result<Option<f64>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a number")),
+    }
+}
+
+/// Builds a success response line: `{"ok":true, ...fields}`.
+pub fn ok_response(fields: Vec<(&str, Value)>) -> String {
+    let mut pairs = vec![("ok".to_string(), Value::Bool(true))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    serde_json::to_string(&Value::Obj(pairs)).expect("response serialization cannot fail")
+}
+
+/// Builds an error response line: `{"ok":false,"error":...}`.
+pub fn error_response(message: &str) -> String {
+    serde_json::to_string(&Value::Obj(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(message.to_string())),
+    ]))
+    .expect("response serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_verb_parses_with_minimal_and_full_fields() {
+        assert_eq!(
+            Request::parse("{\"op\":\"status\"}").unwrap(),
+            Request::Status
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"telemetry\"}").unwrap(),
+            Request::Telemetry {
+                window: DEFAULT_TELEMETRY_WINDOW
+            }
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"telemetry\",\"window\":4}").unwrap(),
+            Request::Telemetry { window: 4 }
+        );
+        let admit = Request::parse("{\"op\":\"admit\",\"kind\":\"hvs\"}").unwrap();
+        assert_eq!(
+            admit,
+            Request::Admit {
+                spec: SliceSpec::new(SliceKind::Hvs)
+            }
+        );
+        let admit = Request::parse(
+            "{\"op\":\"admit\",\"kind\":\"MAR\",\"peak_rate\":3.5,\"cost_threshold\":0.08}",
+        )
+        .unwrap();
+        assert_eq!(
+            admit,
+            Request::Admit {
+                spec: SliceSpec::new(SliceKind::Mar)
+                    .with_peak_rate(3.5)
+                    .with_cost_threshold(0.08)
+            }
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"teardown\",\"cell\":1,\"slice\":3}").unwrap(),
+            Request::Teardown { cell: 1, slice: 3 }
+        );
+        assert_eq!(
+            Request::parse(
+                "{\"op\":\"renegotiate\",\"cell\":0,\"slice\":2,\"cost_threshold\":0.1}"
+            )
+            .unwrap(),
+            Request::Renegotiate {
+                cell: 0,
+                slice: 2,
+                cost_threshold: 0.1
+            }
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"step\",\"to_slot\":24}").unwrap(),
+            Request::Step { to_slot: 24 }
+        );
+        for (line, expected) in [
+            ("{\"op\":\"checkpoint\"}", Request::Checkpoint),
+            ("{\"op\":\"pause\"}", Request::Pause),
+            ("{\"op\":\"resume\"}", Request::Resume),
+            ("{\"op\":\"shutdown\"}", Request::Shutdown),
+        ] {
+            assert_eq!(Request::parse(line).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_get_actionable_errors() {
+        assert!(Request::parse("not json")
+            .unwrap_err()
+            .contains("malformed"));
+        assert!(Request::parse("{}").unwrap_err().contains("`op`"));
+        assert!(Request::parse("{\"op\":\"fly\"}")
+            .unwrap_err()
+            .contains("unknown op `fly`"));
+        assert!(Request::parse("{\"op\":\"admit\"}")
+            .unwrap_err()
+            .contains("`kind`"));
+        assert!(Request::parse("{\"op\":\"admit\",\"kind\":\"xxl\"}")
+            .unwrap_err()
+            .contains("unknown slice kind"));
+        assert!(Request::parse("{\"op\":\"teardown\",\"cell\":0}")
+            .unwrap_err()
+            .contains("`slice`"));
+        assert!(
+            Request::parse("{\"op\":\"renegotiate\",\"cell\":0,\"slice\":1}")
+                .unwrap_err()
+                .contains("cost_threshold")
+        );
+        assert!(Request::parse("{\"op\":\"telemetry\",\"window\":0}")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(Request::parse("{\"op\":\"step\"}")
+            .unwrap_err()
+            .contains("to_slot"));
+    }
+
+    #[test]
+    fn responses_are_single_json_lines() {
+        let ok = ok_response(vec![("slot", Value::UInt(7))]);
+        assert_eq!(ok, "{\"ok\":true,\"slot\":7}");
+        let err = error_response("no such cell");
+        assert_eq!(err, "{\"ok\":false,\"error\":\"no such cell\"}");
+        assert!(!ok.contains('\n') && !err.contains('\n'));
+    }
+}

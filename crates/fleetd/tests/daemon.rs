@@ -1,0 +1,409 @@
+//! End-to-end tests of the `fleetd` binary: lock discipline, crash
+//! recovery (SIGKILL mid-run and mid-checkpoint-write) and the rolling
+//! upgrade drill — stop, restart on the same state dir, and require the
+//! final trace to be **byte-identical** to an uninterrupted run's.
+//!
+//! Every test drives a real daemon process (`CARGO_BIN_EXE_fleetd`) over
+//! its Unix control socket. Runs start paused and advance via `step`, so
+//! control requests land at scripted slots and the comparisons are exact.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use onslicing_fleet::{ElasticFleet, ElasticFleetConfig};
+use onslicing_fleetd::{final_trace_path, send_request, LOCK_FILE_NAME, REQUEST_LOG_NAME};
+use onslicing_replay::ATOMIC_WRITE_PAUSE_ENV;
+use onslicing_scenario::fleet_by_name;
+
+const SCENARIO: &str = "hotspot-shift";
+const SEED: u64 = 17;
+const CELLS: usize = 2;
+
+struct TestDir {
+    root: PathBuf,
+}
+
+impl TestDir {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("fleetd-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        Self { root }
+    }
+
+    fn state_dir(&self) -> PathBuf {
+        self.root.join("state")
+    }
+
+    fn socket(&self) -> PathBuf {
+        self.state_dir().join("control.sock")
+    }
+
+    /// Writes a config.toml with the shared test fleet shape. Checkpoint
+    /// cadence 8, retention 2 (small enough that GC actually runs).
+    fn write_config(&self) -> PathBuf {
+        let path = self.root.join("config.toml");
+        std::fs::write(
+            &path,
+            format!(
+                "scenario = \"{SCENARIO}\"\ncells = {CELLS}\nseed = {SEED}\n\
+                 state_dir = \"state\"\nstart_paused = true\n\n\
+                 [checkpoint]\ncadence_slots = 8\nretain = 2\n"
+            ),
+        )
+        .unwrap();
+        path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn spawn_daemon(config: &Path, extra_env: &[(&str, &str)]) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fleetd"));
+    cmd.arg("run")
+        .arg(config)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("cannot spawn fleetd")
+}
+
+/// Waits until the daemon answers `status` on its socket.
+fn wait_ready(socket: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok(response) = send_request(socket, "{\"op\":\"status\"}") {
+            if response.contains("\"ok\":true") {
+                return;
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_exit(child: &mut Child) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "daemon never exited");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Sends one request and asserts the transport-level send worked.
+fn ctl(socket: &Path, line: &str) -> Value {
+    let response = send_request(socket, line).unwrap_or_else(|e| panic!("ctl {line}: {e}"));
+    serde_json::from_str(&response).expect("response is JSON")
+}
+
+fn ctl_ok(socket: &Path, line: &str) -> Value {
+    let response = ctl(socket, line);
+    assert_eq!(
+        response.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "request {line} failed: {response:?}"
+    );
+    response
+}
+
+fn total_slots() -> usize {
+    fleet_by_name(SCENARIO).unwrap().base.total_slots
+}
+
+fn fleet_config() -> ElasticFleetConfig {
+    ElasticFleetConfig::new(CELLS).with_seed(SEED)
+}
+
+/// The trace an uninterrupted in-process run produces with no live events.
+fn reference_trace_plain() -> String {
+    let mut fleet = ElasticFleet::new(fleet_by_name(SCENARIO).unwrap(), fleet_config()).unwrap();
+    fleet.advance_to(total_slots()).unwrap();
+    fleet.finish(0.0).unwrap().trace.to_json()
+}
+
+/// Drives a paused daemon to completion and returns the final trace text.
+/// The daemon finalizes (writes the trace and exits) once it is complete
+/// and unpaused.
+fn run_to_completion(socket: &Path, state_dir: &Path, child: &mut Child) -> String {
+    ctl_ok(
+        socket,
+        &format!("{{\"op\":\"step\",\"to_slot\":{}}}", total_slots()),
+    );
+    ctl_ok(socket, "{\"op\":\"resume\"}");
+    let status = wait_exit(child);
+    assert!(status.success(), "daemon exited with {status:?}");
+    std::fs::read_to_string(final_trace_path(state_dir, SCENARIO)).expect("final trace written")
+}
+
+#[test]
+fn double_start_is_refused_and_stale_locks_are_reclaimed() {
+    let dir = TestDir::new("lock");
+    let config = dir.write_config();
+    let mut daemon = spawn_daemon(&config, &[]);
+    wait_ready(&dir.socket());
+
+    // A second daemon on the same state dir must refuse to start and say
+    // who holds the lock.
+    let second = Command::new(env!("CARGO_BIN_EXE_fleetd"))
+        .arg("run")
+        .arg(&config)
+        .output()
+        .unwrap();
+    assert!(!second.status.success());
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        stderr.contains("locked by a running fleetd"),
+        "unexpected stderr: {stderr}"
+    );
+
+    // Graceful shutdown releases the lock and removes the socket.
+    let response = ctl_ok(&dir.socket(), "{\"op\":\"shutdown\"}");
+    assert!(response.get("checkpoint").is_some());
+    assert!(wait_exit(&mut daemon).success());
+    assert!(!dir.state_dir().join(LOCK_FILE_NAME).exists());
+    assert!(!dir.socket().exists());
+
+    // A lock left by a dead process (impossible PID) is reclaimed.
+    std::fs::write(dir.state_dir().join(LOCK_FILE_NAME), "4194999").unwrap();
+    let mut daemon = spawn_daemon(&config, &[]);
+    wait_ready(&dir.socket());
+    let status = ctl_ok(&dir.socket(), "{\"op\":\"status\"}");
+    // The shutdown above checkpointed slot 0, so the reclaimed daemon
+    // resumed rather than started fresh.
+    assert_eq!(
+        status.get("scenario").and_then(Value::as_str),
+        Some(SCENARIO)
+    );
+    ctl_ok(&dir.socket(), "{\"op\":\"shutdown\"}");
+    assert!(wait_exit(&mut daemon).success());
+}
+
+#[test]
+fn rolling_upgrade_drill_is_bit_exact() {
+    // Uninterrupted arm: one daemon process runs the whole scenario with a
+    // live admission at slot 20.
+    let uninterrupted = TestDir::new("drill-a");
+    let config = uninterrupted.write_config();
+    let mut daemon = spawn_daemon(&config, &[]);
+    wait_ready(&uninterrupted.socket());
+    ctl_ok(&uninterrupted.socket(), "{\"op\":\"step\",\"to_slot\":20}");
+    let admit = ctl_ok(
+        &uninterrupted.socket(),
+        "{\"op\":\"admit\",\"kind\":\"hvs\"}",
+    );
+    assert_eq!(admit.get("slot").and_then(Value::as_u64), Some(20));
+    let reference = run_to_completion(
+        &uninterrupted.socket(),
+        &uninterrupted.state_dir(),
+        &mut daemon,
+    );
+
+    // Upgrade arm: same drill, but the daemon is stopped right after the
+    // admission and a "rebuilt" daemon resumes the same state dir.
+    let upgraded = TestDir::new("drill-b");
+    let config = upgraded.write_config();
+    let mut first = spawn_daemon(&config, &[]);
+    wait_ready(&upgraded.socket());
+    ctl_ok(&upgraded.socket(), "{\"op\":\"step\",\"to_slot\":20}");
+    let admit = ctl_ok(&upgraded.socket(), "{\"op\":\"admit\",\"kind\":\"hvs\"}");
+    assert_eq!(
+        admit.get("outcome").and_then(Value::as_str),
+        Some("granted")
+    );
+    ctl_ok(&upgraded.socket(), "{\"op\":\"shutdown\"}");
+    assert!(wait_exit(&mut first).success());
+
+    let mut second = spawn_daemon(&config, &[]);
+    wait_ready(&upgraded.socket());
+    let status = ctl_ok(&upgraded.socket(), "{\"op\":\"status\"}");
+    assert_eq!(
+        status.get("slot").and_then(Value::as_u64),
+        Some(20),
+        "second daemon must resume at the shutdown slot"
+    );
+    let trace = run_to_completion(&upgraded.socket(), &upgraded.state_dir(), &mut second);
+
+    assert_eq!(
+        trace, reference,
+        "upgraded run's final trace must be byte-identical to the uninterrupted run's"
+    );
+    // Both arms audit-logged their requests.
+    assert!(uninterrupted.state_dir().join(REQUEST_LOG_NAME).exists());
+    assert!(upgraded.state_dir().join(REQUEST_LOG_NAME).exists());
+}
+
+#[test]
+fn sigkill_mid_run_resumes_from_the_cadence_checkpoint() {
+    let dir = TestDir::new("kill");
+    let config = dir.write_config();
+    let mut daemon = spawn_daemon(&config, &[]);
+    wait_ready(&dir.socket());
+    // Crossing slot 8 (the cadence) writes checkpoint_0000000012.json.
+    ctl_ok(&dir.socket(), "{\"op\":\"step\",\"to_slot\":12}");
+    assert!(dir.state_dir().join("checkpoint_0000000012.json").exists());
+    daemon.kill().unwrap();
+    let _ = daemon.wait();
+    // The crash left the lock behind.
+    assert!(dir.state_dir().join(LOCK_FILE_NAME).exists());
+
+    let mut revived = spawn_daemon(&config, &[]);
+    wait_ready(&dir.socket());
+    let status = ctl_ok(&dir.socket(), "{\"op\":\"status\"}");
+    assert_eq!(status.get("slot").and_then(Value::as_u64), Some(12));
+    let trace = run_to_completion(&dir.socket(), &dir.state_dir(), &mut revived);
+    assert_eq!(
+        trace,
+        reference_trace_plain(),
+        "post-crash trace must match an uninterrupted run"
+    );
+}
+
+#[test]
+fn sigkill_mid_checkpoint_write_falls_back_to_the_previous_checkpoint() {
+    let dir = TestDir::new("torn");
+    let config = dir.write_config();
+    // Every atomic write in this daemon pauses 1.5 s between fsync and
+    // rename — a wide-open window to kill it with a .tmp on disk.
+    let mut daemon = spawn_daemon(&config, &[(ATOMIC_WRITE_PAUSE_ENV, "1500")]);
+    wait_ready(&dir.socket());
+    ctl_ok(&dir.socket(), "{\"op\":\"step\",\"to_slot\":4}");
+    // A complete checkpoint at slot 4 (the forced write also pauses, so
+    // this request takes ~1.5 s — it must still succeed).
+    ctl_ok(&dir.socket(), "{\"op\":\"checkpoint\"}");
+    assert!(dir.state_dir().join("checkpoint_0000000004.json").exists());
+    ctl_ok(&dir.socket(), "{\"op\":\"step\",\"to_slot\":6}");
+
+    // Ask for another checkpoint without waiting for the reply, poll for
+    // the torn temp file, and SIGKILL the daemon mid-write.
+    let socket = dir.socket();
+    let writer = std::thread::spawn(move || {
+        // The daemon dies mid-request; the failure is the point.
+        let _ = send_request(&socket, "{\"op\":\"checkpoint\"}");
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let torn = std::fs::read_dir(dir.state_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".tmp"));
+        if torn {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no .tmp ever appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    daemon.kill().unwrap();
+    let _ = daemon.wait();
+    writer.join().unwrap();
+    // The torn write never reached checkpoint_0000000006.json.
+    assert!(!dir.state_dir().join("checkpoint_0000000006.json").exists());
+
+    // Restart (no write pause): the daemon must resume from slot 4 — the
+    // newest *complete* checkpoint — and finish bit-exactly.
+    let mut revived = spawn_daemon(&config, &[]);
+    wait_ready(&dir.socket());
+    let status = ctl_ok(&dir.socket(), "{\"op\":\"status\"}");
+    assert_eq!(
+        status.get("slot").and_then(Value::as_u64),
+        Some(4),
+        "must resume from the last complete checkpoint, not the torn one"
+    );
+    let trace = run_to_completion(&dir.socket(), &dir.state_dir(), &mut revived);
+    assert_eq!(trace, reference_trace_plain());
+}
+
+#[test]
+fn live_control_verbs_round_trip_against_a_real_daemon() {
+    let dir = TestDir::new("verbs");
+    let config = dir.write_config();
+    let mut daemon = spawn_daemon(&config, &[]);
+    wait_ready(&dir.socket());
+    ctl_ok(&dir.socket(), "{\"op\":\"step\",\"to_slot\":10}");
+
+    // Telemetry reflects the stepped window.
+    let telemetry = ctl_ok(&dir.socket(), "{\"op\":\"telemetry\",\"window\":10}");
+    assert_eq!(telemetry.get("slot").and_then(Value::as_u64), Some(10));
+    let cells = match telemetry.get("cells") {
+        Some(Value::Arr(cells)) => cells,
+        other => panic!("cells should be an array, got {other:?}"),
+    };
+    assert_eq!(cells.len(), CELLS);
+    for cell in cells {
+        assert_eq!(cell.get("window_slots").and_then(Value::as_u64), Some(10));
+        assert!(cell.get("window_avg_cost").and_then(Value::as_f64).unwrap() >= 0.0);
+    }
+
+    // Renegotiate a live slice's SLA, then tear it down; the second
+    // teardown of the same slice is a skip, not an error.
+    let renegotiate = ctl_ok(
+        &dir.socket(),
+        "{\"op\":\"renegotiate\",\"cell\":0,\"slice\":0,\"cost_threshold\":0.5}",
+    );
+    assert_eq!(
+        renegotiate.get("outcome").and_then(Value::as_str),
+        Some("applied")
+    );
+    let teardown = ctl_ok(
+        &dir.socket(),
+        "{\"op\":\"teardown\",\"cell\":0,\"slice\":0}",
+    );
+    assert_eq!(
+        teardown.get("outcome").and_then(Value::as_str),
+        Some("applied")
+    );
+    let again = ctl_ok(
+        &dir.socket(),
+        "{\"op\":\"teardown\",\"cell\":0,\"slice\":0}",
+    );
+    assert_eq!(
+        again.get("outcome").and_then(Value::as_str),
+        Some("skipped")
+    );
+
+    // Unknown ops and unknown cells are errors, not crashes.
+    let bad = ctl(&dir.socket(), "{\"op\":\"frobnicate\"}");
+    assert_eq!(bad.get("ok").and_then(Value::as_bool), Some(false));
+    let bad = ctl(
+        &dir.socket(),
+        "{\"op\":\"teardown\",\"cell\":9,\"slice\":0}",
+    );
+    assert_eq!(bad.get("ok").and_then(Value::as_bool), Some(false));
+
+    // Checkpoint retention: force several checkpoints and verify GC keeps
+    // only the configured two newest.
+    for to_slot in [16, 24, 32] {
+        ctl_ok(
+            &dir.socket(),
+            &format!("{{\"op\":\"step\",\"to_slot\":{to_slot}}}"),
+        );
+        ctl_ok(&dir.socket(), "{\"op\":\"checkpoint\"}");
+    }
+    let checkpoints: Vec<String> = std::fs::read_dir(dir.state_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("checkpoint_") && n.ends_with(".json"))
+        .collect();
+    assert_eq!(
+        checkpoints.len(),
+        2,
+        "retention must keep exactly two: {checkpoints:?}"
+    );
+    assert!(checkpoints.contains(&"checkpoint_0000000024.json".to_string()));
+    assert!(checkpoints.contains(&"checkpoint_0000000032.json".to_string()));
+
+    ctl_ok(&dir.socket(), "{\"op\":\"shutdown\"}");
+    assert!(wait_exit(&mut daemon).success());
+}

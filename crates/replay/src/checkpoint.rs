@@ -21,6 +21,29 @@ use onslicing_core::SliceCheckpoint;
 use onslicing_domains::SliceId;
 use onslicing_scenario::ScenarioEngine;
 
+use crate::fsio::atomic_write;
+
+/// Reads the `format_version` stamp out of a snapshot document *before*
+/// attempting the full deserialization, so a file written by an older (or
+/// newer) layout fails with a clear "version X is not supported" error
+/// instead of whatever missing-field noise the structural parse would hit
+/// first. Public so other versioned snapshot formats (the fleet checkpoint,
+/// for one) apply the same gate.
+pub fn peek_format_version(text: &str, what: &str, expected: u32) -> Result<(), String> {
+    let value: serde::Value =
+        serde_json::from_str(text).map_err(|e| format!("malformed {what}: {e}"))?;
+    let version = value
+        .get("format_version")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("malformed {what}: missing format_version stamp"))?;
+    if version != u64::from(expected) {
+        return Err(format!(
+            "{what} format version {version} is not supported (expected {expected})"
+        ));
+    }
+    Ok(())
+}
+
 /// Version stamp of the checkpoint JSON layout; bump on breaking changes so
 /// stale files fail loudly instead of mis-restoring.
 ///
@@ -77,23 +100,22 @@ impl Checkpoint {
         serde_json::to_string(self).expect("checkpoint serialization cannot fail")
     }
 
-    /// Parses a checkpoint, rejecting unknown layout versions.
+    /// Parses a checkpoint, rejecting unknown layout versions. The version
+    /// stamp is peeked before the structural parse, so a v2 file produces
+    /// "format version 2 is not supported", not a missing-field error.
     pub fn from_json(text: &str) -> Result<Self, String> {
+        peek_format_version(text, "checkpoint", CHECKPOINT_FORMAT_VERSION)?;
         let checkpoint: Checkpoint =
             serde_json::from_str(text).map_err(|e| format!("malformed checkpoint: {e}"))?;
-        if checkpoint.format_version != CHECKPOINT_FORMAT_VERSION {
-            return Err(format!(
-                "checkpoint format version {} is not supported (expected {})",
-                checkpoint.format_version, CHECKPOINT_FORMAT_VERSION
-            ));
-        }
         Ok(checkpoint)
     }
 
-    /// Writes the checkpoint to a file.
+    /// Writes the checkpoint to a file crash-safely (temp file + fsync +
+    /// atomic rename): a crash mid-save never leaves a torn file where the
+    /// previous checkpoint was.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
-        std::fs::write(path.as_ref(), self.to_json())
-            .map_err(|e| format!("cannot write checkpoint {}: {e}", path.as_ref().display()))
+        atomic_write(path.as_ref(), &self.to_json())
+            .map_err(|e| format!("cannot write checkpoint: {e}"))
     }
 
     /// Reads and validates a checkpoint file.
@@ -168,27 +190,20 @@ impl SliceSnapshot {
         serde_json::to_string(self).expect("slice snapshot serialization cannot fail")
     }
 
-    /// Parses a snapshot, rejecting unknown layout versions.
+    /// Parses a snapshot, rejecting unknown layout versions (the version
+    /// stamp is peeked before the structural parse, like [`Checkpoint`]).
     pub fn from_json(text: &str) -> Result<Self, String> {
+        peek_format_version(text, "slice snapshot", SLICE_SNAPSHOT_FORMAT_VERSION)?;
         let snapshot: SliceSnapshot =
             serde_json::from_str(text).map_err(|e| format!("malformed slice snapshot: {e}"))?;
-        if snapshot.format_version != SLICE_SNAPSHOT_FORMAT_VERSION {
-            return Err(format!(
-                "slice snapshot format version {} is not supported (expected {})",
-                snapshot.format_version, SLICE_SNAPSHOT_FORMAT_VERSION
-            ));
-        }
         Ok(snapshot)
     }
 
-    /// Writes the snapshot to a file.
+    /// Writes the snapshot to a file crash-safely (temp file + fsync +
+    /// atomic rename).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
-        std::fs::write(path.as_ref(), self.to_json()).map_err(|e| {
-            format!(
-                "cannot write slice snapshot {}: {e}",
-                path.as_ref().display()
-            )
-        })
+        atomic_write(path.as_ref(), &self.to_json())
+            .map_err(|e| format!("cannot write slice snapshot: {e}"))
     }
 
     /// Reads and validates a snapshot file.
@@ -236,6 +251,52 @@ mod tests {
     fn malformed_json_is_an_error_not_a_panic() {
         assert!(Checkpoint::from_json("{not json").is_err());
         assert!(Checkpoint::load("/no/such/checkpoint.json").is_err());
+    }
+
+    #[test]
+    fn stale_format_versions_fail_with_the_version_error_not_a_parse_error() {
+        // A v2-era file is structurally incompatible (fields have come and
+        // gone since), so the loader must report the version mismatch — the
+        // actionable message — instead of tripping over a missing field.
+        let stale = r#"{"format_version":2,"scenario":"steady","seed":7}"#;
+        let err = Checkpoint::from_json(stale).unwrap_err();
+        assert_eq!(
+            err,
+            "checkpoint format version 2 is not supported (expected 3)"
+        );
+        let stale_snapshot = r#"{"format_version":9,"scenario":"steady"}"#;
+        let err = SliceSnapshot::from_json(stale_snapshot).unwrap_err();
+        assert!(
+            err.contains("format version 9 is not supported (expected 1)"),
+            "{err}"
+        );
+        // A document with no stamp at all is malformed, not "version 0".
+        let err = Checkpoint::from_json(r#"{"scenario":"steady"}"#).unwrap_err();
+        assert!(err.contains("missing format_version"), "{err}");
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let mut engine = ScenarioEngine::new(builtin::steady(), ScenarioConfig::default()).unwrap();
+        engine.run_until(2, &mut ());
+        let checkpoint = Checkpoint::capture(&engine);
+        let dir = std::env::temp_dir().join(format!("onslicing-ckpt-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        checkpoint.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.slot, checkpoint.slot);
+        let temps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(
+            temps.is_empty(),
+            "save must not leave temp files: {temps:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

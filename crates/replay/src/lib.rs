@@ -21,13 +21,23 @@
 //! * [`golden`] — tolerance-based trace diffing and the golden-file
 //!   workflow behind the `replay_check` binary (see the README for how to
 //!   regenerate goldens when behavior intentionally changes).
+//! * [`fsio`] — crash-safe snapshot file I/O: atomic writes (temp file +
+//!   fsync + rename), the slot-stamped checkpoint naming convention, and
+//!   the retention GC a cadence-checkpointing daemon runs over its state
+//!   dir.
 
 pub mod checkpoint;
+pub mod fsio;
 pub mod golden;
 pub mod telemetry;
 
 pub use checkpoint::{
-    Checkpoint, SliceSnapshot, CHECKPOINT_FORMAT_VERSION, SLICE_SNAPSHOT_FORMAT_VERSION,
+    peek_format_version, Checkpoint, SliceSnapshot, CHECKPOINT_FORMAT_VERSION,
+    SLICE_SNAPSHOT_FORMAT_VERSION,
+};
+pub use fsio::{
+    atomic_write, checkpoint_file_name, gc_checkpoint_dir, list_checkpoint_slots,
+    parse_checkpoint_slot, ATOMIC_WRITE_PAUSE_ENV,
 };
 pub use golden::{check_against_golden, diff_traces, golden_path, write_golden, Tolerance};
 pub use telemetry::{

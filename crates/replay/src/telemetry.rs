@@ -235,10 +235,11 @@ impl TelemetryTrace {
         Ok(trace)
     }
 
-    /// Writes the trace to a file.
+    /// Writes the trace to a file crash-safely (temp file + fsync + atomic
+    /// rename).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
-        std::fs::write(path.as_ref(), self.to_json())
-            .map_err(|e| format!("cannot write trace {}: {e}", path.as_ref().display()))
+        crate::fsio::atomic_write(path.as_ref(), &self.to_json())
+            .map_err(|e| format!("cannot write trace: {e}"))
     }
 
     /// Reads and validates a trace file.
@@ -267,7 +268,12 @@ impl TelemetryTrace {
 }
 
 /// Records slot samples and episode ends during a scenario run.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a long-running service can checkpoint a recorder
+/// mid-scenario and resume it: the restored recorder continues appending
+/// where the snapshot stopped, and the finalized trace covers the whole run
+/// as if it had never been interrupted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TelemetryRecorder {
     scenario: String,
     seed: u64,
@@ -298,6 +304,27 @@ impl TelemetryRecorder {
     /// cell's for the arrival).
     pub fn record_migration(&mut self, event: MigrationEvent) {
         self.migrations.push(event);
+    }
+
+    /// First recorded slot (0 for recorders attached to fresh engines).
+    pub fn start_slot(&self) -> usize {
+        self.start_slot
+    }
+
+    /// The per-slot records accumulated so far, in execution order — the
+    /// live view a service reads for windowed telemetry without finalizing.
+    pub fn slots(&self) -> &[SlotTelemetry] {
+        &self.slots
+    }
+
+    /// The episode closures accumulated so far, in occurrence order.
+    pub fn episodes(&self) -> &[EpisodeTelemetry] {
+        &self.episodes
+    }
+
+    /// The migration endpoints recorded so far, in occurrence order.
+    pub fn migrations(&self) -> &[MigrationEvent] {
+        &self.migrations
     }
 
     /// Finalizes the recording into a trace with per-slice summaries.

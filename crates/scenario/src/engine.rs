@@ -493,6 +493,18 @@ enum EventOutcome {
     Skipped,
 }
 
+/// How a live-injected event resolved (the public face of the scripted
+/// path's internal outcome, minus the restore plumbing the engine keeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LiveEventOutcome {
+    /// The event took effect (admission granted, teardown done, …).
+    Applied,
+    /// An admission was denied by the capacity check.
+    Denied,
+    /// The event referenced a slice that is not active here.
+    Skipped,
+}
+
 /// One pending traffic-scale restoration traveling with a migrated slice
 /// (slice ids are per-cell, so the restore is re-keyed on injection).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -681,6 +693,48 @@ impl ScenarioEngine {
     pub fn force_admit(&mut self, spec: &SliceSpec, slot: usize) -> SliceId {
         self.run.report.events_applied += 1;
         self.grant_admission(spec, slot)
+    }
+
+    /// Applies one event to the live deployment *now* — at the current slot
+    /// boundary, exactly as if the scenario timeline had scheduled it here.
+    /// This is the entry point for external control (a service daemon
+    /// relaying admission/teardown/renegotiation requests): the event runs
+    /// through the same dispatch as scripted events, admissions included
+    /// ([`ScenarioEngine::check_admission`] reserves the shares of every
+    /// slice granted earlier at this boundary), and the report counters
+    /// advance identically — so a run driven by a logged request stream is
+    /// bit-for-bit a run with those events spliced into the timeline.
+    ///
+    /// The event is validated first; an invalid event is an error and
+    /// touches nothing. Denials and skips (e.g. tearing down an unknown
+    /// slice) are outcomes, not errors.
+    pub fn inject_event(
+        &mut self,
+        event: &ScenarioEvent,
+        obs: &mut dyn SlotObserver,
+    ) -> Result<LiveEventOutcome, String> {
+        event.validate()?;
+        if self.run.finished {
+            return Err("cannot inject an event into a finished run".to_string());
+        }
+        let slot = self.run.slot;
+        Ok(match self.apply_event(slot, event, obs) {
+            EventOutcome::Applied(restore) => {
+                self.run.report.events_applied += 1;
+                if let Some(r) = restore {
+                    self.run.restores.push(r);
+                }
+                LiveEventOutcome::Applied
+            }
+            EventOutcome::Denied => {
+                self.run.report.admissions_denied += 1;
+                LiveEventOutcome::Denied
+            }
+            EventOutcome::Skipped => {
+                self.run.report.events_skipped += 1;
+                LiveEventOutcome::Skipped
+            }
+        })
     }
 
     /// Detaches an active slice for migration: deregisters it from this
@@ -1821,5 +1875,123 @@ mod tests {
             .copied()
             .collect();
         assert_eq!(episodes, ref_rec.episodes);
+    }
+
+    #[test]
+    fn injected_events_match_scripted_events_bit_for_bit() {
+        // Reference: the timeline schedules an admission, a renegotiation
+        // and a teardown. Live run: the same events are injected at the
+        // same slot boundaries of an event-free scenario. Both observers
+        // and both final reports must agree exactly.
+        let spec = SliceSpec::new(SliceKind::Rdc);
+        let scripted_scenario = tiny_scenario()
+            .at(1, ScenarioEvent::AdmitSlice { slice: spec })
+            .at(10, ScenarioEvent::AdmitSlice { slice: spec })
+            .at(
+                20,
+                ScenarioEvent::RenegotiateSla {
+                    slice: 0,
+                    cost_threshold: 0.4,
+                },
+            )
+            .at(30, ScenarioEvent::TeardownSlice { slice: 1 });
+        let mut scripted = ScenarioEngine::new(scripted_scenario, quick_config()).unwrap();
+        let mut scripted_rec = Recorder::default();
+        let scripted_report = scripted.run_with_observer(&mut scripted_rec);
+
+        let mut live = ScenarioEngine::new(tiny_scenario(), quick_config()).unwrap();
+        let mut live_rec = Recorder::default();
+        live.run_until(1, &mut live_rec);
+        assert_eq!(
+            live.inject_event(&ScenarioEvent::AdmitSlice { slice: spec }, &mut live_rec)
+                .unwrap(),
+            LiveEventOutcome::Applied
+        );
+        live.run_until(10, &mut live_rec);
+        // The deployment is near capacity by now: the same admission that
+        // the scripted run denies at slot 10 must be denied live too.
+        assert_eq!(
+            live.inject_event(&ScenarioEvent::AdmitSlice { slice: spec }, &mut live_rec)
+                .unwrap(),
+            LiveEventOutcome::Denied
+        );
+        live.run_until(20, &mut live_rec);
+        assert_eq!(
+            live.inject_event(
+                &ScenarioEvent::RenegotiateSla {
+                    slice: 0,
+                    cost_threshold: 0.4,
+                },
+                &mut live_rec,
+            )
+            .unwrap(),
+            LiveEventOutcome::Applied
+        );
+        live.run_until(30, &mut live_rec);
+        assert_eq!(
+            live.inject_event(&ScenarioEvent::TeardownSlice { slice: 1 }, &mut live_rec)
+                .unwrap(),
+            LiveEventOutcome::Applied
+        );
+        let live_report = live.run_with_observer(&mut live_rec);
+
+        assert!(scripted_report.deterministic_fields_eq(&live_report));
+        assert_eq!(live_rec.samples, scripted_rec.samples);
+        assert_eq!(live_rec.episodes, scripted_rec.episodes);
+    }
+
+    #[test]
+    fn injected_admissions_respect_the_reservation_rule() {
+        // A cell close to capacity: inject admissions at one boundary until
+        // one is denied; the denial must be an outcome, not an error, and
+        // the report counters advance like the scripted path's would.
+        let mut engine = ScenarioEngine::new(tiny_scenario(), quick_config()).unwrap();
+        engine.run_until(4, &mut ());
+        let spec = SliceSpec::new(SliceKind::Hvs);
+        let mut granted = 0;
+        let mut denied = 0;
+        for _ in 0..64 {
+            match engine.inject_event(&ScenarioEvent::AdmitSlice { slice: spec }, &mut ()) {
+                Ok(LiveEventOutcome::Applied) => granted += 1,
+                Ok(LiveEventOutcome::Denied) => {
+                    denied += 1;
+                    break;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(denied > 0, "the reservation rule must eventually deny");
+        assert_eq!(engine.pending_admissions(), granted);
+        // The engine keeps running fine with the granted slices aboard.
+        engine.run_until(8, &mut ());
+        assert_eq!(engine.pending_admissions(), 0);
+    }
+
+    #[test]
+    fn injected_teardown_of_unknown_slice_is_skipped() {
+        let mut engine = ScenarioEngine::new(tiny_scenario(), quick_config()).unwrap();
+        engine.run_until(2, &mut ());
+        assert_eq!(
+            engine
+                .inject_event(&ScenarioEvent::TeardownSlice { slice: 99 }, &mut ())
+                .unwrap(),
+            LiveEventOutcome::Skipped
+        );
+    }
+
+    #[test]
+    fn invalid_or_posthumous_injections_are_errors() {
+        let mut engine = ScenarioEngine::new(tiny_scenario(), quick_config()).unwrap();
+        let invalid = ScenarioEvent::SetTrafficScale {
+            slice: 0,
+            scale: -1.0,
+        };
+        assert!(engine.inject_event(&invalid, &mut ()).is_err());
+        engine.run();
+        let valid = ScenarioEvent::TeardownSlice { slice: 0 };
+        assert!(engine
+            .inject_event(&valid, &mut ())
+            .unwrap_err()
+            .contains("finished"));
     }
 }

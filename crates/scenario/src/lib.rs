@@ -42,8 +42,9 @@ pub mod spec;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDenied};
 pub use engine::{
-    derive_cell_seed, run_scenario, EpisodeEndEvent, ScenarioConfig, ScenarioEngine,
-    ScenarioReport, SliceMigration, SliceReport, SlotObserver, SlotSample, TrafficRestore,
+    derive_cell_seed, run_scenario, EpisodeEndEvent, LiveEventOutcome, ScenarioConfig,
+    ScenarioEngine, ScenarioReport, SliceMigration, SliceReport, SlotObserver, SlotSample,
+    TrafficRestore,
 };
 pub use fleet::{
     all_fleet_builtins, cell_outage, fleet_by_name, hotspot_shift, FleetEvent, FleetScenario,

@@ -63,6 +63,42 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The boolean when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` when this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` when this is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` when this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
 }
 
 /// Deserialization error.
