@@ -1,0 +1,45 @@
+//! Adversarial fleet-scenario fuzzing and chaos-recovery harness.
+//!
+//! PR 5's over-admission sweep showed the fleet admission/migration state
+//! machine hides bugs behind hand-curated scenarios. This crate replaces
+//! that thin coverage with a generative adversary:
+//!
+//! - [`gen`] draws random-but-valid [`gen::ChaosCase`]s — whole
+//!   [`onslicing_scenario::FleetScenario`]s (every event kind, cell-targeted
+//!   and fleet-routed), fleet tuning, and a stepwise drive plan with chaos
+//!   kill points;
+//! - [`harness`] runs the invariant battery over each case: finite metrics,
+//!   balancer-cadence discipline, stepwise-window/one-shot byte equality,
+//!   checkpoint → kill → resume byte equality (with torn-write artifacts),
+//!   and the reservation-aware admission law checked against independent
+//!   residual-capacity arithmetic;
+//! - [`shrink`] minimizes any counterexample to the case JSON committed
+//!   under `crates/chaos/regressions/`.
+//!
+//! Entry points: the property tests in `tests/fuzz_fleet.rs` (budget set by
+//! `PROPTEST_CASES`, seed perturbed by `PROPTEST_SEED`), the committed
+//! regressions in `tests/regressions.rs`, and the `chaos_fuzz` binary for
+//! longer sweeps and the cross-process thread-count determinism drill.
+
+pub mod gen;
+pub mod harness;
+pub mod shrink;
+
+pub use gen::{chaos_case, ChaosCase, DrivePlan, WindowOp};
+pub use harness::{check_case, check_case_with_scratch};
+pub use shrink::shrink_case;
+
+use proptest::ProptestConfig;
+
+/// A [`ProptestConfig`] with `default_cases` cases unless `PROPTEST_CASES`
+/// overrides it — unlike [`ProptestConfig::default`], the fallback is the
+/// caller's (the invariant battery is far too heavy for the shim's default
+/// of 64).
+pub fn bounded_cases(default_cases: u32) -> ProptestConfig {
+    let cases = std::env::var(proptest::CASES_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|c| *c > 0)
+        .unwrap_or(default_cases);
+    ProptestConfig::with_cases(cases)
+}

@@ -1,0 +1,146 @@
+//! Domain-specific counterexample minimization.
+//!
+//! The vendored proptest shim has no generic shrinking, so the fuzz loop
+//! shrinks failing [`ChaosCase`]s itself: greedy descent over a fixed
+//! candidate ladder — drop a fleet event, shorten the scenario, drop an
+//! initial slice, remove a cell, simplify the drive plan, switch tuning
+//! back to its mildest setting — accepting any candidate that still
+//! validates and still fails, until a fixpoint (or the evaluation budget
+//! runs out). The result is the case to commit under
+//! `crates/chaos/regressions/`.
+
+use onslicing_scenario::FleetEvent;
+
+use crate::gen::ChaosCase;
+
+/// Candidate evaluations before the shrinker gives up and returns the best
+/// case found so far (each evaluation replays the full invariant battery).
+const SHRINK_BUDGET: usize = 300;
+
+/// Greedily minimizes `case` while `still_fails` holds. `still_fails`
+/// should wrap the same check that surfaced the counterexample, e.g.
+/// `|c| check_case_with_scratch(c).is_err()`.
+pub fn shrink_case(case: &ChaosCase, still_fails: &dyn Fn(&ChaosCase) -> bool) -> ChaosCase {
+    let mut best = case.clone();
+    let mut budget = SHRINK_BUDGET;
+    'descent: loop {
+        for candidate in candidates(&best) {
+            if budget == 0 {
+                return best;
+            }
+            if candidate.validate().is_err() {
+                continue;
+            }
+            budget -= 1;
+            if still_fails(&candidate) {
+                best = candidate;
+                continue 'descent;
+            }
+        }
+        return best;
+    }
+}
+
+/// The candidate ladder, most-impactful reductions first.
+fn candidates(case: &ChaosCase) -> Vec<ChaosCase> {
+    let mut out = Vec::new();
+    for i in 0..case.scenario.events.len() {
+        let mut c = case.clone();
+        c.scenario.events.remove(i);
+        out.push(c);
+    }
+    let total = case.scenario.base.total_slots;
+    for shorter in [total / 2, total - 1] {
+        if shorter > 0 && shorter < total {
+            let mut c = case.clone();
+            c.scenario.base.total_slots = shorter;
+            out.push(c);
+        }
+    }
+    if case.scenario.base.initial_slices.len() > 1 {
+        let mut c = case.clone();
+        c.scenario.base.initial_slices.pop();
+        out.push(c);
+    }
+    if case.cells > 1 {
+        let mut c = case.clone();
+        c.cells -= 1;
+        c.scenario.min_cells = c.cells;
+        for t in &mut c.scenario.events {
+            if let FleetEvent::CellEvent { cell, .. } = &mut t.event {
+                *cell %= c.cells as u32;
+            }
+        }
+        out.push(c);
+    }
+    for i in 0..case.plan.windows.len() {
+        let mut c = case.clone();
+        c.plan.windows.remove(i);
+        out.push(c);
+    }
+    if case.plan.windows.iter().any(|w| w.checkpoint) {
+        let mut c = case.clone();
+        for w in &mut c.plan.windows {
+            w.checkpoint = false;
+        }
+        out.push(c);
+    }
+    if case.plan.probe_admissions {
+        let mut c = case.clone();
+        c.plan.probe_admissions = false;
+        out.push(c);
+    }
+    if case.pretrain_episodes > 0 {
+        let mut c = case.clone();
+        c.pretrain_episodes = 0;
+        out.push(c);
+    }
+    if case.balancer_enabled {
+        let mut c = case.clone();
+        c.balancer_enabled = false;
+        out.push(c);
+    }
+    if case.headroom != 0.0 {
+        let mut c = case.clone();
+        c.headroom = 0.0;
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::chaos_case;
+    use proptest::{generate_case, test_rng};
+
+    #[test]
+    fn shrinking_converges_and_preserves_the_failure_predicate() {
+        let strategy = chaos_case();
+        let mut rng = test_rng("chaos::shrink::converges");
+        // A synthetic predicate: "fails" while the scenario still has any
+        // fleet event. The shrinker must reach an event-free case (the
+        // minimal failing input under this predicate is no event at all...
+        // which does NOT fail, so the minimum keeps >= 1 event).
+        for _ in 0..20 {
+            let case = generate_case(&strategy, &mut rng);
+            if case.scenario.events.is_empty() {
+                continue;
+            }
+            let minimized = shrink_case(&case, &|c| !c.scenario.events.is_empty());
+            assert_eq!(
+                minimized.scenario.events.len(),
+                1,
+                "shrinker should reduce to a single fleet event"
+            );
+            assert!(
+                minimized.validate().is_ok(),
+                "minimized case must stay valid"
+            );
+            assert!(
+                minimized.plan.windows.is_empty() && !minimized.plan.probe_admissions,
+                "plan reductions are independent of the predicate and must all apply"
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The bounded-budget fuzz suite CI runs: every generated case must
+//! survive the full invariant battery. `PROPTEST_CASES` bounds the budget
+//! (CI pins it), `PROPTEST_SEED` perturbs the deterministic name-derived
+//! generator seed to explore fresh input regions.
+
+use onslicing_chaos::{bounded_cases, chaos_case, check_case_with_scratch, shrink_case, ChaosCase};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(bounded_cases(10))]
+
+    #[test]
+    fn generated_fleet_cases_uphold_every_invariant(case in chaos_case()) {
+        if let Err(violation) = check_case_with_scratch(&case) {
+            let minimized = shrink_case(&case, &|c| check_case_with_scratch(c).is_err());
+            panic!(
+                "fleet invariant violated: {violation}\n\n\
+                 minimized counterexample (commit under crates/chaos/regressions/):\n{}",
+                minimized.to_json()
+            );
+        }
+    }
+}
+
+proptest! {
+    // Generator-only properties are cheap; give them the full default
+    // budget (still `PROPTEST_CASES`-overridable).
+
+    #[test]
+    fn generated_cases_validate_and_round_trip(case in chaos_case()) {
+        prop_assert!(case.validate().is_ok(), "generator produced an invalid case");
+        let back = ChaosCase::from_json(&case.to_json()).expect("case JSON parses back");
+        prop_assert_eq!(back, case);
+    }
+}

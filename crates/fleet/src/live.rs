@@ -102,12 +102,20 @@ impl ElasticFleet {
     pub fn new(scenario: FleetScenario, config: ElasticFleetConfig) -> Result<Self, String> {
         Self::validate(&scenario, &config)?;
         let total_slots = scenario.base.total_slots;
+        // Cell timelines may reference ids only a fleet-routed admission
+        // assigns; the engines must validate with that slack, exactly like
+        // `FleetScenario::validate` does for the materialized scenarios.
+        let admission_slack = scenario.fleet_admissions().len();
         let cells: Result<Vec<CellRuntime>, String> = (0..config.cells)
             .into_par_iter()
             .map(|i| {
                 let cell = i as u32;
                 let cell_config = config.base.for_cell(cell);
-                let engine = ScenarioEngine::new(scenario.scenario_for_cell(cell), cell_config)?;
+                let engine = ScenarioEngine::with_admission_slack(
+                    scenario.scenario_for_cell(cell),
+                    cell_config,
+                    admission_slack,
+                )?;
                 let recorder = TelemetryRecorder::new(&engine);
                 Ok(CellRuntime {
                     cell,
@@ -124,6 +132,11 @@ impl ElasticFleet {
         // Establish the sync-point invariant: fleet-layer work scheduled at
         // slot 0 (a scripted admission, typically) runs before the caller
         // sees the fleet — exactly where the scripted runner would run it.
+        // `assemble` positions the cursor *past* every sync point at or
+        // before the current slot, which is right for restored checkpoints
+        // (their slot-0 work ran before capture) but would silently drop a
+        // slot-0 admission on a fresh fleet: rewind before processing.
+        fleet.next_sync = 0;
         fleet.process_due_syncs()?;
         Ok(fleet)
     }
@@ -244,7 +257,14 @@ impl ElasticFleet {
                     None => self.fleet_admissions_denied += 1,
                 }
             }
+            // The cadence schedule starts at `1 * cadence_slots` (see
+            // `compute_sync_points`); `sync == 0` only ever appears here
+            // because a scripted fleet admission sits at slot 0, and slot 0
+            // satisfies `is_multiple_of` for every cadence — without the
+            // guard that admission would trigger an unscheduled balancer
+            // round before any slot has executed.
             if self.config.balancer.enabled
+                && sync > 0
                 && sync.is_multiple_of(self.config.balancer.cadence_slots)
             {
                 let migrated = self.balancer.rebalance(sync, &mut self.cells)?;
@@ -292,6 +312,13 @@ impl ElasticFleet {
     /// admissions.
     pub fn admit(&mut self, spec: &SliceSpec) -> Option<(u32, u32)> {
         let slot = self.slot();
+        // A fleet at its scenario end executes no further slots, so a
+        // slice granted here would never run (and its zero-slot episode
+        // would pollute the final aggregation): deny fleet-wide.
+        if self.is_complete() {
+            self.fleet_admissions_denied += 1;
+            return None;
+        }
         match route_fleet_admission(&mut self.cells, spec, slot) {
             Some(placement) => {
                 self.fleet_admissions_granted += 1;
@@ -668,6 +695,93 @@ mod tests {
         );
         let err = FleetCheckpoint::from_json("{\"slot\":4}").unwrap_err();
         assert!(err.contains("missing format_version"), "{err}");
+    }
+
+    #[test]
+    fn slot0_fleet_admission_is_adjudicated_without_a_balancer_round() {
+        // A fleet admission scripted at slot 0 creates sync point 0. The
+        // construction-time cursor must not skip it (the admission would be
+        // adjudicated late — or never, with the balancer disabled), and the
+        // balancer must not treat it as a cadence boundary (0 is a multiple
+        // of every cadence, but the schedule starts at 1 · cadence).
+        let base = Scenario::new("slot0-admit", 8, 16)
+            .with_capacity(1.5)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Hvs));
+        let scenario = FleetScenario::new(base, 2).fleet_admit(0, SliceSpec::new(SliceKind::Rdc));
+
+        let config = ElasticFleetConfig::new(2)
+            .with_seed(3)
+            .with_balancer(BalancerConfig {
+                cadence_slots: 8,
+                min_load_gap: 0.0,
+                ..BalancerConfig::default()
+            });
+        let fleet = ElasticFleet::new(scenario.clone(), config).unwrap();
+        assert_eq!(
+            fleet.fleet_admissions_granted() + fleet.fleet_admissions_denied(),
+            1,
+            "the slot-0 admission must be adjudicated before the caller sees the fleet"
+        );
+        assert!(
+            fleet.migrations().is_empty(),
+            "no balancer round may run at slot 0"
+        );
+
+        // With the balancer disabled the end pseudo-sync is the only other
+        // sync point and it does no fleet work — slot 0 is the one chance.
+        let config = ElasticFleetConfig::new(2)
+            .with_seed(3)
+            .with_balancer(BalancerConfig::disabled());
+        let mut fleet = ElasticFleet::new(scenario, config).unwrap();
+        assert_eq!(
+            fleet.fleet_admissions_granted() + fleet.fleet_admissions_denied(),
+            1
+        );
+        fleet.advance_to(16).unwrap();
+        let outcome = fleet.finish(0.0).unwrap();
+        assert_eq!(
+            outcome.report.fleet_admissions_granted + outcome.report.fleet_admissions_denied,
+            1
+        );
+    }
+
+    #[test]
+    fn cell_events_may_reference_fleet_admitted_ids() {
+        // The cell timeline names slice 1, an id only the fleet-routed
+        // admission assigns: the cell engines must validate with the same
+        // admission slack FleetScenario::validate grants.
+        let base = Scenario::new("fleet-admitted-id", 4, 8).slice(SliceSpec::new(SliceKind::Mar));
+        let scenario = FleetScenario::new(base, 1)
+            .fleet_admit(1, SliceSpec::new(SliceKind::Hvs))
+            .at_cell(
+                4,
+                0,
+                ScenarioEvent::SetTrafficScale {
+                    slice: 1,
+                    scale: 2.0,
+                },
+            );
+        scenario.validate().unwrap();
+        let mut fleet =
+            ElasticFleet::new(scenario, ElasticFleetConfig::new(1).with_seed(7)).unwrap();
+        fleet.advance_to(8).unwrap();
+        fleet.finish(0.0).unwrap();
+    }
+
+    #[test]
+    fn completed_fleet_denies_live_admissions() {
+        let mut fleet = ElasticFleet::new(tiny_fleet_scenario(), quick_config(1)).unwrap();
+        fleet.advance_to(32).unwrap();
+        assert!(fleet.is_complete());
+        let denied_before = fleet.fleet_admissions_denied();
+        assert_eq!(
+            fleet.admit(&SliceSpec::new(SliceKind::Mar)),
+            None,
+            "a slice granted at the scenario end would never execute a slot"
+        );
+        assert_eq!(fleet.fleet_admissions_denied(), denied_before + 1);
+        fleet.finish(0.0).unwrap();
     }
 
     #[test]

@@ -100,18 +100,23 @@ pub fn run(config: FleetdConfig) -> Result<ExitReason, String> {
 }
 
 /// Resumes from the newest complete checkpoint in the state dir, or builds
-/// a fresh fleet when there is none. Unreadable or stale-format files fall
-/// back to the next older checkpoint with a warning on stderr.
+/// a fresh fleet when there is none. Unreadable, stale-format, incompatible
+/// or unrestorable files fall back to the next older checkpoint with a
+/// warning on stderr — a single bad file must never abort startup while an
+/// older good one is sitting right next to it.
 fn build_or_resume(config: &FleetdConfig) -> Result<ElasticFleet, String> {
     let mut slots = list_checkpoint_slots(&config.state_dir)
         .map_err(|e| format!("cannot scan state dir: {e}"))?;
     slots.reverse();
     for slot in slots {
         let path = config.state_dir.join(checkpoint_file_name(slot));
-        match FleetCheckpoint::load(&path).and_then(check_compatible(config)) {
-            Ok(checkpoint) => {
+        match FleetCheckpoint::load(&path)
+            .and_then(check_compatible(config))
+            .and_then(FleetCheckpoint::restore)
+        {
+            Ok(fleet) => {
                 eprintln!("fleetd: resuming from {} (slot {slot})", path.display());
-                return checkpoint.restore();
+                return Ok(fleet);
             }
             Err(e) => eprintln!("fleetd: skipping checkpoint {}: {e}", path.display()),
         }
@@ -528,4 +533,148 @@ pub fn send_request(socket: &Path, line: &str) -> Result<String, String> {
         return Err("daemon closed the connection without responding".to_string());
     }
     Ok(response.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CheckpointPolicy;
+    use onslicing_fleet::ElasticFleetConfig;
+
+    const SCENARIO: &str = "hotspot-shift";
+    const SEED: u64 = 17;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fleetd-resume-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn test_config(state_dir: &Path) -> FleetdConfig {
+        FleetdConfig {
+            scenario: SCENARIO.to_string(),
+            fleet: ElasticFleetConfig::new(2).with_seed(SEED),
+            state_dir: state_dir.to_path_buf(),
+            control_socket: state_dir.join("control.sock"),
+            start_paused: true,
+            window_slots: 1,
+            checkpoint: CheckpointPolicy::default(),
+        }
+    }
+
+    /// Advances a fresh fleet of `scenario` to `slot` and returns the
+    /// checkpoint JSON it would write.
+    fn checkpoint_json(scenario: &str, seed: u64, slot: usize) -> String {
+        let mut fleet = ElasticFleet::new(
+            fleet_by_name(scenario).unwrap(),
+            ElasticFleetConfig::new(2).with_seed(seed),
+        )
+        .unwrap();
+        fleet.advance_to(slot).unwrap();
+        fleet.checkpoint().to_json()
+    }
+
+    fn plant(dir: &Path, slot: usize, text: &str) {
+        std::fs::write(dir.join(checkpoint_file_name(slot)), text).unwrap();
+    }
+
+    #[test]
+    fn fresh_start_when_no_checkpoint_exists() {
+        let dir = scratch("fresh");
+        let fleet = build_or_resume(&test_config(&dir)).unwrap();
+        assert_eq!(fleet.slot(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumes_from_newest_complete_checkpoint_ignoring_tmp_partials() {
+        let dir = scratch("newest");
+        plant(&dir, 8, &checkpoint_json(SCENARIO, SEED, 8));
+        plant(&dir, 16, &checkpoint_json(SCENARIO, SEED, 16));
+        // A crashed writer's partial for a newer slot must never even be
+        // considered (it is not in the checkpoint namespace).
+        std::fs::write(
+            dir.join(format!("{}.tmp", checkpoint_file_name(24))),
+            "{\"format_version\":1,\"scenario_na",
+        )
+        .unwrap();
+        let fleet = build_or_resume(&test_config(&dir)).unwrap();
+        assert_eq!(fleet.slot(), 16);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_format_version_falls_back_to_the_next_older_checkpoint() {
+        let dir = scratch("stale-format");
+        plant(&dir, 8, &checkpoint_json(SCENARIO, SEED, 8));
+        let doctored = checkpoint_json(SCENARIO, SEED, 16).replacen(
+            "\"format_version\":1",
+            "\"format_version\":9",
+            1,
+        );
+        plant(&dir, 16, &doctored);
+        let fleet = build_or_resume(&test_config(&dir)).unwrap();
+        assert_eq!(
+            fleet.slot(),
+            8,
+            "the v9 file must be skipped with a warning"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_and_seed_mismatches_fall_back() {
+        let dir = scratch("mismatch");
+        plant(&dir, 8, &checkpoint_json(SCENARIO, SEED, 8));
+        // Slot 20: a checkpoint of a different run entirely.
+        plant(&dir, 20, &checkpoint_json("cell-outage", SEED, 20));
+        // Slot 16: right scenario, wrong master seed.
+        plant(&dir, 16, &checkpoint_json(SCENARIO, 99, 16));
+        let fleet = build_or_resume(&test_config(&dir)).unwrap();
+        assert_eq!(fleet.slot(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_checkpoint_falls_back() {
+        let dir = scratch("truncated");
+        plant(&dir, 8, &checkpoint_json(SCENARIO, SEED, 8));
+        let full = checkpoint_json(SCENARIO, SEED, 16);
+        plant(&dir, 16, &full[..full.len() / 2]);
+        let fleet = build_or_resume(&test_config(&dir)).unwrap();
+        assert_eq!(fleet.slot(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unrestorable_checkpoint_falls_back_instead_of_aborting_startup() {
+        // A file that loads and passes the compatibility gate but whose
+        // restore() fails (no cells) used to abort startup; it must fall
+        // back to the older good checkpoint like every other bad file.
+        let dir = scratch("unrestorable");
+        plant(&dir, 8, &checkpoint_json(SCENARIO, SEED, 8));
+        let mut value: Value = serde_json::from_str(&checkpoint_json(SCENARIO, SEED, 16)).unwrap();
+        if let Value::Obj(pairs) = &mut value {
+            for (key, v) in pairs.iter_mut() {
+                if key == "cells" {
+                    *v = Value::Arr(Vec::new());
+                }
+            }
+        }
+        plant(&dir, 16, &serde_json::to_string(&value).unwrap());
+        let fleet = build_or_resume(&test_config(&dir)).unwrap();
+        assert_eq!(fleet.slot(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_checkpoints_bad_means_fresh_start_not_an_error() {
+        let dir = scratch("all-bad");
+        plant(&dir, 8, "{\"format_version\":1,\"scenario_na");
+        plant(&dir, 16, &checkpoint_json(SCENARIO, 99, 16));
+        let fleet = build_or_resume(&test_config(&dir)).unwrap();
+        assert_eq!(fleet.slot(), 0, "every file skipped, fresh start");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

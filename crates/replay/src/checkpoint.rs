@@ -276,6 +276,30 @@ mod tests {
     }
 
     #[test]
+    fn truncated_documents_are_rejected_not_misparsed() {
+        // A torn write that escaped the atomic-rename protocol is a prefix
+        // of a valid document — different from arbitrary garbage, because
+        // the version stamp may still peek successfully before the
+        // structural parse hits the cut.
+        let mut engine = ScenarioEngine::new(builtin::steady(), ScenarioConfig::default()).unwrap();
+        engine.run_until(3, &mut ());
+        let full = Checkpoint::capture(&engine).to_json();
+        for cut in [1, full.len() / 2, full.len() - 1] {
+            assert!(
+                Checkpoint::from_json(&full[..cut]).is_err(),
+                "checkpoint cut at byte {cut} must be rejected"
+            );
+        }
+        let snapshot = SliceSnapshot::extract(&engine, 0).unwrap().to_json();
+        for cut in [1, snapshot.len() / 2, snapshot.len() - 1] {
+            assert!(
+                SliceSnapshot::from_json(&snapshot[..cut]).is_err(),
+                "slice snapshot cut at byte {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn save_is_atomic_and_leaves_no_temp_file() {
         let mut engine = ScenarioEngine::new(builtin::steady(), ScenarioConfig::default()).unwrap();
         engine.run_until(2, &mut ());

@@ -449,9 +449,13 @@ impl SlotObserver for TelemetryRecorder {
 
 /// Nearest-rank percentile of an unsorted series (0.0 for an empty one).
 ///
-/// `q` is a percentile rank and must lie in `[0, 100]`; anything else is a
-/// caller bug (debug-asserted, clamped into range in release builds so a
-/// production telemetry path degrades instead of aborting). By the
+/// `q` is a percentile rank; a value outside `[0, 100]` is a caller bug but
+/// telemetry summaries are a production path, so out-of-range ranks clamp
+/// into `[0, 100]` identically in debug and release builds (an earlier
+/// `debug_assert!` made the two profiles disagree — debug aborted where
+/// release degraded). A NaN rank pins to the minimum (rank 0), which is the
+/// value the release-mode clamp has always produced, so the degradation is
+/// deterministic rather than an accident of `NaN as usize`. By the
 /// nearest-rank convention `q = 0` maps to rank `⌈0⌉ = 0`, which this
 /// implementation pins to the first order statistic — i.e. `q = 0` returns
 /// the minimum, `q = 100` the maximum.
@@ -460,11 +464,7 @@ impl SlotObserver for TelemetryRecorder {
 /// latency summaries with exactly these semantics — a fleet percentile must
 /// equal the percentile of the concatenated per-cell samples.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
-    debug_assert!(
-        (0.0..=100.0).contains(&q),
-        "percentile rank must be in [0, 100], got {q}"
-    );
-    let q = q.clamp(0.0, 100.0);
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 100.0) };
     if values.is_empty() {
         return 0.0;
     }
@@ -517,17 +517,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile rank must be in [0, 100]")]
-    #[cfg(debug_assertions)]
-    fn out_of_range_percentile_ranks_are_a_caller_bug() {
-        let _ = percentile(&[1.0, 2.0], 150.0);
+    fn out_of_range_percentile_ranks_clamp_in_every_build_profile() {
+        // The old `debug_assert!` made debug builds abort where release
+        // builds clamped; the clamp is now the contract in both profiles.
+        let v = vec![3.0, 1.0, 2.0];
+        assert_eq!(percentile(&v, 150.0), 3.0, "q > 100 clamps to the max");
+        assert_eq!(percentile(&v, -1.0), 1.0, "q < 0 clamps to the min");
+        assert_eq!(percentile(&v, f64::INFINITY), 3.0);
+        assert_eq!(percentile(&v, f64::NEG_INFINITY), 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "percentile rank must be in [0, 100]")]
-    #[cfg(debug_assertions)]
-    fn negative_percentile_ranks_are_a_caller_bug() {
-        let _ = percentile(&[1.0, 2.0], -1.0);
+    fn nan_percentile_rank_degrades_to_the_minimum_deterministically() {
+        // NaN survives `f64::clamp`; before the explicit guard it reached
+        // `NaN as usize` and happened to select index 0 in release while
+        // aborting in debug. The guard pins that historical release value.
+        let v = vec![3.0, 1.0, 2.0];
+        assert_eq!(percentile(&v, f64::NAN), 1.0);
+        assert_eq!(percentile(&[], f64::NAN), 0.0);
     }
 
     #[test]

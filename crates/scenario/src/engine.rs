@@ -568,7 +568,23 @@ impl ScenarioEngine {
     /// Builds the initial deployment of a validated scenario (including
     /// offline pre-training of the initial agents).
     pub fn new(scenario: Scenario, config: ScenarioConfig) -> Result<Self, String> {
-        scenario.validate()?;
+        Self::with_admission_slack(scenario, config, 0)
+    }
+
+    /// Like [`ScenarioEngine::new`], but validates the scenario with
+    /// `admission_slack` extra assignable slice ids. This is the
+    /// constructor a fleet layer must use for materialized per-cell
+    /// scenarios: a cell timeline may legally reference an id that only a
+    /// fleet-routed admission will assign at run time
+    /// ([`crate::FleetScenario::validate`] accepts it), so validating the
+    /// cell scenario standalone with zero slack would reject a fleet
+    /// scenario the fleet validator already blessed.
+    pub fn with_admission_slack(
+        scenario: Scenario,
+        config: ScenarioConfig,
+        admission_slack: usize,
+    ) -> Result<Self, String> {
+        scenario.validate_with_admission_slack(admission_slack)?;
         let admission = AdmissionController::try_new(config.admission)?;
         let mut factory = SliceFactory::new(&config, scenario.horizon);
         let mut envs = Vec::new();
@@ -1555,25 +1571,29 @@ mod tests {
 
     #[test]
     fn events_on_inactive_slices_are_skipped_not_fatal() {
+        // Ids must now be statically assignable (validation rejects ids no
+        // run could ever assign), so inactivity comes from a teardown: the
+        // three later events target a slice that is already gone.
         let scenario = tiny_scenario()
-            .at(2, ScenarioEvent::TeardownSlice { slice: 7 })
+            .at(2, ScenarioEvent::TeardownSlice { slice: 1 })
             .at(
                 3,
                 ScenarioEvent::SetTrafficScale {
-                    slice: 9,
+                    slice: 1,
                     scale: 2.0,
                 },
             )
             .at(
                 4,
                 ScenarioEvent::RenegotiateSla {
-                    slice: 8,
+                    slice: 1,
                     cost_threshold: 0.2,
                 },
-            );
+            )
+            .at(5, ScenarioEvent::TeardownSlice { slice: 1 });
         let report = run_scenario(scenario, quick_config()).unwrap();
         assert_eq!(report.events_skipped, 3);
-        assert_eq!(report.events_applied, 0);
+        assert_eq!(report.events_applied, 1);
     }
 
     #[test]

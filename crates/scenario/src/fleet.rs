@@ -119,7 +119,16 @@ impl FleetScenario {
         if self.min_cells == 0 {
             return Err("min_cells must be at least 1".to_string());
         }
-        self.base.validate().map_err(|e| format!("base: {e}"))?;
+        // Fleet-routed admissions can land on any cell, so every cell's
+        // assignable-id bound grows by the full fleet-admission count.
+        let fleet_admission_slack = self
+            .events
+            .iter()
+            .filter(|t| matches!(t.event, FleetEvent::FleetAdmit { .. }))
+            .count();
+        self.base
+            .validate_with_admission_slack(fleet_admission_slack)
+            .map_err(|e| format!("base: {e}"))?;
         for (i, t) in self.events.iter().enumerate() {
             if t.at_slot >= self.base.total_slots {
                 return Err(format!(
@@ -145,6 +154,15 @@ impl FleetScenario {
                         .map_err(|e| format!("fleet event {i}: {e}"))?;
                 }
             }
+        }
+        // The per-event checks above see each cell event in isolation; the
+        // materialized per-cell scenarios additionally catch cross-event
+        // holes — impossible slice-id references and duplicate same-slot
+        // teardowns arising from the base/cell-event splice.
+        for cell in 0..self.min_cells {
+            self.scenario_for_cell(cell as u32)
+                .validate_with_admission_slack(fleet_admission_slack)
+                .map_err(|e| format!("cell {cell}: {e}"))?;
         }
         Ok(())
     }
@@ -307,6 +325,40 @@ mod tests {
         // fleet layer's to place at run time.
         assert_eq!(fleet.fleet_admissions().len(), 2);
         assert!(fleet.fleet_admissions().iter().all(|(slot, _)| *slot == 18));
+    }
+
+    #[test]
+    fn fleet_validation_accounts_for_fleet_admissions_in_the_id_bound() {
+        let base = elastic_base("x", 2.0); // four initial slices, ids 0..4
+                                           // Referencing id 4 on a cell is impossible without extra admissions…
+        let dangling = FleetScenario::new(base.clone(), 2).at_cell(
+            8,
+            0,
+            ScenarioEvent::SetTrafficScale {
+                slice: 4,
+                scale: 1.5,
+            },
+        );
+        let err = dangling.validate().unwrap_err();
+        assert!(err.contains("references slice 4"), "got: {err}");
+        // …but one fleet-routed admission could land there and assign id 4.
+        dangling
+            .clone()
+            .fleet_admit(4, SliceSpec::new(SliceKind::Mar))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn fleet_validation_catches_duplicate_teardowns_across_the_splice() {
+        // The duplicate only exists on the materialized cell-0 timeline:
+        // one teardown in the base, the other spliced in as a cell event.
+        let base = elastic_base("x", 2.0).at(8, ScenarioEvent::TeardownSlice { slice: 1 });
+        let dup =
+            FleetScenario::new(base, 2).at_cell(8, 0, ScenarioEvent::TeardownSlice { slice: 1 });
+        let err = dup.validate().unwrap_err();
+        assert!(err.contains("cell 0"), "got: {err}");
+        assert!(err.contains("twice"), "got: {err}");
     }
 
     #[test]

@@ -151,6 +151,20 @@ pub enum ScenarioEvent {
 }
 
 impl ScenarioEvent {
+    /// The slice id this event references, if any. Admissions reference no
+    /// existing slice (they *assign* the next free id); faults target a
+    /// domain, not a slice.
+    pub fn referenced_slice(&self) -> Option<u32> {
+        match self {
+            ScenarioEvent::AdmitSlice { .. } | ScenarioEvent::DomainFault { .. } => None,
+            ScenarioEvent::TeardownSlice { slice }
+            | ScenarioEvent::SetTrafficScale { slice, .. }
+            | ScenarioEvent::SetTraceProfile { slice, .. }
+            | ScenarioEvent::TrafficBurst { slice, .. }
+            | ScenarioEvent::RenegotiateSla { slice, .. } => Some(*slice),
+        }
+    }
+
     /// Validates the event payload (slice ids are resolved at run time).
     pub fn validate(&self) -> Result<(), String> {
         match self {
@@ -235,7 +249,11 @@ pub struct Scenario {
     pub capacity: f64,
     /// The slices alive at slot 0 (ids `0..n` in order).
     pub initial_slices: Vec<SliceSpec>,
-    /// The scripted timeline (sorted by the engine before running).
+    /// The scripted timeline. The engine sorts it by `at_slot` with a
+    /// **stable** sort before running, so events scheduled at the same slot
+    /// fire in exactly the order they appear here (file order for JSON
+    /// scenarios, call order for the builder) — equal-slot ordering is part
+    /// of the format contract, not an implementation accident.
     pub events: Vec<TimedEvent>,
 }
 
@@ -281,8 +299,30 @@ impl Scenario {
         self
     }
 
+    /// Upper bound (exclusive) on the slice ids this scenario can ever
+    /// assign: initial slices take `0..n` and every admission event consumes
+    /// the next id in event order, whether the admission is granted or
+    /// denied.
+    pub fn max_assignable_slice_ids(&self) -> usize {
+        self.initial_slices.len()
+            + self
+                .events
+                .iter()
+                .filter(|t| matches!(t.event, ScenarioEvent::AdmitSlice { .. }))
+                .count()
+    }
+
     /// Validates the whole scenario, returning the first problem found.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_with_admission_slack(0)
+    }
+
+    /// [`Scenario::validate`] for a scenario that may gain up to
+    /// `admission_slack` additional admissions at run time beyond its own
+    /// timeline — the fleet runner routes `FleetAdmit` events onto cells, so
+    /// a cell's materialized scenario can legitimately reference slice ids
+    /// past its static bound. Single-cell callers want a slack of 0.
+    pub fn validate_with_admission_slack(&self, admission_slack: usize) -> Result<(), String> {
         if self.name.is_empty() {
             return Err("scenario name must not be empty".to_string());
         }
@@ -305,6 +345,8 @@ impl Scenario {
             s.validate()
                 .map_err(|e| format!("initial slice {i}: {e}"))?;
         }
+        let id_bound = self.max_assignable_slice_ids() + admission_slack;
+        let mut teardowns: Vec<(usize, u32)> = Vec::new();
         for (i, t) in self.events.iter().enumerate() {
             if t.at_slot >= self.total_slots {
                 return Err(format!(
@@ -313,6 +355,32 @@ impl Scenario {
                 ));
             }
             t.event.validate().map_err(|e| format!("event {i}: {e}"))?;
+            // A reference past the assignable-id bound can never resolve: no
+            // run of this scenario assigns that id, so the event would be
+            // silently skipped every time — a scripting bug, not a timeline.
+            if let Some(slice) = t.event.referenced_slice() {
+                if slice as usize >= id_bound {
+                    return Err(format!(
+                        "event {i} references slice {slice} but this scenario can only ever \
+                         assign ids 0..{id_bound} ({} initial + {} admissions)",
+                        self.initial_slices.len(),
+                        id_bound - self.initial_slices.len()
+                    ));
+                }
+            }
+            // Two teardowns of the same slice at the same slot: the second
+            // always fires on an already-removed slice, so one of them is a
+            // scripting mistake (a teardown re-fired at a *later* slot stays
+            // legal — the id may have been skipped or the first denied).
+            if let ScenarioEvent::TeardownSlice { slice } = t.event {
+                if teardowns.contains(&(t.at_slot, slice)) {
+                    return Err(format!(
+                        "event {i} tears slice {slice} down at slot {} twice",
+                        t.at_slot
+                    ));
+                }
+                teardowns.push((t.at_slot, slice));
+            }
         }
         Ok(())
     }
@@ -406,6 +474,68 @@ mod tests {
         let bad_spec = Scenario::new("x", 12, 48)
             .slice(SliceSpec::new(SliceKind::Mar).with_cost_threshold(2.0));
         assert!(bad_spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_slice_ids_no_run_can_ever_assign() {
+        // One initial slice + one admission ⇒ ids 0..2 are assignable.
+        let base = Scenario::new("x", 12, 48)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .at(
+                4,
+                ScenarioEvent::AdmitSlice {
+                    slice: SliceSpec::new(SliceKind::Hvs),
+                },
+            );
+        let in_bound = base.clone().at(
+            8,
+            ScenarioEvent::SetTrafficScale {
+                slice: 1,
+                scale: 2.0,
+            },
+        );
+        in_bound.validate().unwrap();
+        let out_of_bound = base.clone().at(
+            8,
+            ScenarioEvent::SetTrafficScale {
+                slice: 2,
+                scale: 2.0,
+            },
+        );
+        let err = out_of_bound.validate().unwrap_err();
+        assert!(err.contains("references slice 2"), "got: {err}");
+        assert!(err.contains("0..2"), "got: {err}");
+        // The fleet runner may route extra admissions onto this cell; with
+        // one admission of slack the same reference becomes satisfiable.
+        out_of_bound.validate_with_admission_slack(1).unwrap();
+        assert_eq!(base.max_assignable_slice_ids(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_same_slot_teardowns() {
+        let dup = Scenario::new("x", 12, 48)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Hvs))
+            .at(8, ScenarioEvent::TeardownSlice { slice: 1 })
+            .at(8, ScenarioEvent::TeardownSlice { slice: 1 });
+        let err = dup.validate().unwrap_err();
+        assert!(err.contains("twice"), "got: {err}");
+        // The same teardown re-fired at a later slot stays legal (the first
+        // may have been skipped), as do same-slot teardowns of two slices.
+        Scenario::new("x", 12, 48)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Hvs))
+            .at(8, ScenarioEvent::TeardownSlice { slice: 1 })
+            .at(12, ScenarioEvent::TeardownSlice { slice: 1 })
+            .validate()
+            .unwrap();
+        Scenario::new("x", 12, 48)
+            .slice(SliceSpec::new(SliceKind::Mar))
+            .slice(SliceSpec::new(SliceKind::Hvs))
+            .at(8, ScenarioEvent::TeardownSlice { slice: 0 })
+            .at(8, ScenarioEvent::TeardownSlice { slice: 1 })
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -1,16 +1,29 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset the workspace's property tests use: range
-//! strategies over numbers, `prop::collection::vec`, `Strategy::prop_map`,
-//! the `proptest!` macro with an optional `ProptestConfig`, and the
-//! `prop_assert!`/`prop_assert_eq!` assertions.
+//! strategies over numbers, `prop::collection::vec`, `prop::sample::select`,
+//! `prop::bool::ANY`, `Just`, `Strategy::{prop_map, prop_flat_map, boxed}`,
+//! the `prop_oneof!` union, the `proptest!` macro with an optional
+//! `ProptestConfig`, and the `prop_assert!`/`prop_assert_eq!` assertions.
 //!
-//! Unlike real proptest there is **no shrinking**: a failing case panics with
-//! the generated inputs unshrunk (tests derive their seed from the test name,
-//! so failures are reproducible). For the invariant-style properties in this
-//! repository that trade-off is acceptable.
+//! Unlike real proptest there is **no generic shrinking**: a failing case
+//! panics with the generated inputs unshrunk (tests derive their seed from
+//! the test name, so failures are reproducible; domain-specific minimizers —
+//! e.g. `crates/chaos`'s scenario shrinker — fill the gap where it matters).
+//!
+//! Mirroring real proptest, two environment variables tune a run without
+//! recompiling: `PROPTEST_CASES` overrides the default case count (explicit
+//! `ProptestConfig::with_cases` calls win over it), and `PROPTEST_SEED`
+//! perturbs every test's deterministic name-derived seed to explore a fresh
+//! region of the input space. CI pins both for reproducibility.
 
 use rand::{Rng, RngCore, SeedableRng};
+
+/// Environment variable overriding [`ProptestConfig::default`]'s case count.
+pub const CASES_ENV: &str = "PROPTEST_CASES";
+
+/// Environment variable XOR-ed into every test's name-derived RNG seed.
+pub const SEED_ENV: &str = "PROPTEST_SEED";
 
 /// Configuration accepted by `#![proptest_config(...)]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,15 +33,22 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// Config with an explicit case count.
+    /// Config with an explicit case count (immune to `PROPTEST_CASES`).
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable — the knob CI uses to pin a bounded fuzz budget.
     fn default() -> Self {
-        Self { cases: 64 }
+        let cases = std::env::var(CASES_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|c| *c > 0)
+            .unwrap_or(64);
+        Self { cases }
     }
 }
 
@@ -44,6 +64,22 @@ pub trait Strategy: Sized {
     fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
         Map { inner: self, f }
     }
+
+    /// Builds a dependent strategy from each generated value: `f` turns the
+    /// intermediate into the strategy the final value is drawn from. The
+    /// combinator for "pick a size, then generate structure of that size".
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies over one value
+    /// type can share a container (the building block of [`Union`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
 }
 
 /// Strategy produced by [`Strategy::prop_map`].
@@ -58,6 +94,117 @@ impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
     fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
         (self.f)(self.inner.generate(rng))
     }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate<R: RngCore + ?Sized>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] backing [`BoxedStrategy`]: the
+/// generic `generate` collapses to a `&mut dyn RngCore` entry point.
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut dyn RngCore) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+
+    fn generate_dyn(&self, rng: &mut dyn RngCore) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Sized adapter lending any `R: RngCore + ?Sized` out as `&mut dyn RngCore`
+/// (a direct unsizing coercion would require `R: Sized`).
+struct DynRng<'a, R: RngCore + ?Sized>(&'a mut R);
+
+impl<R: RngCore + ?Sized> RngCore for DynRng<'_, R> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A type-erased strategy (`proptest`'s `BoxedStrategy`).
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        let mut adapter = DynRng(rng);
+        self.0.generate_dyn(&mut adapter)
+    }
+}
+
+/// Uniform choice among boxed strategies over one value type — the engine
+/// behind [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list (nothing to choose).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+                // Left-to-right field order, mirroring real proptest's tuple
+                // strategies (generation order is part of determinism).
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
 }
 
 macro_rules! impl_range_strategy {
@@ -83,6 +230,24 @@ impl Strategy for std::ops::RangeInclusive<f64> {
         lo + (hi - lo) * (rng.next_u64() as f64 / u64::MAX as f64)
     }
 }
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from an empty range");
+                // Span arithmetic in u128 so `lo..=MAX` cannot overflow.
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy!(i32, i64, u32, u64, usize);
 
 /// `prop::...` namespace mirroring real proptest.
 pub mod prop {
@@ -129,14 +294,67 @@ pub mod prop {
             }
         }
     }
+
+    /// Sampling from fixed collections (`prop::sample`).
+    pub mod sample {
+        use super::super::{RngCore, Strategy};
+        use rand::Rng;
+
+        /// Strategy yielding a uniformly chosen clone of one of `items`.
+        pub struct Select<T: Clone> {
+            items: Vec<T>,
+        }
+
+        /// Uniform choice from a fixed list; panics on an empty list.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select needs at least one item");
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+                let idx = rng.gen_range(0..self.items.len());
+                self.items[idx].clone()
+            }
+        }
+    }
+
+    /// Boolean strategies (`prop::bool`).
+    pub mod bool {
+        use super::super::{RngCore, Strategy};
+        use rand::Rng;
+
+        /// Strategy over both booleans, fair coin.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The `prop::bool::ANY` of real proptest.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
 }
 
 /// Everything a property-test file needs.
 pub mod prelude {
-    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, Union,
+    };
 }
 
-/// Builds the deterministic per-test RNG (seed = FNV-1a of the test path).
+/// Builds the deterministic per-test RNG: seed = FNV-1a of the test path,
+/// XOR-ed with `PROPTEST_SEED` when that variable is set (so a fuzz sweep
+/// can explore fresh input regions while staying reproducible — rerun with
+/// the same value to replay).
 #[doc(hidden)]
 pub fn test_rng(name: &str) -> rand::Xoshiro256PlusPlus {
     let mut hash: u64 = 0xcbf29ce484222325;
@@ -144,12 +362,27 @@ pub fn test_rng(name: &str) -> rand::Xoshiro256PlusPlus {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x100000001b3);
     }
+    if let Some(seed) = std::env::var(SEED_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        hash ^= seed;
+    }
     rand::Xoshiro256PlusPlus::seed_from_u64(hash)
 }
 
 #[doc(hidden)]
 pub fn generate_case<S: Strategy, R: RngCore + ?Sized>(strategy: &S, rng: &mut R) -> S::Value {
     strategy.generate(rng)
+}
+
+/// Uniform choice among strategies over one value type (unweighted form of
+/// proptest's macro; bias a branch by listing it more than once).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
 }
 
 /// Asserts a condition inside a property, reporting the failing case number.
@@ -236,6 +469,81 @@ mod tests {
         for _ in 0..100 {
             let v = crate::generate_case(&s, &mut rng);
             assert!((0.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flat_map_builds_dependent_strategies() {
+        // Pick a length, then a vector of exactly that length: the shape
+        // every size-then-structure generator uses.
+        let s = (1usize..=4)
+            .prop_flat_map(|n| prop::collection::vec(0u32..10, n).prop_map(move |v| (n, v)));
+        let mut rng = crate::test_rng("flat_map");
+        for _ in 0..200 {
+            let (n, v) = crate::generate_case(&s, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!((1..=4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn just_select_bool_and_inclusive_int_ranges_generate_in_domain() {
+        let mut rng = crate::test_rng("domains");
+        let just = Just(7u32);
+        let select = prop::sample::select(vec!["a", "b", "c"]);
+        let mut seen_true = false;
+        let mut seen_false = false;
+        let mut hit_hi = false;
+        for _ in 0..300 {
+            assert_eq!(crate::generate_case(&just, &mut rng), 7);
+            assert!(["a", "b", "c"].contains(&crate::generate_case(&select, &mut rng)));
+            match crate::generate_case(&prop::bool::ANY, &mut rng) {
+                true => seen_true = true,
+                false => seen_false = true,
+            }
+            let n = crate::generate_case(&(2u32..=5), &mut rng);
+            assert!((2..=5).contains(&n));
+            hit_hi |= n == 5;
+        }
+        assert!(seen_true && seen_false, "coin never landed on both sides");
+        assert!(hit_hi, "inclusive range never produced its upper endpoint");
+    }
+
+    #[test]
+    fn oneof_unions_heterogeneous_strategies_and_covers_every_arm() {
+        let s = prop_oneof![Just(0u32), 10u32..20, (90u32..=99).prop_map(|x| x),];
+        let mut rng = crate::test_rng("oneof");
+        let (mut lo, mut mid, mut hi) = (false, false, false);
+        for _ in 0..300 {
+            match crate::generate_case(&s, &mut rng) {
+                0 => lo = true,
+                x if (10..20).contains(&x) => mid = true,
+                x if (90..=99).contains(&x) => hi = true,
+                other => panic!("value {other} outside every arm"),
+            }
+        }
+        assert!(lo && mid && hi, "some arm never fired: {lo} {mid} {hi}");
+    }
+
+    #[test]
+    fn tuple_strategies_generate_componentwise() {
+        let s = ((0u32..10), Just("x"), prop::bool::ANY).prop_map(|(n, tag, b)| (n, tag, b));
+        let mut rng = crate::test_rng("tuples");
+        for _ in 0..100 {
+            let (n, tag, _b) = crate::generate_case(&s, &mut rng);
+            assert!(n < 10);
+            assert_eq!(tag, "x");
+        }
+    }
+
+    #[test]
+    fn boxed_strategies_share_a_container() {
+        let options: Vec<BoxedStrategy<u64>> = vec![(0u64..5).boxed(), Just(42u64).boxed()];
+        let union = Union::new(options);
+        let mut rng = crate::test_rng("boxed");
+        for _ in 0..100 {
+            let v = crate::generate_case(&union, &mut rng);
+            assert!(v < 5 || v == 42);
         }
     }
 }
