@@ -18,9 +18,12 @@
 use proptest::prelude::*;
 
 use onslicing_domains::DomainKind;
-use onslicing_fleet::{BalancerConfig, ElasticFleetConfig};
+use onslicing_fleet::{
+    balance_policy_names, BalancePolicyName, BalancerConfig, ElasticFleetConfig,
+};
 use onslicing_scenario::{
-    FleetEvent, FleetScenario, Scenario, ScenarioEvent, SliceSpec, TimedFleetEvent,
+    admission_policy_names, AdmissionPolicyName, FleetEvent, FleetScenario, Scenario,
+    ScenarioEvent, SliceSpec, TimedFleetEvent,
 };
 use onslicing_slices::SliceKind;
 use onslicing_traffic::DiurnalTraceConfig;
@@ -58,12 +61,17 @@ pub struct ChaosCase {
     pub seed: u64,
     /// Admission controller estimated per-slice share.
     pub estimated_share: f64,
+    /// Registered admission policy the cells run (typo-proof: the name is
+    /// re-interned through the registry on deserialization).
+    pub admission_policy: AdmissionPolicyName,
     /// Admission controller headroom fraction.
     pub headroom: f64,
     /// Offline pretraining episodes per admitted slice.
     pub pretrain_episodes: usize,
     /// Whether the fleet balancer is on.
     pub balancer_enabled: bool,
+    /// Registered balance policy the balancer plans with.
+    pub balance_policy: BalancePolicyName,
     /// Balancer cadence in slots.
     pub balancer_cadence: usize,
     /// Balancer minimum load gap before it migrates.
@@ -79,8 +87,10 @@ impl ChaosCase {
         config.base.pretrain_episodes = self.pretrain_episodes;
         config.base.admission.estimated_share = self.estimated_share;
         config.base.admission.headroom = self.headroom;
+        config.base.admission.policy = self.admission_policy;
         config.balancer = BalancerConfig {
             enabled: self.balancer_enabled,
+            policy: self.balance_policy,
             cadence_slots: self.balancer_cadence,
             min_load_gap: self.min_load_gap,
             ..BalancerConfig::default()
@@ -265,6 +275,10 @@ pub fn chaos_case() -> impl Strategy<Value = ChaosCase> {
             prop::bool::ANY,
             prop::sample::select(vec![4usize, 6, 12]),
             prop::sample::select(vec![0.0, 0.25, 1.0]),
+            // Every registered policy pair is fair game: a case must hold
+            // the whole invariant battery whichever policies it drew.
+            prop::sample::select(admission_policy_names()),
+            prop::sample::select(balance_policy_names()),
         );
         (
             prop::collection::vec(slice_spec(), n_init),
@@ -284,6 +298,8 @@ pub fn chaos_case() -> impl Strategy<Value = ChaosCase> {
                         balancer_enabled,
                         balancer_cadence,
                         min_load_gap,
+                        admission_policy,
+                        balance_policy,
                     ),
                     plan,
                 )| {
@@ -300,9 +316,13 @@ pub fn chaos_case() -> impl Strategy<Value = ChaosCase> {
                         cells,
                         seed,
                         estimated_share,
+                        admission_policy: AdmissionPolicyName::parse(admission_policy)
+                            .expect("registry names parse"),
                         headroom,
                         pretrain_episodes,
                         balancer_enabled,
+                        balance_policy: BalancePolicyName::parse(balance_policy)
+                            .expect("registry names parse"),
                         balancer_cadence,
                         min_load_gap,
                         plan,

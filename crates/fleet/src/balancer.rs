@@ -22,14 +22,16 @@
 //! parallel stepping windows, so the same fleet produces the same migration
 //! schedule whatever the rayon worker count.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use onslicing_replay::{MigrationEvent, TelemetryRecorder};
 use onslicing_scenario::ScenarioEngine;
 use onslicing_slices::{ResourceKind, SliceKind};
 
+use crate::policy::{BalancePolicyName, BalanceSignals};
+
 /// Tuning of the fleet balancer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BalancerConfig {
     /// Whether rebalancing runs at all (off = PR 4's frozen sharding).
     pub enabled: bool,
@@ -46,6 +48,8 @@ pub struct BalancerConfig {
     pub violation_weight: f64,
     /// A source cell never drops to fewer active slices than this.
     pub min_slices_per_cell: usize,
+    /// The registered migration strategy to plan with (default `greedy`).
+    pub policy: BalancePolicyName,
 }
 
 impl Default for BalancerConfig {
@@ -63,7 +67,61 @@ impl Default for BalancerConfig {
             // the balancer chase last window's pain back and forth.
             violation_weight: 0.5,
             min_slices_per_cell: 1,
+            policy: BalancePolicyName::GREEDY,
         }
+    }
+}
+
+// Hand-written instead of derived so that the `policy` field is optional on
+// input (checkpoints and configs predating the registry carry none) and
+// defaults to `greedy`, the historical behaviour.
+impl Serialize for BalancerConfig {
+    fn serialize_value(&self) -> Value {
+        Value::Obj(vec![
+            ("enabled".to_string(), self.enabled.serialize_value()),
+            (
+                "cadence_slots".to_string(),
+                self.cadence_slots.serialize_value(),
+            ),
+            (
+                "max_migrations_per_round".to_string(),
+                self.max_migrations_per_round.serialize_value(),
+            ),
+            (
+                "min_load_gap".to_string(),
+                self.min_load_gap.serialize_value(),
+            ),
+            (
+                "violation_weight".to_string(),
+                self.violation_weight.serialize_value(),
+            ),
+            (
+                "min_slices_per_cell".to_string(),
+                self.min_slices_per_cell.serialize_value(),
+            ),
+            ("policy".to_string(), self.policy.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for BalancerConfig {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| DeError::msg(format!("BalancerConfig: missing field `{name}`")))
+        };
+        Ok(Self {
+            enabled: bool::from_value(field("enabled")?)?,
+            cadence_slots: usize::from_value(field("cadence_slots")?)?,
+            max_migrations_per_round: usize::from_value(field("max_migrations_per_round")?)?,
+            min_load_gap: f64::from_value(field("min_load_gap")?)?,
+            violation_weight: f64::from_value(field("violation_weight")?)?,
+            min_slices_per_cell: usize::from_value(field("min_slices_per_cell")?)?,
+            policy: match v.get("policy") {
+                Some(p) => BalancePolicyName::from_value(p)?,
+                None => BalancePolicyName::GREEDY,
+            },
+        })
     }
 }
 
@@ -182,6 +240,11 @@ pub struct FleetBalancer {
     /// the baseline the per-window SLA pressure is measured against.
     last_violations: Vec<usize>,
     last_episodes: Vec<usize>,
+    /// Cost/slice-slot totals at the previous window boundary, per cell —
+    /// the baseline the per-window cost rate (the `cost-aware` policy's
+    /// signal) is measured against.
+    last_cost_totals: Vec<f64>,
+    last_cost_slots: Vec<usize>,
 }
 
 impl FleetBalancer {
@@ -191,12 +254,34 @@ impl FleetBalancer {
             config,
             last_violations: vec![0; cells],
             last_episodes: vec![0; cells],
+            last_cost_totals: vec![0.0; cells],
+            last_cost_slots: vec![0; cells],
         }
     }
 
     /// The balancer's configuration.
     pub fn config(&self) -> &BalancerConfig {
         &self.config
+    }
+
+    /// Checks that this balancer's per-cell window baselines match a fleet
+    /// of `cells` cells — the guard a checkpoint restore runs so a snapshot
+    /// restored into a differently-shaped fleet fails loudly instead of
+    /// indexing out of bounds inside a later rebalancing round.
+    pub fn validate_cells(&self, cells: usize) -> Result<(), String> {
+        for (what, len) in [
+            ("violation", self.last_violations.len()),
+            ("episode", self.last_episodes.len()),
+            ("cost-total", self.last_cost_totals.len()),
+            ("cost-slot", self.last_cost_slots.len()),
+        ] {
+            if len != cells {
+                return Err(format!(
+                    "balancer {what} baselines cover {len} cell(s) but the fleet has {cells}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The weighted per-window SLA pressure of every cell: the violation
@@ -215,13 +300,28 @@ impl FleetBalancer {
             .collect()
     }
 
-    /// Runs one rebalancing round at global slot `slot`: repeatedly moves
-    /// the most loaded cell's highest-id slice to the least loaded cell
-    /// that passes its admission check (earlier same-round arrivals'
-    /// estimated shares reserved), until the load gap falls under the
-    /// threshold or the per-round migration budget is spent. Records the
-    /// departure/arrival pair in the cells' telemetry and returns the
-    /// applied migrations.
+    /// Per-slice-slot cost every cell accrued since the previous window
+    /// boundary — the deterministic signal the `cost-aware` policy drains
+    /// expensive cells by.
+    fn window_cost_terms(&self, cells: &[CellRuntime]) -> Vec<f64> {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let cost = c.engine.slot_cost_total() - self.last_cost_totals[i];
+                let slots = c.engine.slice_slots() - self.last_cost_slots[i];
+                cost / slots.max(1) as f64
+            })
+            .collect()
+    }
+
+    /// Runs one rebalancing round at global slot `slot`: repeatedly asks
+    /// the configured [`crate::BalancePolicy`] for a `(source, target)`
+    /// pair over the current deterministic signals and moves the source's
+    /// highest-id slice there (earlier same-round arrivals' estimated
+    /// shares reserved), until the policy declines or the per-round
+    /// migration budget is spent. Records the departure/arrival pair in the
+    /// cells' telemetry and returns the applied migrations.
     pub fn rebalance(
         &mut self,
         slot: usize,
@@ -231,14 +331,19 @@ impl FleetBalancer {
         if !self.config.enabled || cells.len() < 2 {
             return Ok(records);
         }
-        // Per-window SLA pressure is fixed for the round; utilization is
-        // re-measured after every migration (the move frees enforced shares
-        // at the source immediately).
+        self.validate_cells(cells.len())?;
+        // Per-window SLA pressure and cost rates are fixed for the round;
+        // utilization is re-measured after every migration (the move frees
+        // enforced shares at the source immediately).
         let violation_terms = self.violation_terms(cells);
+        let window_cost = self.window_cost_terms(cells);
         for (i, c) in cells.iter().enumerate() {
             self.last_violations[i] = c.engine.total_violations();
             self.last_episodes[i] = c.engine.total_episodes();
+            self.last_cost_totals[i] = c.engine.slot_cost_total();
+            self.last_cost_slots[i] = c.engine.slice_slots();
         }
+        let policy = self.config.policy.policy();
         for _ in 0..self.config.max_migrations_per_round {
             // A slice that was admitted or arrived at this boundary — by a
             // fleet-routed admission or an earlier migration of this round
@@ -255,40 +360,45 @@ impl FleetBalancer {
                             * c.engine.admission().reserved_share_per_admission()
                 })
                 .collect();
-            // Source: highest load among cells that can spare a slice;
-            // ties break toward the lower cell index.
-            let mut source: Option<usize> = None;
-            for (i, c) in cells.iter().enumerate() {
-                if c.engine.orchestrator().num_slices() <= self.config.min_slices_per_cell {
-                    continue;
-                }
-                if source.is_none_or(|s| loads[i] > loads[s]) {
-                    source = Some(i);
-                }
-            }
-            let Some(src) = source else { break };
-            // Target: lowest load among the other cells that pass their own
-            // admission check — `check_admission` reserves the estimated
-            // share of every slice pending at this boundary, whether it
-            // came from a fleet-routed admission or an earlier migration
-            // of this same round.
-            let mut target: Option<usize> = None;
-            for (i, c) in cells.iter().enumerate() {
-                if i == src {
-                    continue;
-                }
-                if c.engine.check_admission().is_err() {
-                    continue;
-                }
-                if target.is_none_or(|t| loads[i] < loads[t]) {
-                    target = Some(i);
-                }
-            }
-            let Some(dst) = target else { break };
-            // `<` (not a negated `>=`) so an infinite threshold — the
-            // forced-noop mode — compares cleanly and always breaks.
-            if loads[src] - loads[dst] < self.config.min_load_gap {
+            // Eligibility is policy-independent: a source must be able to
+            // spare a slice, a target must pass its own admission check —
+            // `check_admission` reserves the estimated share of every slice
+            // pending at this boundary, whether it came from a fleet-routed
+            // admission or an earlier migration of this same round.
+            let signals = BalanceSignals {
+                loads,
+                can_source: cells
+                    .iter()
+                    .map(|c| c.engine.orchestrator().num_slices() > self.config.min_slices_per_cell)
+                    .collect(),
+                can_target: cells
+                    .iter()
+                    .map(|c| c.engine.check_admission().is_ok())
+                    .collect(),
+                // Half a window of lookahead: over a full diurnal period
+                // the mean normalized traffic is phase-blind (every trace
+                // averages to its own day mean), while the next half-window
+                // still sees *where in the day* each cell's peak falls.
+                forecast: cells
+                    .iter()
+                    .map(|c| {
+                        c.engine
+                            .forecast_normalized_traffic((self.config.cadence_slots / 2).max(1))
+                    })
+                    .collect(),
+                window_cost: window_cost.clone(),
+                min_load_gap: self.config.min_load_gap,
+            };
+            let Some((src, dst)) = policy.plan_move(&signals) else {
                 break;
+            };
+            if src == dst || src >= cells.len() || dst >= cells.len() {
+                return Err(format!(
+                    "balance policy `{}` planned an invalid move {src} -> {dst} \
+                     over {} cell(s)",
+                    self.config.policy,
+                    cells.len()
+                ));
             }
             let from_slice = cells[src]
                 .engine

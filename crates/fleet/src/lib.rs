@@ -50,10 +50,15 @@ use onslicing_scenario::{Scenario, ScenarioConfig, ScenarioEngine, ScenarioRepor
 pub mod balancer;
 pub mod elastic;
 pub mod live;
+pub mod policy;
 
 pub use balancer::{cell_utilization, BalancerConfig, CellRuntime, FleetBalancer, MigrationRecord};
 pub use elastic::{ElasticFleetConfig, ElasticFleetRunner};
 pub use live::{ElasticFleet, FleetCheckpoint, FLEET_CHECKPOINT_FORMAT_VERSION};
+pub use policy::{
+    balance_policy_by_name, balance_policy_names, BalancePolicy, BalancePolicyName, BalanceSignals,
+    BALANCE_POLICIES,
+};
 
 /// Version stamp of the fleet-trace JSON layout; bump on breaking changes.
 pub const FLEET_TRACE_FORMAT_VERSION: u32 = 1;

@@ -527,6 +527,13 @@ impl FleetCheckpoint {
         if self.cells.is_empty() {
             return Err("fleet checkpoint holds no cells".to_string());
         }
+        // The balancer's window baselines were sized for the fleet shape at
+        // capture time; restoring them against a different cell count would
+        // index out of bounds inside a later rebalancing round. Fail loudly
+        // here instead.
+        self.balancer
+            .validate_cells(self.cells.len())
+            .map_err(|e| format!("fleet checkpoint is inconsistent: {e}"))?;
         Ok(ElasticFleet::assemble(
             self.scenario,
             self.config,
@@ -537,6 +544,17 @@ impl FleetCheckpoint {
             self.fleet_admissions_granted,
             self.fleet_admissions_denied,
         ))
+    }
+
+    /// The balance policy the checkpointed run was using. A resume must run
+    /// the same one, or its trace would splice two deterministic histories.
+    pub fn balance_policy(&self) -> crate::BalancePolicyName {
+        self.config.balancer.policy
+    }
+
+    /// The admission policy the checkpointed run was using.
+    pub fn admission_policy(&self) -> onslicing_scenario::AdmissionPolicyName {
+        self.config.base.admission.policy
     }
 
     /// Serializes to compact JSON.

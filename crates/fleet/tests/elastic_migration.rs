@@ -179,6 +179,7 @@ fn fleet_admissions_are_denied_fleet_wide_when_no_cell_can_host() {
             admission: AdmissionConfig {
                 estimated_share: 0.95,
                 headroom: 0.0,
+                ..Default::default()
             },
             ..ScenarioConfig::default()
         },

@@ -1,0 +1,146 @@
+//! Contract tests for the pluggable balance-policy registry.
+//!
+//! * Unknown policy names are startup errors that name the registered set —
+//!   both through the registry lookup and through `BalancerConfig`
+//!   deserialization, so a bad `config.toml` never reaches a run.
+//! * Selecting `greedy` through the registry is byte-identical to the
+//!   pre-registry balancer (the goldens and `BENCH_fleet.json` pin the same
+//!   fact from the outside; this pins it at the trace level).
+//! * The non-greedy policies honor the same checkpoint/resume contract as
+//!   greedy: a kill/resume mid-run yields a byte-identical final trace.
+//! * On `diurnal-fleet` a forecast-driven policy strictly beats greedy —
+//!   the "prediction can actually win" claim behind the tournament bench.
+
+use onslicing_fleet::{
+    balance_policy_by_name, balance_policy_names, BalancePolicyName, BalancerConfig,
+    ElasticFleetConfig, ElasticFleetRunner, FleetCheckpoint, FleetOutcome, BALANCE_POLICIES,
+};
+use onslicing_scenario::{diurnal_fleet, hotspot_shift};
+use serde::{Deserialize, Serialize};
+
+fn config_with(policy: BalancePolicyName) -> ElasticFleetConfig {
+    ElasticFleetConfig::new(2)
+        .with_seed(0)
+        .with_balancer(BalancerConfig {
+            policy,
+            ..BalancerConfig::default()
+        })
+}
+
+fn run_diurnal(policy: BalancePolicyName) -> FleetOutcome {
+    ElasticFleetRunner::new(diurnal_fleet(), config_with(policy))
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn unknown_balance_policy_is_a_startup_error_naming_the_registered_set() {
+    let err = balance_policy_by_name("round-robin")
+        .map(|p| p.name())
+        .unwrap_err();
+    assert!(
+        err.contains("unknown balance policy `round-robin`"),
+        "{err}"
+    );
+    for name in balance_policy_names() {
+        assert!(err.contains(name), "error must name `{name}`: {err}");
+    }
+    // The same check guards deserialized configs (fleetd's config.toml path):
+    // a well-formed config with a misspelled policy name must fail to parse.
+    let mut bad = BalancerConfig::default().serialize_value();
+    if let serde::Value::Obj(pairs) = &mut bad {
+        for (k, v) in pairs.iter_mut() {
+            if k == "policy" {
+                *v = serde::Value::Str("round-robin".to_string());
+            }
+        }
+    }
+    let err = BalancerConfig::from_value(&bad).unwrap_err();
+    assert!(err.0.contains("unknown balance policy"), "{}", err.0);
+}
+
+#[test]
+fn every_registered_policy_resolves_and_round_trips_by_name() {
+    for policy in BALANCE_POLICIES {
+        let resolved = balance_policy_by_name(policy.name()).unwrap();
+        assert_eq!(resolved.name(), policy.name());
+        let name = BalancePolicyName::parse(policy.name()).unwrap();
+        assert_eq!(name.as_str(), policy.name());
+        assert!(!policy.description().is_empty());
+    }
+}
+
+#[test]
+fn greedy_through_the_registry_is_byte_identical_to_the_default_config() {
+    let implicit =
+        ElasticFleetRunner::new(hotspot_shift(), ElasticFleetConfig::new(2).with_seed(0))
+            .unwrap()
+            .run()
+            .unwrap();
+    let explicit = ElasticFleetRunner::new(
+        hotspot_shift(),
+        config_with(BalancePolicyName::parse("greedy").unwrap()),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(
+        implicit.trace.to_json(),
+        explicit.trace.to_json(),
+        "selecting greedy by name must not perturb the pre-registry behavior"
+    );
+}
+
+#[test]
+fn tournament_has_a_non_greedy_winner_on_diurnal_fleet() {
+    let greedy = run_diurnal(BalancePolicyName::GREEDY).report;
+    let predictive = run_diurnal(BalancePolicyName::PREDICTIVE).report;
+    assert!(
+        predictive.sla_violation_percent <= greedy.sla_violation_percent,
+        "predictive must not lose SLA ground to greedy on diurnal-fleet \
+         (predictive {} vs greedy {})",
+        predictive.sla_violation_percent,
+        greedy.sla_violation_percent
+    );
+    assert!(
+        predictive.avg_slot_cost < greedy.avg_slot_cost,
+        "predictive must strictly beat greedy on avg slot cost on diurnal-fleet \
+         (predictive {} vs greedy {}) — it evacuates the morning-peak cell ahead \
+         of the surge instead of reacting to it",
+        predictive.avg_slot_cost,
+        greedy.avg_slot_cost
+    );
+}
+
+#[test]
+fn non_greedy_policies_survive_checkpoint_resume_byte_identically() {
+    for policy in [BalancePolicyName::PREDICTIVE, BalancePolicyName::COST_AWARE] {
+        let reference = run_diurnal(policy);
+        assert!(
+            !reference.report.migrations.is_empty(),
+            "{policy}: the diurnal run must migrate for this gate to bite",
+            policy = policy.as_str()
+        );
+        // Kill the fleet mid-run — past the first rebalancing round — and
+        // resume from the serialized checkpoint.
+        let mut fleet =
+            onslicing_fleet::ElasticFleet::new(diurnal_fleet(), config_with(policy)).unwrap();
+        let total = fleet.total_slots();
+        fleet.advance_to(total / 2).unwrap();
+        let frozen = fleet.checkpoint().to_json();
+        drop(fleet);
+        let mut resumed = FleetCheckpoint::from_json(&frozen)
+            .unwrap()
+            .restore()
+            .unwrap();
+        resumed.advance_to(total).unwrap();
+        let outcome = resumed.finish(1.0).unwrap();
+        assert_eq!(
+            reference.trace.to_json(),
+            outcome.trace.to_json(),
+            "{}: resumed trace diverges from the uninterrupted run",
+            policy.as_str()
+        );
+    }
+}

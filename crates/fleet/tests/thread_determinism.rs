@@ -9,8 +9,11 @@
 //! rayon reads `RAYON_NUM_THREADS` on every call, and mutating the process
 //! environment is only safe while no other thread reads it concurrently.
 
-use onslicing_fleet::{ElasticFleetConfig, ElasticFleetRunner, FleetConfig, FleetRunner};
-use onslicing_scenario::{hotspot_shift, Scenario, SliceSpec};
+use onslicing_fleet::{
+    BalancePolicyName, BalancerConfig, ElasticFleetConfig, ElasticFleetRunner, FleetConfig,
+    FleetRunner,
+};
+use onslicing_scenario::{diurnal_fleet, hotspot_shift, AdmissionPolicyName, Scenario, SliceSpec};
 use onslicing_slices::SliceKind;
 
 #[test]
@@ -38,12 +41,30 @@ fn fleet_trace_is_byte_identical_across_thread_counts() {
         );
         outcome.trace.to_json()
     };
+    // Every registered non-default policy rides the same gate: the plans of
+    // `predictive` and `cost-aware` (and the `cautious` admission variant)
+    // must also be pure functions of deterministic state.
+    let record_policy = |balance: &'static str| {
+        let mut config = ElasticFleetConfig::new(2)
+            .with_seed(5)
+            .with_balancer(BalancerConfig {
+                policy: BalancePolicyName::parse(balance).unwrap(),
+                ..BalancerConfig::default()
+            });
+        config.base.admission.policy = AdmissionPolicyName::parse("cautious").unwrap();
+        let runner = ElasticFleetRunner::new(diurnal_fleet(), config).unwrap();
+        runner.run().unwrap().trace.to_json()
+    };
     let previous = std::env::var("RAYON_NUM_THREADS").ok();
     let default_threads = record();
     let default_elastic = record_elastic();
+    let default_predictive = record_policy("predictive");
+    let default_cost_aware = record_policy("cost-aware");
     std::env::set_var("RAYON_NUM_THREADS", "1");
     let single_thread = record();
     let single_elastic = record_elastic();
+    let single_predictive = record_policy("predictive");
+    let single_cost_aware = record_policy("cost-aware");
     match previous {
         Some(value) => std::env::set_var("RAYON_NUM_THREADS", value),
         None => std::env::remove_var("RAYON_NUM_THREADS"),
@@ -55,5 +76,13 @@ fn fleet_trace_is_byte_identical_across_thread_counts() {
     assert_eq!(
         default_elastic, single_elastic,
         "elastic fleet traces (migrations included) must not depend on the rayon worker count"
+    );
+    assert_eq!(
+        default_predictive, single_predictive,
+        "predictive-policy traces must not depend on the rayon worker count"
+    );
+    assert_eq!(
+        default_cost_aware, single_cost_aware,
+        "cost-aware-policy traces must not depend on the rayon worker count"
     );
 }

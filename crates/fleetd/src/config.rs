@@ -12,8 +12,8 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use onslicing_fleet::{BalancerConfig, ElasticFleetConfig};
-use onslicing_scenario::ScenarioConfig;
+use onslicing_fleet::{BalancePolicyName, BalancerConfig, ElasticFleetConfig};
+use onslicing_scenario::{AdmissionConfig, AdmissionPolicyName, ScenarioConfig};
 
 /// One scalar TOML value.
 #[derive(Debug, Clone, PartialEq)]
@@ -182,11 +182,12 @@ impl FleetdConfig {
     pub fn from_toml(text: &str, config_dir: &Path) -> Result<Self, String> {
         let mut table = parse_toml(text)?;
         let mut root = table.remove("").unwrap_or_default();
+        let mut admission_section = table.remove("admission").unwrap_or_default();
         let mut balancer_section = table.remove("balancer").unwrap_or_default();
         let mut checkpoint_section = table.remove("checkpoint").unwrap_or_default();
         if let Some(section) = table.keys().next() {
             return Err(format!(
-                "unknown section `[{section}]` (expected [balancer] or [checkpoint])"
+                "unknown section `[{section}]` (expected [admission], [balancer] or [checkpoint])"
             ));
         }
 
@@ -217,7 +218,18 @@ impl FleetdConfig {
         }
         reject_unknown(&root, "the top level")?;
 
+        // Both policies resolve through their registries at parse time, so a
+        // misspelled name is a startup error naming the registered set.
+        let mut admission = AdmissionConfig::default();
+        if let Some(name) = take_str(&mut admission_section, "policy")? {
+            admission.policy = AdmissionPolicyName::parse(&name)?;
+        }
+        reject_unknown(&admission_section, "[admission]")?;
+
         let mut balancer = BalancerConfig::default();
+        if let Some(name) = take_str(&mut balancer_section, "policy")? {
+            balancer.policy = BalancePolicyName::parse(&name)?;
+        }
         if let Some(enabled) = take_bool(&mut balancer_section, "enabled")? {
             balancer.enabled = enabled;
         }
@@ -257,6 +269,7 @@ impl FleetdConfig {
             cells,
             base: ScenarioConfig {
                 seed,
+                admission,
                 ..ScenarioConfig::default()
             },
             balancer,
@@ -310,6 +323,17 @@ fn take_bool(section: &mut BTreeMap<String, TomlValue>, key: &str) -> Result<Opt
     }
 }
 
+fn take_str(
+    section: &mut BTreeMap<String, TomlValue>,
+    key: &str,
+) -> Result<Option<String>, String> {
+    match section.remove(key) {
+        None => Ok(None),
+        Some(TomlValue::Str(s)) => Ok(Some(s)),
+        Some(_) => Err(format!("`{key}` must be a string")),
+    }
+}
+
 fn take_f64(section: &mut BTreeMap<String, TomlValue>, key: &str) -> Result<Option<f64>, String> {
     match section.remove(key) {
         None => Ok(None),
@@ -342,8 +366,12 @@ control_socket = "/tmp/fleetd.sock"
 start_paused = true
 window_slots = 2
 
+[admission]
+policy = "cautious"
+
 [balancer]
 enabled = true
+policy = "predictive"
 cadence_slots = 6
 max_migrations_per_round = 1
 min_load_gap = 0.5
@@ -362,6 +390,8 @@ retain = 2
         assert_eq!(config.control_socket, Path::new("/tmp/fleetd.sock"));
         assert!(config.start_paused);
         assert_eq!(config.window_slots, 2);
+        assert_eq!(config.fleet.base.admission.policy.as_str(), "cautious");
+        assert_eq!(config.fleet.balancer.policy.as_str(), "predictive");
         assert_eq!(config.fleet.balancer.cadence_slots, 6);
         assert_eq!(config.fleet.balancer.min_load_gap, 0.5);
         assert_eq!(config.fleet.balancer.min_slices_per_cell, 2);
@@ -410,6 +440,13 @@ retain = 2
                 .unwrap_err()
                 .contains("expected `key = value`")
         );
+        let err =
+            FleetdConfig::from_toml("scenario = \"x\"\n[balancer]\npolicy = \"fastest\"", dir)
+                .unwrap_err();
+        assert!(err.contains("unknown balance policy `fastest`"), "{err}");
+        let err = FleetdConfig::from_toml("scenario = \"x\"\n[admission]\npolicy = \"open\"", dir)
+            .unwrap_err();
+        assert!(err.contains("unknown admission policy `open`"), "{err}");
         assert!(
             FleetdConfig::from_toml("scenario = \"x\"\n[weird]\nk = 1", dir)
                 .unwrap_err()

@@ -133,7 +133,9 @@ fn build_or_resume(config: &FleetdConfig) -> Result<ElasticFleet, String> {
 }
 
 /// A checkpoint is only resumable into a daemon whose config names the
-/// same run: same scenario, same master seed.
+/// same run: same scenario, same master seed, same admission and balance
+/// policies — resuming under a different policy would splice two different
+/// deterministic histories into one trace.
 fn check_compatible(
     config: &FleetdConfig,
 ) -> impl Fn(FleetCheckpoint) -> Result<FleetCheckpoint, String> + '_ {
@@ -148,6 +150,20 @@ fn check_compatible(
             return Err(format!(
                 "it was seeded {}, config says {}",
                 checkpoint.master_seed, config.fleet.base.seed
+            ));
+        }
+        if checkpoint.balance_policy() != config.fleet.balancer.policy {
+            return Err(format!(
+                "it ran balance policy `{}`, config says `{}`",
+                checkpoint.balance_policy(),
+                config.fleet.balancer.policy
+            ));
+        }
+        if checkpoint.admission_policy() != config.fleet.base.admission.policy {
+            return Err(format!(
+                "it ran admission policy `{}`, config says `{}`",
+                checkpoint.admission_policy(),
+                config.fleet.base.admission.policy
             ));
         }
         Ok(checkpoint)
@@ -341,6 +357,22 @@ impl Service<'_> {
             ("complete", Value::Bool(self.fleet.is_complete())),
             ("paused", Value::Bool(self.paused)),
             ("cells", Value::UInt(self.fleet.cells().len() as u64)),
+            (
+                "admission_policy",
+                Value::Str(
+                    self.fleet
+                        .config()
+                        .base
+                        .admission
+                        .policy
+                        .as_str()
+                        .to_string(),
+                ),
+            ),
+            (
+                "balance_policy",
+                Value::Str(self.fleet.config().balancer.policy.as_str().to_string()),
+            ),
             (
                 "active_slices",
                 Value::UInt(self.fleet.active_slices() as u64),
@@ -633,6 +665,30 @@ mod tests {
         plant(&dir, 16, &checkpoint_json(SCENARIO, 99, 16));
         let fleet = build_or_resume(&test_config(&dir)).unwrap();
         assert_eq!(fleet.slot(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_mismatches_fall_back() {
+        use onslicing_fleet::{BalancePolicyName, BalancerConfig};
+        let dir = scratch("policy-mismatch");
+        plant(&dir, 8, &checkpoint_json(SCENARIO, SEED, 8));
+        // Slot 16: same scenario and seed, but the run used the predictive
+        // balancer — a greedy daemon must not splice its history in.
+        let mut fleet = ElasticFleet::new(
+            fleet_by_name(SCENARIO).unwrap(),
+            ElasticFleetConfig::new(2)
+                .with_seed(SEED)
+                .with_balancer(BalancerConfig {
+                    policy: BalancePolicyName::PREDICTIVE,
+                    ..BalancerConfig::default()
+                }),
+        )
+        .unwrap();
+        fleet.advance_to(16).unwrap();
+        plant(&dir, 16, &fleet.checkpoint().to_json());
+        let resumed = build_or_resume(&test_config(&dir)).unwrap();
+        assert_eq!(resumed.slot(), 8);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use onslicing_core::SliceCheckpoint;
 use onslicing_domains::SliceId;
-use onslicing_scenario::ScenarioEngine;
+use onslicing_scenario::{AdmissionPolicyName, ScenarioEngine};
 
 use crate::fsio::atomic_write;
 
@@ -93,6 +93,30 @@ impl Checkpoint {
     /// remaining slots.
     pub fn restore(self) -> ScenarioEngine {
         self.engine
+    }
+
+    /// The admission policy the checkpointed run was using (carried inside
+    /// the serialized engine's configuration).
+    pub fn admission_policy(&self) -> AdmissionPolicyName {
+        self.engine.config().admission.policy
+    }
+
+    /// Like [`Checkpoint::restore`], but first verifies the run was using
+    /// `expected` — resuming under a different admission policy would
+    /// splice two different deterministic histories into one trace, so the
+    /// mismatch is refused loudly instead.
+    pub fn restore_expecting(
+        self,
+        expected: AdmissionPolicyName,
+    ) -> Result<ScenarioEngine, String> {
+        let actual = self.admission_policy();
+        if actual != expected {
+            return Err(format!(
+                "checkpoint was captured under admission policy `{actual}`, \
+                 resume requested `{expected}`"
+            ));
+        }
+        Ok(self.engine)
     }
 
     /// Serializes to compact JSON.
@@ -235,6 +259,35 @@ mod tests {
             .restore();
         assert_eq!(restored.current_slot(), 5);
         assert!(!restored.is_finished());
+    }
+
+    #[test]
+    fn resume_refuses_a_different_admission_policy() {
+        let cautious = ScenarioConfig {
+            admission: onslicing_scenario::AdmissionConfig {
+                policy: AdmissionPolicyName::CAUTIOUS,
+                ..Default::default()
+            },
+            ..ScenarioConfig::default()
+        };
+        let mut engine = ScenarioEngine::new(builtin::steady(), cautious).unwrap();
+        engine.run_until(3, &mut ());
+        let checkpoint = Checkpoint::capture(&engine);
+        assert_eq!(checkpoint.admission_policy(), AdmissionPolicyName::CAUTIOUS);
+        let err = Checkpoint::from_json(&checkpoint.to_json())
+            .unwrap()
+            .restore_expecting(AdmissionPolicyName::GREEDY)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            err.contains("captured under admission policy `cautious`"),
+            "{err}"
+        );
+        let restored = Checkpoint::from_json(&checkpoint.to_json())
+            .unwrap()
+            .restore_expecting(AdmissionPolicyName::CAUTIOUS)
+            .unwrap();
+        assert_eq!(restored.current_slot(), 3);
     }
 
     #[test]

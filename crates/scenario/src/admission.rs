@@ -5,20 +5,243 @@
 //! resource, the effective (possibly fault-degraded) capacity minus the
 //! allocations the domain managers currently enforce must leave room for the
 //! newcomer's estimated steady-state share plus a configurable headroom.
+//!
+//! **Policy registry.** The decision rule itself is pluggable: an
+//! [`AdmissionPolicy`] is a named, deterministic strategy registered in
+//! [`ADMISSION_POLICIES`] and selected by name through
+//! [`AdmissionConfig::policy`]. The historical residual-capacity rule is the
+//! `greedy` policy and stays the default; unknown names are configuration
+//! errors that list the known set. Every policy must be a pure function of
+//! `(config, domains, reserved)` so admission decisions — and therefore
+//! traces — stay byte-identical across thread counts and checkpoint/resume.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use onslicing_domains::DomainSet;
 use onslicing_slices::ResourceKind;
 
+/// A named admission strategy: given the tuning, the live domain state and
+/// the capacity already pledged this slot, decide whether one more slice
+/// fits. Implementations must be pure functions of their arguments —
+/// no interior state, clocks or randomness — so the decision is part of the
+/// deterministic trace contract.
+pub trait AdmissionPolicy: Sync {
+    /// The registry name (`config.toml` / scenario key).
+    fn name(&self) -> &'static str;
+    /// One-line, human-readable summary for catalogues and status verbs.
+    fn description(&self) -> &'static str;
+    /// The decision itself; see [`AdmissionController::evaluate_with_reserved`].
+    fn evaluate(
+        &self,
+        config: &AdmissionConfig,
+        domains: &DomainSet,
+        reserved: f64,
+    ) -> Result<(), AdmissionDenied>;
+}
+
+/// The historical residual-capacity rule: admit whenever every resource's
+/// residual covers the newcomer's estimated share plus headroom plus the
+/// same-slot reservations. This is the repo's original hard-coded check,
+/// unchanged, so selecting `greedy` through the registry is byte-identical
+/// to the pre-registry behaviour.
+struct GreedyAdmission;
+
+impl AdmissionPolicy for GreedyAdmission {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn description(&self) -> &'static str {
+        "admit while residual capacity covers share + headroom (original rule)"
+    }
+
+    fn evaluate(
+        &self,
+        config: &AdmissionConfig,
+        domains: &DomainSet,
+        reserved: f64,
+    ) -> Result<(), AdmissionDenied> {
+        for resource in ResourceKind::ALL {
+            let residual = domains.residual_capacity(resource);
+            let required =
+                config.estimated_share + config.headroom * domains.capacity_of(resource) + reserved;
+            if residual < required {
+                return Err(AdmissionDenied {
+                    resource,
+                    residual,
+                    required,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Like `greedy`, but keeps one extra newcomer's estimated share free on
+/// every resource: the fleet can always absorb the *next* admission (or a
+/// migrated-in slice) without rejecting it at the brim. Trades peak packing
+/// density for slack under churn.
+struct CautiousAdmission;
+
+impl AdmissionPolicy for CautiousAdmission {
+    fn name(&self) -> &'static str {
+        "cautious"
+    }
+
+    fn description(&self) -> &'static str {
+        "greedy plus one extra estimated share of slack kept free per resource"
+    }
+
+    fn evaluate(
+        &self,
+        config: &AdmissionConfig,
+        domains: &DomainSet,
+        reserved: f64,
+    ) -> Result<(), AdmissionDenied> {
+        for resource in ResourceKind::ALL {
+            let residual = domains.residual_capacity(resource);
+            let required = 2.0 * config.estimated_share
+                + config.headroom * domains.capacity_of(resource)
+                + reserved;
+            if residual < required {
+                return Err(AdmissionDenied {
+                    resource,
+                    residual,
+                    required,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Every registered admission policy, in catalogue order. `greedy` first —
+/// it is the default and the backwards-compatibility anchor.
+pub static ADMISSION_POLICIES: [&'static dyn AdmissionPolicy; 2] =
+    [&GreedyAdmission, &CautiousAdmission];
+
+/// The registered admission-policy names, in catalogue order.
+pub fn admission_policy_names() -> Vec<&'static str> {
+    ADMISSION_POLICIES.iter().map(|p| p.name()).collect()
+}
+
+/// Looks up a registered admission policy; unknown names are errors that
+/// name the known set (the startup-error contract for config files).
+pub fn admission_policy_by_name(name: &str) -> Result<&'static dyn AdmissionPolicy, String> {
+    ADMISSION_POLICIES
+        .iter()
+        .copied()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown admission policy `{name}` (registered: {})",
+                admission_policy_names().join(", ")
+            )
+        })
+}
+
+/// An interned, copyable handle to a registered admission policy. Only
+/// constructible through the registry, so a held name is always resolvable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicyName(&'static str);
+
+impl AdmissionPolicyName {
+    /// The default policy — the historical residual-capacity rule.
+    pub const GREEDY: Self = Self("greedy");
+    /// The slack-keeping variant.
+    pub const CAUTIOUS: Self = Self("cautious");
+
+    /// Interns a user-supplied name through the registry.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        admission_policy_by_name(name).map(|p| Self(p.name()))
+    }
+
+    /// The registry name.
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+
+    /// The policy this name resolves to.
+    pub fn policy(&self) -> &'static dyn AdmissionPolicy {
+        admission_policy_by_name(self.0).expect("interned admission policy name is registered")
+    }
+}
+
+impl Default for AdmissionPolicyName {
+    fn default() -> Self {
+        Self::GREEDY
+    }
+}
+
+impl std::fmt::Display for AdmissionPolicyName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+// Serialized as the bare registry name; deserialization re-interns through
+// the registry so unknown names fail with the known set listed.
+impl Serialize for AdmissionPolicyName {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.0.to_string())
+    }
+}
+
+impl Deserialize for AdmissionPolicyName {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::msg("expected a string for an admission policy name"))?;
+        Self::parse(s).map_err(DeError)
+    }
+}
+
 /// Tuning of the admission check.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdmissionConfig {
     /// Estimated steady-state share of each resource a new slice needs.
     pub estimated_share: f64,
     /// Fraction of each resource's effective capacity kept free on top of
     /// the estimate (0.0 = admit up to the brim).
     pub headroom: f64,
+    /// The registered decision rule to apply (default `greedy`).
+    pub policy: AdmissionPolicyName,
+}
+
+// Hand-written instead of derived so that the `policy` field is optional on
+// input (older scenario files and checkpoints predate it) and defaults to
+// `greedy`, the historical behaviour.
+impl Serialize for AdmissionConfig {
+    fn serialize_value(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "estimated_share".to_string(),
+                self.estimated_share.serialize_value(),
+            ),
+            ("headroom".to_string(), self.headroom.serialize_value()),
+            ("policy".to_string(), self.policy.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for AdmissionConfig {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| DeError::msg(format!("AdmissionConfig: missing field `{name}`")))
+        };
+        let estimated_share = f64::from_value(field("estimated_share")?)?;
+        let headroom = f64::from_value(field("headroom")?)?;
+        let policy = match v.get("policy") {
+            Some(p) => AdmissionPolicyName::from_value(p)?,
+            None => AdmissionPolicyName::GREEDY,
+        };
+        Ok(Self {
+            estimated_share,
+            headroom,
+            policy,
+        })
+    }
 }
 
 impl AdmissionConfig {
@@ -42,6 +265,7 @@ impl Default for AdmissionConfig {
         Self {
             estimated_share: 0.15,
             headroom: 0.0,
+            policy: AdmissionPolicyName::GREEDY,
         }
     }
 }
@@ -123,20 +347,10 @@ impl AdmissionController {
         domains: &DomainSet,
         reserved: f64,
     ) -> Result<(), AdmissionDenied> {
-        for resource in ResourceKind::ALL {
-            let residual = domains.residual_capacity(resource);
-            let required = self.config.estimated_share
-                + self.config.headroom * domains.capacity_of(resource)
-                + reserved;
-            if residual < required {
-                return Err(AdmissionDenied {
-                    resource,
-                    residual,
-                    required,
-                });
-            }
-        }
-        Ok(())
+        self.config
+            .policy
+            .policy()
+            .evaluate(&self.config, domains, reserved)
     }
 
     /// The capacity one admitted-but-not-yet-enforced slice is assumed to
@@ -157,6 +371,7 @@ mod tests {
         let controller = AdmissionController::new(AdmissionConfig {
             estimated_share: 0.3,
             headroom: 0.0,
+            ..Default::default()
         });
         let mut domains = DomainSet::testbed_default();
         assert!(controller.evaluate(&domains).is_ok());
@@ -180,6 +395,7 @@ mod tests {
         let controller = AdmissionController::new(AdmissionConfig {
             estimated_share: 1e-9,
             headroom: 0.0,
+            ..Default::default()
         });
         let mut domains = DomainSet::testbed_default();
         domains.create_slice(SliceId(0)).unwrap();
@@ -215,6 +431,7 @@ mod tests {
         let controller = AdmissionController::new(AdmissionConfig {
             estimated_share: 0.4,
             headroom: 0.0,
+            ..Default::default()
         });
         let mut domains = DomainSet::testbed_default();
         domains.create_slice(SliceId(0)).unwrap();
@@ -230,10 +447,12 @@ mod tests {
         let tight = AdmissionController::new(AdmissionConfig {
             estimated_share: 0.5,
             headroom: 0.0,
+            ..Default::default()
         });
         let cautious = AdmissionController::new(AdmissionConfig {
             estimated_share: 0.5,
             headroom: 0.6,
+            ..Default::default()
         });
         let domains = DomainSet::testbed_default();
         assert!(tight.evaluate(&domains).is_ok());
@@ -246,6 +465,7 @@ mod tests {
         let _ = AdmissionController::new(AdmissionConfig {
             estimated_share: 0.1,
             headroom: 1.0,
+            ..Default::default()
         });
     }
 
@@ -257,6 +477,7 @@ mod tests {
         let controller = AdmissionController::new(AdmissionConfig {
             estimated_share: 0.4,
             headroom: 0.0,
+            ..Default::default()
         });
         let domains = DomainSet::testbed_default();
         assert!(controller.evaluate_with_reserved(&domains, 0.0).is_ok());
@@ -272,16 +493,95 @@ mod tests {
     }
 
     #[test]
+    fn unknown_admission_policy_is_a_startup_error_naming_the_registered_set() {
+        let err = admission_policy_by_name("permissive")
+            .map(|p| p.name())
+            .unwrap_err();
+        assert!(
+            err.contains("unknown admission policy `permissive`"),
+            "{err}"
+        );
+        for name in admission_policy_names() {
+            assert!(err.contains(name), "error must name `{name}`: {err}");
+        }
+        assert!(AdmissionPolicyName::parse("permissive").is_err());
+    }
+
+    #[test]
+    fn every_registered_admission_policy_resolves_by_name() {
+        for policy in ADMISSION_POLICIES {
+            let resolved = admission_policy_by_name(policy.name()).unwrap();
+            assert_eq!(resolved.name(), policy.name());
+            assert!(!policy.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn cautious_policy_denies_where_greedy_admits() {
+        // Residual 1.0. Greedy needs 0.4; cautious doubles the estimate to
+        // 0.8 + the same headroom — a newcomer that greedy admits with a
+        // 0.3 reservation outstanding is denied by cautious.
+        let greedy = AdmissionController::new(AdmissionConfig {
+            estimated_share: 0.4,
+            headroom: 0.0,
+            policy: AdmissionPolicyName::GREEDY,
+        });
+        let cautious = AdmissionController::new(AdmissionConfig {
+            estimated_share: 0.4,
+            headroom: 0.0,
+            policy: AdmissionPolicyName::CAUTIOUS,
+        });
+        let domains = DomainSet::testbed_default();
+        assert!(greedy.evaluate_with_reserved(&domains, 0.3).is_ok());
+        let denied = cautious.evaluate_with_reserved(&domains, 0.3).unwrap_err();
+        assert!((denied.required - 1.1).abs() < 1e-12);
+        // With nothing reserved the testbed still has room for 2x 0.4.
+        assert!(cautious.evaluate_with_reserved(&domains, 0.0).is_ok());
+    }
+
+    #[test]
+    fn admission_config_policy_field_round_trips_and_defaults_to_greedy() {
+        // A config serialized before the registry existed has no `policy`
+        // key; deserialization must default it to greedy.
+        let mut legacy = AdmissionConfig::default().serialize_value();
+        if let Value::Obj(pairs) = &mut legacy {
+            pairs.retain(|(k, _)| k != "policy");
+        }
+        let config = AdmissionConfig::from_value(&legacy).unwrap();
+        assert_eq!(config.policy, AdmissionPolicyName::GREEDY);
+        // An explicit cautious selection round-trips...
+        let cautious = AdmissionConfig {
+            policy: AdmissionPolicyName::CAUTIOUS,
+            ..Default::default()
+        };
+        let back = AdmissionConfig::from_value(&cautious.serialize_value()).unwrap();
+        assert_eq!(back.policy, AdmissionPolicyName::CAUTIOUS);
+        // ...and a misspelled one fails to parse.
+        let mut bad = AdmissionConfig::default().serialize_value();
+        if let Value::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "policy" {
+                    *v = Value::Str("permissive".to_string());
+                }
+            }
+        }
+        let err = AdmissionConfig::from_value(&bad).unwrap_err();
+        assert!(err.0.contains("unknown admission policy"), "{}", err.0);
+    }
+
+    #[test]
     fn try_new_reports_invalid_tuning_instead_of_panicking() {
         assert!(AdmissionController::try_new(AdmissionConfig {
             estimated_share: 0.0,
             headroom: 0.0,
+            ..Default::default()
         })
         .unwrap_err()
         .contains("estimated share"));
         assert!(AdmissionController::try_new(AdmissionConfig {
             estimated_share: 0.1,
             headroom: 1.5,
+            ..Default::default()
         })
         .unwrap_err()
         .contains("headroom"));

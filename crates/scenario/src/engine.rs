@@ -702,6 +702,43 @@ impl ScenarioEngine {
         self.stats.values().map(|s| s.episode_costs.len()).sum()
     }
 
+    /// Cumulative deterministic cost of every executed slot so far — the
+    /// running numerator of the report's `avg_slot_cost`. Like the violation
+    /// totals, this is pure simulated state, so a balance policy may use it.
+    pub fn slot_cost_total(&self) -> f64 {
+        self.run.slot_cost_total
+    }
+
+    /// Slice-slots executed so far — the running denominator of the
+    /// report's `avg_slot_cost`.
+    pub fn slice_slots(&self) -> usize {
+        self.run.report.slice_slots
+    }
+
+    /// Mean normalized traffic this cell's slices will see over the next
+    /// `window` slots, read off each slice's deterministic arrival trace
+    /// from its current in-episode position (traces wrap at the horizon).
+    /// A pure function of simulated state — wall clocks never enter — so a
+    /// predictive balance policy may plan on it without breaking the
+    /// byte-identical-trace contract. Returns 0.0 for an empty cell or a
+    /// zero window.
+    pub fn forecast_normalized_traffic(&self, window: usize) -> f64 {
+        let envs = self.orch.env().envs();
+        if envs.is_empty() || window == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for env in envs {
+            let start = env.slot();
+            let mut sum = 0.0;
+            for k in 0..window {
+                sum += env.normalized_traffic_at(start + k);
+            }
+            total += sum / window as f64;
+        }
+        total / envs.len() as f64
+    }
+
     /// Admits a slice built from `spec` without consulting this engine's
     /// admission controller — the caller (e.g. a fleet-level admission
     /// controller that already reserved capacity here) decides placement.
@@ -1335,6 +1372,7 @@ mod tests {
             admission: AdmissionConfig {
                 estimated_share: 0.9,
                 headroom: 0.0,
+                ..Default::default()
             },
             ..quick_config()
         };
@@ -1377,6 +1415,7 @@ mod tests {
             admission: AdmissionConfig {
                 estimated_share: 0.4,
                 headroom: 0.0,
+                ..Default::default()
             },
             ..quick_config()
         };
@@ -1541,6 +1580,7 @@ mod tests {
             admission: AdmissionConfig {
                 estimated_share: 0.4,
                 headroom: 0.0,
+                ..Default::default()
             },
             ..quick_config()
         };
@@ -1605,6 +1645,7 @@ mod tests {
             admission: AdmissionConfig {
                 estimated_share: 0.1,
                 headroom: 2.0,
+                ..Default::default()
             },
             ..quick_config()
         };
@@ -1652,6 +1693,7 @@ mod tests {
             admission: AdmissionConfig {
                 estimated_share: 0.9,
                 headroom: 0.0,
+                ..Default::default()
             },
             ..quick_config()
         };
@@ -1690,6 +1732,7 @@ mod tests {
             admission: AdmissionConfig {
                 estimated_share: 0.4,
                 headroom: 0.0,
+                ..Default::default()
             },
             ..quick_config()
         };

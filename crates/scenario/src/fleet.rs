@@ -20,11 +20,12 @@ use serde::{Deserialize, Serialize};
 
 use onslicing_domains::DomainKind;
 use onslicing_slices::SliceKind;
+use onslicing_traffic::DiurnalTraceConfig;
 
 use crate::spec::{Scenario, ScenarioEvent, SliceSpec};
 
 /// Names of the built-in fleet scenarios, in catalogue order.
-pub const FLEET_BUILTIN_NAMES: [&str; 2] = ["hotspot-shift", "cell-outage"];
+pub const FLEET_BUILTIN_NAMES: [&str; 3] = ["hotspot-shift", "cell-outage", "diurnal-fleet"];
 
 /// One scripted occurrence in a fleet timeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -272,9 +273,66 @@ pub fn cell_outage() -> FleetScenario {
         .fleet_admit(24, SliceSpec::new(SliceKind::Rdc))
 }
 
+/// A diurnal regime shift concentrated on cell 0: early in the run its four
+/// slices are re-profiled to the evening-peaked HVS tenant mix (effective
+/// from the second episode), and just after the first rebalancing window
+/// their traffic scale jumps to 1.7× — a surge every slice's deterministic
+/// arrival trace announces a full window before violations accumulate. A
+/// fleet-routed admission shortly after the shift opens a mid-window sync
+/// point where a forecast-driven balancer can migrate *ahead* of the peak,
+/// while a purely reactive one still sees yesterday's load.
+pub fn diurnal_fleet() -> FleetScenario {
+    // An early-morning-peaked tenant mix: the diurnal peak lands on the
+    // first slots of every episode — right *after* each rebalancing round,
+    // where a reactive balancer is blind (utilization still shows the
+    // pre-dawn lull and the window's violations have not closed yet), while
+    // the deterministic trace forecast sees the peak coming.
+    let morning_peak = DiurnalTraceConfig {
+        peak_rate: 5.0,
+        base_fraction: 0.1,
+        second_harmonic: 0.0,
+        peak_hour: 4.0,
+        noise_std: 0.12,
+        weekend_dip: 0.0,
+    };
+    let mut fleet = FleetScenario::new(elastic_base("diurnal-fleet", 1.8), 2).describe(
+        "Cell 0's tenants shift to a morning-peaked profile and three extra tenants land there \
+         during the night lull; the next peak is visible only in the trace forecast, so a \
+         forecast-driven balancer evacuates ahead of it while a reactive one waits for the \
+         violations",
+    );
+    for slice in 0..4 {
+        fleet = fleet.at_cell(
+            2,
+            0,
+            ScenarioEvent::SetTraceProfile {
+                slice,
+                profile: morning_peak.clone(),
+            },
+        );
+    }
+    // Three extra tenants land on cell 0 during the pre-dawn lull (slot 10,
+    // just before the rebalancing round at slot 12): enforced shares — and
+    // with them a reactive balancer's utilization signal — stay low until
+    // the morning peak actually hits at slots 12-16.
+    for k in 0..3 {
+        fleet = fleet.at_cell(
+            10,
+            0,
+            ScenarioEvent::AdmitSlice {
+                slice: SliceSpec::new(SliceKind::ALL[k % 3]),
+            },
+        );
+    }
+    for slice in 0..4 {
+        fleet = fleet.at_cell(11, 0, ScenarioEvent::SetTrafficScale { slice, scale: 1.6 });
+    }
+    fleet.fleet_admit(40, SliceSpec::new(SliceKind::Mar))
+}
+
 /// Every built-in fleet scenario, in [`FLEET_BUILTIN_NAMES`] order.
 pub fn all_fleet_builtins() -> Vec<FleetScenario> {
-    vec![hotspot_shift(), cell_outage()]
+    vec![hotspot_shift(), cell_outage(), diurnal_fleet()]
 }
 
 /// Looks a built-in fleet scenario up by name.

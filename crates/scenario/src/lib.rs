@@ -40,14 +40,17 @@ pub mod engine;
 pub mod fleet;
 pub mod spec;
 
-pub use admission::{AdmissionConfig, AdmissionController, AdmissionDenied};
+pub use admission::{
+    admission_policy_by_name, admission_policy_names, AdmissionConfig, AdmissionController,
+    AdmissionDenied, AdmissionPolicy, AdmissionPolicyName, ADMISSION_POLICIES,
+};
 pub use engine::{
     derive_cell_seed, run_scenario, EpisodeEndEvent, LiveEventOutcome, ScenarioConfig,
     ScenarioEngine, ScenarioReport, SliceMigration, SliceReport, SlotObserver, SlotSample,
     TrafficRestore,
 };
 pub use fleet::{
-    all_fleet_builtins, cell_outage, fleet_by_name, hotspot_shift, FleetEvent, FleetScenario,
-    TimedFleetEvent, FLEET_BUILTIN_NAMES,
+    all_fleet_builtins, cell_outage, diurnal_fleet, fleet_by_name, hotspot_shift, FleetEvent,
+    FleetScenario, TimedFleetEvent, FLEET_BUILTIN_NAMES,
 };
 pub use spec::{Scenario, ScenarioEvent, SliceSpec, TimedEvent};
