@@ -1,0 +1,532 @@
+//! A hand-rolled Rust lexer: just enough token structure to lint source
+//! reliably without a full parser.
+//!
+//! The rules in this crate are token-sequence matchers, so the only job of
+//! the lexer is to never confuse code with non-code: string literals
+//! (including raw strings with arbitrary `#` fences and byte strings),
+//! char literals vs lifetimes, line comments, and *nested* block comments
+//! must all be classified correctly, or a doc comment mentioning
+//! `Instant::now` would trip the wall-clock rule. Numbers and punctuation
+//! are tokenized loosely — the rules never inspect them beyond identity.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// A `//` comment (doc comments included), text up to the newline.
+    LineComment,
+    /// A `/* ... */` comment, nesting handled.
+    BlockComment,
+    /// A string literal: `"..."`, `b"..."`, raw `r"..."`/`r#"..."#` and
+    /// byte-raw variants.
+    Str,
+    /// A char or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime: `'a`, `'static`.
+    Lifetime,
+    /// A numeric literal (integers, floats, hex/oct/bin, suffixes).
+    Number,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Verbatim source text (comments keep their delimiters).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens. Unterminated constructs (string, block
+/// comment) consume to end of input rather than erroring: a linter must
+/// degrade gracefully on code rustc would reject anyway.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: usize) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.chars.len() {
+            let c = self.chars[self.pos];
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                '/' if self.peek(1) == Some('/') => {
+                    while self.pos < self.chars.len() && self.chars[self.pos] != '\n' {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.block_comment(start, line);
+                }
+                '"' => {
+                    self.string_body();
+                    self.push(TokenKind::Str, start, line);
+                }
+                'b' | 'r' if self.try_prefixed_literal(start, line) => {}
+                '\'' => self.char_or_lifetime(start, line),
+                c if is_ident_start(c) => {
+                    while self.pos < self.chars.len() && is_ident_continue(self.chars[self.pos]) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line);
+                }
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// `/* ... */` with arbitrary nesting; unterminated runs to EOF.
+    fn block_comment(&mut self, start: usize, line: usize) {
+        let mut depth = 0usize;
+        while self.pos < self.chars.len() {
+            if self.chars[self.pos] == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.chars[self.pos] == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    /// Consumes a `"..."` body (opening quote included), honoring `\`
+    /// escapes; multi-line strings keep the line counter honest.
+    fn string_body(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.chars.len() {
+            match self.chars[self.pos] {
+                '\\' => {
+                    self.bump();
+                    if self.pos < self.chars.len() {
+                        self.bump();
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Handles literals introduced by `b` or `r`: byte strings `b"..."`,
+    /// byte chars `b'x'`, raw strings `r"..."` / `r##"..."##`, byte-raw
+    /// strings `br#"..."#`, and raw identifiers `r#type`. Returns false
+    /// when the prefix is just the start of an ordinary identifier
+    /// (`balance`, `run`, ...), leaving the position untouched.
+    fn try_prefixed_literal(&mut self, start: usize, line: usize) -> bool {
+        let c = self.chars[self.pos];
+        // b'x' byte char literal.
+        if c == 'b' && self.peek(1) == Some('\'') {
+            self.bump();
+            self.char_body();
+            self.push(TokenKind::Char, start, line);
+            return true;
+        }
+        // b"..." byte string.
+        if c == 'b' && self.peek(1) == Some('"') {
+            self.bump();
+            self.string_body();
+            self.push(TokenKind::Str, start, line);
+            return true;
+        }
+        // Raw forms: r"..."  r#"..."#  br"..."  br#"..."#  and r#ident.
+        let raw_at = match (c, self.peek(1)) {
+            ('r', _) => 1,
+            ('b', Some('r')) => 2,
+            _ => return false,
+        };
+        let mut hashes = 0usize;
+        while self.peek(raw_at + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(raw_at + hashes) {
+            Some('"') => {
+                for _ in 0..raw_at + hashes + 1 {
+                    self.bump();
+                }
+                self.raw_string_body(hashes);
+                self.push(TokenKind::Str, start, line);
+                true
+            }
+            // `r#type`: a raw identifier, not a raw string.
+            Some(i) if c == 'r' && hashes == 1 && is_ident_start(i) => {
+                self.bump(); // r
+                self.bump(); // #
+                while self.pos < self.chars.len() && is_ident_continue(self.chars[self.pos]) {
+                    self.bump();
+                }
+                self.push(TokenKind::Ident, start, line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a raw-string body up to `"` followed by `hashes` `#`s.
+    /// No escapes exist inside: `r#"\"#` ends at the quote-hash.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.chars.len() {
+            if self.chars[self.pos] == '"' && (1..=hashes).all(|h| self.peek(h) == Some('#')) {
+                for _ in 0..hashes + 1 {
+                    self.bump();
+                }
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a `'...'` char-literal body (opening quote included).
+    fn char_body(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.chars.len() {
+            match self.chars[self.pos] {
+                '\\' => {
+                    self.bump();
+                    if self.pos < self.chars.len() {
+                        self.bump();
+                    }
+                }
+                '\'' => {
+                    self.bump();
+                    return;
+                }
+                // A newline before the closing quote means this was not a
+                // char literal after all; stop rather than eat the file.
+                '\n' => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): a quote whose next
+    /// char starts an identifier is a lifetime unless the char after that
+    /// closes the literal.
+    fn char_or_lifetime(&mut self, start: usize, line: usize) {
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if is_ident_start(c) => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // quote
+            while self.pos < self.chars.len() && is_ident_continue(self.chars[self.pos]) {
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, start, line);
+        } else {
+            self.char_body();
+            self.push(TokenKind::Char, start, line);
+        }
+    }
+
+    /// Numeric literal: digits, `_`, radix/suffix letters, one decimal
+    /// point when followed by a digit, and exponent signs after `e`/`E`.
+    fn number(&mut self) {
+        let mut seen_dot = false;
+        while self.pos < self.chars.len() {
+            let ch = self.chars[self.pos];
+            if ch.is_ascii_alphanumeric() || ch == '_' {
+                self.bump();
+            } else if ch == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                self.bump();
+            } else if (ch == '+' || ch == '-') && matches!(self.chars[self.pos - 1], 'e' | 'E') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Computes, per token, whether it sits inside test-gated code: an item
+/// (fn, mod, impl, use, ...) annotated `#[test]` or `#[cfg(test)]` —
+/// including everything nested inside a `#[cfg(test)] mod tests { ... }`
+/// block. Rules skip masked tokens: the contracts govern shipping code,
+/// and test bodies unwrap freely by design.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Punct('#')
+            && matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct('['))
+        {
+            let (attr_end, is_test) = scan_attribute(tokens, i + 1);
+            if is_test {
+                let item_end = item_extent(tokens, attr_end);
+                for flag in mask.iter_mut().take(item_end).skip(i) {
+                    *flag = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans a `[...]` attribute starting at its `[`; returns the index one
+/// past the closing `]` and whether the attribute gates test code
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`, ...).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            TokenKind::Ident => idents.push(&tokens[i].text),
+            _ => {}
+        }
+        i += 1;
+    }
+    let is_test = match idents.split_first() {
+        Some((&"test", rest)) => rest.is_empty(),
+        Some((&"cfg", rest)) => rest.contains(&"test"),
+        _ => false,
+    };
+    (i, is_test)
+}
+
+/// Finds the end (exclusive token index) of the item starting at `start`:
+/// either the `;` that closes a braceless item, or the `}` matching its
+/// first `{`. Intervening attributes are skipped over by brace/bracket
+/// counting; comments never affect nesting.
+fn item_extent(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Find the item body's opening `{` or a terminating `;` first.
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct(';') => return i + 1,
+            TokenKind::Punct('{') => break,
+            _ => i += 1,
+        }
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_scanning() {
+        let src = r##"let x = "Instant::now()"; let y = r#"SystemTime "quoted" inside"#;"##;
+        assert_eq!(idents(src), ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_terminate_at_the_matching_fence() {
+        let src = "let s = r##\"contains \"# inner\"##; after();";
+        let toks = lex(src);
+        let raw = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert!(raw.text.contains("inner"));
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_lex_as_literals() {
+        let src = "let a = b\"HashMap\"; let c = b'x'; let d = br#\"HashSet\"#;";
+        assert_eq!(idents(src), ["let", "a", "let", "c", "let", "d"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_matching_depth() {
+        let src = "/* outer /* Instant::now() */ still comment */ fn live() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text.contains("still comment"));
+        assert_eq!(idents(src), ["fn", "live"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; let q = '\\''; }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers_not_strings() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "r#type"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals_and_comments() {
+        let src = "let a = \"two\nlines\";\n/* one\ntwo */\nfn here() {}";
+        let toks = lex(src);
+        let here = toks.iter().find(|t| t.text == "here").unwrap();
+        assert_eq!(here.line, 5);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let src = "for i in 0..10 { let f = 1.5e-3; }";
+        let toks = lex(src);
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked_and_code_before_it_is_not() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn after() {}";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let pos = |name: &str| toks.iter().position(|t| t.text == name).unwrap();
+        assert!(!mask[pos("live")]);
+        assert!(mask[pos("tests")]);
+        assert!(mask[pos("y")]);
+        assert!(!mask[pos("after")]);
+    }
+
+    #[test]
+    fn test_attribute_masks_only_its_item() {
+        let src = "#[test]\nfn a_test() { x.unwrap(); }\nfn live() { }";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let pos = |name: &str| toks.iter().position(|t| t.text == name).unwrap();
+        assert!(mask[pos("a_test")]);
+        assert!(!mask[pos("live")]);
+    }
+
+    #[test]
+    fn cfg_test_on_a_braceless_item_ends_at_the_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let pos = |name: &str| toks.iter().position(|t| t.text == name).unwrap();
+        assert!(mask[pos("HashMap")]);
+        assert!(!mask[pos("live")]);
+    }
+
+    #[test]
+    fn non_test_cfg_attributes_do_not_mask() {
+        let src = "#[cfg(unix)]\nfn live() { x.unwrap(); }";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        assert!(mask.iter().all(|m| !m));
+    }
+}

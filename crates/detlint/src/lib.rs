@@ -1,0 +1,259 @@
+//! detlint: workspace static analysis for the determinism and
+//! daemon-robustness contracts.
+//!
+//! The repo's most valuable property — byte-identical traces across
+//! thread counts, kill/resume and rolling upgrades — is enforced
+//! dynamically by golden `cmp` gates and the chaos harness, but those
+//! gates are blind when both comparison arms share a buggy code path.
+//! detlint enforces the *source-level* rules that keep the property true:
+//!
+//! * wall-clock (`Instant::now`/`SystemTime`) in deterministic crates is
+//!   report-only, and every site carries an audited justification;
+//! * unordered containers (`HashMap`/`HashSet`) never appear in
+//!   deterministic crates — `BTreeMap`/`BTreeSet` or a written
+//!   order-insensitivity argument;
+//! * daemon request paths never panic — `.unwrap()`/`.expect()`/`panic!`
+//!   in `fleetd` non-test code must become error responses;
+//! * allow pragmas cannot rot: one that no longer suppresses anything is
+//!   itself a finding (`stale-allow`), as is one that does not parse
+//!   (`invalid-pragma`).
+//!
+//! The crate is dependency-free by design. See [`lint_source`] for the
+//! per-file pipeline and [`lint_workspace`] for the CI entry point.
+
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod walk;
+
+use lexer::{lex, test_mask};
+use pragma::PragmaParse;
+use rules::{by_name, registry, unknown_rule_error, FileView};
+
+/// Crates whose traces must be a pure function of config + seed. Paths
+/// under `crates/<name>/` for these names get the determinism rules.
+pub const DET_CRATES: [&str; 10] = [
+    "core", "nn", "rl", "domains", "netsim", "traffic", "slices", "scenario", "replay", "fleet",
+];
+
+/// Crates that run as long-lived daemons: request handling must degrade
+/// to error responses, never panic.
+pub const DAEMON_CRATES: [&str; 1] = ["fleetd"];
+
+/// Directory names the workspace walk never descends into. `vendor/` is
+/// shimmed third-party code, `target/` is build output, and `tests/`,
+/// `benches/`, `examples/` and fixture/regression corpora are exempt from
+/// the shipping-code contracts by construction.
+pub const SKIP_DIRS: [&str; 10] = [
+    "vendor",
+    "target",
+    "tests",
+    "benches",
+    "examples",
+    "fixtures",
+    "regressions",
+    "goldens",
+    "baselines",
+    ".git",
+];
+
+/// One reported finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Registry name of the rule that fired.
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The canonical single-line human rendering: `file:line: [rule] msg`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Classifies a workspace-relative path into its crate directory name
+/// (`crates/scenario/src/engine.rs` → `Some("scenario")`).
+fn crate_of(rel_path: &str) -> Option<&str> {
+    let mut parts = rel_path.split('/');
+    (parts.next() == Some("crates"))
+        .then(|| parts.next())
+        .flatten()
+}
+
+/// Lints one file's source. `rel_path` drives the contract
+/// classification, so fixture tests can lint under any synthetic path.
+/// Findings come back sorted by line.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let tokens = lex(source);
+    let in_test = test_mask(&tokens);
+    let krate = crate_of(rel_path);
+    let view = FileView {
+        rel_path,
+        tokens: &tokens,
+        in_test: &in_test,
+        is_det: krate.is_some_and(|c| DET_CRATES.contains(&c)),
+        is_daemon: krate.is_some_and(|c| DAEMON_CRATES.contains(&c)),
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Pragma table. A trailing pragma (code earlier on its line) targets
+    // its own line; a standalone pragma targets the next line holding any
+    // code token — so a pragma whose prose wraps across several comment
+    // lines still binds to the statement below it.
+    let code_lines: std::collections::BTreeSet<usize> = tokens
+        .iter()
+        .filter(|t| !t.is_comment())
+        .map(|t| t.line)
+        .collect();
+    let mut pragmas = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if !token.is_comment() {
+            continue;
+        }
+        let has_code_before = tokens[..i]
+            .iter()
+            .any(|t| !t.is_comment() && t.line == token.line);
+        let target_line = if has_code_before {
+            token.line
+        } else {
+            code_lines
+                .range(token.line + 1..)
+                .next()
+                .copied()
+                .unwrap_or(token.line + 1)
+        };
+        match pragma::parse(token, target_line, in_test[i]) {
+            PragmaParse::NotAPragma => {}
+            PragmaParse::Invalid { line, message } => findings.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                rule: "invalid-pragma".to_string(),
+                message,
+            }),
+            PragmaParse::Valid(p) => match by_name(&p.rule) {
+                Some(_) => pragmas.push((p, false)),
+                None => findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: p.line,
+                    rule: "invalid-pragma".to_string(),
+                    message: unknown_rule_error(&p.rule),
+                }),
+            },
+        }
+    }
+
+    // Scan rules, with pragma suppression bookkeeping.
+    for rule in registry() {
+        for raw in rule.scan(&view) {
+            let suppressed = pragmas.iter_mut().find(|(p, _)| {
+                p.target_line == raw.line
+                    && by_name(&p.rule).is_some_and(|r| r.name() == rule.name())
+            });
+            match suppressed {
+                Some((_, used)) => *used = true,
+                None => findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: raw.line,
+                    rule: rule.name().to_string(),
+                    message: raw.message,
+                }),
+            }
+        }
+    }
+
+    // Staleness: a pragma that suppressed nothing is itself a finding —
+    // unless it sits in test-gated code, where rules never fire at all.
+    for (p, used) in &pragmas {
+        if !used && !p.in_test {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: p.line,
+                rule: "stale-allow".to_string(),
+                message: format!(
+                    "allow({}) suppresses nothing on line {} — the hazard is gone, \
+                     remove the pragma (reason was: {})",
+                    p.rule, p.target_line, p.reason
+                ),
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// The result of a workspace run.
+pub struct WorkspaceReport {
+    /// Every finding, ordered by file then line.
+    pub findings: Vec<Finding>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    /// The machine-readable JSON document the CI job uploads.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"files_scanned\":");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+                json_string(&f.file),
+                f.line,
+                json_string(&f.rule),
+                json_string(&f.message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the only JSON this crate emits).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Walks the workspace from `root` and lints every `.rs` file outside
+/// [`SKIP_DIRS`]. Deterministic: files are visited in sorted path order.
+pub fn lint_workspace(root: &std::path::Path) -> Result<WorkspaceReport, String> {
+    let files = walk::rust_files(root, &SKIP_DIRS)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        findings.extend(lint_source(rel, &source));
+    }
+    Ok(WorkspaceReport {
+        findings,
+        files_scanned: files.len(),
+    })
+}

@@ -1,0 +1,75 @@
+//! `detlint` — walk the workspace, run every registered rule, report.
+//!
+//! ```text
+//! detlint [--root <dir>] [--json <path>] [--list-rules]
+//! ```
+//!
+//! Human findings go to stdout as `file:line: [rule] message`; the exit
+//! code is non-zero when anything fired. `--json` additionally writes the
+//! machine-readable report (CI uploads it as an artifact either way).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use onslicing_detlint::{lint_workspace, rules};
+
+fn usage() -> String {
+    "usage: detlint [--root <dir>] [--json <path>] [--list-rules]".to_string()
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().ok_or_else(usage)?),
+            "--json" => json_out = Some(PathBuf::from(args.next().ok_or_else(usage)?)),
+            "--list-rules" => {
+                for rule in rules::registry() {
+                    println!("{:<22} {}", rule.name(), rule.summary());
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+
+    let report = lint_workspace(&root)?;
+    if let Some(path) = &json_out {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    for finding in &report.findings {
+        println!("{}", finding.render());
+    }
+    if report.findings.is_empty() {
+        println!(
+            "detlint: clean — {} files, {} rules, 0 findings",
+            report.files_scanned,
+            rules::registry().len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "detlint: {} finding(s) across {} files",
+            report.findings.len(),
+            report.files_scanned
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("detlint: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The allow-pragma grammar and its parser.
+//!
+//! A pragma is a plain `//` comment (or `/* */` block) whose body, after
+//! trimming, begins with the marker `detlint:` and continues
+//! `allow(<rule>) -- <reason>`. The reason is mandatory: an annotation
+//! that cannot say *why* the rule does not apply is a finding, not a
+//! suppression. Doc comments (`///`, `//!`) deliberately never parse as
+//! pragmas — after stripping `//` their bodies start with `/` or `!`, so
+//! mentioning the grammar in documentation is always safe.
+//!
+//! A trailing pragma (code before it on the same line) suppresses findings
+//! on its own line; a standalone pragma line suppresses findings on the
+//! next line. Each pragma must actually suppress something: a pragma whose
+//! rule no longer fires on its target line is itself reported by the
+//! `stale-allow` rule, so annotations cannot rot in place.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A successfully parsed allow pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule key named inside `allow(...)`.
+    pub rule: String,
+    /// The mandatory justification after `--`.
+    pub reason: String,
+    /// 1-based line the pragma comment starts on.
+    pub line: usize,
+    /// 1-based line whose findings this pragma suppresses.
+    pub target_line: usize,
+    /// Whether the pragma sits inside test-gated code (exempt from
+    /// staleness: rules do not fire there in the first place).
+    pub in_test: bool,
+}
+
+/// What a comment turned out to be.
+#[derive(Debug)]
+pub enum PragmaParse {
+    /// An ordinary comment.
+    NotAPragma,
+    /// A well-formed pragma (rule-name validity is checked by the driver
+    /// against the registry).
+    Valid(Pragma),
+    /// Starts with the `detlint:` marker but violates the grammar.
+    Invalid {
+        /// 1-based line of the malformed pragma.
+        line: usize,
+        /// Why it does not parse.
+        message: String,
+    },
+}
+
+/// Extracts the comment body: strips `//` / `/* ... */` delimiters.
+fn comment_body(token: &Token) -> &str {
+    match token.kind {
+        TokenKind::LineComment => token.text.strip_prefix("//").unwrap_or(&token.text),
+        TokenKind::BlockComment => token
+            .text
+            .strip_prefix("/*")
+            .unwrap_or(&token.text)
+            .strip_suffix("*/")
+            .unwrap_or(&token.text),
+        _ => "",
+    }
+}
+
+/// Parses one comment token. `target_line` and `in_test` are supplied by
+/// the caller, which knows the token's neighborhood.
+pub fn parse(token: &Token, target_line: usize, in_test: bool) -> PragmaParse {
+    let body = comment_body(token).trim_start();
+    let Some(rest) = body.strip_prefix("detlint:") else {
+        return PragmaParse::NotAPragma;
+    };
+    let line = token.line;
+    let invalid = |message: String| PragmaParse::Invalid { line, message };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return invalid("expected `allow(<rule>)` after `detlint:`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return invalid("unclosed `allow(` — missing `)`".to_string());
+    };
+    let rule = rest[..close].trim();
+    if rule.is_empty() {
+        return invalid("empty rule name in `allow()`".to_string());
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix("--") else {
+        return invalid(format!(
+            "allow({rule}) needs a justification: `-- <why the rule does not apply here>`"
+        ));
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return invalid(format!(
+            "allow({rule}) has an empty justification after `--`"
+        ));
+    }
+    PragmaParse::Valid(Pragma {
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+        line,
+        target_line,
+        in_test,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_comment(text: &str) -> Token {
+        Token {
+            kind: TokenKind::LineComment,
+            text: text.to_string(),
+            line: 7,
+        }
+    }
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let token = line_comment("// detlint: allow(wall-clock) -- report-only latency");
+        match parse(&token, 7, false) {
+            PragmaParse::Valid(p) => {
+                assert_eq!(p.rule, "wall-clock");
+                assert_eq!(p.reason, "report-only latency");
+                assert_eq!(p.target_line, 7);
+            }
+            other => panic!("expected valid pragma, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_reason_is_invalid() {
+        let token = line_comment("// detlint: allow(wall-clock)");
+        assert!(matches!(
+            parse(&token, 7, false),
+            PragmaParse::Invalid { .. }
+        ));
+        let token = line_comment("// detlint: allow(wall-clock) -- ");
+        assert!(matches!(
+            parse(&token, 7, false),
+            PragmaParse::Invalid { .. }
+        ));
+    }
+
+    #[test]
+    fn malformed_shapes_are_invalid_not_ignored() {
+        for text in [
+            "// detlint: deny(wall-clock) -- x",
+            "// detlint: allow(wall-clock -- x",
+            "// detlint: allow() -- x",
+            "// detlint:",
+        ] {
+            assert!(
+                matches!(
+                    parse(&line_comment(text), 7, false),
+                    PragmaParse::Invalid { .. }
+                ),
+                "{text} should be invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn ordinary_and_doc_comments_are_not_pragmas() {
+        for text in [
+            "// just a comment mentioning detlint somewhere",
+            "/// detlint: allow(wall-clock) -- doc comments never parse",
+            "//! detlint: allow(wall-clock) -- module docs neither",
+        ] {
+            assert!(
+                matches!(
+                    parse(&line_comment(text), 7, false),
+                    PragmaParse::NotAPragma
+                ),
+                "{text} should not be a pragma"
+            );
+        }
+    }
+
+    #[test]
+    fn block_comment_pragma_parses() {
+        let token = Token {
+            kind: TokenKind::BlockComment,
+            text: "/* detlint: allow(unordered-container) -- sum is order-insensitive */"
+                .to_string(),
+            line: 3,
+        };
+        match parse(&token, 4, false) {
+            PragmaParse::Valid(p) => {
+                assert_eq!(p.rule, "unordered-container");
+                assert_eq!(p.target_line, 4);
+            }
+            other => panic!("expected valid pragma, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The workspace walker: every `.rs` file under the root, in sorted
+//! order, skipping the configured directory names at any depth.
+
+use std::path::Path;
+
+/// Collects workspace-relative (`/`-separated) paths of every `.rs` file
+/// under `root`, never descending into a directory whose *name* is in
+/// `skip_dirs`. Sorted, so runs are deterministic and diffs are stable.
+pub fn rust_files(root: &Path, skip_dirs: &[&str]) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    descend(root, String::new(), skip_dirs, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn descend(
+    dir: &Path,
+    rel: String,
+    skip_dirs: &[&str],
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        let child_rel = if rel.is_empty() {
+            name.to_string()
+        } else {
+            format!("{rel}/{name}")
+        };
+        let path = entry.path();
+        if path.is_dir() {
+            if skip_dirs.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            descend(&path, child_rel, skip_dirs, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(child_rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("detlint-walk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn skips_configured_dirs_at_any_depth_and_sorts() {
+        let root = scratch("skip");
+        for path in [
+            "crates/a/src/lib.rs",
+            "crates/a/tests/it.rs",
+            "crates/b/src/main.rs",
+            "vendor/x/src/lib.rs",
+            "target/debug/junk.rs",
+            "src/lib.rs",
+        ] {
+            let full = root.join(path);
+            std::fs::create_dir_all(full.parent().unwrap()).unwrap();
+            std::fs::write(full, "fn x() {}").unwrap();
+        }
+        let files = rust_files(&root, &["vendor", "target", "tests"]).unwrap();
+        assert_eq!(
+            files,
+            ["crates/a/src/lib.rs", "crates/b/src/main.rs", "src/lib.rs"]
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

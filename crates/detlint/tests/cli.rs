@@ -1,0 +1,146 @@
+//! End-to-end CLI contract: the binary walks a workspace tree, skips the
+//! exempt directories, writes the JSON artifact, and exits non-zero
+//! exactly when something fired — the behavior CI's `static-analysis`
+//! job depends on.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+struct FakeWorkspace {
+    root: PathBuf,
+}
+
+impl FakeWorkspace {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("detlint-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, source: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, source).unwrap();
+    }
+}
+
+impl Drop for FakeWorkspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn detlint(root: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("cannot run detlint")
+}
+
+#[test]
+fn findings_in_shipping_code_fail_the_run_and_land_in_the_json() {
+    let ws = FakeWorkspace::new("dirty");
+    ws.write(
+        "crates/core/src/lib.rs",
+        "pub fn t() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    // Violations in skipped directories are invisible by construction:
+    // tests, benches, fixtures and vendored code are exempt.
+    ws.write(
+        "crates/core/tests/timing.rs",
+        "pub fn t() { let _ = std::time::Instant::now(); }\n",
+    );
+    ws.write(
+        "vendor/serde/src/lib.rs",
+        "pub use std::collections::HashMap;\n",
+    );
+    ws.write(
+        "crates/core/benches/clock.rs",
+        "pub fn b() { let _ = std::time::SystemTime::now(); }\n",
+    );
+
+    let json_path = ws.root.join("report.json");
+    let out = detlint(&ws.root, &["--json", json_path.to_str().unwrap()]);
+    assert!(!out.status.success(), "violations must fail the run");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:2: [wall-clock-in-det]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("1 finding(s)"), "{stdout}");
+    assert!(
+        !stdout.contains("tests/timing.rs") && !stdout.contains("vendor/"),
+        "skipped dirs leaked into the report: {stdout}"
+    );
+
+    // The artifact is written even on failure — that is what CI uploads.
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"rule\":\"wall-clock-in-det\""), "{json}");
+    assert!(json.contains("\"files_scanned\":1"), "{json}");
+}
+
+#[test]
+fn clean_workspaces_exit_zero_with_a_summary() {
+    let ws = FakeWorkspace::new("clean");
+    ws.write(
+        "crates/core/src/lib.rs",
+        "pub fn shift(x: u64) -> u64 {\n    x.rotate_left(1)\n}\n",
+    );
+    ws.write(
+        "crates/fleetd/src/lib.rs",
+        "pub fn reply(e: &str) -> String {\n    format!(\"{{\\\"ok\\\":false,\\\"error\\\":\\\"{e}\\\"}}\")\n}\n",
+    );
+
+    let out = detlint(&ws.root, &[]);
+    assert!(out.status.success(), "clean tree must exit zero");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("clean — 2 files"), "{stdout}");
+    assert!(stdout.contains("0 findings"), "{stdout}");
+}
+
+#[test]
+fn stale_pragmas_fail_even_an_otherwise_clean_tree() {
+    let ws = FakeWorkspace::new("stale");
+    ws.write(
+        "crates/scenario/src/lib.rs",
+        "// detlint: allow(wall-clock) -- used to time the step loop\npub fn f() -> u32 {\n    3\n}\n",
+    );
+    let out = detlint(&ws.root, &[]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("[stale-allow]"), "{stdout}");
+}
+
+#[test]
+fn list_rules_names_the_whole_registry() {
+    let out = Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .arg("--list-rules")
+        .output()
+        .expect("cannot run detlint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for rule in [
+        "wall-clock-in-det",
+        "unordered-container",
+        "panic-in-daemon",
+        "invalid-pragma",
+        "stale-allow",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule}: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_flags_are_an_error_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .arg("--fix")
+        .output()
+        .expect("cannot run detlint");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown argument `--fix`"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

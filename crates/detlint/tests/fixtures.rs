@@ -1,0 +1,188 @@
+//! Fixture corpus: every rule has a positive case proving it fires and a
+//! negative case proving it does not over-fire. Fixtures live under
+//! `tests/fixtures/` (which the workspace walk skips, so the deliberate
+//! violations in them never show up in a real run) and are linted here
+//! under synthetic workspace paths, because the contract a file is held
+//! to depends on which crate the path says it belongs to.
+
+use onslicing_detlint::{lint_source, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lint_fixture(rel_path: &str, name: &str) -> Vec<Finding> {
+    lint_source(rel_path, &fixture(name))
+}
+
+/// The compact shape assertions compare against: `(rule, line)` pairs in
+/// report order.
+fn shape(findings: &[Finding]) -> Vec<(&str, usize)> {
+    findings.iter().map(|f| (f.rule.as_str(), f.line)).collect()
+}
+
+const DET_PATH: &str = "crates/core/src/lib.rs";
+const DAEMON_PATH: &str = "crates/fleetd/src/handler.rs";
+
+#[test]
+fn wall_clock_fires_on_bare_reads_in_det_crates() {
+    let findings = lint_fixture(DET_PATH, "wall_clock_positive.rs");
+    assert_eq!(
+        shape(&findings),
+        vec![("wall-clock-in-det", 4), ("wall-clock-in-det", 6)]
+    );
+    assert!(
+        findings[0].message.contains("Instant::now()"),
+        "{:?}",
+        findings[0]
+    );
+    assert!(
+        findings[1].message.contains("SystemTime"),
+        "{:?}",
+        findings[1]
+    );
+}
+
+#[test]
+fn wall_clock_is_silent_outside_det_crates() {
+    for path in [
+        "crates/bench/src/lib.rs",
+        "crates/detlint/src/lib.rs",
+        "tools/gen.rs",
+    ] {
+        let findings = lint_fixture(path, "wall_clock_positive.rs");
+        assert!(findings.is_empty(), "{path}: {:?}", shape(&findings));
+    }
+}
+
+#[test]
+fn wall_clock_respects_pragmas_strings_comments_and_tests() {
+    // The negative fixture packs every way a clock read may legitimately
+    // appear: under a (multi-line) pragma, behind a trailing pragma,
+    // inside doc comments, raw strings (fenced and plain), byte strings,
+    // nested block comments, and `#[cfg(test)]` code. None may fire, and
+    // neither pragma may be reported stale.
+    let findings = lint_fixture(DET_PATH, "wall_clock_negative.rs");
+    assert!(findings.is_empty(), "{:?}", shape(&findings));
+}
+
+#[test]
+fn unordered_container_fires_per_mention_in_det_crates() {
+    let findings = lint_fixture(DET_PATH, "unordered_positive.rs");
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("unordered-container", 4),
+            ("unordered-container", 7),
+            ("unordered-container", 8),
+            ("unordered-container", 8),
+        ]
+    );
+    assert!(
+        findings[0].message.contains("BTreeMap"),
+        "{:?}",
+        findings[0]
+    );
+    assert!(
+        findings[1].message.contains("BTreeSet"),
+        "{:?}",
+        findings[1]
+    );
+}
+
+#[test]
+fn unordered_container_accepts_btree_pragma_and_test_code() {
+    let findings = lint_fixture(DET_PATH, "unordered_negative.rs");
+    assert!(findings.is_empty(), "{:?}", shape(&findings));
+    // The same hash containers outside a deterministic crate are fine.
+    let findings = lint_fixture("crates/fleetd/src/lib.rs", "unordered_positive.rs");
+    assert!(findings.is_empty(), "{:?}", shape(&findings));
+}
+
+#[test]
+fn panic_fires_on_unwrap_expect_and_panic_in_daemon_code() {
+    let findings = lint_fixture(DAEMON_PATH, "panic_positive.rs");
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("panic-in-daemon", 4),
+            ("panic-in-daemon", 5),
+            ("panic-in-daemon", 7),
+        ]
+    );
+    assert!(
+        findings[0].message.contains(".unwrap()"),
+        "{:?}",
+        findings[0]
+    );
+    assert!(
+        findings[1].message.contains(".expect()"),
+        "{:?}",
+        findings[1]
+    );
+    assert!(findings[2].message.contains("panic!"), "{:?}", findings[2]);
+}
+
+#[test]
+fn panic_is_silent_outside_daemon_crates_and_in_handled_code() {
+    // Deterministic crates may unwrap: the chaos harness and goldens
+    // catch their failures, and a sim crash is not a fleet outage.
+    let findings = lint_fixture(DET_PATH, "panic_positive.rs");
+    assert!(findings.is_empty(), "{:?}", shape(&findings));
+    // Error-response style, a justified pragma and test-only panics pass.
+    let findings = lint_fixture(DAEMON_PATH, "panic_negative.rs");
+    assert!(findings.is_empty(), "{:?}", shape(&findings));
+}
+
+#[test]
+fn pragma_grammar_violations_and_staleness_are_findings() {
+    let findings = lint_fixture("crates/replay/src/lib.rs", "pragma_edge.rs");
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("invalid-pragma", 4),
+            ("invalid-pragma", 7),
+            ("stale-allow", 10),
+            ("stale-allow", 16),
+            ("invalid-pragma", 19),
+        ]
+    );
+    // Missing reason names the fix; unknown rule enumerates the registry.
+    assert!(
+        findings[0].message.contains("justification"),
+        "{:?}",
+        findings[0]
+    );
+    assert!(
+        findings[1].message.contains("unknown rule `made-up-rule`")
+            && findings[1].message.contains("wall-clock"),
+        "{:?}",
+        findings[1]
+    );
+    // Staleness reports both the dead target line and the original reason,
+    // so the cleanup commit writes itself.
+    assert!(
+        findings[2].message.contains("line 11") && findings[2].message.contains("reason was"),
+        "{:?}",
+        findings[2]
+    );
+}
+
+#[test]
+fn pragma_findings_fire_regardless_of_crate_classification() {
+    // Grammar and staleness are not crate-gated: a rotten annotation in a
+    // tool crate is just as misleading as one in a deterministic crate.
+    let findings = lint_fixture("tools/gen.rs", "pragma_edge.rs");
+    assert_eq!(findings.len(), 5, "{:?}", shape(&findings));
+}
+
+#[test]
+fn findings_render_as_clickable_file_line_rule() {
+    let findings = lint_fixture(DET_PATH, "wall_clock_positive.rs");
+    assert!(findings[0]
+        .render()
+        .starts_with("crates/core/src/lib.rs:4: [wall-clock-in-det]"));
+}

@@ -1,0 +1,36 @@
+//! Negative: error responses, justified pragmas and test-only panics
+//! must not fire.
+
+pub fn handle(line: &str) -> Result<String, String> {
+    let value: usize = line
+        .trim()
+        .parse()
+        .map_err(|e| format!("malformed request: {e}"))?;
+    value
+        .checked_mul(2)
+        .map(|d| d.to_string())
+        .ok_or_else(|| "doubling overflowed".to_string())
+}
+
+pub fn socket_name(path: &std::path::Path) -> &str {
+    // detlint: allow(panic-in-daemon) -- the config parser rejected
+    // non-UTF-8 paths at startup, before any request was accepted.
+    path.to_str().expect("validated at startup")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwraps_in_tests_are_fine() {
+        assert_eq!(handle("21").unwrap(), "42");
+        handle("oops").unwrap_err();
+    }
+
+    #[test]
+    #[should_panic]
+    fn explicit_test_panic() {
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,10 @@
+//! Positive: panicking request paths in a daemon crate must fire.
+
+pub fn handle(line: &str) -> String {
+    let value: usize = line.trim().parse().unwrap();
+    let doubled = value.checked_mul(2).expect("doubling overflowed");
+    if doubled > 1_000 {
+        panic!("request too large");
+    }
+    doubled.to_string()
+}

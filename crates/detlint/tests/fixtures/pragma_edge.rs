@@ -1,0 +1,20 @@
+//! Pragma grammar violations and staleness: every annotation below is
+//! itself a finding.
+
+// detlint: allow(wall-clock)
+pub fn missing_reason() {}
+
+// detlint: allow(made-up-rule) -- sounds plausible but is not registered
+pub fn unknown_rule() {}
+
+// detlint: allow(wall-clock) -- nothing below reads the clock anymore
+pub fn stale_standalone() -> u32 {
+    7
+}
+
+pub fn stale_trailing() -> u32 {
+    9 // detlint: allow(unordered-container) -- the HashMap is long gone
+}
+
+// detlint: deny(wall-clock) -- wrong verb, only allow() exists
+pub fn wrong_verb() {}

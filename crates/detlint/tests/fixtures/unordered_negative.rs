@@ -1,0 +1,30 @@
+//! Negative: ordered containers, an order-insensitivity pragma, and
+//! test-only hash containers must not fire.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn ordered_tally(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut counts = BTreeMap::new();
+    let dedup: BTreeSet<u32> = xs.iter().copied().collect();
+    for x in dedup {
+        counts.insert(x, 1);
+    }
+    counts
+}
+
+pub fn summed(xs: &[u32]) -> u64 {
+    let pool: std::collections::HashSet<u32> = xs.iter().copied().collect(); // detlint: allow(unordered-container) -- only the sum leaves this fn, and addition over u64 is order-insensitive
+    pool.iter().map(|&x| u64::from(x)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_maps_in_tests_are_fine() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

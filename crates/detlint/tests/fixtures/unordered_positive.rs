@@ -1,0 +1,14 @@
+//! Positive: unordered containers in a deterministic crate must fire,
+//! including in `use` declarations.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: std::collections::HashSet<u32> = Default::default();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_default() += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,38 @@
+//! Negative: annotated, quoted, commented and test-gated wall-clock must
+//! not fire — and none of the decoys below may trip the lexer.
+
+pub fn report_timer() -> u64 {
+    // detlint: allow(wall-clock) -- report-only: feeds wall_clock_ms,
+    // which the byte-compared trace never serializes.
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis() as u64
+}
+
+pub fn trailing_pragma() -> bool {
+    let t = std::time::SystemTime::now(); // detlint: allow(wall-clock) -- epoch feeds a report header only
+    t.elapsed().is_ok()
+}
+
+/// Docs may mention `Instant::now()` freely, and may even show the
+/// grammar itself: `// detlint: allow(wall-clock) -- reason`.
+pub fn quoted() -> &'static str {
+    let raw = r#"let t = Instant::now(); SystemTime::now();"#;
+    let fenced = r##"raw strings with "#"-bearing fences: Instant::now()"##;
+    let plain = "SystemTime inside an ordinary string";
+    let byte = b"Instant::now() in a byte string";
+    /* a nested comment holds no hazards:
+       /* Instant::now(); SystemTime */
+       still inside the outer comment */
+    let _ = (fenced, plain, byte);
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 100);
+        let _ = std::time::SystemTime::now();
+    }
+}

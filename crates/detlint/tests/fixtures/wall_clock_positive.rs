@@ -1,0 +1,9 @@
+//! Positive: bare wall-clock reads in a deterministic crate must fire.
+
+pub fn timed_step() -> u64 {
+    let start = std::time::Instant::now();
+    let _ = start;
+    let epoch = std::time::SystemTime::now();
+    let _ = epoch;
+    0
+}

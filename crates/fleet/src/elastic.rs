@@ -95,6 +95,8 @@ impl ElasticFleetRunner {
     /// Builds and executes the fleet: windows of parallel per-cell
     /// stepping, separated by sequential admission routing and rebalancing.
     pub fn run(&self) -> Result<FleetOutcome, String> {
+        // detlint: allow(wall-clock) -- report-only: wall_clock_ms lands in
+        // FleetReport; FleetTrace (the byte-compared artifact) excludes it.
         let start = Instant::now();
         let mut fleet = ElasticFleet::new(self.scenario.clone(), self.config)?;
         fleet.advance_to(fleet.total_slots())?;

@@ -340,6 +340,8 @@ impl FleetRunner {
     /// calibration, offline pre-training) happens inside the parallel
     /// region too: it is per-cell work like everything else.
     pub fn run(&self) -> Result<FleetOutcome, String> {
+        // detlint: allow(wall-clock) -- report-only: wall_clock_ms lands in
+        // FleetReport; FleetTrace (the byte-compared artifact) excludes it.
         let start = Instant::now();
         let cells: Result<Vec<CellOutcome>, String> = (0..self.config.cells)
             .into_par_iter()
@@ -385,6 +387,8 @@ fn run_cell(scenario: Scenario, base: ScenarioConfig, cell: u32) -> Result<CellO
     let total_slots = engine.scenario().total_slots;
     let mut slot_latencies_ms = Vec::with_capacity(total_slots);
     while engine.current_slot() < total_slots {
+        // detlint: allow(wall-clock) -- report-only: slot latencies feed the
+        // report's percentile fields; no trace or balancer plan reads them.
         let slot_start = Instant::now();
         engine.step_slot(&mut recorder);
         slot_latencies_ms.push(slot_start.elapsed().as_secs_f64() * 1_000.0);

@@ -295,6 +295,9 @@ impl ElasticFleet {
                 .min(target);
             self.cells.par_iter_mut().for_each(|c| {
                 while c.engine.current_slot() < stop {
+                    // detlint: allow(wall-clock) -- report-only: slot
+                    // latencies feed the report's percentile fields; every
+                    // balancer plan reads deterministic signals only.
                     let slot_start = std::time::Instant::now();
                     c.engine.step_slot(&mut c.recorder);
                     c.slot_latencies_ms

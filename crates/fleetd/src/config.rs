@@ -64,7 +64,10 @@ pub fn parse_toml(text: &str) -> Result<TomlTable, String> {
             return Err(format!("line {line_no}: invalid key `{key}`"));
         }
         let value = parse_value(value.trim()).map_err(|e| format!("line {line_no}: {e}"))?;
-        let entries = table.get_mut(&section).expect("section always present");
+        // `entry` rather than an "always present" unwrap: the daemon
+        // contract bans panics outside tests, and the entry API costs
+        // nothing here (the section was inserted when its header parsed).
+        let entries = table.entry(section.clone()).or_default();
         if entries.insert(key.to_string(), value).is_some() {
             return Err(format!("line {line_no}: duplicate key `{key}`"));
         }

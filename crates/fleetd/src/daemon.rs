@@ -23,7 +23,7 @@
 //! state dir re-derives the identical trace and exits again — restart is
 //! idempotent at every point of the lifecycle.
 
-use std::io::{BufRead as _, BufReader, Write as _};
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
@@ -43,6 +43,12 @@ use crate::protocol::{error_response, ok_response, Request};
 
 /// Name of the request audit log inside the state directory.
 pub const REQUEST_LOG_NAME: &str = "requests.log";
+
+/// Longest accepted control-request line, bytes (newline included). A
+/// real request is a few hundred bytes; anything bigger is a client bug
+/// or garbage piped at the socket, and the daemon must answer it with an
+/// error response at bounded memory cost — never buffer without limit.
+pub const MAX_REQUEST_LINE_BYTES: usize = 64 * 1024;
 
 /// One queued control-plane message: the raw request line and the channel
 /// the connection thread is blocked on for the response.
@@ -183,15 +189,57 @@ fn connection_loop(stream: UnixStream, tx: mpsc::Sender<ControlMsg>) {
         return;
     };
     let mut write_half = stream;
-    for line in BufReader::new(read_half).lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(read_half);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        // One line, read through a `take` so a single huge line costs at
+        // most the cap in memory. Reading one byte past the cap is how an
+        // exactly-cap-sized line is told apart from an oversized one.
+        let n = match reader
+            .by_ref()
+            .take(MAX_REQUEST_LINE_BYTES as u64 + 1)
+            .read_until(b'\n', &mut buf)
+        {
+            Ok(0) => break, // clean EOF
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        if n > MAX_REQUEST_LINE_BYTES {
+            // Oversized: answer with a JSON error, then drop the client —
+            // the rest of the line is unread, so resynchronizing on the
+            // next newline is not worth unbounded draining.
+            let _ = write_half
+                .write_all(
+                    format!(
+                        "{}\n",
+                        error_response(&format!(
+                            "request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"
+                        ))
+                    )
+                    .as_bytes(),
+                )
+                .and_then(|()| write_half.flush());
+            break;
+        }
+        let Ok(line) = String::from_utf8(std::mem::take(&mut buf)) else {
+            // Binary garbage: an error response, then keep serving this
+            // client — the stream is still newline-synchronized.
+            if write_half
+                .write_all(format!("{}\n", error_response("request is not valid UTF-8")).as_bytes())
+                .is_err()
+            {
+                break;
+            }
+            continue;
+        };
         if line.trim().is_empty() {
             continue;
         }
         let (reply_tx, reply_rx) = mpsc::channel();
         if tx
             .send(ControlMsg {
-                line,
+                line: line.trim_end_matches(['\n', '\r']).to_string(),
                 reply: reply_tx,
             })
             .is_err()

@@ -33,6 +33,8 @@ pub mod lock;
 pub mod protocol;
 
 pub use config::{CheckpointPolicy, FleetdConfig};
-pub use daemon::{final_trace_path, run, send_request, ExitReason, REQUEST_LOG_NAME};
+pub use daemon::{
+    final_trace_path, run, send_request, ExitReason, MAX_REQUEST_LINE_BYTES, REQUEST_LOG_NAME,
+};
 pub use lock::{StateLock, LOCK_FILE_NAME};
 pub use protocol::{error_response, ok_response, Request, DEFAULT_TELEMETRY_WINDOW};

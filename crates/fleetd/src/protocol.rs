@@ -150,11 +150,18 @@ fn optional_f64(value: &Value, key: &str) -> Result<Option<f64>, String> {
     }
 }
 
+/// The response of last resort: emitted if serializing a real response
+/// ever fails. Static, so building it cannot itself fail — a daemon must
+/// answer every request with *something* rather than panic.
+pub const FALLBACK_ERROR_RESPONSE: &str =
+    "{\"ok\":false,\"error\":\"internal: response serialization failed\"}";
+
 /// Builds a success response line: `{"ok":true, ...fields}`.
 pub fn ok_response(fields: Vec<(&str, Value)>) -> String {
     let mut pairs = vec![("ok".to_string(), Value::Bool(true))];
     pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
-    serde_json::to_string(&Value::Obj(pairs)).expect("response serialization cannot fail")
+    serde_json::to_string(&Value::Obj(pairs))
+        .unwrap_or_else(|_| FALLBACK_ERROR_RESPONSE.to_string())
 }
 
 /// Builds an error response line: `{"ok":false,"error":...}`.
@@ -163,7 +170,7 @@ pub fn error_response(message: &str) -> String {
         ("ok".to_string(), Value::Bool(false)),
         ("error".to_string(), Value::Str(message.to_string())),
     ]))
-    .expect("response serialization cannot fail")
+    .unwrap_or_else(|_| FALLBACK_ERROR_RESPONSE.to_string())
 }
 
 #[cfg(test)]

@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 use serde::Value;
 
 use onslicing_fleet::{ElasticFleet, ElasticFleetConfig};
-use onslicing_fleetd::{final_trace_path, send_request, LOCK_FILE_NAME, REQUEST_LOG_NAME};
+use onslicing_fleetd::{
+    final_trace_path, send_request, LOCK_FILE_NAME, MAX_REQUEST_LINE_BYTES, REQUEST_LOG_NAME,
+};
 use onslicing_replay::ATOMIC_WRITE_PAUSE_ENV;
 use onslicing_scenario::fleet_by_name;
 
@@ -403,6 +405,96 @@ fn live_control_verbs_round_trip_against_a_real_daemon() {
     );
     assert!(checkpoints.contains(&"checkpoint_0000000024.json".to_string()));
     assert!(checkpoints.contains(&"checkpoint_0000000032.json".to_string()));
+
+    ctl_ok(&dir.socket(), "{\"op\":\"shutdown\"}");
+    assert!(wait_exit(&mut daemon).success());
+}
+
+/// Opens a raw client connection, writes `payload` verbatim (no newline
+/// appended, no JSON discipline) and returns the first response line, or
+/// `None` if the daemon closed the connection without answering.
+fn raw_request(socket: &Path, payload: &[u8]) -> Option<String> {
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+    let stream = std::os::unix::net::UnixStream::connect(socket).expect("connect");
+    let mut write_half = stream.try_clone().expect("clone");
+    write_half.write_all(payload).expect("send");
+    // Shut the write side so an oversized line (which the daemon abandons
+    // mid-read) still yields EOF to its reader and a response to us.
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("shutdown write side");
+    let mut response = String::new();
+    let mut reader = BufReader::new(stream);
+    match reader.read_line(&mut response) {
+        Ok(0) | Err(_) => None,
+        Ok(_) => {
+            // Nothing may follow the one response line on this connection.
+            let mut rest = Vec::new();
+            let _ = reader.read_to_end(&mut rest);
+            Some(response.trim_end().to_string())
+        }
+    }
+}
+
+#[test]
+fn garbage_truncated_and_oversized_requests_never_kill_the_daemon() {
+    let dir = TestDir::new("garbage");
+    let config = dir.write_config();
+    let mut daemon = spawn_daemon(&config, &[]);
+    wait_ready(&dir.socket());
+
+    // Plain garbage, truncated JSON, wrong types, unknown ops: every one
+    // gets a JSON error response on its own connection.
+    for payload in [
+        "not json at all\n".as_bytes(),
+        b"{\"op\":\"sta\n",
+        b"{\"op\":\"status\"\n",
+        b"{\"op\":42}\n",
+        b"{\"op\":\"admit\"}\n",
+        b"{\"op\":\"admit\",\"kind\":\"xxl\"}\n",
+        b"{\"op\":\"step\",\"to_slot\":\"many\"}\n",
+        b"[1,2,3]\n",
+        b"\n\n{\"op\":\"status\"}\n",
+    ] {
+        let response = raw_request(&dir.socket(), payload)
+            .unwrap_or_else(|| panic!("no response to {:?}", String::from_utf8_lossy(payload)));
+        let value: Value = serde_json::from_str(&response).expect("response is JSON");
+        assert!(
+            value.get("ok").and_then(Value::as_bool).is_some(),
+            "response must be a protocol object: {response}"
+        );
+    }
+
+    // Invalid UTF-8 gets an error response and the connection survives.
+    let response = raw_request(&dir.socket(), b"\xff\xfe garbage bytes \xff\n").unwrap();
+    assert!(response.contains("not valid UTF-8"), "{response}");
+
+    // An oversized line (cap + margin, no newline until the end) must be
+    // answered with a bounded-memory error, not buffered indefinitely.
+    let mut huge = vec![b'x'; MAX_REQUEST_LINE_BYTES + 1024];
+    huge.push(b'\n');
+    let response = raw_request(&dir.socket(), &huge).expect("oversized line gets a response");
+    assert!(
+        response.contains("exceeds") && response.contains("\"ok\":false"),
+        "{response}"
+    );
+
+    // A huge line that IS valid JSON is still rejected at the transport
+    // cap — request size is bounded before parsing ever sees it.
+    let padded = format!(
+        "{{\"op\":\"status\",\"pad\":\"{}\"}}\n",
+        "y".repeat(MAX_REQUEST_LINE_BYTES)
+    );
+    let response =
+        raw_request(&dir.socket(), padded.as_bytes()).expect("padded line gets a response");
+    assert!(response.contains("exceeds"), "{response}");
+
+    // After all of that abuse the daemon still serves real requests.
+    let status = ctl_ok(&dir.socket(), "{\"op\":\"status\"}");
+    assert_eq!(status.get("slot").and_then(Value::as_u64), Some(0));
+    ctl_ok(&dir.socket(), "{\"op\":\"step\",\"to_slot\":4}");
+    let status = ctl_ok(&dir.socket(), "{\"op\":\"status\"}");
+    assert_eq!(status.get("slot").and_then(Value::as_u64), Some(4));
 
     ctl_ok(&dir.socket(), "{\"op\":\"shutdown\"}");
     assert!(wait_exit(&mut daemon).success());

@@ -30,7 +30,7 @@
 //! multiplier, baseline-switch flag), and every closed episode as an
 //! [`EpisodeEndEvent`]. The no-op observer is `&mut ()`.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -379,8 +379,14 @@ struct SliceFactory {
     seed: u64,
     horizon: usize,
     baseline_buckets: usize,
+    // A BTreeMap, not a HashMap: the cache is keyed by bit-exact floats
+    // and only ever read through `entry()`, so ordering is immaterial to
+    // behavior today — but an unordered container in a deterministic
+    // crate is a standing hazard (any future iteration would inherit
+    // process-seeded order), and detlint's `unordered-container` rule
+    // bans them outright.
     #[serde(skip)]
-    baseline_cache: HashMap<(SliceKind, u64, u64), RuleBasedBaseline>,
+    baseline_cache: BTreeMap<(SliceKind, u64, u64), RuleBasedBaseline>,
     slices_built: u64,
 }
 
@@ -390,7 +396,7 @@ impl SliceFactory {
             seed: config.seed,
             horizon,
             baseline_buckets: config.baseline_buckets,
-            baseline_cache: HashMap::new(),
+            baseline_cache: BTreeMap::new(),
             slices_built: 0,
         }
     }
@@ -1074,6 +1080,8 @@ impl ScenarioEngine {
             !self.run.finished && self.run.slot < self.scenario.total_slots,
             "ScenarioEngine::run consumed the timeline already; build a new engine for a fresh run"
         );
+        // detlint: allow(wall-clock) -- report-only: accumulates into
+        // report.wall_clock_ms, which TelemetryTrace never serializes.
         let start = Instant::now();
         let slot = self.run.slot;
         self.fire_due_restores(slot);
@@ -1159,6 +1167,8 @@ impl ScenarioEngine {
     /// produces the aggregated report. Called automatically by
     /// [`ScenarioEngine::run_with_observer`] once the timeline is exhausted.
     fn finish(&mut self, obs: &mut dyn SlotObserver) -> ScenarioReport {
+        // detlint: allow(wall-clock) -- report-only: accumulates into
+        // report.wall_clock_ms, which TelemetryTrace never serializes.
         let start = Instant::now();
         self.run.finished = true;
         for index in 0..self.orch.num_slices() {
